@@ -1,0 +1,16 @@
+// Privacy extension (paper §VII): recommendation quality under profile
+// obfuscation — randomized response + entry suppression on the gossiped
+// profile snapshots. Flags: --seed, --scale, --trials, --help.
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+#include "bench_main.hpp"
+
+int main(int argc, char** argv) {
+  using namespace whatsup;
+  const bench::BenchOptions options = bench::parse_options(argc, argv, 0.5, 1);
+  if (options.help) return 0;
+  analysis::print_ablation_privacy(std::cout, options.seed, options.scale,
+                                   options.trials);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Microbenchmarks of the hot kernels in the WhatsUp stack: similarity
+// computation (the WUP clustering inner loop), view merges, item-profile
+// aggregation, and the SCC analysis used by Fig. 4.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "gossip/view.hpp"
+#include "graph/generators.hpp"
+#include "graph/scc.hpp"
+#include "profile/similarity.hpp"
+
+namespace whatsup {
+namespace {
+
+Profile random_profile(Rng& rng, std::size_t entries, ItemId universe) {
+  Profile p;
+  for (std::size_t i = 0; i < entries; ++i) {
+    p.set(rng.index(universe) + 1, static_cast<Cycle>(rng.index(50)),
+          rng.bernoulli(0.5) ? 1.0 : 0.0);
+  }
+  return p;
+}
+
+void BM_WupSimilarity(benchmark::State& state) {
+  Rng rng(1);
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const Profile a = random_profile(rng, size, 4 * size);
+  const Profile b = random_profile(rng, size, 4 * size);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wup_similarity(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WupSimilarity)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CosineSimilarity(benchmark::State& state) {
+  Rng rng(2);
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const Profile a = random_profile(rng, size, 4 * size);
+  const Profile b = random_profile(rng, size, 4 * size);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cosine_similarity(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CosineSimilarity)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ProfileFold(benchmark::State& state) {
+  Rng rng(3);
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const Profile user = random_profile(rng, size, 4 * size);
+  for (auto _ : state) {
+    Profile item;
+    item.fold_profile(user);
+    benchmark::DoNotOptimize(item);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileFold)->Arg(64)->Arg(256);
+
+void BM_ViewMergeClosest(benchmark::State& state) {
+  Rng rng(4);
+  const auto n_candidates = static_cast<std::size_t>(state.range(0));
+  const Profile own = random_profile(rng, 100, 400);
+  std::vector<net::Descriptor> candidates;
+  for (std::size_t i = 0; i < n_candidates; ++i) {
+    candidates.push_back(
+        net::make_descriptor(static_cast<NodeId>(i), 0, random_profile(rng, 100, 400)));
+  }
+  for (auto _ : state) {
+    gossip::View view(20);
+    view.assign_closest(candidates, own, Metric::kWup, rng);
+    benchmark::DoNotOptimize(view);
+  }
+  state.SetItemsProcessed(state.iterations() * n_candidates);
+}
+BENCHMARK(BM_ViewMergeClosest)->Arg(30)->Arg(70)->Arg(150);
+
+void BM_MergeCandidates(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<net::Descriptor> base, incoming;
+  for (NodeId v = 0; v < 40; ++v) {
+    base.push_back(net::Descriptor{v, static_cast<Cycle>(rng.index(100)), nullptr});
+    incoming.push_back(
+        net::Descriptor{v + 20, static_cast<Cycle>(rng.index(100)), nullptr});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gossip::merge_candidates(base, incoming, 0));
+  }
+}
+BENCHMARK(BM_MergeCandidates);
+
+void BM_LargestScc(benchmark::State& state) {
+  Rng rng(6);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  graph::Digraph g(n);
+  // Overlay-like digraph: 20 random out-edges per node.
+  for (NodeId v = 0; v < n; ++v) {
+    for (int e = 0; e < 20; ++e) {
+      g.add_edge(v, static_cast<NodeId>(rng.index(n)));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::largest_scc_fraction(g));
+  }
+}
+BENCHMARK(BM_LargestScc)->Arg(500)->Arg(3000);
+
+}  // namespace
+}  // namespace whatsup
+
+BENCHMARK_MAIN();

@@ -1,0 +1,13 @@
+// Table II — the per-node parameter sheet of WhatsUp (paper §IV-D).
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+#include "bench_main.hpp"
+
+int main(int argc, char** argv) {
+  using namespace whatsup;
+  const bench::BenchOptions options = bench::parse_options(argc, argv, 1.0);
+  if (options.help) return 0;
+  analysis::print_table2(std::cout);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Table III — survey, best operating point of each approach.
+// Reproduces the corresponding table/figure of the WhatsUp paper
+// (IPDPS 2013); see DESIGN.md §3 and EXPERIMENTS.md for the
+// paper-vs-measured record. Flags: --seed, --scale, --trials, --help.
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+#include "bench_main.hpp"
+
+int main(int argc, char** argv) {
+  using namespace whatsup;
+  const bench::BenchOptions options = bench::parse_options(argc, argv, 1.0, 1);
+  if (options.help) return 0;
+  analysis::print_table3(std::cout, options.seed, options.scale, options.trials);
+  return 0;
+}

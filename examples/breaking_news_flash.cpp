@@ -1,0 +1,65 @@
+// Breaking-news flash: trace ONE item through the network, hop by hop.
+//
+// Publishes a single highly-popular item into a converged WhatsUp overlay
+// and prints how the BEEP wave unfolds: likes amplify (fanout fLIKE),
+// dislikes re-orient a single copy towards the item profile's community,
+// duplicates die (SIR). This is the paper's Fig. 2 mechanics made visible.
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+#include "analysis/runner.hpp"
+#include "common/flags.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace whatsup;
+  Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7, "RNG seed"));
+  const int fanout = static_cast<int>(flags.get_int("fanout", 5, "BEEP fLIKE"));
+  if (flags.maybe_print_help(std::cout)) return 0;
+
+  const data::Workload workload = analysis::standard_workload("survey", seed, 0.5);
+
+  analysis::RunConfig config = analysis::default_run_config(seed);
+  config.approach = analysis::Approach::kWhatsUp;
+  config.fanout = fanout;
+  const analysis::RunResult result = analysis::run_protocol(workload, config);
+
+  // Pick the most popular measured item: the "breaking news".
+  ItemIdx flash = result.measured.front();
+  for (ItemIdx item : result.measured) {
+    if (workload.popularity(item) > workload.popularity(flash)) flash = item;
+  }
+  const auto& spec = workload.news[flash];
+  std::cout << "Breaking news: item #" << flash << " (id " << std::hex << spec.id
+            << std::dec << "), published by user " << spec.source << "\n";
+  std::cout << "Interested audience: " << workload.interested(flash).count() << " / "
+            << workload.num_users() << " users ("
+            << fixed(100.0 * workload.popularity(flash), 1) << "%)\n";
+  const std::size_t reached = result.reached[flash].count();
+  const std::size_t hits = result.reached[flash].intersect_count(workload.interested(flash));
+  std::cout << "Reached " << reached << " users, " << hits << " of them interested ("
+            << fixed(reached > 0 ? 100.0 * static_cast<double>(hits) /
+                                       static_cast<double>(reached)
+                                 : 0.0,
+                     1)
+            << "% precision for this item)\n\n";
+
+  // Hop-by-hop wave (averaged per item across the run, Fig. 6 style).
+  const metrics::HopCounts& hops = result.hops_per_item;
+  Table table({"Hop", "Forwards by likers", "Forwards by dislikers", "Infections"});
+  const std::size_t max_hop = std::min<std::size_t>(hops.max_hop(), 15);
+  auto at = [](const std::vector<double>& v, std::size_t h) {
+    return h < v.size() ? v[h] : 0.0;
+  };
+  for (std::size_t h = 0; h < max_hop; ++h) {
+    table.add_row({std::to_string(h), fixed(at(hops.forward_like, h), 1),
+                   fixed(at(hops.forward_dislike, h), 1),
+                   fixed(at(hops.infect_like, h) + at(hops.infect_dislike, h), 1)});
+  }
+  table.print(std::cout, "Average dissemination wave (per item)");
+  std::cout << "\nThe wave peaks a few hops from the source and dies out quickly —\n"
+               "amplification spends messages where interested users live.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Interest shift: the §V-C dynamics scenarios as a narrative.
+//
+// A new user joins mid-run (cold start: inherited views + 3 popular items)
+// while an existing pair of users swap interests. The example tracks how
+// fast each of them converges back to a WUP view full of alter egos, and
+// how many interesting news items they receive per cycle along the way.
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+#include "common/flags.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace whatsup;
+  Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 9, "RNG seed"));
+  const auto event =
+      static_cast<Cycle>(flags.get_int("event-cycle", 60, "join/switch cycle"));
+  const auto total = static_cast<Cycle>(flags.get_int("cycles", 140, "total cycles"));
+  const int trials = static_cast<int>(flags.get_int("trials", 2, "averaged trials"));
+  if (flags.maybe_print_help(std::cout)) return 0;
+
+  const data::Workload workload = analysis::standard_workload("survey", seed, 0.25);
+  std::cout << "Survey workload, " << workload.num_users() << " users. At cycle "
+            << event << ": one clone of a reference user joins from scratch and a\n"
+            << "random pair of users swap interests. Averaged over " << trials
+            << " trials.\n\n";
+
+  const analysis::DynamicsSeries wup =
+      analysis::run_dynamics(workload, Metric::kWup, seed, event, total, trials);
+  const analysis::DynamicsSeries cos =
+      analysis::run_dynamics(workload, Metric::kCosine, seed, event, total, trials);
+
+  Table table({"Cycle", "ref sim (WUP)", "join sim (WUP)", "join sim (cosine)",
+               "change sim (WUP)", "liked news/cycle (joiner)"});
+  for (Cycle c = event - 10; c < total; c += 10) {
+    const auto i = static_cast<std::size_t>(c);
+    table.add_row({std::to_string(c), fixed(wup.ref_sim[i], 3), fixed(wup.join_sim[i], 3),
+                   fixed(cos.join_sim[i], 3), fixed(wup.change_sim[i], 3),
+                   fixed(wup.join_liked[i], 1)});
+  }
+  table.print(std::cout, "Convergence after the event");
+
+  // Time to reach 80% of the reference node's view quality.
+  auto convergence_cycle = [&](const analysis::DynamicsSeries& series) -> Cycle {
+    for (Cycle c = event; c < total; ++c) {
+      const auto i = static_cast<std::size_t>(c);
+      if (series.ref_sim[i] > 0 && series.join_sim[i] >= 0.8 * series.ref_sim[i]) {
+        return c - event;
+      }
+    }
+    return -1;
+  };
+  const Cycle t_wup = convergence_cycle(wup);
+  const Cycle t_cos = convergence_cycle(cos);
+  std::cout << "\nJoiner reaches 80% of the reference view quality after "
+            << (t_wup < 0 ? std::string("> ") + std::to_string(total - event)
+                          : std::to_string(t_wup))
+            << " cycles under the WUP metric vs "
+            << (t_cos < 0 ? std::string("> ") + std::to_string(total - event)
+                          : std::to_string(t_cos))
+            << " under cosine.\n"
+            << "The asymmetric metric favors small, popular profiles — newcomers\n"
+            << "get picked up as neighbors quickly and start receiving relevant\n"
+            << "news almost immediately (paper Fig. 7).\n";
+  return 0;
+}

@@ -1,0 +1,651 @@
+#include "analysis/experiments.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <span>
+#include <stdexcept>
+
+#include "baselines/cpubsub.hpp"
+#include "baselines/cwhatsup.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "dataset/digg.hpp"
+#include "dataset/survey.hpp"
+#include "dataset/synthetic.hpp"
+#include "sim/engine.hpp"
+#include "whatsup/node.hpp"
+
+namespace whatsup::analysis {
+
+namespace {
+
+std::size_t scaled(std::size_t base, double scale, std::size_t min_value = 1) {
+  return std::max<std::size_t>(
+      min_value, static_cast<std::size_t>(std::lround(static_cast<double>(base) * scale)));
+}
+
+}  // namespace
+
+data::Workload standard_workload(const std::string& name, std::uint64_t seed,
+                                 double scale) {
+  Rng rng(seed ^ 0xda7a5e7ULL);
+  if (name == "synthetic") {
+    data::SyntheticConfig config;
+    config.n_authors = scaled(config.n_authors, scale, 120);
+    config.max_community = scaled(config.max_community, scale, 40);
+    config.min_community = std::max<std::size_t>(8, scaled(config.min_community, scale, 8));
+    config.total_items = scaled(config.total_items, scale, 105);
+    return data::make_synthetic(config, rng);
+  }
+  if (name == "digg") {
+    data::DiggConfig config;
+    config.users = scaled(config.users, scale, 60);
+    config.items = scaled(config.items, scale, 100);
+    return data::make_digg(config, rng);
+  }
+  if (name == "survey") {
+    data::SurveyConfig config;
+    // Scale acts on the replication factor (the paper's ×4) and leaves the
+    // base survey population untouched.
+    config.replication = scaled(config.replication, scale, 1);
+    return data::make_survey(config, rng);
+  }
+  throw std::invalid_argument("unknown workload: " + name);
+}
+
+RunConfig default_run_config(std::uint64_t seed) {
+  RunConfig config;
+  config.seed = seed;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7 dynamics
+// ---------------------------------------------------------------------------
+
+DynamicsSeries run_dynamics(const data::Workload& base_workload, Metric metric,
+                            std::uint64_t seed, Cycle event_cycle, Cycle total_cycles,
+                            int trials) {
+  DynamicsSeries out;
+  const auto cycles = static_cast<std::size_t>(total_cycles);
+  out.cycle.resize(cycles);
+  for (std::size_t c = 0; c < cycles; ++c) out.cycle[c] = static_cast<double>(c);
+  out.ref_sim.assign(cycles, 0.0);
+  out.join_sim.assign(cycles, 0.0);
+  out.change_sim.assign(cycles, 0.0);
+  out.ref_liked.assign(cycles, 0.0);
+  out.join_liked.assign(cycles, 0.0);
+  out.change_liked.assign(cycles, 0.0);
+
+  for (int trial = 0; trial < trials; ++trial) {
+    data::Workload workload = base_workload;
+    Rng rng(seed + static_cast<std::uint64_t>(trial) * 7919ULL);
+    workload.schedule_publications(3, total_cycles - 10, rng);
+
+    const std::size_t n = workload.num_users();
+    const NodeId joiner = static_cast<NodeId>(n);
+    const NodeId reference = static_cast<NodeId>(rng.index(n));
+    NodeId changer_a = static_cast<NodeId>(rng.index(n));
+    while (changer_a == reference) changer_a = static_cast<NodeId>(rng.index(n));
+    NodeId changer_b = static_cast<NodeId>(rng.index(n));
+    while (changer_b == reference || changer_b == changer_a) {
+      changer_b = static_cast<NodeId>(rng.index(n));
+    }
+
+    sim::Engine::Config engine_config;
+    engine_config.seed = rng.next_u64();
+    sim::Engine engine(engine_config);
+
+    WorkloadOpinions ground_truth(workload);
+    sim::MutableOpinions opinions(ground_truth);
+
+    WhatsUpConfig wu;
+    wu.metric = metric;
+    std::vector<WhatsUpAgent*> agents;
+    for (NodeId v = 0; v <= n; ++v) {
+      auto agent = std::make_unique<WhatsUpAgent>(v, wu, opinions);
+      agents.push_back(agent.get());
+      engine.add_agent(std::move(agent));
+    }
+    engine.set_active(joiner, false);
+
+    for (NodeId v = 0; v < n; ++v) {
+      std::vector<net::Descriptor> view_seed;
+      for (int i = 0; i < wu.params.rps_view_size; ++i) {
+        NodeId peer = v;
+        while (peer == v) peer = static_cast<NodeId>(rng.index(n));
+        view_seed.push_back(net::Descriptor{peer, -1, nullptr});
+      }
+      agents[v]->bootstrap_rps(std::move(view_seed));
+    }
+
+    metrics::Tracker tracker(n, workload.num_items());
+    tracker.attach(engine);
+    tracker.track_node(reference);
+    tracker.track_node(joiner);
+    tracker.track_node(changer_a);
+
+    std::map<Cycle, std::vector<ItemIdx>> calendar;
+    for (const data::NewsSpec& spec : workload.news) {
+      calendar[spec.publish_at].push_back(spec.index);
+    }
+
+    for (Cycle c = 0; c < total_cycles; ++c) {
+      if (c == event_cycle) {
+        // Joining node: clone of the reference user (§V-C).
+        opinions.set_alias(joiner, reference);
+        engine.set_active(joiner, true);
+        const NodeId contact = engine.random_active(joiner);
+        sim::Context ctx(engine, joiner);
+        agents[joiner]->cold_start_from(ctx, *agents[contact]);
+        // Changing nodes: swap the interests of a random pair.
+        opinions.swap_interests(changer_a, changer_b);
+      }
+      if (const auto it = calendar.find(c); it != calendar.end()) {
+        for (ItemIdx item : it->second) {
+          engine.publish(workload.news[item].source, item, workload.news[item].id);
+        }
+      }
+      engine.run_cycle();
+      const auto cc = static_cast<std::size_t>(c);
+      out.ref_sim[cc] += agents[reference]->avg_wup_similarity();
+      out.join_sim[cc] += engine.is_active(joiner) ? agents[joiner]->avg_wup_similarity() : 0.0;
+      out.change_sim[cc] += agents[changer_a]->avg_wup_similarity();
+    }
+    auto add_series = [cycles](std::vector<double>& into,
+                               const std::vector<std::uint32_t>& from) {
+      for (std::size_t c = 0; c < cycles && c < from.size(); ++c) {
+        into[c] += static_cast<double>(from[c]);
+      }
+    };
+    add_series(out.ref_liked, tracker.liked_series(reference));
+    add_series(out.join_liked, tracker.liked_series(joiner));
+    add_series(out.change_liked, tracker.liked_series(changer_a));
+  }
+
+  const double inv = 1.0 / static_cast<double>(std::max(trials, 1));
+  for (auto* series : {&out.ref_sim, &out.join_sim, &out.change_sim, &out.ref_liked,
+                       &out.join_liked, &out.change_liked}) {
+    for (double& x : *series) x *= inv;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------------
+
+void print_table1(std::ostream& os, std::uint64_t seed, double scale) {
+  Table table({"Name", "Number of users", "Number of news", "Topics", "Mean popularity"});
+  for (const std::string name : {"synthetic", "digg", "survey"}) {
+    const data::Workload w = standard_workload(name, seed, scale);
+    RunningStat pop;
+    for (ItemIdx i = 0; i < w.num_items(); ++i) pop.add(w.popularity(i));
+    table.add_row({w.name, std::to_string(w.num_users()), std::to_string(w.num_items()),
+                   std::to_string(w.n_topics), fixed(pop.mean(), 3)});
+  }
+  table.print(os, "Table I: Summary of the workloads (paper: 3180/2000, 750/2500, 480/1000)");
+}
+
+void print_table2(std::ostream& os) {
+  Params params;
+  params.to_table().print(os, "Table II: WhatsUp parameters - on each node");
+}
+
+namespace {
+
+void add_perf_row(Table& table, const std::string& label, const RunResult& r) {
+  table.add_row({label, fixed(r.scores.precision, 2), fixed(r.scores.recall, 2),
+                 fixed(r.scores.f1, 2), si_count(r.msgs_per_user)});
+}
+
+RunResult run_averaged(const data::Workload& w, RunConfig config, int trials) {
+  std::vector<RunResult> runs;
+  for (int t = 0; t < trials; ++t) {
+    RunConfig c = config;
+    c.seed = config.seed + static_cast<std::uint64_t>(t) * 1000003ULL;
+    runs.push_back(run_protocol(w, c));
+  }
+  return average_runs(std::move(runs));
+}
+
+}  // namespace
+
+void print_table3(std::ostream& os, std::uint64_t seed, double scale, int trials) {
+  const data::Workload survey = standard_workload("survey", seed, scale);
+  const RunConfig base = default_run_config(seed);
+
+  struct Row {
+    std::string label;
+    Approach approach;
+    int fanout;
+  };
+  // The paper's per-approach best operating points.
+  const Row rows[] = {
+      {"Gossip (f=4)", Approach::kGossip, 4},
+      {"CF-Cos (k=29)", Approach::kCfCos, 29},
+      {"CF-Wup (k=19)", Approach::kCfWup, 19},
+      {"WhatsUp-Cos (fLIKE=24)", Approach::kWhatsUpCos, 24},
+      {"WhatsUp (fLIKE=10)", Approach::kWhatsUp, 10},
+  };
+  Table table({"Algorithm", "Precision", "Recall", "F1-Score", "Mess./User"});
+  for (const Row& row : rows) {
+    RunConfig config = base;
+    config.approach = row.approach;
+    config.fanout = row.fanout;
+    add_perf_row(table, row.label, run_averaged(survey, config, trials));
+  }
+  table.print(os, "Table III: Survey: best performance of each approach");
+}
+
+void print_table4(std::ostream& os, std::uint64_t seed, double scale, int trials) {
+  const data::Workload survey = standard_workload("survey", seed, scale);
+  RunConfig config = default_run_config(seed);
+  config.approach = Approach::kWhatsUp;
+  config.fanout = 10;
+  const RunResult r = run_averaged(survey, config, trials);
+  Table table({"Number of dislikes", "0", "1", "2", "3", "4"});
+  table.add_row({"Fraction of news", fixed(r.dislike_fractions[0] * 100, 0) + "%",
+                 fixed(r.dislike_fractions[1] * 100, 0) + "%",
+                 fixed(r.dislike_fractions[2] * 100, 0) + "%",
+                 fixed(r.dislike_fractions[3] * 100, 0) + "%",
+                 fixed(r.dislike_fractions[4] * 100, 0) + "%"});
+  table.print(os,
+              "Table IV: News received and liked via dislike (paper: 54/31/10/3/2%)");
+}
+
+void print_table5(std::ostream& os, std::uint64_t seed, double scale, int trials) {
+  Table table({"Dataset", "Approach", "Precision", "Recall", "F1-Score", "Messages"});
+
+  {  // Digg: cascading vs WhatsUp.
+    const data::Workload digg = standard_workload("digg", seed, scale);
+    RunConfig config = default_run_config(seed);
+    config.approach = Approach::kCascade;
+    const RunResult cascade = run_averaged(digg, config, trials);
+    config.approach = Approach::kWhatsUp;
+    config.fanout = 15;
+    const RunResult whatsup = run_averaged(digg, config, trials);
+    table.add_row({"Digg", "Cascade", fixed(cascade.scores.precision, 2),
+                   fixed(cascade.scores.recall, 2), fixed(cascade.scores.f1, 2),
+                   si_count(static_cast<double>(cascade.news_messages))});
+    table.add_row({"Digg", "WhatsUp", fixed(whatsup.scores.precision, 2),
+                   fixed(whatsup.scores.recall, 2), fixed(whatsup.scores.f1, 2),
+                   si_count(static_cast<double>(whatsup.news_messages +
+                                                whatsup.gossip_messages))});
+  }
+  {  // Survey: C-Pub/Sub vs WhatsUp.
+    const data::Workload survey = standard_workload("survey", seed, scale);
+    RunConfig config = default_run_config(seed);
+    config.approach = Approach::kWhatsUp;
+    config.fanout = 10;
+    const RunResult whatsup = run_averaged(survey, config, trials);
+    const auto cps = baselines::evaluate_cpubsub(
+        survey, std::span<const ItemIdx>(whatsup.measured));
+    table.add_row({"Survey", "C-Pub/Sub", fixed(cps.precision, 2), fixed(cps.recall, 2),
+                   fixed(cps.f1, 2), si_count(static_cast<double>(cps.messages))});
+    table.add_row({"Survey", "WhatsUp", fixed(whatsup.scores.precision, 2),
+                   fixed(whatsup.scores.recall, 2), fixed(whatsup.scores.f1, 2),
+                   si_count(static_cast<double>(whatsup.news_messages +
+                                                whatsup.gossip_messages))});
+  }
+  table.print(os, "Table V: WhatsUp vs C-Pub/Sub and Cascading");
+}
+
+void print_table6(std::ostream& os, std::uint64_t seed, double scale, int trials) {
+  // The 245-user deployment trace (§V-D/E).
+  Rng rng(seed);
+  const data::Workload survey =
+      standard_workload("survey", seed, scale).subsample_users(245, rng);
+  const double losses[] = {0.0, 0.05, 0.20, 0.50};
+  const int fanouts[] = {3, 6};
+  Table table({"Loss rate", "Fanout", "Recall", "Precision", "F1-Score"});
+  for (double loss : losses) {
+    for (int fanout : fanouts) {
+      RunConfig config = default_run_config(seed);
+      config.approach = Approach::kWhatsUp;
+      config.fanout = fanout;
+      config.network = net::NetworkConfig::lossy(loss);
+      const RunResult r = run_averaged(survey, config, trials);
+      table.add_row({fixed(loss * 100, 0) + "%", std::to_string(fanout),
+                     fixed(r.scores.recall, 2), fixed(r.scores.precision, 2),
+                     fixed(r.scores.f1, 2)});
+    }
+  }
+  table.print(os, "Table VI: Survey: Performance versus message-loss rate");
+}
+
+// ---------------------------------------------------------------------------
+// Figures
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr Approach kFig3Approaches[] = {Approach::kCfWup, Approach::kCfCos,
+                                        Approach::kWhatsUp, Approach::kWhatsUpCos};
+
+std::vector<int> fig3_fanouts(const std::string& dataset) {
+  if (dataset == "synthetic") return {5, 10, 15, 20, 25, 30, 35, 40, 45};
+  if (dataset == "digg") return {3, 5, 8, 12, 16, 20, 25};
+  return {3, 5, 8, 10, 15, 20, 25, 30};
+}
+
+}  // namespace
+
+void print_fig3(std::ostream& os, const std::string& dataset, std::uint64_t seed,
+                double scale, int trials) {
+  const data::Workload w = standard_workload(dataset, seed, scale);
+  const auto fanouts = fig3_fanouts(dataset);
+  const RunConfig base = default_run_config(seed);
+  const auto results = fanout_sweep(w, base, kFig3Approaches, fanouts, trials);
+
+  Series by_fanout("fanout", {"CF-Wup", "CF-Cos", "WhatsUp", "WhatsUp-Cos"});
+  for (std::size_t f = 0; f < fanouts.size(); ++f) {
+    by_fanout.add(fanouts[f], {results[0][f].result.scores.f1,
+                               results[1][f].result.scores.f1,
+                               results[2][f].result.scores.f1,
+                               results[3][f].result.scores.f1});
+  }
+  by_fanout.print(os, "Fig 3 (" + w.name + "): F1-Score vs fanout (fLIKE)");
+
+  os << '\n';
+  for (std::size_t a = 0; a < std::size(kFig3Approaches); ++a) {
+    Series by_msg("messages/cycle/node", {"F1"});
+    for (std::size_t f = 0; f < fanouts.size(); ++f) {
+      by_msg.add(results[a][f].result.msgs_per_cycle_node,
+                 {results[a][f].result.scores.f1});
+    }
+    by_msg.print(os, "Fig 3 (" + w.name + "): F1-Score vs message cost - " +
+                         to_string(kFig3Approaches[a]));
+  }
+}
+
+void print_fig4(std::ostream& os, std::uint64_t seed, double scale, int trials) {
+  const data::Workload w = standard_workload("survey", seed, scale);
+  const std::vector<int> fanouts = {2, 3, 4, 6, 8, 10, 12};
+  const RunConfig base = default_run_config(seed);
+  const auto results = fanout_sweep(w, base, kFig3Approaches, fanouts, trials);
+  Series series("fanout", {"CF-Wup", "CF-Cos", "WhatsUp", "WhatsUp-Cos"});
+  for (std::size_t f = 0; f < fanouts.size(); ++f) {
+    series.add(fanouts[f], {results[0][f].result.overlay.lscc_fraction,
+                            results[1][f].result.overlay.lscc_fraction,
+                            results[2][f].result.overlay.lscc_fraction,
+                            results[3][f].result.overlay.lscc_fraction});
+  }
+  series.print(os, "Fig 4 (survey): fraction of nodes in the largest SCC vs fanout");
+  os << "# clustering coefficient at fanout=" << fanouts.back() << ": CF-Wup="
+     << fixed(results[0].back().result.overlay.clustering, 2)
+     << " CF-Cos=" << fixed(results[1].back().result.overlay.clustering, 2)
+     << " WhatsUp=" << fixed(results[2].back().result.overlay.clustering, 2)
+     << " WhatsUp-Cos=" << fixed(results[3].back().result.overlay.clustering, 2)
+     << " (paper: 0.15 WUP vs 0.40 cosine)\n";
+  os << "# weak components at fanout=3: run with --fanout-detail for per-fanout dump\n";
+}
+
+void print_fig5(std::ostream& os, std::uint64_t seed, double scale, int trials) {
+  const data::Workload w = standard_workload("survey", seed, scale);
+  Series series("max TTL", {"Precision", "Recall", "F1-Score"});
+  for (int ttl = 0; ttl <= 8; ++ttl) {
+    RunConfig config = default_run_config(seed);
+    config.approach = Approach::kWhatsUp;
+    config.fanout = 10;
+    config.params.beep_ttl = ttl;
+    const RunResult r = run_averaged(w, config, trials);
+    series.add(ttl, {r.scores.precision, r.scores.recall, r.scores.f1});
+  }
+  series.print(os, "Fig 5 (survey): impact of the dislike TTL of BEEP");
+}
+
+void print_fig6(std::ostream& os, std::uint64_t seed, double scale, int trials) {
+  const data::Workload w = standard_workload("survey", seed, scale);
+  RunConfig config = default_run_config(seed);
+  config.approach = Approach::kWhatsUp;
+  config.fanout = 5;  // the paper's fLIKE for this figure
+  const RunResult r = run_averaged(w, config, trials);
+  const metrics::HopCounts& hops = r.hops_per_item;
+  Series series("hops", {"Forward by like", "Infection by like", "Forward by dislike",
+                         "Infection by dislike"});
+  const std::size_t max_hop = hops.max_hop();
+  auto at = [](const std::vector<double>& v, std::size_t h) {
+    return h < v.size() ? v[h] : 0.0;
+  };
+  for (std::size_t h = 0; h < max_hop; ++h) {
+    series.add(static_cast<double>(h),
+               {at(hops.forward_like, h), at(hops.infect_like, h),
+                at(hops.forward_dislike, h), at(hops.infect_dislike, h)});
+  }
+  series.print(os, "Fig 6 (survey, fLIKE=5): dissemination actions per hop "
+                   "(avg per item)");
+}
+
+void print_fig7(std::ostream& os, std::uint64_t seed, double scale, int trials) {
+  const data::Workload w = standard_workload("survey", seed, scale);
+  const Cycle event_cycle = 100;
+  const Cycle total = 200;
+  const DynamicsSeries wup = run_dynamics(w, Metric::kWup, seed, event_cycle, total, trials);
+  const DynamicsSeries cos =
+      run_dynamics(w, Metric::kCosine, seed, event_cycle, total, trials);
+
+  Series sim_wup("cycle", {"Reference node", "Changing node", "Joining node"});
+  Series sim_cos("cycle", {"Reference node", "Changing node", "Joining node"});
+  Series liked("cycle", {"Reference node", "Changing node", "Joining node"});
+  for (std::size_t c = 0; c < wup.cycle.size(); ++c) {
+    sim_wup.add(wup.cycle[c], {wup.ref_sim[c], wup.change_sim[c], wup.join_sim[c]});
+    sim_cos.add(cos.cycle[c], {cos.ref_sim[c], cos.change_sim[c], cos.join_sim[c]});
+    liked.add(wup.cycle[c], {wup.ref_liked[c], wup.change_liked[c], wup.join_liked[c]});
+  }
+  sim_wup.print(os, "Fig 7a (survey): similarity in WUP view (WhatsUp), join/switch at cycle 100");
+  os << '\n';
+  sim_cos.print(os, "Fig 7b (survey): similarity in WUP view (WhatsUp-Cos)");
+  os << '\n';
+  liked.print(os, "Fig 7c (survey): liked news received per cycle (WhatsUp)");
+}
+
+void print_fig8(std::ostream& os, std::uint64_t seed, double scale, int trials) {
+  Rng rng(seed);
+  const data::Workload w =
+      standard_workload("survey", seed, scale).subsample_users(245, rng);
+  const std::vector<int> fanouts = {2, 3, 4, 6, 8, 10, 12};
+
+  struct Deployment {
+    std::string label;
+    net::NetworkConfig network;
+  };
+  const Deployment deployments[] = {
+      {"Simulation", net::NetworkConfig::perfect()},
+      {"PlanetLab", net::NetworkConfig::planetlab()},
+      {"ModelNet", net::NetworkConfig::modelnet()},
+  };
+
+  Series f1("fanout", {"Simulation", "PlanetLab", "ModelNet"});
+  Series bandwidth("fanout", {"Total", "WUP", "BEEP"});
+  for (std::size_t f = 0; f < fanouts.size(); ++f) {
+    std::vector<double> row;
+    double kbps_total = 0, kbps_gossip = 0, kbps_beep = 0;
+    for (const Deployment& dep : deployments) {
+      RunConfig config = default_run_config(seed);
+      config.approach = Approach::kWhatsUp;
+      config.fanout = fanouts[f];
+      config.network = dep.network;
+      config.cycle_seconds = 30.0;  // the deployment's 30 s gossip cycle
+      const RunResult r = run_averaged(w, config, trials);
+      row.push_back(r.scores.f1);
+      if (dep.label == "PlanetLab") {
+        kbps_total = r.kbps_total;
+        kbps_gossip = r.kbps_gossip;
+        kbps_beep = r.kbps_beep;
+      }
+    }
+    f1.add(fanouts[f], row);
+    bandwidth.add(fanouts[f], {kbps_total, kbps_gossip, kbps_beep});
+  }
+  f1.print(os, "Fig 8a (survey, 245 users): F1-Score by deployment");
+  os << '\n';
+  bandwidth.print(os, "Fig 8b (PlanetLab model): bandwidth per node (Kbps)");
+}
+
+void print_fig9(std::ostream& os, std::uint64_t seed, double scale, int trials) {
+  const data::Workload base = standard_workload("survey", seed, scale);
+  const std::vector<int> fanouts = {2, 4, 6, 8, 10, 12, 14};
+
+  Series series("fanout", {"Centralized", "WhatsUp-Cos", "WhatsUp"});
+  for (int fanout : fanouts) {
+    // Decentralized runs.
+    RunConfig config = default_run_config(seed);
+    config.fanout = fanout;
+    config.approach = Approach::kWhatsUp;
+    const RunResult wup = run_averaged(base, config, trials);
+    config.approach = Approach::kWhatsUpCos;
+    const RunResult cos = run_averaged(base, config, trials);
+
+    // Centralized complete-search variant, same schedule rules.
+    data::Workload scheduled = base;
+    Rng rng(seed);
+    RunConfig sched_cfg = default_run_config(seed);
+    scheduled.schedule_publications(sched_cfg.warmup_cycles,
+                                    sched_cfg.warmup_cycles + sched_cfg.publish_cycles - 1,
+                                    rng);
+    baselines::CWhatsUpConfig cw;
+    cw.f_like = fanout;
+    const auto central = baselines::run_cwhatsup(scheduled, cw, rng);
+    std::vector<ItemIdx> measured;
+    const Cycle measure_from = sched_cfg.warmup_cycles + sched_cfg.measure_margin;
+    for (const data::NewsSpec& spec : scheduled.news) {
+      if (spec.publish_at >= measure_from) measured.push_back(spec.index);
+    }
+    const metrics::Scores central_scores =
+        metrics::compute_scores(scheduled, central.reached, measured);
+
+    series.add(fanout, {central_scores.f1, cos.scores.f1, wup.scores.f1});
+  }
+  series.print(os, "Fig 9 (survey): centralized vs decentralized");
+}
+
+void print_fig10(std::ostream& os, std::uint64_t seed, double scale, int trials) {
+  (void)trials;  // the per-bucket curves come from single (first-seed) runs
+  const data::Workload w = standard_workload("survey", seed, scale);
+  RunConfig config = default_run_config(seed);
+  config.approach = Approach::kWhatsUp;
+  config.fanout = 10;
+  const RunResult wup = run_protocol(w, config);
+  config.approach = Approach::kCfWup;
+  config.fanout = 19;
+  const RunResult cf = run_protocol(w, config);
+
+  const auto wup_curve = metrics::recall_by_popularity(
+      w, wup.reached, std::span<const ItemIdx>(wup.measured));
+  const auto cf_curve = metrics::recall_by_popularity(
+      w, cf.reached, std::span<const ItemIdx>(cf.measured));
+
+  Series series("popularity", {"WhatsUp", "CF WUP", "Popularity distribution"});
+  for (std::size_t b = 0; b < wup_curve.center.size(); ++b) {
+    series.add(wup_curve.center[b],
+               {wup_curve.recall[b], cf_curve.recall[b], wup_curve.item_fraction[b]});
+  }
+  series.print(os, "Fig 10 (survey): recall vs item popularity");
+}
+
+void print_fig11(std::ostream& os, std::uint64_t seed, double scale, int trials) {
+  (void)trials;
+  const data::Workload w = standard_workload("survey", seed, scale);
+  RunConfig config = default_run_config(seed);
+  config.approach = Approach::kWhatsUp;
+  config.fanout = 10;
+  const RunResult r = run_protocol(w, config);
+  const std::vector<double> soc = metrics::sociability(w);
+
+  constexpr std::size_t kBuckets = 10;
+  std::vector<double> f1_sum(kBuckets, 0.0);
+  std::vector<std::size_t> node_count(kBuckets, 0);
+  std::size_t valid_nodes = 0;
+  for (NodeId u = 0; u < w.num_users(); ++u) {
+    if (!r.per_user.valid[u]) continue;
+    auto b = static_cast<std::size_t>(soc[u] * kBuckets);
+    b = std::min(b, kBuckets - 1);
+    f1_sum[b] += r.per_user.f1[u];
+    ++node_count[b];
+    ++valid_nodes;
+  }
+  Series series("sociability", {"Nodes (avg F1)", "Sociability distribution"});
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const double center = (static_cast<double>(b) + 0.5) / kBuckets;
+    const double f1 = node_count[b] > 0 ? f1_sum[b] / static_cast<double>(node_count[b]) : 0.0;
+    const double frac =
+        valid_nodes > 0 ? static_cast<double>(node_count[b]) / static_cast<double>(valid_nodes)
+                        : 0.0;
+    series.add(center, {f1, frac});
+  }
+  series.print(os, "Fig 11 (survey): F1-Score vs sociability");
+}
+
+// ---------------------------------------------------------------------------
+// Ablations
+// ---------------------------------------------------------------------------
+
+void print_ablation_beep(std::ostream& os, std::uint64_t seed, double scale, int trials) {
+  const data::Workload w = standard_workload("survey", seed, scale);
+  Table table({"Amplification", "Orientation", "Precision", "Recall", "F1-Score",
+               "News msgs"});
+  for (bool amplification : {true, false}) {
+    for (bool orientation : {true, false}) {
+      RunConfig config = default_run_config(seed);
+      config.approach = Approach::kWhatsUp;
+      config.fanout = 10;
+      config.beep_amplification = amplification;
+      config.beep_orientation = orientation;
+      const RunResult r = run_averaged(w, config, trials);
+      table.add_row({amplification ? "on" : "off", orientation ? "on" : "off",
+                     fixed(r.scores.precision, 2), fixed(r.scores.recall, 2),
+                     fixed(r.scores.f1, 2),
+                     si_count(static_cast<double>(r.news_messages))});
+    }
+  }
+  table.print(os, "Ablation: BEEP amplification / orientation (survey, fLIKE=10)");
+}
+
+void print_ablation_privacy(std::ostream& os, std::uint64_t seed, double scale,
+                            int trials) {
+  const data::Workload w = standard_workload("survey", seed, scale);
+  Table table({"Flip prob", "Drop prob", "Deniability", "Precision", "Recall",
+               "F1-Score"});
+  struct Level {
+    double flip;
+    double drop;
+  };
+  const Level levels[] = {{0.0, 0.0}, {0.1, 0.0}, {0.3, 0.0}, {0.5, 0.0},
+                          {0.3, 0.2}, {0.0, 0.5}};
+  for (const Level& level : levels) {
+    RunConfig config = default_run_config(seed);
+    config.approach = Approach::kWhatsUp;
+    config.fanout = 10;
+    config.obfuscation.flip_prob = level.flip;
+    config.obfuscation.drop_prob = level.drop;
+    const RunResult r = run_averaged(w, config, trials);
+    table.add_row({fixed(level.flip, 1), fixed(level.drop, 1),
+                   fixed(deniability(config.obfuscation), 2),
+                   fixed(r.scores.precision, 2), fixed(r.scores.recall, 2),
+                   fixed(r.scores.f1, 2)});
+  }
+  table.print(os,
+              "Privacy extension (§VII): obfuscated gossip profiles "
+              "(survey, fLIKE=10)");
+}
+
+void print_ablation_metric(std::ostream& os, std::uint64_t seed, double scale,
+                           int trials) {
+  const data::Workload w = standard_workload("survey", seed, scale);
+  Table table({"Metric", "Precision", "Recall", "F1-Score"});
+  for (Metric metric : {Metric::kWup, Metric::kCosine, Metric::kJaccard,
+                        Metric::kOverlap, Metric::kPearson}) {
+    RunConfig config = default_run_config(seed);
+    config.approach = Approach::kWhatsUp;
+    config.fanout = 10;
+    config.metric_override = metric;
+    const RunResult r = run_averaged(w, config, trials);
+    table.add_row({to_string(metric), fixed(r.scores.precision, 2),
+                   fixed(r.scores.recall, 2), fixed(r.scores.f1, 2)});
+  }
+  table.print(os, "Ablation: similarity metric inside WhatsUp (survey, fLIKE=10)");
+}
+
+}  // namespace whatsup::analysis

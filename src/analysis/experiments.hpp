@@ -1,0 +1,76 @@
+// One driver per paper table/figure. Each bench binary is a thin main()
+// that parses flags and calls one of these printers; tests call them too
+// (on reduced scales) to assert the qualitative claims.
+//
+// `scale` shrinks/grows the workloads relative to the paper's sizes
+// (scale=1 reproduces Table I); `trials` averages runs over that many
+// seeds. Output format: ASCII tables for tables, gnuplot-style series for
+// figures.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "analysis/runner.hpp"
+#include "analysis/sweeps.hpp"
+
+namespace whatsup::analysis {
+
+// ---- Workload factories -------------------------------------------------
+
+// `name` in {"synthetic", "digg", "survey"}; scale=1 matches Table I.
+data::Workload standard_workload(const std::string& name, std::uint64_t seed,
+                                 double scale = 1.0);
+
+// Baseline run configuration shared by the experiments (§IV-D timeline:
+// profile window = 13 cycles ≈ 1/5 of the run).
+RunConfig default_run_config(std::uint64_t seed);
+
+// ---- Fig. 7 dynamics (joining / interest-switching nodes) ---------------
+
+struct DynamicsSeries {
+  std::vector<double> cycle;
+  std::vector<double> ref_sim, join_sim, change_sim;        // Fig. 7a/7b
+  std::vector<double> ref_liked, join_liked, change_liked;  // Fig. 7c
+};
+
+DynamicsSeries run_dynamics(const data::Workload& workload, Metric metric,
+                            std::uint64_t seed, Cycle event_cycle, Cycle total_cycles,
+                            int trials);
+
+// ---- Table printers ------------------------------------------------------
+
+void print_table1(std::ostream& os, std::uint64_t seed, double scale);
+void print_table2(std::ostream& os);
+void print_table3(std::ostream& os, std::uint64_t seed, double scale, int trials);
+void print_table4(std::ostream& os, std::uint64_t seed, double scale, int trials);
+void print_table5(std::ostream& os, std::uint64_t seed, double scale, int trials);
+void print_table6(std::ostream& os, std::uint64_t seed, double scale, int trials);
+
+// ---- Figure printers -----------------------------------------------------
+
+// Fig. 3: prints both the F1-vs-fanout series (3a-c) and the
+// F1-vs-messages series (3d-f) from one sweep of the given dataset.
+void print_fig3(std::ostream& os, const std::string& dataset, std::uint64_t seed,
+                double scale, int trials);
+void print_fig4(std::ostream& os, std::uint64_t seed, double scale, int trials);
+void print_fig5(std::ostream& os, std::uint64_t seed, double scale, int trials);
+void print_fig6(std::ostream& os, std::uint64_t seed, double scale, int trials);
+void print_fig7(std::ostream& os, std::uint64_t seed, double scale, int trials);
+void print_fig8(std::ostream& os, std::uint64_t seed, double scale, int trials);
+void print_fig9(std::ostream& os, std::uint64_t seed, double scale, int trials);
+void print_fig10(std::ostream& os, std::uint64_t seed, double scale, int trials);
+void print_fig11(std::ostream& os, std::uint64_t seed, double scale, int trials);
+
+// ---- Ablations beyond the paper ------------------------------------------
+
+void print_ablation_beep(std::ostream& os, std::uint64_t seed, double scale, int trials);
+void print_ablation_metric(std::ostream& os, std::uint64_t seed, double scale,
+                           int trials);
+// §VII privacy extension: recommendation quality vs profile-obfuscation
+// level (randomized response + entry suppression on gossiped snapshots).
+void print_ablation_privacy(std::ostream& os, std::uint64_t seed, double scale,
+                            int trials);
+
+}  // namespace whatsup::analysis

@@ -1,0 +1,253 @@
+#include "analysis/runner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "baselines/cascade_agent.hpp"
+#include "baselines/cf_agent.hpp"
+#include "baselines/gossip_agent.hpp"
+#include "graph/clustering.hpp"
+#include "graph/components.hpp"
+#include "graph/scc.hpp"
+#include "sim/engine.hpp"
+#include "whatsup/node.hpp"
+
+namespace whatsup::analysis {
+
+std::string to_string(Approach approach) {
+  switch (approach) {
+    case Approach::kWhatsUp: return "WhatsUp";
+    case Approach::kWhatsUpCos: return "WhatsUp-Cos";
+    case Approach::kCfWup: return "CF-Wup";
+    case Approach::kCfCos: return "CF-Cos";
+    case Approach::kGossip: return "Gossip";
+    case Approach::kCascade: return "Cascade";
+  }
+  return "unknown";
+}
+
+Metric metric_of(Approach approach) {
+  switch (approach) {
+    case Approach::kWhatsUpCos:
+    case Approach::kCfCos:
+      return Metric::kCosine;
+    default:
+      return Metric::kWup;
+  }
+}
+
+namespace {
+
+// Builds the overlay digraph from the per-agent neighbor views at the end
+// of a run: node -> members of its WUP/kNN view (RPS for gossip, the
+// social graph for cascading).
+graph::Digraph overlay_graph(const sim::Engine& engine, Approach approach,
+                             const data::Workload& workload) {
+  graph::Digraph g(engine.num_nodes());
+  for (NodeId v = 0; v < engine.num_nodes(); ++v) {
+    const sim::Agent& agent = engine.agent(v);
+    switch (approach) {
+      case Approach::kWhatsUp:
+      case Approach::kWhatsUpCos: {
+        const auto& node = dynamic_cast<const WhatsUpAgent&>(agent);
+        for (NodeId w : node.wup_view().members()) g.add_edge(v, w);
+        break;
+      }
+      case Approach::kCfWup:
+      case Approach::kCfCos: {
+        const auto& node = dynamic_cast<const baselines::CfAgent&>(agent);
+        for (NodeId w : node.knn_view().members()) g.add_edge(v, w);
+        break;
+      }
+      case Approach::kGossip: {
+        const auto& node = dynamic_cast<const baselines::GossipAgent&>(agent);
+        for (NodeId w : node.rps_view().members()) g.add_edge(v, w);
+        break;
+      }
+      case Approach::kCascade: {
+        if (workload.social.has_value()) {
+          for (NodeId w : workload.social->neighbors(v)) g.add_edge(v, w);
+        }
+        break;
+      }
+    }
+  }
+  g.dedupe();
+  return g;
+}
+
+}  // namespace
+
+RunResult run_protocol(const data::Workload& base_workload, const RunConfig& config) {
+  data::Workload workload = base_workload;  // local copy: we draw a schedule
+  Rng rng(config.seed);
+
+  // Publication schedule: uniform over the publication phase.
+  const Cycle first_pub = config.warmup_cycles;
+  const Cycle last_pub = config.warmup_cycles + config.publish_cycles - 1;
+  workload.schedule_publications(first_pub, last_pub, rng);
+
+  sim::Engine::Config engine_config;
+  engine_config.seed = rng.next_u64();
+  engine_config.network = config.network;
+  sim::Engine engine(engine_config);
+
+  WorkloadOpinions opinions(workload);
+
+  Params params = config.params;
+  params.f_like = config.fanout;
+
+  const std::size_t n = workload.num_users();
+  if (config.approach == Approach::kCascade && !workload.social.has_value()) {
+    throw std::invalid_argument("cascade requires a workload with a social graph");
+  }
+
+  std::vector<WhatsUpAgent*> whatsup_agents;
+  std::vector<baselines::GossipAgent*> gossip_agents;
+  std::vector<baselines::CfAgent*> cf_agents;
+  for (NodeId v = 0; v < n; ++v) {
+    switch (config.approach) {
+      case Approach::kWhatsUp:
+      case Approach::kWhatsUpCos: {
+        WhatsUpConfig wu;
+        wu.params = params;
+        wu.metric = config.metric_override.value_or(metric_of(config.approach));
+        wu.beep_amplification = config.beep_amplification;
+        wu.beep_orientation = config.beep_orientation;
+        wu.obfuscation = config.obfuscation;
+        auto agent = std::make_unique<WhatsUpAgent>(v, wu, opinions);
+        whatsup_agents.push_back(agent.get());
+        engine.add_agent(std::move(agent));
+        break;
+      }
+      case Approach::kCfWup:
+      case Approach::kCfCos: {
+        auto agent = std::make_unique<baselines::CfAgent>(
+            v, config.fanout, config.metric_override.value_or(metric_of(config.approach)),
+            params, opinions);
+        cf_agents.push_back(agent.get());
+        engine.add_agent(std::move(agent));
+        break;
+      }
+      case Approach::kGossip: {
+        auto agent = std::make_unique<baselines::GossipAgent>(
+            v, config.fanout, params.rps_view_size, params.rps_period, opinions);
+        gossip_agents.push_back(agent.get());
+        engine.add_agent(std::move(agent));
+        break;
+      }
+      case Approach::kCascade: {
+        const auto friends_span = workload.social->neighbors(v);
+        std::vector<NodeId> friends(friends_span.begin(), friends_span.end());
+        engine.add_agent(
+            std::make_unique<baselines::CascadeAgent>(v, std::move(friends), opinions));
+        break;
+      }
+    }
+  }
+
+  // Bootstrap: every node's RPS view starts with random peers (the role of
+  // the bootstrap server in the deployed system).
+  const auto seed_view = [&](auto* agent, NodeId self) {
+    std::vector<net::Descriptor> seed;
+    const auto k = static_cast<std::size_t>(params.rps_view_size);
+    for (std::size_t picked = 0; picked < k && n > 1; ++picked) {
+      NodeId peer = self;
+      while (peer == self) peer = static_cast<NodeId>(rng.index(n));
+      seed.push_back(net::Descriptor{peer, -1, nullptr});
+    }
+    agent->bootstrap_rps(std::move(seed));
+  };
+  for (auto* a : whatsup_agents) seed_view(a, a->id());
+  for (NodeId v = 0; v < gossip_agents.size(); ++v) seed_view(gossip_agents[v], v);
+  for (NodeId v = 0; v < cf_agents.size(); ++v) seed_view(cf_agents[v], v);
+
+  metrics::Tracker tracker(n, workload.num_items());
+  tracker.attach(engine);
+
+  // Publication calendar.
+  std::map<Cycle, std::vector<ItemIdx>> calendar;
+  for (const data::NewsSpec& spec : workload.news) {
+    calendar[spec.publish_at].push_back(spec.index);
+  }
+
+  const Cycle total = config.total_cycles();
+  for (Cycle c = 0; c < total; ++c) {
+    if (const auto it = calendar.find(c); it != calendar.end()) {
+      for (ItemIdx item : it->second) {
+        engine.publish(workload.news[item].source, item, workload.news[item].id);
+      }
+    }
+    engine.run_cycle();
+  }
+
+  // ---- Collect results ----
+  RunResult result;
+  const Cycle measure_from = config.warmup_cycles + config.measure_margin;
+  for (const data::NewsSpec& spec : workload.news) {
+    if (spec.publish_at >= measure_from) result.measured.push_back(spec.index);
+  }
+  result.reached = tracker.reached_sets();
+  result.scores = metrics::compute_scores(workload, result.reached, result.measured);
+  result.per_user = metrics::per_user_scores(workload, result.reached, result.measured);
+
+  const net::Traffic& traffic = engine.traffic();
+  result.news_messages = traffic.messages(net::Protocol::kBeep);
+  result.gossip_messages =
+      traffic.messages(net::Protocol::kRps) + traffic.messages(net::Protocol::kWup);
+  result.msgs_per_user =
+      static_cast<double>(traffic.total_messages()) / static_cast<double>(n);
+  result.msgs_per_cycle_node = static_cast<double>(traffic.total_messages()) /
+                               static_cast<double>(total) / static_cast<double>(n);
+  result.kbps_total =
+      traffic.kbps_per_node_total(n, static_cast<double>(total), config.cycle_seconds,
+                                  /*since_mark=*/false);
+  result.kbps_gossip =
+      traffic.kbps_per_node(net::Protocol::kRps, n, static_cast<double>(total),
+                            config.cycle_seconds, false) +
+      traffic.kbps_per_node(net::Protocol::kWup, n, static_cast<double>(total),
+                            config.cycle_seconds, false);
+  result.kbps_beep = traffic.kbps_per_node(net::Protocol::kBeep, n,
+                                           static_cast<double>(total),
+                                           config.cycle_seconds, false);
+
+  const graph::Digraph overlay = overlay_graph(engine, config.approach, workload);
+  result.overlay.lscc_fraction = graph::largest_scc_fraction(overlay);
+  result.overlay.clustering = graph::avg_clustering_coefficient(overlay);
+  result.overlay.components = graph::weak_components(overlay).count;
+
+  // Table IV: distribution of the dislike counter carried by the copies
+  // that reached likers, over measured items.
+  std::array<double, 5> dislike_counts{};
+  double dislike_total = 0.0;
+  for (ItemIdx item : result.measured) {
+    const auto& hist = tracker.dislikes_at_liked(item);
+    for (std::size_t bin = 0; bin < hist.size(); ++bin) {
+      const std::size_t clipped = std::min<std::size_t>(bin, 4);
+      dislike_counts[clipped] += static_cast<double>(hist[bin]);
+      dislike_total += static_cast<double>(hist[bin]);
+    }
+  }
+  if (dislike_total > 0.0) {
+    for (double& c : dislike_counts) c /= dislike_total;
+  }
+  result.dislike_fractions = dislike_counts;
+
+  // Fig. 6: average per-item hop histograms.
+  for (ItemIdx item : result.measured) {
+    result.hops_per_item.accumulate(tracker.hops(item));
+  }
+  if (!result.measured.empty()) {
+    const double inv = 1.0 / static_cast<double>(result.measured.size());
+    for (auto* hist : {&result.hops_per_item.forward_like, &result.hops_per_item.infect_like,
+                       &result.hops_per_item.forward_dislike,
+                       &result.hops_per_item.infect_dislike}) {
+      for (double& x : *hist) x *= inv;
+    }
+  }
+  return result;
+}
+
+}  // namespace whatsup::analysis

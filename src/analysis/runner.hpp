@@ -1,0 +1,112 @@
+// Experiment runner: builds a simulated deployment of one approach over a
+// workload, drives the publication schedule, and collects every statistic
+// the paper reports (scores, message/bandwidth accounting, overlay graph
+// structure, hop and dislike histograms, per-user scores).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataset/workload.hpp"
+#include "metrics/scores.hpp"
+#include "metrics/tracker.hpp"
+#include "net/network.hpp"
+#include "profile/obfuscation.hpp"
+#include "profile/similarity.hpp"
+#include "sim/opinions.hpp"
+#include "whatsup/params.hpp"
+
+namespace whatsup::analysis {
+
+// The competitors of §IV-B that run on the simulator (C-Pub/Sub and
+// C-WhatsUp are closed-form / centralized and evaluated separately).
+enum class Approach {
+  kWhatsUp,     // WUP metric + BEEP
+  kWhatsUpCos,  // cosine metric + BEEP
+  kCfWup,       // k-NN CF, WUP metric
+  kCfCos,       // k-NN CF, cosine metric
+  kGossip,      // homogeneous SIR gossip
+  kCascade,     // explicit social cascading (needs workload.social)
+};
+
+std::string to_string(Approach approach);
+Metric metric_of(Approach approach);
+
+struct RunConfig {
+  Approach approach = Approach::kWhatsUp;
+  // fLIKE for WhatsUp*, k for CF*, fanout for Gossip; ignored by Cascade.
+  int fanout = 10;
+  Params params;
+  net::NetworkConfig network;
+  std::uint64_t seed = 1;
+
+  Cycle warmup_cycles = 5;    // gossip-only cycles before the first item
+  Cycle publish_cycles = 50;  // length of the publication phase
+  Cycle drain_cycles = 12;    // tail for in-flight items
+  // Items published before warmup_cycles + measure_margin are excluded
+  // from the user metrics (profiles start empty; the paper measures
+  // steady state).
+  Cycle measure_margin = 13;
+
+  double cycle_seconds = 30.0;  // wall-clock per cycle (bandwidth reports)
+
+  // BEEP ablation switches (bench/ablation_beep).
+  bool beep_amplification = true;
+  bool beep_orientation = true;
+
+  // Overrides the approach's default similarity metric (WhatsUp/CF only);
+  // used by bench/ablation_metric to slot Jaccard/overlap/Pearson into the
+  // same clustering stack.
+  std::optional<Metric> metric_override;
+
+  // Profile obfuscation for gossiped snapshots (WhatsUp only, §VII).
+  ObfuscationConfig obfuscation;
+
+  Cycle total_cycles() const { return warmup_cycles + publish_cycles + drain_cycles; }
+};
+
+struct OverlayStats {
+  double lscc_fraction = 0.0;   // Fig. 4
+  double clustering = 0.0;      // §V-A clustering coefficient
+  std::size_t components = 0;   // §V-A weakly-connected component count
+};
+
+struct RunResult {
+  metrics::Scores scores;
+  std::vector<ItemIdx> measured;
+  std::vector<DynBitset> reached;  // per item (for Fig. 10 / Fig. 11 post-analysis)
+
+  std::size_t news_messages = 0;
+  std::size_t gossip_messages = 0;  // RPS + WUP
+  double msgs_per_user = 0.0;           // Table III "Mess./User"
+  double msgs_per_cycle_node = 0.0;     // Fig. 3d-f x-axis
+  double kbps_total = 0.0;              // Fig. 8b
+  double kbps_gossip = 0.0;             // RPS + WUP maintenance share
+  double kbps_beep = 0.0;               // news share
+
+  OverlayStats overlay;
+
+  std::array<double, 5> dislike_fractions{};  // Table IV (0..4 dislikes)
+  metrics::HopCounts hops_per_item;           // Fig. 6 (avg per measured item)
+  metrics::PerUserScores per_user;            // Fig. 11
+};
+
+// Adapter exposing workload ground truth as a sim::Opinions source.
+class WorkloadOpinions : public sim::Opinions {
+ public:
+  explicit WorkloadOpinions(const data::Workload& workload) : workload_(&workload) {}
+  bool likes(NodeId user, ItemIdx item) const override {
+    return user < workload_->num_users() && workload_->likes(user, item);
+  }
+
+ private:
+  const data::Workload* workload_;
+};
+
+// Runs one full experiment. The workload is copied internally so the
+// publication schedule can be (re)drawn from `config.seed`.
+RunResult run_protocol(const data::Workload& workload, const RunConfig& config);
+
+}  // namespace whatsup::analysis

@@ -1,0 +1,82 @@
+#include "analysis/sweeps.hpp"
+
+#include <utility>
+
+namespace whatsup::analysis {
+
+RunResult average_runs(std::vector<RunResult> runs) {
+  if (runs.empty()) return {};
+  RunResult avg = std::move(runs.front());
+  const double inv = 1.0 / static_cast<double>(runs.size());
+  auto scale0 = [&](auto&&...) {};
+  (void)scale0;
+  // Accumulate scalars from the remaining trials.
+  for (std::size_t t = 1; t < runs.size(); ++t) {
+    const RunResult& r = runs[t];
+    avg.scores.precision += r.scores.precision;
+    avg.scores.recall += r.scores.recall;
+    avg.scores.f1 += r.scores.f1;
+    avg.news_messages += r.news_messages;
+    avg.gossip_messages += r.gossip_messages;
+    avg.msgs_per_user += r.msgs_per_user;
+    avg.msgs_per_cycle_node += r.msgs_per_cycle_node;
+    avg.kbps_total += r.kbps_total;
+    avg.kbps_gossip += r.kbps_gossip;
+    avg.kbps_beep += r.kbps_beep;
+    avg.overlay.lscc_fraction += r.overlay.lscc_fraction;
+    avg.overlay.clustering += r.overlay.clustering;
+    avg.overlay.components += r.overlay.components;
+    for (std::size_t b = 0; b < avg.dislike_fractions.size(); ++b) {
+      avg.dislike_fractions[b] += r.dislike_fractions[b];
+    }
+    avg.hops_per_item.accumulate(r.hops_per_item);
+  }
+  avg.scores.precision *= inv;
+  avg.scores.recall *= inv;
+  avg.scores.f1 *= inv;
+  avg.news_messages = static_cast<std::size_t>(static_cast<double>(avg.news_messages) * inv);
+  avg.gossip_messages =
+      static_cast<std::size_t>(static_cast<double>(avg.gossip_messages) * inv);
+  avg.msgs_per_user *= inv;
+  avg.msgs_per_cycle_node *= inv;
+  avg.kbps_total *= inv;
+  avg.kbps_gossip *= inv;
+  avg.kbps_beep *= inv;
+  avg.overlay.lscc_fraction *= inv;
+  avg.overlay.clustering *= inv;
+  avg.overlay.components =
+      static_cast<std::size_t>(static_cast<double>(avg.overlay.components) * inv);
+  for (double& b : avg.dislike_fractions) b *= inv;
+  for (auto* hist :
+       {&avg.hops_per_item.forward_like, &avg.hops_per_item.infect_like,
+        &avg.hops_per_item.forward_dislike, &avg.hops_per_item.infect_dislike}) {
+    for (double& x : *hist) x *= inv;
+  }
+  return avg;
+}
+
+std::vector<std::vector<SweepCell>> fanout_sweep(const data::Workload& workload,
+                                                 const RunConfig& base,
+                                                 std::span<const Approach> approaches,
+                                                 std::span<const int> fanouts,
+                                                 int trials) {
+  std::vector<std::vector<SweepCell>> results(approaches.size());
+  for (std::size_t a = 0; a < approaches.size(); ++a) {
+    results[a].reserve(fanouts.size());
+    for (int fanout : fanouts) {
+      RunConfig config = base;
+      config.approach = approaches[a];
+      config.fanout = fanout;
+      std::vector<RunResult> runs;
+      runs.reserve(static_cast<std::size_t>(trials));
+      for (int t = 0; t < trials; ++t) {
+        config.seed = base.seed + static_cast<std::uint64_t>(t) * 1000003ULL;
+        runs.push_back(run_protocol(workload, config));
+      }
+      results[a].push_back(SweepCell{fanout, average_runs(std::move(runs))});
+    }
+  }
+  return results;
+}
+
+}  // namespace whatsup::analysis

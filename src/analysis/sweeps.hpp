@@ -1,0 +1,30 @@
+// Parameter sweeps: fanout scans across approaches (Figs. 3, 4, 8, 9) with
+// optional multi-seed averaging.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/runner.hpp"
+
+namespace whatsup::analysis {
+
+struct SweepCell {
+  int fanout = 0;
+  RunResult result;  // trial-averaged scalars live in `scores` etc.
+};
+
+// results[a][f] = run of approaches[a] at fanouts[f]. When trials > 1 the
+// scalar fields (scores, message counts, overlay stats) are averaged over
+// `trials` seeds; vector-valued fields come from the first trial.
+std::vector<std::vector<SweepCell>> fanout_sweep(const data::Workload& workload,
+                                                 const RunConfig& base,
+                                                 std::span<const Approach> approaches,
+                                                 std::span<const int> fanouts,
+                                                 int trials = 1);
+
+// Averages the scalar summary statistics of several runs (same config,
+// different seeds) into `into`.
+RunResult average_runs(std::vector<RunResult> runs);
+
+}  // namespace whatsup::analysis

@@ -1,0 +1,43 @@
+#include "baselines/cascade_agent.hpp"
+
+namespace whatsup::baselines {
+
+CascadeAgent::CascadeAgent(NodeId self, std::vector<NodeId> friends,
+                           const sim::Opinions& opinions)
+    : self_(self), friends_(std::move(friends)), opinions_(&opinions) {}
+
+void CascadeAgent::on_message(sim::Context& ctx, const net::Message& message) {
+  if (message.type != net::MsgType::kNews) return;
+  net::NewsPayload news = message.news();
+  if (!seen_.insert(news.id).second) return;
+  const bool liked = opinions_->likes(self_, news.index);
+  if (sim::DisseminationObserver* obs = ctx.engine().observer(); obs != nullptr) {
+    obs->on_delivery(self_, news.index, news.hops, false, 0);
+    obs->on_opinion(self_, news.index, liked);
+  }
+  if (!liked) return;  // only diggs propagate
+  cascade(ctx, std::move(news));
+}
+
+void CascadeAgent::publish(sim::Context& ctx, ItemIdx index, ItemId id) {
+  if (!seen_.insert(id).second) return;
+  net::NewsPayload news;
+  news.id = id;
+  news.index = index;
+  news.created = ctx.now();
+  news.origin = self_;
+  cascade(ctx, std::move(news));
+}
+
+void CascadeAgent::cascade(sim::Context& ctx, net::NewsPayload news) {
+  if (sim::DisseminationObserver* obs = ctx.engine().observer(); obs != nullptr) {
+    obs->on_forward(self_, news.index, news.hops, true, friends_.size());
+  }
+  news.hops += 1;
+  news.via_dislike = false;
+  for (NodeId friend_id : friends_) {
+    ctx.send(friend_id, net::MsgType::kNews, news);
+  }
+}
+
+}  // namespace whatsup::baselines

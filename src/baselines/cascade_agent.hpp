@@ -1,0 +1,32 @@
+// Explicit social cascading (§IV-B): the Digg/Twitter dissemination model.
+// Whenever a node likes (diggs) an item, it forwards it to ALL of its
+// explicit social neighbors. Nothing happens on a dislike. No gossip
+// layers: the topology is the static follower graph.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/opinions.hpp"
+
+namespace whatsup::baselines {
+
+class CascadeAgent : public sim::Agent {
+ public:
+  CascadeAgent(NodeId self, std::vector<NodeId> friends, const sim::Opinions& opinions);
+
+  void on_cycle(sim::Context& /*ctx*/) override {}
+  void on_message(sim::Context& ctx, const net::Message& message) override;
+  void publish(sim::Context& ctx, ItemIdx index, ItemId id) override;
+
+ private:
+  void cascade(sim::Context& ctx, net::NewsPayload news);
+
+  NodeId self_;
+  std::vector<NodeId> friends_;
+  const sim::Opinions* opinions_;
+  std::unordered_set<ItemId> seen_;
+};
+
+}  // namespace whatsup::baselines

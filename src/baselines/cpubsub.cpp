@@ -1,0 +1,50 @@
+#include "baselines/cpubsub.hpp"
+
+#include <vector>
+
+namespace whatsup::baselines {
+
+CentralizedResult evaluate_cpubsub(const data::Workload& workload,
+                                   std::span<const ItemIdx> measured) {
+  CentralizedResult result;
+  if (measured.empty()) return result;
+
+  // Subscription bitsets per topic.
+  std::vector<DynBitset> subscribers(workload.n_topics, DynBitset(workload.n_users));
+  for (const data::NewsSpec& spec : workload.news) {
+    workload.interested(spec.index).for_each_set([&](std::size_t user) {
+      subscribers[static_cast<std::size_t>(spec.topic)].set(user);
+    });
+  }
+
+  double precision_sum = 0.0;
+  double recall_sum = 0.0;
+  std::size_t scored = 0;
+  for (ItemIdx item : measured) {
+    const data::NewsSpec& spec = workload.news[item];
+    const DynBitset& reached_set = subscribers[static_cast<std::size_t>(spec.topic)];
+    const DynBitset& interested_set = workload.interested(item);
+
+    std::size_t reached = reached_set.count();
+    std::size_t interested = interested_set.count();
+    std::size_t hit = reached_set.intersect_count(interested_set);
+    // Exclude the source (it trivially likes and "receives" its item).
+    if (reached_set.test(spec.source)) --reached;
+    if (interested_set.test(spec.source)) --interested;
+    if (reached_set.test(spec.source) && interested_set.test(spec.source)) --hit;
+
+    result.messages += reached;  // one tree edge per subscriber
+    if (reached > 0) precision_sum += static_cast<double>(hit) / static_cast<double>(reached);
+    if (interested > 0) recall_sum += static_cast<double>(hit) / static_cast<double>(interested);
+    ++scored;
+  }
+  result.precision = precision_sum / static_cast<double>(scored);
+  result.recall = recall_sum / static_cast<double>(scored);
+  result.f1 = (result.precision + result.recall) > 0.0
+                  ? 2.0 * result.precision * result.recall /
+                        (result.precision + result.recall)
+                  : 0.0;
+  return result;
+}
+
+}  // namespace whatsup::baselines

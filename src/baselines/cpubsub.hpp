@@ -1,0 +1,27 @@
+// C-Pub/Sub (§IV-B): the ideal centralized topic-based publish/subscribe
+// baseline. A user subscribes to a topic if she likes at least one item
+// associated with it; every item is delivered to ALL subscribers of its
+// topic along a spanning tree (one message per subscriber — the minimal
+// message complexity). Recall is 1 by construction; precision is limited
+// only by topic granularity. Evaluated in closed form — no simulation.
+#pragma once
+
+#include <span>
+
+#include "dataset/workload.hpp"
+
+namespace whatsup::baselines {
+
+struct CentralizedResult {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t messages = 0;  // news deliveries (spanning-tree edges)
+};
+
+// Scores macro-averaged over `measured` items; the source is excluded from
+// both the reached and the interested sets (as in the simulated runs).
+CentralizedResult evaluate_cpubsub(const data::Workload& workload,
+                                   std::span<const ItemIdx> measured);
+
+}  // namespace whatsup::baselines

@@ -1,0 +1,127 @@
+#include "baselines/cwhatsup.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace whatsup::baselines {
+
+namespace {
+
+// Top-k users by `score`, excluding already-reached users and `exclude`.
+// Slots left by zero-evidence candidates are filled with random unreached
+// users: at cold start every profile is empty and complete search has no
+// signal, yet the server must still seed dissemination (the centralized
+// analogue of gossip's bootstrap randomness).
+std::vector<NodeId> top_k(const std::vector<double>& score, const DynBitset& reached,
+                          NodeId exclude, int k, Rng& rng) {
+  std::vector<NodeId> candidates;
+  std::vector<NodeId> zero_evidence;
+  candidates.reserve(score.size());
+  for (NodeId u = 0; u < score.size(); ++u) {
+    if (u == exclude || reached.test(u)) continue;
+    if (score[u] > 0.0) {
+      candidates.push_back(u);
+    } else {
+      zero_evidence.push_back(u);
+    }
+  }
+  const auto want = static_cast<std::size_t>(std::max(k, 0));
+  const auto keep = std::min(want, candidates.size());
+  std::partial_sort(candidates.begin(), candidates.begin() + static_cast<std::ptrdiff_t>(keep),
+                    candidates.end(),
+                    [&score](NodeId a, NodeId b) { return score[a] > score[b]; });
+  candidates.resize(keep);
+  while (candidates.size() < want && !zero_evidence.empty()) {
+    const std::size_t pick = rng.index(zero_evidence.size());
+    candidates.push_back(zero_evidence[pick]);
+    zero_evidence[pick] = zero_evidence.back();
+    zero_evidence.pop_back();
+  }
+  return candidates;
+}
+
+}  // namespace
+
+CWhatsUpResult run_cwhatsup(const data::Workload& workload, const CWhatsUpConfig& config,
+                            Rng& rng) {
+  const std::size_t n_users = workload.num_users();
+  CWhatsUpResult result;
+  result.reached.assign(workload.num_items(), DynBitset(n_users));
+
+  std::vector<Profile> user_profile(n_users);
+
+  // Items in publish order; unscheduled items fall back to index order.
+  std::vector<ItemIdx> order(workload.num_items());
+  std::iota(order.begin(), order.end(), ItemIdx{0});
+  std::stable_sort(order.begin(), order.end(), [&workload](ItemIdx a, ItemIdx b) {
+    return workload.news[a].publish_at < workload.news[b].publish_at;
+  });
+
+  for (ItemIdx item : order) {
+    const data::NewsSpec& spec = workload.news[item];
+    const Cycle now = spec.publish_at == kNoCycle ? 0 : spec.publish_at;
+    const Cycle cutoff = now - config.profile_window;
+
+    Profile item_profile;  // one GLOBAL item profile (instantaneous updates)
+    DynBitset& reached = result.reached[item];
+    int dislike_budget = config.ttl;
+
+    std::deque<NodeId> queue;
+    auto enqueue = [&](NodeId user) {
+      if (user == spec.source || reached.test(user)) return;
+      reached.set(user);
+      ++result.messages;
+      queue.push_back(user);
+    };
+
+    // The source likes its own item and seeds the process.
+    user_profile[spec.source].purge_older_than(cutoff);
+    user_profile[spec.source].set(spec.id, now, 1.0);
+    item_profile.fold_profile(user_profile[spec.source]);
+
+    auto select_and_deliver = [&](NodeId liker, bool liked) {
+      if (liked) {
+        // (a) complete-search cosine around the liker ...
+        std::vector<double> by_user(n_users, 0.0);
+        for (NodeId u = 0; u < n_users; ++u) {
+          if (u == liker || reached.test(u)) continue;
+          user_profile[u].purge_older_than(cutoff);
+          by_user[u] = cosine_similarity(user_profile[liker], user_profile[u]);
+        }
+        for (NodeId t : top_k(by_user, reached, spec.source, config.f_like, rng)) enqueue(t);
+        // (b) ... plus the users best correlated with the item profile.
+        std::vector<double> by_item(n_users, 0.0);
+        for (NodeId u = 0; u < n_users; ++u) {
+          if (reached.test(u)) continue;
+          by_item[u] = similarity(Metric::kWup, item_profile, user_profile[u]);
+        }
+        for (NodeId t : top_k(by_item, reached, spec.source, config.f_like, rng)) enqueue(t);
+      } else if (dislike_budget > 0) {
+        --dislike_budget;
+        std::vector<double> by_item(n_users, 0.0);
+        for (NodeId u = 0; u < n_users; ++u) {
+          if (reached.test(u)) continue;
+          user_profile[u].purge_older_than(cutoff);
+          by_item[u] = similarity(Metric::kWup, item_profile, user_profile[u]);
+        }
+        for (NodeId t : top_k(by_item, reached, spec.source, config.f_dislike, rng)) enqueue(t);
+      }
+    };
+
+    select_and_deliver(spec.source, /*liked=*/true);
+
+    while (!queue.empty()) {
+      const NodeId user = queue.front();
+      queue.pop_front();
+      const bool liked = workload.likes(user, item);
+      user_profile[user].purge_older_than(cutoff);
+      user_profile[user].set(spec.id, now, liked ? 1.0 : 0.0);
+      if (liked) item_profile.fold_profile(user_profile[user]);
+      select_and_deliver(user, liked);
+    }
+  }
+  return result;
+}
+
+}  // namespace whatsup::baselines

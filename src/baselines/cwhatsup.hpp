@@ -1,0 +1,40 @@
+// C-WhatsUp (§IV-B): the centralized variant of WhatsUp with global
+// knowledge, used in Fig. 9 to quantify the cost of decentralization.
+//
+// A central server holds every user profile and one global item profile
+// per item, all updated instantaneously. When a user LIKES an item, the
+// server delivers it to (a) the fLIKE users whose profiles are closest to
+// the liker's (complete-search cosine), and (b) the fLIKE users whose
+// profiles have the highest correlation with the ITEM profile. When a user
+// DISLIKES an item, the server presents it to the fDISLIKE users whose
+// profiles are most similar to the item profile, up to TTL times per item.
+// Deliveries are deduplicated; message count = number of deliveries.
+#pragma once
+
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/rng.hpp"
+#include "dataset/workload.hpp"
+#include "profile/similarity.hpp"
+
+namespace whatsup::baselines {
+
+struct CWhatsUpConfig {
+  int f_like = 10;
+  int f_dislike = 1;
+  int ttl = 4;
+  Cycle profile_window = 13;
+};
+
+struct CWhatsUpResult {
+  std::vector<DynBitset> reached;  // per item (excluding the source)
+  std::size_t messages = 0;
+};
+
+// Processes items in publish order (schedule_publications must have run);
+// user profiles persist across items, subject to the profile window.
+CWhatsUpResult run_cwhatsup(const data::Workload& workload, const CWhatsUpConfig& config,
+                            Rng& rng);
+
+}  // namespace whatsup::baselines

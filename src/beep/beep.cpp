@@ -1,0 +1,58 @@
+#include "beep/beep.hpp"
+
+#include <algorithm>
+
+namespace whatsup::beep {
+
+NodeId select_most_similar(const gossip::View& view, const Profile& item_profile,
+                           Metric metric, Rng& rng) {
+  NodeId best = kNoNode;
+  double best_score = -1.0;
+  std::size_t ties = 0;
+  for (const net::Descriptor& d : view.entries()) {
+    const double score = similarity(metric, item_profile, d.profile_ref());
+    if (score > best_score) {
+      best_score = score;
+      best = d.node;
+      ties = 1;
+    } else if (score == best_score) {
+      // Reservoir-style uniform tie-breaking.
+      ++ties;
+      if (rng.index(ties) == 0) best = d.node;
+    }
+  }
+  return best;
+}
+
+ForwardPlan plan_forward(Rng& rng, const BeepConfig& config, bool liked,
+                         net::NewsPayload& news, const gossip::View& wup_view,
+                         const gossip::View& rps_view) {
+  ForwardPlan plan;
+  if (!liked) {
+    if (news.dislikes >= config.ttl) {
+      plan.dropped_by_ttl = true;  // Alg. 2 lines 25/28-29
+      return plan;
+    }
+    news.dislikes += 1;  // line 26
+    for (int i = 0; i < config.f_dislike; ++i) {
+      const NodeId target =
+          config.orientation
+              ? select_most_similar(rps_view, news.item_profile, config.metric, rng)
+              : rps_view.random_member(rng);
+      if (target == kNoNode) break;
+      if (std::find(plan.targets.begin(), plan.targets.end(), target) ==
+          plan.targets.end()) {
+        plan.targets.push_back(target);
+      }
+    }
+    return plan;
+  }
+  const int fanout = config.amplification ? config.f_like : 1;
+  const auto picks =
+      wup_view.random_subset(rng, static_cast<std::size_t>(std::max(fanout, 0)));
+  plan.targets.reserve(picks.size());
+  for (const net::Descriptor& d : picks) plan.targets.push_back(d.node);
+  return plan;
+}
+
+}  // namespace whatsup::beep

@@ -1,0 +1,90 @@
+#include "common/bitset.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace whatsup {
+
+DynBitset::DynBitset(std::size_t n_bits) { resize(n_bits); }
+
+void DynBitset::resize(std::size_t n_bits) {
+  n_bits_ = n_bits;
+  words_.assign((n_bits + kBits - 1) / kBits, 0);
+}
+
+void DynBitset::set(std::size_t i) {
+  assert(i < n_bits_);
+  words_[i / kBits] |= (std::uint64_t{1} << (i % kBits));
+}
+
+void DynBitset::reset(std::size_t i) {
+  assert(i < n_bits_);
+  words_[i / kBits] &= ~(std::uint64_t{1} << (i % kBits));
+}
+
+bool DynBitset::test(std::size_t i) const {
+  assert(i < n_bits_);
+  return (words_[i / kBits] >> (i % kBits)) & 1u;
+}
+
+std::size_t DynBitset::count() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+bool DynBitset::any() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+void DynBitset::clear() { words_.assign(words_.size(), 0); }
+
+std::size_t DynBitset::intersect_count(const DynBitset& other) const {
+  assert(n_bits_ == other.n_bits_);
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    total += static_cast<std::size_t>(std::popcount(words_[w] & other.words_[w]));
+  }
+  return total;
+}
+
+std::size_t DynBitset::union_count(const DynBitset& other) const {
+  assert(n_bits_ == other.n_bits_);
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    total += static_cast<std::size_t>(std::popcount(words_[w] | other.words_[w]));
+  }
+  return total;
+}
+
+std::size_t DynBitset::difference_count(const DynBitset& other) const {
+  assert(n_bits_ == other.n_bits_);
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    total += static_cast<std::size_t>(std::popcount(words_[w] & ~other.words_[w]));
+  }
+  return total;
+}
+
+void DynBitset::for_each_set(const std::function<void(std::size_t)>& fn) const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      fn(w * kBits + static_cast<std::size_t>(bit));
+      word &= word - 1;
+    }
+  }
+}
+
+std::vector<std::size_t> DynBitset::indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for_each_set([&out](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+}  // namespace whatsup

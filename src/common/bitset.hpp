@@ -1,0 +1,47 @@
+// Compact dynamic bitset used for ground-truth like-matrices and
+// per-item reached/liked sets (up to a few thousand users per set).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace whatsup {
+
+class DynBitset {
+ public:
+  DynBitset() = default;
+  explicit DynBitset(std::size_t n_bits);
+
+  std::size_t size() const { return n_bits_; }
+  void resize(std::size_t n_bits);
+
+  void set(std::size_t i);
+  void reset(std::size_t i);
+  bool test(std::size_t i) const;
+
+  // Number of set bits.
+  std::size_t count() const;
+  bool any() const;
+  void clear();
+
+  // |this AND other| — both must have the same size.
+  std::size_t intersect_count(const DynBitset& other) const;
+  // |this OR other|.
+  std::size_t union_count(const DynBitset& other) const;
+  // |this AND NOT other|.
+  std::size_t difference_count(const DynBitset& other) const;
+
+  void for_each_set(const std::function<void(std::size_t)>& fn) const;
+  std::vector<std::size_t> indices() const;
+
+  bool operator==(const DynBitset& other) const = default;
+
+ private:
+  static constexpr std::size_t kBits = 64;
+  std::size_t n_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace whatsup

@@ -1,0 +1,33 @@
+#include "common/hash.hpp"
+
+namespace whatsup {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+}  // namespace
+
+std::uint64_t fnv1a64(std::span<const std::byte> bytes) {
+  std::uint64_t h = kFnvOffset;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(std::string_view text) {
+  return fnv1a64(std::as_bytes(std::span(text.data(), text.size())));
+}
+
+std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  // boost::hash_combine-style mix widened to 64 bits.
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+  return seed;
+}
+
+ItemId make_item_id(std::string_view workload, ItemIdx index) {
+  return hash_combine(fnv1a64(workload), static_cast<std::uint64_t>(index) + 1);
+}
+
+}  // namespace whatsup

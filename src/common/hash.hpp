@@ -1,0 +1,23 @@
+// Content hashing. The paper (§II-A) identifies a news item by an 8-byte
+// hash computed by each node from the item content; we use FNV-1a 64.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "common/ids.hpp"
+
+namespace whatsup {
+
+std::uint64_t fnv1a64(std::span<const std::byte> bytes);
+std::uint64_t fnv1a64(std::string_view text);
+
+// Order-dependent 64-bit mix, for composing hashes.
+std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value);
+
+// Deterministic item id from a workload name and a dense item index;
+// stands in for hashing the (title, description, link) payload.
+ItemId make_item_id(std::string_view workload, ItemIdx index);
+
+}  // namespace whatsup

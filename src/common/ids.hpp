@@ -1,0 +1,23 @@
+// Strong-ish id and time aliases shared across the WhatsUp stack.
+//
+// The paper identifies news items by an 8-byte hash (§II-A); the simulator
+// additionally keeps a dense per-workload index (`ItemIdx`) so ground-truth
+// lookups are O(1). Time is measured in gossip cycles (§IV-D).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace whatsup {
+
+using NodeId = std::uint32_t;   // dense node index within one deployment
+using ItemId = std::uint64_t;   // 8-byte item hash (paper §II-A)
+using ItemIdx = std::uint32_t;  // dense workload-side item index
+using Cycle = std::int32_t;     // gossip-cycle timestamp
+
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+inline constexpr ItemIdx kNoItem = std::numeric_limits<ItemIdx>::max();
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::min();
+
+}  // namespace whatsup

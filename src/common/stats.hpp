@@ -1,0 +1,57 @@
+// Small statistics helpers used by the metrics and analysis layers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace whatsup {
+
+// Welford online mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+// first/last bin so distribution tails remain visible.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t b) const;
+  double bin_center(std::size_t b) const;
+  double count(std::size_t b) const { return counts_[b]; }
+  double total() const { return total_; }
+  // Fraction of total mass in bin b (0 when empty).
+  double fraction(std::size_t b) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+// Linear-interpolated quantile, q in [0, 1]. Returns 0 for empty input.
+double quantile(std::vector<double> xs, double q);
+
+}  // namespace whatsup

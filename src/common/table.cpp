@@ -1,0 +1,89 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace whatsup {
+
+std::string fixed(double value, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << value;
+  return os.str();
+}
+
+std::string si_count(double value) {
+  if (value >= 1e6) return fixed(value / 1e6, 1) + "M";
+  if (value >= 1e3) return fixed(value / 1e3, 1) + "k";
+  return fixed(value, 0);
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 3;
+  if (!title.empty()) {
+    os << title << '\n' << std::string(std::max<std::size_t>(total, title.size()), '-') << '\n';
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 3) << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+  os.flush();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+Series::Series(std::string x_label, std::vector<std::string> y_labels)
+    : x_label_(std::move(x_label)), y_labels_(std::move(y_labels)) {}
+
+void Series::add(double x, std::vector<double> ys) {
+  assert(ys.size() == y_labels_.size());
+  xs_.push_back(x);
+  rows_.push_back(std::move(ys));
+}
+
+void Series::print(std::ostream& os, const std::string& title) const {
+  if (!title.empty()) os << "# " << title << '\n';
+  os << "# " << x_label_;
+  for (const auto& label : y_labels_) os << '\t' << label;
+  os << '\n';
+  for (std::size_t r = 0; r < xs_.size(); ++r) {
+    os << fixed(xs_[r], 3);
+    for (double y : rows_[r]) os << '\t' << fixed(y, 4);
+    os << '\n';
+  }
+  os.flush();
+}
+
+}  // namespace whatsup

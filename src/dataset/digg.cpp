@@ -1,0 +1,91 @@
+#include "dataset/digg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.hpp"
+#include "graph/generators.hpp"
+
+namespace whatsup::data {
+
+namespace {
+
+// Small Poisson sampler (inversion; means here are tiny).
+std::size_t poisson(Rng& rng, double mean) {
+  const double limit = std::exp(-mean);
+  double product = rng.uniform();
+  std::size_t count = 0;
+  while (product > limit) {
+    ++count;
+    product *= rng.uniform();
+  }
+  return count;
+}
+
+}  // namespace
+
+Workload make_digg(const DiggConfig& config, Rng& rng) {
+  Workload w;
+  w.name = "digg";
+  w.n_users = config.users;
+  w.n_topics = config.categories;
+
+  const ZipfDistribution category_pop(config.categories, config.category_zipf);
+
+  // User interests: a few categories each, weighted towards the popular
+  // ones (readers cluster on mainstream topics).
+  std::vector<std::vector<bool>> interests(config.users,
+                                           std::vector<bool>(config.categories, false));
+  for (std::size_t u = 0; u < config.users; ++u) {
+    const std::size_t n_cats = std::min(
+        config.categories,
+        1 + poisson(rng, std::max(config.mean_categories_per_user - 1.0, 0.0)));
+    std::size_t chosen = 0;
+    while (chosen < n_cats) {
+      const std::size_t c = category_pop(rng);
+      if (!interests[u][c]) {
+        interests[u][c] = true;
+        ++chosen;
+      }
+    }
+  }
+
+  // Per-category audience (users interested in the category).
+  std::vector<std::vector<NodeId>> audience(config.categories);
+  for (std::size_t u = 0; u < config.users; ++u) {
+    for (std::size_t c = 0; c < config.categories; ++c) {
+      if (interests[u][c]) audience[c].push_back(static_cast<NodeId>(u));
+    }
+  }
+
+  // Items: category by Zipf; likes = category closure (the paper's
+  // de-biasing); source = a random interested user (the submitter diggs
+  // her own story). Categories with an empty audience are resampled.
+  for (std::size_t i = 0; i < config.items; ++i) {
+    std::size_t category = category_pop(rng);
+    int guard = 0;
+    while (audience[category].empty() && guard++ < 1024) category = category_pop(rng);
+    if (audience[category].empty()) {
+      // Degenerate configuration: give the category one reader.
+      audience[category].push_back(static_cast<NodeId>(rng.index(config.users)));
+      interests[audience[category][0]][category] = true;
+    }
+    NewsSpec spec;
+    spec.index = static_cast<ItemIdx>(w.news.size());
+    spec.id = make_item_id(w.name, spec.index);
+    spec.topic = static_cast<int>(category);
+    spec.source = audience[category][rng.index(audience[category].size())];
+    DynBitset interested(config.users);
+    for (NodeId u : audience[category]) interested.set(u);
+    w.news.push_back(spec);
+    w.interested_in.push_back(std::move(interested));
+  }
+
+  // Explicit follower graph for the cascading baseline.
+  w.social = graph::barabasi_albert(config.users, config.follower_attach, rng);
+
+  w.validate();
+  return w;
+}
+
+}  // namespace whatsup::data

@@ -1,0 +1,123 @@
+#include "dataset/survey.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace whatsup::data {
+
+Workload make_survey(const SurveyConfig& config, Rng& rng) {
+  const std::size_t base_users = config.base_users;
+  const std::size_t base_items = config.base_items;
+  const std::size_t rep = std::max<std::size_t>(config.replication, 1);
+
+  // User interest vectors over latent topics.
+  std::vector<double> alpha(config.topics, config.dirichlet_alpha);
+  std::vector<std::vector<double>> theta(base_users);
+  for (std::size_t u = 0; u < base_users; ++u) theta[u] = rng.dirichlet(alpha);
+
+  // Mean interest per topic (for popularity normalisation).
+  std::vector<double> topic_mean(config.topics, 0.0);
+  for (std::size_t u = 0; u < base_users; ++u) {
+    for (std::size_t t = 0; t < config.topics; ++t) topic_mean[t] += theta[u][t];
+  }
+  for (double& m : topic_mean) m /= static_cast<double>(base_users);
+
+  // Style preferences (intra-topic taste).
+  std::vector<double> style_alpha(config.styles, config.style_dirichlet_alpha);
+  std::vector<std::vector<double>> phi(base_users);
+  for (std::size_t u = 0; u < base_users; ++u) phi[u] = rng.dirichlet(style_alpha);
+  std::vector<double> style_mean(config.styles, 0.0);
+  for (std::size_t u = 0; u < base_users; ++u) {
+    for (std::size_t s = 0; s < config.styles; ++s) style_mean[s] += phi[u][s];
+  }
+  for (double& m : style_mean) m /= static_cast<double>(base_users);
+
+  const ZipfDistribution topic_pop(config.topics, config.topic_zipf);
+
+  // Base like-matrix.
+  std::vector<int> item_topic(base_items);
+  std::vector<std::vector<bool>> base_likes(base_items,
+                                            std::vector<bool>(base_users, false));
+  for (std::size_t i = 0; i < base_items; ++i) {
+    const std::size_t topic = topic_pop(rng);
+    const std::size_t style = rng.index(config.styles);
+    item_topic[i] = static_cast<int>(topic);
+    // Target popularity ~ Beta(a, b) via two gammas.
+    const bool universal = rng.bernoulli(config.universal_prob);
+    const double ga =
+        rng.gamma(universal ? config.universal_beta_a : config.popularity_beta_a);
+    const double gb =
+        rng.gamma(universal ? config.universal_beta_b : config.popularity_beta_b);
+    const double target_pop = ga / std::max(ga + gb, 1e-12);
+    std::size_t liked = 0;
+    for (std::size_t u = 0; u < base_users; ++u) {
+      if (universal) {
+        // Taste-blind breaking news.
+        if (rng.bernoulli(target_pop)) {
+          base_likes[i][u] = true;
+          ++liked;
+        }
+        continue;
+      }
+      // Like probability: item popularity modulated by the user's affinity
+      // for the item's topic AND style (each normalised to mean 1 over
+      // users, so E_u[p] ~= target_pop), blended with an item-wide appeal
+      // term. The blend weights shrink quadratically with popularity:
+      // breaking-news items appeal universally, niche items stay strictly
+      // taste-driven (gives Fig. 10 its popular tail).
+      const double t_aff = theta[u][topic] / std::max(topic_mean[topic], 1e-9);
+      const double s_aff = phi[u][style] / std::max(style_mean[style], 1e-9);
+      const double damp = 1.0 - target_pop * target_pop;
+      const double t_mix = config.affinity_mix * damp;
+      const double s_mix = config.style_mix * damp;
+      const double p = std::clamp(target_pop * ((1.0 - t_mix) + t_mix * t_aff) *
+                                      ((1.0 - s_mix) + s_mix * s_aff),
+                                  0.0, 1.0);
+      if (rng.bernoulli(p)) {
+        base_likes[i][u] = true;
+        ++liked;
+      }
+    }
+    if (liked == 0) {
+      // Every surveyed item had at least one fan; give it its best match.
+      std::size_t best = 0;
+      for (std::size_t u = 1; u < base_users; ++u) {
+        if (theta[u][topic] > theta[best][topic]) best = u;
+      }
+      base_likes[i][best] = true;
+    }
+  }
+
+  // ×`rep` replication of users and items: instance (u,r) likes instance
+  // (i,s) iff base u likes base i (all cross pairs, as the scaled survey
+  // exposes every user instance to every item instance).
+  Workload w;
+  w.name = "survey";
+  w.n_users = base_users * rep;
+  w.n_topics = config.topics;
+  for (std::size_t s = 0; s < rep; ++s) {
+    for (std::size_t i = 0; i < base_items; ++i) {
+      NewsSpec spec;
+      spec.index = static_cast<ItemIdx>(w.news.size());
+      spec.id = make_item_id(w.name, spec.index);
+      spec.topic = item_topic[i];
+      DynBitset interested(w.n_users);
+      for (std::size_t r = 0; r < rep; ++r) {
+        for (std::size_t u = 0; u < base_users; ++u) {
+          if (base_likes[i][u]) interested.set(r * base_users + u);
+        }
+      }
+      const auto fans = interested.indices();
+      spec.source = static_cast<NodeId>(fans[rng.index(fans.size())]);
+      w.news.push_back(spec);
+      w.interested_in.push_back(std::move(interested));
+    }
+  }
+  w.validate();
+  return w;
+}
+
+}  // namespace whatsup::data

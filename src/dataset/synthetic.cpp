@@ -1,0 +1,107 @@
+#include "dataset/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/hash.hpp"
+#include "graph/community.hpp"
+#include "graph/generators.hpp"
+
+namespace whatsup::data {
+
+namespace {
+
+// Geometric interpolation between the min and max community size, rescaled
+// to sum to `total` (preserves the paper's skewed 31..1036 size spread).
+std::vector<std::size_t> community_sizes(const SyntheticConfig& config) {
+  const std::size_t k = std::max<std::size_t>(config.communities, 1);
+  std::vector<double> raw(k);
+  const double lo = static_cast<double>(config.min_community);
+  const double hi = static_cast<double>(config.max_community);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double t = k == 1 ? 0.0 : static_cast<double>(c) / static_cast<double>(k - 1);
+    raw[c] = lo * std::pow(hi / lo, t);
+  }
+  const double raw_sum = std::accumulate(raw.begin(), raw.end(), 0.0);
+  std::vector<std::size_t> sizes(k);
+  std::size_t assigned = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    sizes[c] = std::max<std::size_t>(
+        3, static_cast<std::size_t>(std::lround(
+               raw[c] / raw_sum * static_cast<double>(config.n_authors))));
+    assigned += sizes[c];
+  }
+  // Absorb rounding drift in the largest community.
+  auto& largest = *std::max_element(sizes.begin(), sizes.end());
+  if (assigned < config.n_authors) {
+    largest += config.n_authors - assigned;
+  } else if (assigned > config.n_authors && largest > (assigned - config.n_authors) + 3) {
+    largest -= assigned - config.n_authors;
+  }
+  return sizes;
+}
+
+}  // namespace
+
+Workload make_synthetic(const SyntheticConfig& config, Rng& rng) {
+  // 1. Collaboration graph with planted communities.
+  const auto sizes = community_sizes(config);
+  std::vector<int> planted;
+  graph::UGraph g = graph::collaboration_graph(sizes, config.collab_per_node,
+                                               config.bridge_prob, rng, planted);
+
+  // 2. Community detection (the paper's Newman/CNM step).
+  const graph::CommunityResult detected = graph::detect_communities(g);
+
+  // 3. Keep detected communities above the noise floor; users are the
+  //    members of kept communities, re-indexed densely.
+  std::vector<int> kept_label(detected.count, -1);
+  int next_label = 0;
+  for (std::size_t c = 0; c < detected.count; ++c) {
+    if (detected.sizes[c] >= config.min_detected) kept_label[c] = next_label++;
+  }
+  std::vector<NodeId> user_of_node(g.num_nodes(), kNoNode);
+  std::vector<int> community_of_user;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const int label = kept_label[static_cast<std::size_t>(detected.membership[v])];
+    if (label < 0) continue;
+    user_of_node[v] = static_cast<NodeId>(community_of_user.size());
+    community_of_user.push_back(label);
+  }
+  const std::size_t n_users = community_of_user.size();
+  const auto n_communities = static_cast<std::size_t>(next_label);
+
+  Workload w;
+  w.name = "synthetic-arxiv";
+  w.n_users = n_users;
+  w.n_topics = n_communities;
+
+  // Member lists per community (for interest sets and source selection).
+  std::vector<std::vector<NodeId>> members(n_communities);
+  for (NodeId u = 0; u < n_users; ++u) {
+    members[static_cast<std::size_t>(community_of_user[u])].push_back(u);
+  }
+
+  // 4. Items: an equal batch per community, random in-community sources;
+  //    a user likes an item iff it belongs to her community (§IV-A).
+  const std::size_t per_community =
+      std::max<std::size_t>(1, config.total_items / std::max<std::size_t>(n_communities, 1));
+  for (std::size_t c = 0; c < n_communities; ++c) {
+    DynBitset interested(n_users);
+    for (NodeId u : members[c]) interested.set(u);
+    for (std::size_t k = 0; k < per_community; ++k) {
+      NewsSpec spec;
+      spec.index = static_cast<ItemIdx>(w.news.size());
+      spec.id = make_item_id(w.name, spec.index);
+      spec.topic = static_cast<int>(c);
+      spec.source = members[c][rng.index(members[c].size())];
+      w.news.push_back(spec);
+      w.interested_in.push_back(interested);
+    }
+  }
+  w.validate();
+  return w;
+}
+
+}  // namespace whatsup::data

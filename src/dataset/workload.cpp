@@ -1,0 +1,118 @@
+#include "dataset/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/hash.hpp"
+
+namespace whatsup::data {
+
+double Workload::popularity(ItemIdx item) const {
+  if (n_users == 0) return 0.0;
+  return static_cast<double>(interested_in[item].count()) / static_cast<double>(n_users);
+}
+
+std::vector<std::vector<NodeId>> Workload::topic_subscribers() const {
+  std::vector<DynBitset> subscribed(n_topics, DynBitset(n_users));
+  for (const NewsSpec& spec : news) {
+    const auto topic = static_cast<std::size_t>(spec.topic);
+    interested_in[spec.index].for_each_set(
+        [&](std::size_t user) { subscribed[topic].set(user); });
+  }
+  std::vector<std::vector<NodeId>> result(n_topics);
+  for (std::size_t t = 0; t < n_topics; ++t) {
+    result[t].reserve(subscribed[t].count());
+    subscribed[t].for_each_set(
+        [&](std::size_t user) { result[t].push_back(static_cast<NodeId>(user)); });
+  }
+  return result;
+}
+
+Profile Workload::full_profile(NodeId user) const {
+  Profile profile;
+  for (const NewsSpec& spec : news) {
+    profile.set(spec.id, 0, likes(user, spec.index) ? 1.0 : 0.0);
+  }
+  return profile;
+}
+
+void Workload::schedule_publications(Cycle first, Cycle last, Rng& rng) {
+  assert(last >= first);
+  std::vector<std::size_t> order(news.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  const auto span = static_cast<double>(last - first + 1);
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const double t = static_cast<double>(rank) / static_cast<double>(order.size());
+    news[order[rank]].publish_at = first + static_cast<Cycle>(t * span);
+  }
+}
+
+Workload Workload::subsample_users(std::size_t keep_users, Rng& rng) const {
+  keep_users = std::min(keep_users, n_users);
+  auto picked = rng.sample_indices(n_users, keep_users);
+  std::sort(picked.begin(), picked.end());
+  std::vector<NodeId> new_id(n_users, kNoNode);
+  for (std::size_t rank = 0; rank < picked.size(); ++rank) {
+    new_id[picked[rank]] = static_cast<NodeId>(rank);
+  }
+
+  Workload out;
+  out.name = name + "-sub" + std::to_string(keep_users);
+  out.n_users = keep_users;
+  out.n_topics = n_topics;
+  for (const NewsSpec& spec : news) {
+    DynBitset interested(keep_users);
+    std::size_t count = 0;
+    interested_in[spec.index].for_each_set([&](std::size_t user) {
+      if (new_id[user] != kNoNode) {
+        interested.set(new_id[user]);
+        ++count;
+      }
+    });
+    if (count == 0) continue;  // nobody left who likes it
+    NewsSpec copy = spec;
+    copy.index = static_cast<ItemIdx>(out.news.size());
+    copy.id = make_item_id(out.name, copy.index);
+    if (new_id[spec.source] != kNoNode) {
+      copy.source = new_id[spec.source];
+    } else {
+      // Re-source at a random interested survivor (the original submitter
+      // was dropped by the subsample).
+      const auto survivors = interested.indices();
+      copy.source = static_cast<NodeId>(survivors[rng.index(survivors.size())]);
+    }
+    out.news.push_back(copy);
+    out.interested_in.push_back(std::move(interested));
+  }
+  // The explicit social graph does not survive subsampling (not needed by
+  // the deployment experiments).
+  return out;
+}
+
+void Workload::validate() const {
+  if (interested_in.size() != news.size()) {
+    throw std::logic_error("workload: bitset/news size mismatch");
+  }
+  for (std::size_t i = 0; i < news.size(); ++i) {
+    const NewsSpec& spec = news[i];
+    if (spec.index != i) throw std::logic_error("workload: index mismatch");
+    if (spec.source >= n_users) throw std::logic_error("workload: bad source");
+    if (interested_in[i].size() != n_users) {
+      throw std::logic_error("workload: bitset width mismatch");
+    }
+    if (!interested_in[i].test(spec.source)) {
+      throw std::logic_error("workload: source does not like its item");
+    }
+    if (spec.topic < 0 || static_cast<std::size_t>(spec.topic) >= std::max<std::size_t>(n_topics, 1)) {
+      throw std::logic_error("workload: topic out of range");
+    }
+  }
+  if (social.has_value() && social->num_nodes() != n_users) {
+    throw std::logic_error("workload: social graph size mismatch");
+  }
+}
+
+}  // namespace whatsup::data

@@ -1,0 +1,108 @@
+#include "gossip/view.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace whatsup::gossip {
+
+View::View(std::size_t capacity) : capacity_(capacity) {}
+
+bool View::contains(NodeId node) const { return find(node) != nullptr; }
+
+const net::Descriptor* View::find(NodeId node) const {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [node](const net::Descriptor& d) { return d.node == node; });
+  return it == entries_.end() ? nullptr : &*it;
+}
+
+const net::Descriptor* View::oldest() const {
+  const auto it = std::min_element(entries_.begin(), entries_.end(),
+                                   [](const net::Descriptor& a, const net::Descriptor& b) {
+                                     return a.timestamp < b.timestamp;
+                                   });
+  return it == entries_.end() ? nullptr : &*it;
+}
+
+void View::insert_or_refresh(net::Descriptor descriptor) {
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [&descriptor](const net::Descriptor& d) { return d.node == descriptor.node; });
+  if (it != entries_.end()) {
+    if (descriptor.timestamp >= it->timestamp) *it = std::move(descriptor);
+    return;
+  }
+  entries_.push_back(std::move(descriptor));
+}
+
+void View::remove(NodeId node) {
+  std::erase_if(entries_, [node](const net::Descriptor& d) { return d.node == node; });
+}
+
+std::vector<net::Descriptor> View::random_subset(Rng& rng, std::size_t k) const {
+  const auto picks = rng.sample_indices(entries_.size(), k);
+  std::vector<net::Descriptor> out;
+  out.reserve(picks.size());
+  for (std::size_t i : picks) out.push_back(entries_[i]);
+  return out;
+}
+
+NodeId View::random_member(Rng& rng) const {
+  if (entries_.empty()) return kNoNode;
+  return entries_[rng.index(entries_.size())].node;
+}
+
+std::vector<NodeId> View::members() const {
+  std::vector<NodeId> ids;
+  ids.reserve(entries_.size());
+  for (const net::Descriptor& d : entries_) ids.push_back(d.node);
+  return ids;
+}
+
+void View::assign_random(std::vector<net::Descriptor> candidates, Rng& rng) {
+  rng.shuffle(candidates);
+  if (candidates.size() > capacity_) candidates.resize(capacity_);
+  entries_ = std::move(candidates);
+}
+
+void View::assign_closest(std::vector<net::Descriptor> candidates, const Profile& own_profile,
+                          Metric metric, Rng& rng) {
+  // Random shuffle before the stable sort randomizes tie-breaking, which
+  // matters at cold start when every similarity is 0.
+  rng.shuffle(candidates);
+  std::vector<std::pair<double, std::size_t>> scored;
+  scored.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    scored.emplace_back(similarity(metric, own_profile, candidates[i].profile_ref()), i);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<net::Descriptor> kept;
+  kept.reserve(std::min(capacity_, candidates.size()));
+  for (std::size_t r = 0; r < scored.size() && kept.size() < capacity_; ++r) {
+    kept.push_back(std::move(candidates[scored[r].second]));
+  }
+  entries_ = std::move(kept);
+}
+
+std::vector<net::Descriptor> merge_candidates(std::span<const net::Descriptor> base,
+                                              std::span<const net::Descriptor> incoming,
+                                              NodeId self) {
+  std::unordered_map<NodeId, net::Descriptor> best;
+  best.reserve(base.size() + incoming.size());
+  auto absorb = [&](const net::Descriptor& d) {
+    if (d.node == self || d.node == kNoNode) return;
+    const auto it = best.find(d.node);
+    if (it == best.end() || d.timestamp > it->second.timestamp) best[d.node] = d;
+  };
+  for (const net::Descriptor& d : base) absorb(d);
+  for (const net::Descriptor& d : incoming) absorb(d);
+  std::vector<net::Descriptor> merged;
+  merged.reserve(best.size());
+  for (auto& [node, d] : best) {
+    (void)node;
+    merged.push_back(std::move(d));
+  }
+  return merged;
+}
+
+}  // namespace whatsup::gossip

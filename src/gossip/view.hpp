@@ -1,0 +1,68 @@
+// Bounded views of node descriptors — the per-protocol neighbor tables of
+// §II. Each entry holds a peer's id, the timestamp at which the peer
+// generated the entry, and a snapshot of its profile. Both RPS and WUP
+// periodically contact the entry with the *oldest* timestamp ([4]'s
+// tail-based peer selection) and refresh views from the union of exchanged
+// entries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/message.hpp"
+#include "profile/similarity.hpp"
+
+namespace whatsup::gossip {
+
+class View {
+ public:
+  explicit View(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const std::vector<net::Descriptor>& entries() const { return entries_; }
+  bool contains(NodeId node) const;
+  const net::Descriptor* find(NodeId node) const;
+
+  // Entry with the smallest timestamp; nullptr when empty.
+  const net::Descriptor* oldest() const;
+
+  // Inserts, or refreshes in place if the node is present and the new
+  // descriptor is fresher. May grow beyond capacity (merge buffers shrink
+  // views via the assign_* policies).
+  void insert_or_refresh(net::Descriptor descriptor);
+  void remove(NodeId node);
+  void clear() { entries_.clear(); }
+
+  // k entries picked uniformly without replacement.
+  std::vector<net::Descriptor> random_subset(Rng& rng, std::size_t k) const;
+  // Uniformly random member id; kNoNode when empty.
+  NodeId random_member(Rng& rng) const;
+  std::vector<NodeId> members() const;
+
+  // Replace contents with a uniform random subset of `candidates` of at
+  // most `capacity()` entries (RPS merge policy).
+  void assign_random(std::vector<net::Descriptor> candidates, Rng& rng);
+
+  // Replace contents with the `capacity()` candidates most similar to
+  // `own_profile` under `metric`; ties broken uniformly at random
+  // (WUP merge policy).
+  void assign_closest(std::vector<net::Descriptor> candidates, const Profile& own_profile,
+                      Metric metric, Rng& rng);
+
+ private:
+  std::size_t capacity_;
+  std::vector<net::Descriptor> entries_;
+};
+
+// Union of `base` and `incoming`, excluding `self`, deduplicated by node id
+// keeping the freshest descriptor. The building block of both merge paths.
+std::vector<net::Descriptor> merge_candidates(std::span<const net::Descriptor> base,
+                                              std::span<const net::Descriptor> incoming,
+                                              NodeId self);
+
+}  // namespace whatsup::gossip

@@ -1,0 +1,61 @@
+#include "graph/clustering.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace whatsup::graph {
+
+namespace {
+
+double avg_local_clustering(const std::vector<std::vector<NodeId>>& adj) {
+  const std::size_t n = adj.size();
+  if (n == 0) return 0.0;
+  // Adjacency lists must be sorted and deduplicated before this call.
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& nbrs = adj[v];
+    const std::size_t k = nbrs.size();
+    if (k < 2) continue;
+    std::size_t links = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto& wi = adj[nbrs[i]];
+      for (std::size_t j = i + 1; j < k; ++j) {
+        if (std::binary_search(wi.begin(), wi.end(), nbrs[j])) ++links;
+      }
+    }
+    total += 2.0 * static_cast<double>(links) / (static_cast<double>(k) * static_cast<double>(k - 1));
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace
+
+double avg_clustering_coefficient(const Digraph& g) {
+  // Build the undirected closure with sorted unique adjacency.
+  std::vector<std::vector<NodeId>> adj(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId w : g.out(v)) {
+      adj[v].push_back(w);
+      adj[w].push_back(v);
+    }
+  }
+  for (auto& nbrs : adj) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  return avg_local_clustering(adj);
+}
+
+double avg_clustering_coefficient(const UGraph& g) {
+  std::vector<std::vector<NodeId>> adj(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    adj[v].assign(nbrs.begin(), nbrs.end());
+    std::sort(adj[v].begin(), adj[v].end());
+  }
+  return avg_local_clustering(adj);
+}
+
+}  // namespace whatsup::graph

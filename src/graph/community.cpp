@@ -1,0 +1,152 @@
+#include "graph/community.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <unordered_map>
+
+namespace whatsup::graph {
+
+namespace {
+
+struct MergeCandidate {
+  double dq;
+  int a;
+  int b;
+  std::uint64_t stamp_a;
+  std::uint64_t stamp_b;
+};
+
+struct CandidateLess {
+  bool operator()(const MergeCandidate& x, const MergeCandidate& y) const {
+    return x.dq < y.dq;
+  }
+};
+
+}  // namespace
+
+double modularity(const UGraph& g, const std::vector<int>& membership) {
+  assert(membership.size() == g.num_nodes());
+  const double m = static_cast<double>(g.num_edges());
+  if (m == 0.0) return 0.0;
+  std::unordered_map<int, double> internal;  // edges within community / m
+  std::unordered_map<int, double> degree;    // total degree / 2m
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    degree[membership[v]] += static_cast<double>(g.degree(v));
+    for (NodeId w : g.neighbors(v)) {
+      if (v < w && membership[v] == membership[w]) internal[membership[v]] += 1.0;
+    }
+  }
+  double q = 0.0;
+  for (const auto& [c, deg] : degree) {
+    const double e_ii = internal.count(c) != 0 ? internal.at(c) / m : 0.0;
+    const double a_i = deg / (2.0 * m);
+    q += e_ii - a_i * a_i;
+  }
+  return q;
+}
+
+CommunityResult detect_communities(const UGraph& g) {
+  const std::size_t n = g.num_nodes();
+  CommunityResult result;
+  result.membership.assign(n, 0);
+  if (n == 0) return result;
+  const double m = static_cast<double>(g.num_edges());
+  if (m == 0.0) {
+    // All-singleton partition.
+    for (NodeId v = 0; v < n; ++v) result.membership[v] = static_cast<int>(v);
+    result.count = n;
+    result.sizes.assign(n, 1);
+    return result;
+  }
+
+  // CNM state: per community, the fraction of edge-ends to each neighbor
+  // community (e_ij = m_ij / 2m stored once per direction), the degree
+  // fraction a_i, the member list, and a version stamp for lazy heap
+  // invalidation.
+  std::vector<std::unordered_map<int, double>> e(n);
+  std::vector<double> a(n, 0.0);
+  std::vector<std::vector<NodeId>> members(n);
+  std::vector<std::uint64_t> version(n, 0);
+  std::vector<bool> alive(n, true);
+
+  for (NodeId v = 0; v < n; ++v) {
+    members[v].push_back(v);
+    a[v] = static_cast<double>(g.degree(v)) / (2.0 * m);
+    for (NodeId w : g.neighbors(v)) {
+      e[v][static_cast<int>(w)] = 1.0 / (2.0 * m);
+    }
+  }
+
+  std::priority_queue<MergeCandidate, std::vector<MergeCandidate>, CandidateLess> heap;
+  auto push_pair = [&](int i, int j) {
+    if (i == j) return;
+    const auto it = e[static_cast<std::size_t>(i)].find(j);
+    if (it == e[static_cast<std::size_t>(i)].end()) return;
+    const double dq = 2.0 * (it->second - a[static_cast<std::size_t>(i)] *
+                                              a[static_cast<std::size_t>(j)]);
+    heap.push({dq, i, j, version[static_cast<std::size_t>(i)],
+               version[static_cast<std::size_t>(j)]});
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    for (const auto& [w, val] : e[v]) {
+      (void)val;
+      if (static_cast<int>(v) < w) push_pair(static_cast<int>(v), w);
+    }
+  }
+
+  while (!heap.empty()) {
+    const MergeCandidate cand = heap.top();
+    heap.pop();
+    const auto ca = static_cast<std::size_t>(cand.a);
+    const auto cb = static_cast<std::size_t>(cand.b);
+    if (!alive[ca] || !alive[cb]) continue;
+    if (cand.stamp_a != version[ca] || cand.stamp_b != version[cb]) continue;
+    if (cand.dq <= 0.0) break;  // heap max is non-positive: greedy stops
+
+    // Merge the smaller member list into the larger (small-to-large).
+    std::size_t into = ca, from = cb;
+    if (members[into].size() < members[from].size()) std::swap(into, from);
+
+    for (const auto& [k, val] : e[from]) {
+      const auto ku = static_cast<std::size_t>(k);
+      if (ku == into) continue;
+      e[into][k] += val;
+      e[ku][static_cast<int>(into)] += val;
+      e[ku].erase(static_cast<int>(from));
+    }
+    e[into].erase(static_cast<int>(from));
+    a[into] += a[from];
+    members[into].insert(members[into].end(), members[from].begin(), members[from].end());
+    members[from].clear();
+    members[from].shrink_to_fit();
+    e[from].clear();
+    alive[from] = false;
+    ++version[into];
+
+    for (const auto& [k, val] : e[into]) {
+      (void)val;
+      push_pair(static_cast<int>(into), k);
+    }
+  }
+
+  // Dense relabeling, communities sorted by size descending.
+  std::vector<std::size_t> order;
+  for (std::size_t c = 0; c < n; ++c) {
+    if (alive[c] && !members[c].empty()) order.push_back(c);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return members[x].size() > members[y].size();
+  });
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    for (NodeId v : members[order[rank]]) {
+      result.membership[v] = static_cast<int>(rank);
+    }
+    result.sizes.push_back(members[order[rank]].size());
+  }
+  result.count = order.size();
+  result.modularity = modularity(g, result.membership);
+  return result;
+}
+
+}  // namespace whatsup::graph

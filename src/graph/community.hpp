@@ -1,0 +1,27 @@
+// Newman's fast greedy modularity community detection (CNM, Phys. Rev. E
+// 2004) — the algorithm the paper uses to derive interest communities from
+// the Arxiv collaboration graph (§IV-A).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/ugraph.hpp"
+
+namespace whatsup::graph {
+
+struct CommunityResult {
+  std::vector<int> membership;          // community id per node (0-based, dense)
+  std::size_t count = 0;                // number of communities
+  double modularity = 0.0;              // Q of the returned partition
+  std::vector<std::size_t> sizes;       // size per community, descending
+};
+
+// Greedy agglomeration: start with singleton communities, repeatedly merge
+// the pair with the largest modularity gain until no merge improves Q.
+CommunityResult detect_communities(const UGraph& g);
+
+// Modularity Q of an arbitrary partition of `g`.
+double modularity(const UGraph& g, const std::vector<int>& membership);
+
+}  // namespace whatsup::graph

@@ -1,0 +1,26 @@
+// Weakly connected components of a digraph / connected components of an
+// undirected graph. §V-A reports average component counts of the overlays.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/ugraph.hpp"
+
+namespace whatsup::graph {
+
+struct ComponentsResult {
+  std::vector<int> component;
+  std::size_t count = 0;
+  std::size_t largest = 0;
+};
+
+ComponentsResult weak_components(const Digraph& g);
+ComponentsResult connected_components(const UGraph& g);
+
+// Hop distance from `source` to every node (BFS over out-edges);
+// unreachable nodes get -1.
+std::vector<int> bfs_hops(const Digraph& g, NodeId source);
+
+}  // namespace whatsup::graph

@@ -1,0 +1,39 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace whatsup::graph {
+
+Digraph::Digraph(std::size_t n) : adj_(n) {}
+
+void Digraph::add_edge(NodeId from, NodeId to) {
+  assert(from < adj_.size() && to < adj_.size());
+  if (from == to) return;
+  adj_[from].push_back(to);
+  ++n_edges_;
+}
+
+std::span<const NodeId> Digraph::out(NodeId v) const {
+  assert(v < adj_.size());
+  return adj_[v];
+}
+
+void Digraph::dedupe() {
+  n_edges_ = 0;
+  for (auto& nbrs : adj_) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    n_edges_ += nbrs.size();
+  }
+}
+
+Digraph Digraph::reversed() const {
+  Digraph rev(num_nodes());
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (NodeId w : adj_[v]) rev.add_edge(w, v);
+  }
+  return rev;
+}
+
+}  // namespace whatsup::graph

@@ -1,0 +1,37 @@
+// Directed graph used to analyse gossip overlays (WUP views form a digraph:
+// node -> members of its view). Adjacency-list representation; parallel
+// edges are collapsed on demand.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace whatsup::graph {
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t n);
+
+  std::size_t num_nodes() const { return adj_.size(); }
+  std::size_t num_edges() const { return n_edges_; }
+
+  // Self-loops are ignored; duplicate edges are kept unless `dedupe` is run.
+  void add_edge(NodeId from, NodeId to);
+  std::span<const NodeId> out(NodeId v) const;
+
+  // Sorts adjacency lists and removes parallel edges.
+  void dedupe();
+
+  // Edge-reversed copy.
+  Digraph reversed() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+  std::size_t n_edges_ = 0;
+};
+
+}  // namespace whatsup::graph

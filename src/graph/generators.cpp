@@ -1,0 +1,154 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace whatsup::graph {
+
+UGraph erdos_renyi(std::size_t n, double p, Rng& rng) {
+  UGraph g(n);
+  if (p <= 0.0) return g;
+  // Geometric skipping for sparse graphs.
+  const double log_q = std::log(1.0 - std::min(p, 1.0 - 1e-12));
+  std::size_t v = 1;
+  std::ptrdiff_t w = -1;
+  while (v < n) {
+    const double r = rng.uniform();
+    w += 1 + static_cast<std::ptrdiff_t>(std::floor(std::log(1.0 - r) / log_q));
+    while (w >= static_cast<std::ptrdiff_t>(v) && v < n) {
+      w -= static_cast<std::ptrdiff_t>(v);
+      ++v;
+    }
+    if (v < n) g.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(w));
+  }
+  return g;
+}
+
+UGraph barabasi_albert(std::size_t n, std::size_t m, Rng& rng) {
+  assert(m >= 1);
+  UGraph g(n);
+  if (n == 0) return g;
+  const std::size_t seed_size = std::min(n, m + 1);
+  // Seed clique keeps early attachment well-defined.
+  for (NodeId a = 0; a < seed_size; ++a) {
+    for (NodeId b = a + 1; b < seed_size; ++b) g.add_edge(a, b);
+  }
+  // Repeated-endpoint list: sampling uniformly from it is degree-
+  // proportional preferential attachment.
+  std::vector<NodeId> endpoints;
+  for (const auto& [a, b] : g.edges()) {
+    endpoints.push_back(a);
+    endpoints.push_back(b);
+  }
+  for (NodeId v = static_cast<NodeId>(seed_size); v < n; ++v) {
+    std::vector<NodeId> targets;
+    while (targets.size() < m) {
+      const NodeId t = endpoints[rng.index(endpoints.size())];
+      if (t != v && std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (NodeId t : targets) {
+      if (g.add_edge(v, t)) {
+        endpoints.push_back(v);
+        endpoints.push_back(t);
+      }
+    }
+  }
+  return g;
+}
+
+UGraph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng) {
+  assert(k % 2 == 0 && k < n);
+  UGraph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t j = 1; j <= k / 2; ++j) {
+      NodeId w = static_cast<NodeId>((v + j) % n);
+      if (rng.bernoulli(beta)) {
+        // Rewire to a uniform non-neighbor.
+        for (int attempts = 0; attempts < 32; ++attempts) {
+          const NodeId cand = static_cast<NodeId>(rng.index(n));
+          if (cand != v && !g.has_edge(v, cand)) {
+            w = cand;
+            break;
+          }
+        }
+      }
+      g.add_edge(v, w);
+    }
+  }
+  return g;
+}
+
+UGraph planted_partition(std::span<const std::size_t> sizes, double p_in,
+                         double p_out, Rng& rng, std::vector<int>& membership) {
+  const std::size_t n = std::accumulate(sizes.begin(), sizes.end(), std::size_t{0});
+  UGraph g(n);
+  membership.assign(n, 0);
+  std::vector<std::size_t> start(sizes.size() + 1, 0);
+  for (std::size_t c = 0; c < sizes.size(); ++c) {
+    start[c + 1] = start[c] + sizes[c];
+    for (std::size_t v = start[c]; v < start[c + 1]; ++v) {
+      membership[v] = static_cast<int>(c);
+    }
+  }
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      const double p = membership[a] == membership[b] ? p_in : p_out;
+      if (p > 0.0 && rng.bernoulli(p)) g.add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+UGraph collaboration_graph(std::span<const std::size_t> sizes,
+                           double collab_per_node, double bridge_prob, Rng& rng,
+                           std::vector<int>& membership) {
+  const std::size_t n = std::accumulate(sizes.begin(), sizes.end(), std::size_t{0});
+  UGraph g(n);
+  membership.assign(n, 0);
+  std::vector<std::size_t> start(sizes.size() + 1, 0);
+  for (std::size_t c = 0; c < sizes.size(); ++c) {
+    start[c + 1] = start[c] + sizes[c];
+    for (std::size_t v = start[c]; v < start[c + 1]; ++v) {
+      membership[v] = static_cast<int>(c);
+    }
+  }
+  // "Papers": triangles of co-authors drawn within a community; each node
+  // initiates collab_per_node of them in expectation.
+  for (std::size_t c = 0; c < sizes.size(); ++c) {
+    const std::size_t size = sizes[c];
+    if (size < 3) {
+      for (std::size_t v = start[c]; v + 1 < start[c + 1]; ++v) {
+        g.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(v + 1));
+      }
+      continue;
+    }
+    const auto papers =
+        static_cast<std::size_t>(std::ceil(collab_per_node * static_cast<double>(size)));
+    for (std::size_t p = 0; p < papers; ++p) {
+      const auto authors = rng.sample_indices(size, 3);
+      for (std::size_t i = 0; i < authors.size(); ++i) {
+        for (std::size_t j = i + 1; j < authors.size(); ++j) {
+          g.add_edge(static_cast<NodeId>(start[c] + authors[i]),
+                     static_cast<NodeId>(start[c] + authors[j]));
+        }
+      }
+    }
+  }
+  // Sparse cross-community bridges (interdisciplinary collaborations).
+  if (bridge_prob > 0.0 && sizes.size() > 1) {
+    const auto bridges = static_cast<std::size_t>(
+        std::ceil(bridge_prob * static_cast<double>(n)));
+    for (std::size_t b = 0; b < bridges; ++b) {
+      const NodeId u = static_cast<NodeId>(rng.index(n));
+      const NodeId v = static_cast<NodeId>(rng.index(n));
+      if (membership[u] != membership[v]) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+}  // namespace whatsup::graph

@@ -1,0 +1,40 @@
+// Random-graph generators for the workload substrates:
+//  * Erdős–Rényi / Watts–Strogatz — reference models for tests,
+//  * Barabási–Albert — the Digg follower graph (explicit cascades),
+//  * planted partition & collaboration graph — the Arxiv-style synthetic
+//    dataset (community-structured collaboration network).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/ugraph.hpp"
+
+namespace whatsup::graph {
+
+UGraph erdos_renyi(std::size_t n, double p, Rng& rng);
+
+// Each new node attaches `m` edges preferentially to high-degree nodes.
+UGraph barabasi_albert(std::size_t n, std::size_t m, Rng& rng);
+
+// Ring lattice of degree `k` (even), each edge rewired with probability
+// `beta`.
+UGraph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng);
+
+// Planted-partition: communities of the given sizes; edge probability
+// `p_in` within, `p_out` across communities. Returns the graph and fills
+// `membership` with the planted community per node.
+UGraph planted_partition(std::span<const std::size_t> sizes, double p_in,
+                         double p_out, Rng& rng, std::vector<int>& membership);
+
+// Collaboration-style graph: communities of the given sizes where each node
+// joins `collab_per_node` cliques-of-3 inside its community (mimicking
+// co-authorship), plus sparse random inter-community "bridging" edges.
+// Produces the heavy-tailed, locally-clustered structure of the Arxiv graph.
+UGraph collaboration_graph(std::span<const std::size_t> sizes,
+                           double collab_per_node, double bridge_prob, Rng& rng,
+                           std::vector<int>& membership);
+
+}  // namespace whatsup::graph

@@ -1,0 +1,42 @@
+#include "graph/ugraph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace whatsup::graph {
+
+UGraph::UGraph(std::size_t n) : adj_(n) {}
+
+bool UGraph::add_edge(NodeId a, NodeId b) {
+  assert(a < adj_.size() && b < adj_.size());
+  if (a == b || has_edge(a, b)) return false;
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  ++n_edges_;
+  return true;
+}
+
+bool UGraph::has_edge(NodeId a, NodeId b) const {
+  assert(a < adj_.size() && b < adj_.size());
+  const auto& smaller = adj_[a].size() <= adj_[b].size() ? adj_[a] : adj_[b];
+  const NodeId target = adj_[a].size() <= adj_[b].size() ? b : a;
+  return std::find(smaller.begin(), smaller.end(), target) != smaller.end();
+}
+
+std::span<const NodeId> UGraph::neighbors(NodeId v) const {
+  assert(v < adj_.size());
+  return adj_[v];
+}
+
+std::vector<std::pair<NodeId, NodeId>> UGraph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(n_edges_);
+  for (NodeId v = 0; v < adj_.size(); ++v) {
+    for (NodeId w : adj_[v]) {
+      if (v < w) out.emplace_back(v, w);
+    }
+  }
+  return out;
+}
+
+}  // namespace whatsup::graph

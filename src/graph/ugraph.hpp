@@ -1,0 +1,35 @@
+// Undirected simple graph, used by the workload generators (collaboration /
+// follower graphs) and by community detection.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace whatsup::graph {
+
+class UGraph {
+ public:
+  UGraph() = default;
+  explicit UGraph(std::size_t n);
+
+  std::size_t num_nodes() const { return adj_.size(); }
+  std::size_t num_edges() const { return n_edges_; }
+
+  // Ignores self-loops and duplicate edges.
+  bool add_edge(NodeId a, NodeId b);
+  bool has_edge(NodeId a, NodeId b) const;
+  std::span<const NodeId> neighbors(NodeId v) const;
+  std::size_t degree(NodeId v) const { return neighbors(v).size(); }
+
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+  std::size_t n_edges_ = 0;
+};
+
+}  // namespace whatsup::graph

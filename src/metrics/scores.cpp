@@ -1,0 +1,167 @@
+#include "metrics/scores.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace whatsup::metrics {
+
+double f1_score(double precision, double recall) {
+  const double denom = precision + recall;
+  return denom > 0.0 ? 2.0 * precision * recall / denom : 0.0;
+}
+
+Scores compute_scores(const data::Workload& workload,
+                      const std::vector<DynBitset>& reached,
+                      std::span<const ItemIdx> measured) {
+  Scores scores;
+  double precision_sum = 0.0;
+  double recall_sum = 0.0;
+  for (ItemIdx item : measured) {
+    const data::NewsSpec& spec = workload.news[item];
+    const DynBitset& reach = reached[item];
+    const DynBitset& interest = workload.interested(item);
+
+    std::size_t n_reached = reach.count();
+    std::size_t n_interested = interest.count();
+    std::size_t hits = reach.intersect_count(interest);
+    if (reach.test(spec.source)) {
+      --n_reached;
+      if (interest.test(spec.source)) --hits;
+    }
+    if (interest.test(spec.source)) --n_interested;
+
+    if (n_reached > 0) {
+      precision_sum += static_cast<double>(hits) / static_cast<double>(n_reached);
+    } else {
+      precision_sum += 1.0;  // empty delivery: vacuous precision
+    }
+    if (n_interested > 0) {
+      recall_sum += static_cast<double>(hits) / static_cast<double>(n_interested);
+    } else {
+      recall_sum += 1.0;  // nobody (else) to reach
+    }
+    ++scores.items;
+  }
+  if (scores.items == 0) return scores;
+  scores.precision = precision_sum / static_cast<double>(scores.items);
+  scores.recall = recall_sum / static_cast<double>(scores.items);
+  scores.f1 = f1_score(scores.precision, scores.recall);
+  return scores;
+}
+
+PerUserScores per_user_scores(const data::Workload& workload,
+                              const std::vector<DynBitset>& reached,
+                              std::span<const ItemIdx> measured) {
+  const std::size_t n = workload.num_users();
+  std::vector<std::size_t> received(n, 0), interested(n, 0), hits(n, 0);
+  for (ItemIdx item : measured) {
+    const data::NewsSpec& spec = workload.news[item];
+    const DynBitset& reach = reached[item];
+    const DynBitset& interest = workload.interested(item);
+    reach.for_each_set([&](std::size_t u) {
+      if (u == spec.source) return;
+      ++received[u];
+      if (interest.test(u)) ++hits[u];
+    });
+    interest.for_each_set([&](std::size_t u) {
+      if (u == spec.source) return;
+      ++interested[u];
+    });
+  }
+  PerUserScores out;
+  out.precision.resize(n);
+  out.recall.resize(n);
+  out.f1.resize(n);
+  out.valid.resize(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    out.valid[u] = interested[u] > 0;
+    out.precision[u] = received[u] > 0
+                           ? static_cast<double>(hits[u]) / static_cast<double>(received[u])
+                           : 1.0;
+    out.recall[u] = interested[u] > 0
+                        ? static_cast<double>(hits[u]) / static_cast<double>(interested[u])
+                        : 1.0;
+    out.f1[u] = f1_score(out.precision[u], out.recall[u]);
+  }
+  return out;
+}
+
+std::vector<double> sociability(const data::Workload& workload, std::size_t k) {
+  const std::size_t n = workload.num_users();
+  const std::size_t items = workload.num_items();
+  // Like-vectors per user (transpose of the per-item interest bitsets).
+  std::vector<DynBitset> likes(n, DynBitset(items));
+  for (std::size_t i = 0; i < items; ++i) {
+    workload.interested(static_cast<ItemIdx>(i)).for_each_set([&](std::size_t u) {
+      likes[u].set(i);
+    });
+  }
+  std::vector<double> like_count(n);
+  for (std::size_t u = 0; u < n; ++u) like_count[u] = static_cast<double>(likes[u].count());
+
+  std::vector<double> out(n, 0.0);
+  std::vector<double> sims;
+  sims.reserve(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    sims.clear();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == u) continue;
+      const double denom = std::sqrt(like_count[u] * like_count[v]);
+      if (denom <= 0.0) {
+        sims.push_back(0.0);
+        continue;
+      }
+      sims.push_back(static_cast<double>(likes[u].intersect_count(likes[v])) / denom);
+    }
+    const std::size_t keep = std::min(k, sims.size());
+    std::partial_sort(sims.begin(), sims.begin() + static_cast<std::ptrdiff_t>(keep),
+                      sims.end(), std::greater<>());
+    double total = 0.0;
+    for (std::size_t i = 0; i < keep; ++i) total += sims[i];
+    out[u] = keep > 0 ? total / static_cast<double>(keep) : 0.0;
+  }
+  return out;
+}
+
+PopularityCurve recall_by_popularity(const data::Workload& workload,
+                                     const std::vector<DynBitset>& reached,
+                                     std::span<const ItemIdx> measured,
+                                     std::size_t buckets) {
+  PopularityCurve curve;
+  curve.center.resize(buckets);
+  curve.recall.assign(buckets, 0.0);
+  curve.item_fraction.assign(buckets, 0.0);
+  curve.items.assign(buckets, 0);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    curve.center[b] = (static_cast<double>(b) + 0.5) / static_cast<double>(buckets);
+  }
+  for (ItemIdx item : measured) {
+    const data::NewsSpec& spec = workload.news[item];
+    const DynBitset& reach = reached[item];
+    const DynBitset& interest = workload.interested(item);
+    std::size_t n_interested = interest.count();
+    std::size_t hits = reach.intersect_count(interest);
+    if (interest.test(spec.source)) {
+      --n_interested;
+      if (reach.test(spec.source)) --hits;
+    }
+    if (n_interested == 0) continue;
+    const double pop = workload.popularity(item);
+    auto b = static_cast<std::size_t>(pop * static_cast<double>(buckets));
+    b = std::min(b, buckets - 1);
+    curve.recall[b] += static_cast<double>(hits) / static_cast<double>(n_interested);
+    ++curve.items[b];
+  }
+  std::size_t total_items = 0;
+  for (std::size_t b = 0; b < buckets; ++b) total_items += curve.items[b];
+  for (std::size_t b = 0; b < buckets; ++b) {
+    if (curve.items[b] > 0) curve.recall[b] /= static_cast<double>(curve.items[b]);
+    if (total_items > 0) {
+      curve.item_fraction[b] =
+          static_cast<double>(curve.items[b]) / static_cast<double>(total_items);
+    }
+  }
+  return curve;
+}
+
+}  // namespace whatsup::metrics

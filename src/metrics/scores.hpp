@@ -1,0 +1,66 @@
+// Evaluation metrics (paper §IV-C): precision, recall and F1-Score over
+// dissemination outcomes, plus the derived analyses of §V-H (recall vs
+// item popularity, per-user F1 vs sociability).
+//
+// Per-item precision/recall are macro-averaged over the measured items;
+// F1 is the harmonic mean of the averaged precision and recall. The item
+// source is excluded from both the reached and the interested sets (it
+// trivially receives and likes its own item).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "dataset/workload.hpp"
+#include "metrics/tracker.hpp"
+
+namespace whatsup::metrics {
+
+struct Scores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t items = 0;  // measured items contributing
+};
+
+double f1_score(double precision, double recall);
+
+// Scores from per-item reached sets (tracker output or centralized
+// baselines) against the workload ground truth.
+Scores compute_scores(const data::Workload& workload,
+                      const std::vector<DynBitset>& reached,
+                      std::span<const ItemIdx> measured);
+
+// Per-user precision/recall/F1 over the measured items (Fig. 11). Users
+// with no interested measured item get recall 1 by convention and are
+// flagged in `valid` as false.
+struct PerUserScores {
+  std::vector<double> precision;
+  std::vector<double> recall;
+  std::vector<double> f1;
+  std::vector<bool> valid;
+};
+PerUserScores per_user_scores(const data::Workload& workload,
+                              const std::vector<DynBitset>& reached,
+                              std::span<const ItemIdx> measured);
+
+// Sociability (§V-H): a node's average ground-truth similarity to the `k`
+// nodes most similar to it (binary cosine over like-vectors, which for
+// full rated-everything profiles coincides with the WUP metric).
+std::vector<double> sociability(const data::Workload& workload, std::size_t k = 15);
+
+// Average recall per popularity bucket + the popularity distribution
+// (Fig. 10). Buckets span [0, 1].
+struct PopularityCurve {
+  std::vector<double> center;         // bucket centers
+  std::vector<double> recall;         // average recall of items in bucket
+  std::vector<double> item_fraction;  // fraction of measured items in bucket
+  std::vector<std::size_t> items;     // measured items per bucket
+};
+PopularityCurve recall_by_popularity(const data::Workload& workload,
+                                     const std::vector<DynBitset>& reached,
+                                     std::span<const ItemIdx> measured,
+                                     std::size_t buckets = 10);
+
+}  // namespace whatsup::metrics

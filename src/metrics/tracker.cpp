@@ -1,0 +1,99 @@
+#include "metrics/tracker.hpp"
+
+#include <algorithm>
+
+namespace whatsup::metrics {
+
+namespace {
+
+void bump(std::vector<double>& hist, int hop, double amount = 1.0) {
+  const auto index = static_cast<std::size_t>(std::max(hop, 0));
+  if (hist.size() <= index) hist.resize(index + 1, 0.0);
+  hist[index] += amount;
+}
+
+}  // namespace
+
+std::size_t HopCounts::max_hop() const {
+  return std::max({forward_like.size(), infect_like.size(), forward_dislike.size(),
+                   infect_dislike.size()});
+}
+
+void HopCounts::accumulate(const HopCounts& other, double weight) {
+  auto add = [weight](std::vector<double>& into, const std::vector<double>& from) {
+    if (into.size() < from.size()) into.resize(from.size(), 0.0);
+    for (std::size_t h = 0; h < from.size(); ++h) into[h] += weight * from[h];
+  };
+  add(forward_like, other.forward_like);
+  add(infect_like, other.infect_like);
+  add(forward_dislike, other.forward_dislike);
+  add(infect_dislike, other.infect_dislike);
+}
+
+Tracker::Tracker(std::size_t n_users, std::size_t n_items)
+    : n_users_(n_users),
+      reached_(n_items, DynBitset(n_users)),
+      liked_(n_items, DynBitset(n_users)),
+      hops_(n_items),
+      dislike_hist_(n_items) {}
+
+void Tracker::attach(sim::Engine& engine) {
+  engine_ = &engine;
+  engine.set_observer(this);
+}
+
+void Tracker::on_delivery(NodeId user, ItemIdx item, int hops, bool via_dislike,
+                          int dislike_count) {
+  if (item >= reached_.size() || user >= n_users_) return;
+  reached_[item].set(user);
+  if (via_dislike) {
+    bump(hops_[item].infect_dislike, hops);
+  } else {
+    bump(hops_[item].infect_like, hops);
+  }
+  last_delivery_user_ = user;
+  last_delivery_item_ = item;
+  last_delivery_dislikes_ = dislike_count;
+}
+
+void Tracker::on_opinion(NodeId user, ItemIdx item, bool liked) {
+  if (!liked) return;
+  // Tracked-node series first: probes may live outside the user range
+  // (e.g. the §V-C joining node is an extra engine node).
+  if (!tracked_.empty() && engine_ != nullptr) {
+    const auto it = tracked_.find(user);
+    if (it != tracked_.end()) {
+      const auto cycle = static_cast<std::size_t>(std::max<Cycle>(engine_->now(), 0));
+      if (it->second.size() <= cycle) it->second.resize(cycle + 1, 0);
+      ++it->second[cycle];
+    }
+  }
+  if (item >= liked_.size() || user >= n_users_) return;
+  liked_[item].set(user);
+  if (user == last_delivery_user_ && item == last_delivery_item_) {
+    const auto bin = static_cast<std::size_t>(
+        std::clamp<int>(last_delivery_dislikes_, 0, static_cast<int>(kMaxDislikeBin)));
+    ++dislike_hist_[item][bin];
+  }
+}
+
+void Tracker::on_forward(NodeId user, ItemIdx item, int hops, bool liked,
+                         std::size_t n_targets) {
+  (void)user;
+  if (item >= hops_.size() || n_targets == 0) return;
+  if (liked) {
+    bump(hops_[item].forward_like, hops);
+  } else {
+    bump(hops_[item].forward_dislike, hops);
+  }
+}
+
+void Tracker::track_node(NodeId node) { tracked_[node]; }
+
+const std::vector<std::uint32_t>& Tracker::liked_series(NodeId node) const {
+  static const std::vector<std::uint32_t> kEmpty;
+  const auto it = tracked_.find(node);
+  return it == tracked_.end() ? kEmpty : it->second;
+}
+
+}  // namespace whatsup::metrics

@@ -1,0 +1,85 @@
+// Dissemination tracker: the measurement side of every experiment.
+//
+// Implements sim::DisseminationObserver and records, per item:
+//   * the set of users reached and the set who liked it,
+//   * hop histograms split by forward type (like vs dislike) for both
+//     forwarding actions and infections (Fig. 6),
+//   * the dislike counter carried by the copy that reached each liker
+//     (Table IV),
+// plus per-cycle liked-delivery series for explicitly tracked nodes
+// (Fig. 7c).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "sim/engine.hpp"
+
+namespace whatsup::metrics {
+
+// Aggregated hop histograms (index = hop distance from the source).
+struct HopCounts {
+  std::vector<double> forward_like;
+  std::vector<double> infect_like;
+  std::vector<double> forward_dislike;
+  std::vector<double> infect_dislike;
+
+  std::size_t max_hop() const;
+  void accumulate(const HopCounts& other, double weight = 1.0);
+};
+
+class Tracker : public sim::DisseminationObserver {
+ public:
+  Tracker(std::size_t n_users, std::size_t n_items);
+
+  // Registers as the engine's observer and binds the clock used by the
+  // per-cycle series.
+  void attach(sim::Engine& engine);
+
+  // sim::DisseminationObserver
+  void on_delivery(NodeId user, ItemIdx item, int hops, bool via_dislike,
+                   int dislike_count) override;
+  void on_opinion(NodeId user, ItemIdx item, bool liked) override;
+  void on_forward(NodeId user, ItemIdx item, int hops, bool liked,
+                  std::size_t n_targets) override;
+
+  std::size_t num_items() const { return reached_.size(); }
+  std::size_t num_users() const { return n_users_; }
+  const DynBitset& reached(ItemIdx item) const { return reached_[item]; }
+  const DynBitset& liked(ItemIdx item) const { return liked_[item]; }
+  const std::vector<DynBitset>& reached_sets() const { return reached_; }
+
+  // Per-item hop histograms and the dislike-counter histogram for copies
+  // that reached likers (index clipped to kMaxDislikeBin).
+  static constexpr std::size_t kMaxDislikeBin = 15;
+  const HopCounts& hops(ItemIdx item) const { return hops_[item]; }
+  const std::array<std::uint32_t, kMaxDislikeBin + 1>& dislikes_at_liked(
+      ItemIdx item) const {
+    return dislike_hist_[item];
+  }
+
+  // Fig. 7c probes: per-cycle count of liked deliveries at a node.
+  void track_node(NodeId node);
+  const std::vector<std::uint32_t>& liked_series(NodeId node) const;
+
+ private:
+  std::size_t n_users_;
+  std::vector<DynBitset> reached_;
+  std::vector<DynBitset> liked_;
+  std::vector<HopCounts> hops_;
+  std::vector<std::array<std::uint32_t, kMaxDislikeBin + 1>> dislike_hist_;
+
+  // Deliveries and opinions arrive as consecutive callbacks for the same
+  // (user, item); remember the delivery context to label the opinion.
+  NodeId last_delivery_user_ = kNoNode;
+  ItemIdx last_delivery_item_ = kNoItem;
+  int last_delivery_dislikes_ = 0;
+
+  sim::Engine* engine_ = nullptr;
+  std::unordered_map<NodeId, std::vector<std::uint32_t>> tracked_;
+};
+
+}  // namespace whatsup::metrics

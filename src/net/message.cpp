@@ -1,0 +1,39 @@
+#include "net/message.hpp"
+
+namespace whatsup::net {
+
+Protocol protocol_of(MsgType type) {
+  switch (type) {
+    case MsgType::kRpsRequest:
+    case MsgType::kRpsReply:
+      return Protocol::kRps;
+    case MsgType::kWupRequest:
+    case MsgType::kWupReply:
+      return Protocol::kWup;
+    case MsgType::kNews:
+      return Protocol::kBeep;
+  }
+  return Protocol::kBeep;
+}
+
+std::string to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kRpsRequest: return "rps-request";
+    case MsgType::kRpsReply: return "rps-reply";
+    case MsgType::kWupRequest: return "wup-request";
+    case MsgType::kWupReply: return "wup-reply";
+    case MsgType::kNews: return "news";
+  }
+  return "unknown";
+}
+
+std::string to_string(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kRps: return "rps";
+    case Protocol::kWup: return "wup";
+    case Protocol::kBeep: return "beep";
+  }
+  return "unknown";
+}
+
+}  // namespace whatsup::net

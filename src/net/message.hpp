@@ -1,0 +1,84 @@
+// Message taxonomy of the WhatsUp stack. Three protocols share the wire:
+// RPS and WUP view gossip (request/reply) and BEEP news dissemination.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "profile/profile.hpp"
+
+namespace whatsup::net {
+
+enum class MsgType : std::uint8_t {
+  kRpsRequest,
+  kRpsReply,
+  kWupRequest,
+  kWupReply,
+  kNews,
+};
+
+// Protocol family, used for traffic accounting (Fig. 8b splits bandwidth
+// into view maintenance = RPS+WUP vs news dissemination = BEEP).
+enum class Protocol : std::uint8_t { kRps, kWup, kBeep };
+
+Protocol protocol_of(MsgType type);
+std::string to_string(MsgType type);
+std::string to_string(Protocol protocol);
+
+// A view entry as shipped on the wire: node address/id, the time the owner
+// generated the entry, and a snapshot of the owner's profile (§II).
+// Snapshots are immutable, so views and messages share them by pointer —
+// gossip exchanges copy a pointer, not the profile contents.
+struct Descriptor {
+  NodeId node = kNoNode;
+  Cycle timestamp = kNoCycle;
+  std::shared_ptr<const Profile> profile;
+
+  const Profile& profile_ref() const {
+    static const Profile kEmpty;
+    return profile != nullptr ? *profile : kEmpty;
+  }
+};
+
+inline Descriptor make_descriptor(NodeId node, Cycle timestamp, const Profile& profile) {
+  return Descriptor{node, timestamp, std::make_shared<const Profile>(profile)};
+}
+
+// Payload of RPS/WUP gossip: the sender's own fresh descriptor plus the
+// exchanged view slice (half the view for RPS, the whole view for WUP).
+struct ViewPayload {
+  Descriptor sender;
+  std::vector<Descriptor> view;
+};
+
+// Payload of a BEEP news message (paper §II-A): item identity plus the
+// path-dependent item profile and the dislike counter. `hops` and
+// `via_dislike` are measurement-only fields (not part of the wire format
+// proper; they stand in for the tracing the authors instrumented).
+struct NewsPayload {
+  ItemId id = 0;
+  ItemIdx index = kNoItem;
+  Cycle created = 0;
+  NodeId origin = kNoNode;
+  Profile item_profile;
+  int dislikes = 0;     // d_I, §II-A
+  int hops = 0;         // path length from the source
+  bool via_dislike = false;  // last forward was performed by a disliker
+};
+
+struct Message {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  MsgType type = MsgType::kNews;
+  Cycle sent_at = 0;
+  std::variant<ViewPayload, NewsPayload> payload;
+
+  const ViewPayload& view() const { return std::get<ViewPayload>(payload); }
+  const NewsPayload& news() const { return std::get<NewsPayload>(payload); }
+};
+
+}  // namespace whatsup::net

@@ -1,0 +1,42 @@
+#include "net/network.hpp"
+
+#include <sstream>
+
+namespace whatsup::net {
+
+NetworkConfig NetworkConfig::perfect() { return {}; }
+
+NetworkConfig NetworkConfig::lossy(double loss_rate) {
+  NetworkConfig config;
+  config.loss_rate = loss_rate;
+  return config;
+}
+
+NetworkConfig NetworkConfig::modelnet() {
+  NetworkConfig config;
+  config.loss_rate = 0.01;
+  config.jitter = 1;
+  return config;
+}
+
+NetworkConfig NetworkConfig::planetlab() {
+  NetworkConfig config;
+  // §V-D: up to 30% of correctly sent news never reached their target at
+  // low fanout, due to network-level loss and overloaded hosts dropping
+  // incoming messages. We model it as heavy uniform loss plus a finite
+  // per-cycle inbox.
+  config.loss_rate = 0.28;
+  config.jitter = 2;
+  config.inbox_capacity = 220;
+  return config;
+}
+
+std::string describe(const NetworkConfig& config) {
+  std::ostringstream os;
+  os << "loss=" << config.loss_rate << " latency=" << config.latency << "+U[0,"
+     << config.jitter << "]";
+  if (config.inbox_capacity > 0) os << " inbox<=" << config.inbox_capacity;
+  return os.str();
+}
+
+}  // namespace whatsup::net

@@ -1,0 +1,32 @@
+// Network conditions for a simulated deployment: uniform message loss,
+// delivery latency (in cycles) with jitter, and a per-node inbox capacity
+// modelling queue overflow on overloaded hosts.
+//
+// Presets mirror the paper's three settings (§V-D/E): ideal simulation,
+// the ModelNet cluster (small residual loss) and PlanetLab (heavy
+// congestion-induced loss — the paper measured up to ~30% of news never
+// reaching their target at low fanouts).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/ids.hpp"
+
+namespace whatsup::net {
+
+struct NetworkConfig {
+  double loss_rate = 0.0;          // i.i.d. drop probability per message
+  Cycle latency = 1;               // delivery delay in cycles (>= 1)
+  Cycle jitter = 0;                // extra uniform delay in [0, jitter]
+  std::size_t inbox_capacity = 0;  // max deliveries per node per cycle; 0 = unbounded
+
+  static NetworkConfig perfect();
+  static NetworkConfig lossy(double loss_rate);
+  static NetworkConfig modelnet();   // cluster emulation: ~1% residual loss
+  static NetworkConfig planetlab();  // congested wide-area testbed
+};
+
+std::string describe(const NetworkConfig& config);
+
+}  // namespace whatsup::net

@@ -1,0 +1,31 @@
+#include "net/size_model.hpp"
+
+namespace whatsup::net {
+
+std::size_t SizeModel::descriptor_bytes(const Descriptor& d) const {
+  return descriptor_base + profile_entry * d.profile_ref().size();
+}
+
+std::size_t SizeModel::bytes(const Message& m) const {
+  std::size_t size = transport_header + app_header;
+  switch (m.type) {
+    case MsgType::kRpsRequest:
+    case MsgType::kRpsReply:
+    case MsgType::kWupRequest:
+    case MsgType::kWupReply: {
+      const ViewPayload& view = m.view();
+      size += descriptor_bytes(view.sender);
+      for (const Descriptor& d : view.view) size += descriptor_bytes(d);
+      break;
+    }
+    case MsgType::kNews: {
+      const NewsPayload& news = m.news();
+      size += news_base + news_meta;
+      size += item_profile_entry * news.item_profile.size();
+      break;
+    }
+  }
+  return size;
+}
+
+}  // namespace whatsup::net

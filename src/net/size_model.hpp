@@ -1,0 +1,26 @@
+// Analytic wire-size model (bytes per message), standing in for the Java
+// prototype's measured bandwidth (Fig. 8b). Field sizes follow §II:
+// an item id is an 8-byte hash, profile entries are <id, timestamp, score>
+// triplets, view entries carry address + id + timestamp + profile.
+#pragma once
+
+#include <cstddef>
+
+#include "net/message.hpp"
+
+namespace whatsup::net {
+
+struct SizeModel {
+  std::size_t transport_header = 28;     // IPv4 + UDP
+  std::size_t app_header = 8;            // message type + sender id + length
+  std::size_t descriptor_base = 14;      // address(6) + node id(4) + timestamp(4)
+  std::size_t profile_entry = 13;        // item hash(8) + timestamp(4) + score(1)
+  std::size_t news_base = 240;           // title + short description + link
+  std::size_t news_meta = 16;            // creation timestamp + dislike counter + origin
+  std::size_t item_profile_entry = 20;   // item hash(8) + timestamp(4) + score(8)
+
+  std::size_t descriptor_bytes(const Descriptor& d) const;
+  std::size_t bytes(const Message& m) const;
+};
+
+}  // namespace whatsup::net

@@ -1,0 +1,73 @@
+#include "net/traffic.hpp"
+
+namespace whatsup::net {
+
+namespace {
+std::size_t idx(Protocol p) { return static_cast<std::size_t>(p); }
+}  // namespace
+
+void Traffic::record_sent(Protocol protocol, std::size_t bytes) {
+  ++messages_[idx(protocol)];
+  bytes_[idx(protocol)] += bytes;
+}
+
+void Traffic::record_dropped(Protocol protocol) { ++dropped_[idx(protocol)]; }
+
+void Traffic::mark() {
+  mark_messages_ = messages_;
+  mark_bytes_ = bytes_;
+}
+
+std::size_t Traffic::messages(Protocol protocol) const { return messages_[idx(protocol)]; }
+std::size_t Traffic::bytes(Protocol protocol) const { return bytes_[idx(protocol)]; }
+std::size_t Traffic::dropped(Protocol protocol) const { return dropped_[idx(protocol)]; }
+
+std::size_t Traffic::total_messages() const {
+  std::size_t total = 0;
+  for (std::size_t m : messages_) total += m;
+  return total;
+}
+
+std::size_t Traffic::total_bytes() const {
+  std::size_t total = 0;
+  for (std::size_t b : bytes_) total += b;
+  return total;
+}
+
+std::size_t Traffic::messages_since_mark(Protocol protocol) const {
+  return messages_[idx(protocol)] - mark_messages_[idx(protocol)];
+}
+
+std::size_t Traffic::bytes_since_mark(Protocol protocol) const {
+  return bytes_[idx(protocol)] - mark_bytes_[idx(protocol)];
+}
+
+std::size_t Traffic::total_messages_since_mark() const {
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < kProtocols; ++p) total += messages_[p] - mark_messages_[p];
+  return total;
+}
+
+std::size_t Traffic::total_bytes_since_mark() const {
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < kProtocols; ++p) total += bytes_[p] - mark_bytes_[p];
+  return total;
+}
+
+double Traffic::kbps_per_node(Protocol protocol, std::size_t nodes, double cycles,
+                              double cycle_seconds, bool since_mark) const {
+  if (nodes == 0 || cycles <= 0.0 || cycle_seconds <= 0.0) return 0.0;
+  const double b = static_cast<double>(since_mark ? bytes_since_mark(protocol)
+                                                  : bytes(protocol));
+  return b * 8.0 / 1000.0 / static_cast<double>(nodes) / (cycles * cycle_seconds);
+}
+
+double Traffic::kbps_per_node_total(std::size_t nodes, double cycles,
+                                    double cycle_seconds, bool since_mark) const {
+  if (nodes == 0 || cycles <= 0.0 || cycle_seconds <= 0.0) return 0.0;
+  const double b = static_cast<double>(since_mark ? total_bytes_since_mark()
+                                                  : total_bytes());
+  return b * 8.0 / 1000.0 / static_cast<double>(nodes) / (cycles * cycle_seconds);
+}
+
+}  // namespace whatsup::net

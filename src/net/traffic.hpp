@@ -1,0 +1,47 @@
+// Per-protocol traffic accounting: message and byte counters, with an
+// optional mark so warm-up traffic can be excluded from reported numbers.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "net/message.hpp"
+
+namespace whatsup::net {
+
+class Traffic {
+ public:
+  void record_sent(Protocol protocol, std::size_t bytes);
+  void record_dropped(Protocol protocol);
+
+  // Snapshot current totals; `*_since_mark` report deltas from here.
+  void mark();
+
+  std::size_t messages(Protocol protocol) const;
+  std::size_t bytes(Protocol protocol) const;
+  std::size_t dropped(Protocol protocol) const;
+  std::size_t total_messages() const;
+  std::size_t total_bytes() const;
+
+  std::size_t messages_since_mark(Protocol protocol) const;
+  std::size_t bytes_since_mark(Protocol protocol) const;
+  std::size_t total_messages_since_mark() const;
+  std::size_t total_bytes_since_mark() const;
+
+  // Average consumed bandwidth in Kbps per node, over `cycles` cycles of
+  // `cycle_seconds` wall-clock seconds each (Fig. 8b's reporting unit).
+  double kbps_per_node(Protocol protocol, std::size_t nodes, double cycles,
+                       double cycle_seconds, bool since_mark = true) const;
+  double kbps_per_node_total(std::size_t nodes, double cycles, double cycle_seconds,
+                             bool since_mark = true) const;
+
+ private:
+  static constexpr std::size_t kProtocols = 3;
+  std::array<std::size_t, kProtocols> messages_{};
+  std::array<std::size_t, kProtocols> bytes_{};
+  std::array<std::size_t, kProtocols> dropped_{};
+  std::array<std::size_t, kProtocols> mark_messages_{};
+  std::array<std::size_t, kProtocols> mark_bytes_{};
+};
+
+}  // namespace whatsup::net

@@ -1,0 +1,36 @@
+#include "profile/obfuscation.hpp"
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+
+namespace whatsup {
+
+Profile obfuscate_profile(const Profile& profile, const ObfuscationConfig& config,
+                          NodeId node, Cycle now) {
+  if (!config.enabled()) return profile;
+  const Cycle epoch =
+      config.epoch_length > 0 ? now / config.epoch_length : Cycle{0};
+  Profile out;
+  for (const ProfileEntry& entry : profile.entries()) {
+    // Per-(node, epoch, item) deterministic noise stream: stable within an
+    // epoch, refreshed across epochs.
+    Rng noise(hash_combine(
+        hash_combine(0x0bf05ca7ed000000ULL ^ node, static_cast<std::uint64_t>(epoch)),
+        entry.id));
+    if (noise.bernoulli(config.drop_prob)) continue;
+    double score = entry.score;
+    if (noise.bernoulli(config.flip_prob)) {
+      score = noise.bernoulli(0.5) ? 1.0 : 0.0;  // randomized response
+    }
+    out.set(entry.id, entry.timestamp, score);
+  }
+  return out;
+}
+
+double deniability(const ObfuscationConfig& config) {
+  // An entry is absent w.p. drop, or present with a coin-flipped score
+  // that differs from the truth w.p. flip/2.
+  return config.drop_prob + (1.0 - config.drop_prob) * config.flip_prob * 0.5;
+}
+
+}  // namespace whatsup

@@ -1,0 +1,42 @@
+// Profile obfuscation (paper §VII, concluding remarks).
+//
+// The authors explored obfuscation mechanisms that hide users' exact
+// tastes from the peers that receive their profiles, trading a little
+// recommendation accuracy for privacy. We implement the classic
+// randomized-response scheme on the gossiped profile snapshots:
+//
+//  * with probability `flip_prob`, an entry's score is replaced by a fair
+//    coin (plausible deniability for every individual opinion);
+//  * with probability `drop_prob`, an entry is omitted entirely.
+//
+// Only the *gossiped* snapshot is obfuscated — the node keeps its true
+// profile locally for its own similarity decisions, exactly as a
+// privacy-conscious client would. Determinism: the noise is drawn from a
+// per-node stream seeded by (node id, epoch), so a node publishes one
+// consistent obfuscated view per epoch instead of leaking fresh noise on
+// every exchange (which an adversary could average away).
+#pragma once
+
+#include "common/ids.hpp"
+#include "profile/profile.hpp"
+
+namespace whatsup {
+
+struct ObfuscationConfig {
+  double flip_prob = 0.0;   // randomized response rate
+  double drop_prob = 0.0;   // entry suppression rate
+  Cycle epoch_length = 13;  // noise re-drawn once per epoch
+
+  bool enabled() const { return flip_prob > 0.0 || drop_prob > 0.0; }
+};
+
+// Returns the obfuscated snapshot of `profile` that `node` publishes
+// during the epoch containing `now`.
+Profile obfuscate_profile(const Profile& profile, const ObfuscationConfig& config,
+                          NodeId node, Cycle now);
+
+// Expected privacy of the scheme: probability that a disclosed opinion
+// differs from the user's true opinion (the deniability level).
+double deniability(const ObfuscationConfig& config);
+
+}  // namespace whatsup

@@ -1,0 +1,82 @@
+#include "profile/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace whatsup {
+
+std::vector<ProfileEntry>::iterator Profile::lower_bound(ItemId id) {
+  return std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const ProfileEntry& e, ItemId target) { return e.id < target; });
+}
+
+std::vector<ProfileEntry>::const_iterator Profile::lower_bound(ItemId id) const {
+  return std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const ProfileEntry& e, ItemId target) { return e.id < target; });
+}
+
+bool Profile::contains(ItemId id) const {
+  const auto it = lower_bound(id);
+  return it != entries_.end() && it->id == id;
+}
+
+std::optional<double> Profile::score(ItemId id) const {
+  const auto it = lower_bound(id);
+  if (it == entries_.end() || it->id != id) return std::nullopt;
+  return it->score;
+}
+
+std::optional<ProfileEntry> Profile::find(ItemId id) const {
+  const auto it = lower_bound(id);
+  if (it == entries_.end() || it->id != id) return std::nullopt;
+  return *it;
+}
+
+void Profile::set(ItemId id, Cycle timestamp, double score) {
+  const auto it = lower_bound(id);
+  if (it != entries_.end() && it->id == id) {
+    it->timestamp = timestamp;
+    it->score = score;
+    return;
+  }
+  entries_.insert(it, ProfileEntry{id, timestamp, score});
+}
+
+void Profile::fold(ItemId id, Cycle timestamp, double score) {
+  const auto it = lower_bound(id);
+  if (it != entries_.end() && it->id == id) {
+    // Averaging gives equal weight to the path-aggregated score and the new
+    // user's score, personalising the item profile (§II-C).
+    it->score = (it->score + score) / 2.0;
+    it->timestamp = std::max(it->timestamp, timestamp);
+    return;
+  }
+  entries_.insert(it, ProfileEntry{id, timestamp, score});
+}
+
+void Profile::fold_profile(const Profile& user) {
+  for (const ProfileEntry& entry : user.entries_) {
+    fold(entry.id, entry.timestamp, entry.score);
+  }
+}
+
+void Profile::purge_older_than(Cycle cutoff) {
+  std::erase_if(entries_,
+                [cutoff](const ProfileEntry& e) { return e.timestamp < cutoff; });
+}
+
+std::size_t Profile::liked_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [](const ProfileEntry& e) { return e.score > 0.5; }));
+}
+
+double Profile::norm() const {
+  double sum = 0.0;
+  for (const ProfileEntry& e : entries_) sum += e.score * e.score;
+  return std::sqrt(sum);
+}
+
+}  // namespace whatsup

@@ -1,0 +1,78 @@
+// Profiles (paper §II-B/§II-C): sets of <item id, timestamp, score> triplets
+// with a single entry per item.
+//
+//  * User profiles carry binary scores (1 = like, 0 = dislike) and are
+//    updated whenever the user opines on an item (Alg. 1 lines 5/7/14).
+//  * Item profiles carry real scores in [0,1], built by aggregating the
+//    profiles of the users who liked the item along its dissemination path
+//    (`fold` implements addToNewsProfile: average with the existing score,
+//    insert otherwise).
+//
+// Both are purged of entries older than the profile window (§II-E).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace whatsup {
+
+struct ProfileEntry {
+  ItemId id = 0;
+  Cycle timestamp = 0;
+  double score = 0.0;
+
+  bool operator==(const ProfileEntry&) const = default;
+};
+
+class Profile {
+ public:
+  Profile() = default;
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  bool contains(ItemId id) const;
+  std::optional<double> score(ItemId id) const;
+  std::optional<ProfileEntry> find(ItemId id) const;
+
+  // Inserts or overwrites the entry for `id` (user-profile update).
+  void set(ItemId id, Cycle timestamp, double score);
+
+  // addToNewsProfile (Alg. 1 lines 18-22): averages with the existing score
+  // when present, inserts the triplet otherwise. Used on item profiles.
+  void fold(ItemId id, Cycle timestamp, double score);
+
+  // Folds every entry of `user` into this item profile (Alg. 1 lines 3-4).
+  void fold_profile(const Profile& user);
+
+  // Removes entries strictly older than `cutoff` (profile window, §II-E).
+  void purge_older_than(Cycle cutoff);
+
+  // Entries sorted by ascending item id (stable iteration order for the
+  // similarity kernels).
+  const std::vector<ProfileEntry>& entries() const { return entries_; }
+
+  // Number of entries with score > 0.5 (the "liked" items of a binary
+  // profile; a coarse but monotone proxy for real-valued item profiles).
+  std::size_t liked_count() const;
+
+  // Euclidean norm of the score vector.
+  double norm() const;
+
+  void clear() { entries_.clear(); }
+
+  bool operator==(const Profile&) const = default;
+
+ private:
+  // Sorted by id; profiles stay small (bounded by the profile window), so a
+  // flat sorted vector beats node-based maps on both speed and memory.
+  std::vector<ProfileEntry> entries_;
+
+  std::vector<ProfileEntry>::iterator lower_bound(ItemId id);
+  std::vector<ProfileEntry>::const_iterator lower_bound(ItemId id) const;
+};
+
+}  // namespace whatsup

@@ -1,0 +1,124 @@
+#include "profile/similarity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace whatsup {
+
+namespace {
+
+// Single merge pass over two id-sorted profiles, accumulating the common-
+// item statistics every metric needs.
+struct CommonStats {
+  double dot = 0.0;        // Σ sa·sb over common items
+  double sub_norm2 = 0.0;  // Σ sa² over common items (‖sub(Pa,Pb)‖²)
+  double sum_a = 0.0;      // Σ sa over common items
+  double sum_b = 0.0;      // Σ sb over common items
+  double sum_a2 = 0.0;     // Σ sa² over common items
+  double sum_b2 = 0.0;     // Σ sb² over common items
+  std::size_t common = 0;  // number of common items
+  std::size_t both_liked = 0;
+};
+
+CommonStats common_stats(const Profile& a, const Profile& b) {
+  CommonStats stats;
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  std::size_t i = 0, j = 0;
+  while (i < ea.size() && j < eb.size()) {
+    if (ea[i].id < eb[j].id) {
+      ++i;
+    } else if (eb[j].id < ea[i].id) {
+      ++j;
+    } else {
+      const double sa = ea[i].score;
+      const double sb = eb[j].score;
+      stats.dot += sa * sb;
+      stats.sub_norm2 += sa * sa;
+      stats.sum_a += sa;
+      stats.sum_b += sb;
+      stats.sum_a2 += sa * sa;
+      stats.sum_b2 += sb * sb;
+      ++stats.common;
+      if (sa > 0.5 && sb > 0.5) ++stats.both_liked;
+      ++i;
+      ++j;
+    }
+  }
+  return stats;
+}
+
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+}  // namespace
+
+std::string to_string(Metric metric) {
+  switch (metric) {
+    case Metric::kWup: return "wup";
+    case Metric::kCosine: return "cosine";
+    case Metric::kJaccard: return "jaccard";
+    case Metric::kOverlap: return "overlap";
+    case Metric::kPearson: return "pearson";
+  }
+  return "unknown";
+}
+
+double wup_similarity(const Profile& subject, const Profile& candidate) {
+  const CommonStats stats = common_stats(subject, candidate);
+  if (stats.sub_norm2 <= 0.0) return 0.0;
+  const double cand_norm = candidate.norm();
+  if (cand_norm <= 0.0) return 0.0;
+  return clamp01(stats.dot / (std::sqrt(stats.sub_norm2) * cand_norm));
+}
+
+double cosine_similarity(const Profile& a, const Profile& b) {
+  const CommonStats stats = common_stats(a, b);
+  const double na = a.norm();
+  const double nb = b.norm();
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return clamp01(stats.dot / (na * nb));
+}
+
+double jaccard_similarity(const Profile& a, const Profile& b) {
+  const CommonStats stats = common_stats(a, b);
+  const std::size_t liked_a = a.liked_count();
+  const std::size_t liked_b = b.liked_count();
+  const std::size_t uni = liked_a + liked_b - stats.both_liked;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(stats.both_liked) / static_cast<double>(uni);
+}
+
+double overlap_similarity(const Profile& a, const Profile& b) {
+  const CommonStats stats = common_stats(a, b);
+  const double na = a.norm();
+  const double nb = b.norm();
+  const double denom = std::min(na, nb) * std::max(std::min(na, nb), 1e-12);
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  // dot / min(‖a‖,‖b‖)² keeps binary profiles in [0,1].
+  return clamp01(stats.dot / denom);
+}
+
+double pearson_similarity(const Profile& a, const Profile& b) {
+  const CommonStats stats = common_stats(a, b);
+  if (stats.common < 2) return 0.0;
+  const auto n = static_cast<double>(stats.common);
+  const double cov = stats.dot - stats.sum_a * stats.sum_b / n;
+  const double var_a = stats.sum_a2 - stats.sum_a * stats.sum_a / n;
+  const double var_b = stats.sum_b2 - stats.sum_b * stats.sum_b / n;
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  const double r = cov / std::sqrt(var_a * var_b);
+  return clamp01((r + 1.0) / 2.0);
+}
+
+double similarity(Metric metric, const Profile& subject, const Profile& candidate) {
+  switch (metric) {
+    case Metric::kWup: return wup_similarity(subject, candidate);
+    case Metric::kCosine: return cosine_similarity(subject, candidate);
+    case Metric::kJaccard: return jaccard_similarity(subject, candidate);
+    case Metric::kOverlap: return overlap_similarity(subject, candidate);
+    case Metric::kPearson: return pearson_similarity(subject, candidate);
+  }
+  return 0.0;
+}
+
+}  // namespace whatsup

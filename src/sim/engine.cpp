@@ -1,0 +1,134 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace whatsup::sim {
+
+Cycle Context::now() const { return engine_.now(); }
+Rng& Context::rng() { return engine_.rng(); }
+
+void Context::send(NodeId to, net::MsgType type, net::ViewPayload payload) {
+  net::Message m;
+  m.from = self_;
+  m.to = to;
+  m.type = type;
+  m.sent_at = engine_.now();
+  m.payload = std::move(payload);
+  engine_.send(std::move(m));
+}
+
+void Context::send(NodeId to, net::MsgType type, net::NewsPayload payload) {
+  net::Message m;
+  m.from = self_;
+  m.to = to;
+  m.type = type;
+  m.sent_at = engine_.now();
+  m.payload = std::move(payload);
+  engine_.send(std::move(m));
+}
+
+Engine::Engine(Config config) : config_(config), rng_(config.seed) {
+  const std::size_t window =
+      static_cast<std::size_t>(config_.network.latency + config_.network.jitter) + 2;
+  pending_.resize(window);
+}
+
+NodeId Engine::add_agent(std::unique_ptr<Agent> agent) {
+  agents_.push_back(std::move(agent));
+  active_.push_back(true);
+  return static_cast<NodeId>(agents_.size() - 1);
+}
+
+void Engine::set_active(NodeId id, bool active) { active_.at(id) = active; }
+
+std::size_t Engine::num_active() const {
+  return static_cast<std::size_t>(std::count(active_.begin(), active_.end(), true));
+}
+
+NodeId Engine::random_active(NodeId excluding) {
+  std::size_t n = num_active();
+  if (n == 0) return kNoNode;
+  if (excluding != kNoNode && excluding < active_.size() && active_[excluding]) {
+    if (n == 1) return kNoNode;
+  }
+  for (int attempts = 0; attempts < 1024; ++attempts) {
+    const NodeId cand = static_cast<NodeId>(rng_.index(agents_.size()));
+    if (active_[cand] && cand != excluding) return cand;
+  }
+  // Dense fallback for pathological activity patterns.
+  for (NodeId v = 0; v < agents_.size(); ++v) {
+    if (active_[v] && v != excluding) return v;
+  }
+  return kNoNode;
+}
+
+std::vector<net::Message>& Engine::bucket(Cycle cycle) {
+  return pending_[static_cast<std::size_t>(cycle) % pending_.size()];
+}
+
+void Engine::send(net::Message message) {
+  assert(message.to < agents_.size());
+  const net::Protocol protocol = net::protocol_of(message.type);
+  traffic_.record_sent(protocol, config_.size_model.bytes(message));
+  if (config_.network.loss_rate > 0.0 && rng_.bernoulli(config_.network.loss_rate)) {
+    traffic_.record_dropped(protocol);
+    return;
+  }
+  Cycle delay = config_.network.latency;
+  if (config_.network.jitter > 0) {
+    delay += static_cast<Cycle>(rng_.uniform_int(0, config_.network.jitter));
+  }
+  delay = std::max<Cycle>(delay, 1);
+  bucket(now_ + delay).push_back(std::move(message));
+}
+
+void Engine::publish(NodeId source, ItemIdx index, ItemId id) {
+  assert(source < agents_.size());
+  if (!active_[source]) return;
+  Context ctx(*this, source);
+  agents_[source]->publish(ctx, index, id);
+}
+
+void Engine::deliver_due() {
+  auto& due = bucket(now_);
+  if (due.empty()) return;
+  std::vector<net::Message> batch;
+  batch.swap(due);
+  // Randomize delivery order to avoid send-order artifacts.
+  rng_.shuffle(batch);
+  std::vector<std::size_t> inbox_count;
+  if (config_.network.inbox_capacity > 0) inbox_count.assign(agents_.size(), 0);
+  for (net::Message& m : batch) {
+    if (!active_[m.to]) continue;  // node offline: message lost
+    if (config_.network.inbox_capacity > 0) {
+      if (++inbox_count[m.to] > config_.network.inbox_capacity) {
+        traffic_.record_dropped(net::protocol_of(m.type));  // queue overflow
+        continue;
+      }
+    }
+    Context ctx(*this, m.to);
+    agents_[m.to]->on_message(ctx, m);
+  }
+}
+
+void Engine::run_cycle() {
+  deliver_due();
+  std::vector<NodeId> order(agents_.size());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  rng_.shuffle(order);
+  for (NodeId id : order) {
+    if (!active_[id]) continue;
+    Context ctx(*this, id);
+    agents_[id]->on_cycle(ctx);
+  }
+  for (const CycleHook& hook : hooks_) hook(*this, now_);
+  ++now_;
+}
+
+void Engine::run_cycles(int n) {
+  for (int i = 0; i < n; ++i) run_cycle();
+}
+
+}  // namespace whatsup::sim

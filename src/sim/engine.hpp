@@ -1,0 +1,140 @@
+// Cycle-driven peer-to-peer simulation engine.
+//
+// Time advances in gossip cycles (the paper's simulation time unit, §IV-D).
+// Each cycle the engine (1) delivers the messages due this cycle in random
+// order, respecting the network model (loss, latency, jitter, inbox
+// capacity), then (2) activates every active agent once, in a fresh random
+// permutation. All randomness derives from a single seed.
+//
+// Agents are protocol endpoints (WhatsUp node, gossip node, ...); the
+// engine knows nothing about protocols. Dissemination events are reported
+// through the `DisseminationObserver` interface, implemented by
+// metrics::Tracker — the core stays metrics-agnostic.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "net/message.hpp"
+#include "net/network.hpp"
+#include "net/size_model.hpp"
+#include "net/traffic.hpp"
+
+namespace whatsup::sim {
+
+class Engine;
+
+// Facade handed to agents: scoped send/rng/time access for one agent.
+class Context {
+ public:
+  Context(Engine& engine, NodeId self) : engine_(engine), self_(self) {}
+
+  NodeId self() const { return self_; }
+  Cycle now() const;
+  Rng& rng();
+  Engine& engine() { return engine_; }
+
+  void send(NodeId to, net::MsgType type, net::ViewPayload payload);
+  void send(NodeId to, net::MsgType type, net::NewsPayload payload);
+
+ private:
+  Engine& engine_;
+  NodeId self_;
+};
+
+// Protocol endpoint living at one node.
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  // Called once per cycle while the node is active (periodic gossip steps).
+  virtual void on_cycle(Context& ctx) = 0;
+  // Called for each delivered message.
+  virtual void on_message(Context& ctx, const net::Message& message) = 0;
+  // Called when this node is the source of a new item (BEEP generate).
+  virtual void publish(Context& ctx, ItemIdx index, ItemId id) = 0;
+};
+
+// Hook for dissemination measurements (implemented by metrics::Tracker).
+class DisseminationObserver {
+ public:
+  virtual ~DisseminationObserver() = default;
+  // First delivery of `item` at node `user`.
+  virtual void on_delivery(NodeId user, ItemIdx item, int hops, bool via_dislike,
+                           int dislike_count) = 0;
+  // Opinion expressed at first receipt.
+  virtual void on_opinion(NodeId user, ItemIdx item, bool liked) = 0;
+  // A forwarding action: `user` (who `liked` or not the item) sent
+  // `n_targets` copies, `hops` hops away from the source.
+  virtual void on_forward(NodeId user, ItemIdx item, int hops, bool liked,
+                          std::size_t n_targets) = 0;
+};
+
+class Engine {
+ public:
+  struct Config {
+    std::uint64_t seed = 42;
+    net::NetworkConfig network;
+    net::SizeModel size_model;
+  };
+
+  explicit Engine(Config config);
+
+  // Registers an agent; returns its node id (dense, in registration order).
+  NodeId add_agent(std::unique_ptr<Agent> agent);
+  std::size_t num_nodes() const { return agents_.size(); }
+  Agent& agent(NodeId id) { return *agents_.at(id); }
+  const Agent& agent(NodeId id) const { return *agents_.at(id); }
+
+  // Inactive nodes are skipped by on_cycle and lose incoming messages
+  // (models nodes that have not joined yet / have left).
+  void set_active(NodeId id, bool active);
+  bool is_active(NodeId id) const { return active_.at(id); }
+  std::size_t num_active() const;
+  // Uniformly random active node, excluding `excluding`; kNoNode if none.
+  NodeId random_active(NodeId excluding = kNoNode);
+
+  Cycle now() const { return now_; }
+  Rng& rng() { return rng_; }
+  net::Traffic& traffic() { return traffic_; }
+  const net::Traffic& traffic() const { return traffic_; }
+  const net::NetworkConfig& network() const { return config_.network; }
+  void set_network(const net::NetworkConfig& network) { config_.network = network; }
+
+  DisseminationObserver* observer() { return observer_; }
+  void set_observer(DisseminationObserver* observer) { observer_ = observer; }
+
+  // Queues a message (called via Context::send). Applies loss and latency.
+  void send(net::Message message);
+
+  // Injects a new item at `source` during the current cycle.
+  void publish(NodeId source, ItemIdx index, ItemId id);
+
+  // Runs one cycle: deliver due messages, then activate agents.
+  void run_cycle();
+  void run_cycles(int n);
+
+  // Invoked at the END of every cycle (after agent activation).
+  using CycleHook = std::function<void(Engine&, Cycle)>;
+  void add_cycle_hook(CycleHook hook) { hooks_.push_back(std::move(hook)); }
+
+ private:
+  Config config_;
+  Rng rng_;
+  Cycle now_ = 0;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::vector<bool> active_;
+  // pending_[c % window] holds messages due at cycle c.
+  std::vector<std::vector<net::Message>> pending_;
+  net::Traffic traffic_;
+  DisseminationObserver* observer_ = nullptr;
+  std::vector<CycleHook> hooks_;
+
+  std::vector<net::Message>& bucket(Cycle cycle);
+  void deliver_due();
+};
+
+}  // namespace whatsup::sim

@@ -1,0 +1,25 @@
+#include "sim/opinions.hpp"
+
+namespace whatsup::sim {
+
+bool MutableOpinions::likes(NodeId user, ItemIdx item) const {
+  return base_.likes(resolve(user), item);
+}
+
+void MutableOpinions::set_alias(NodeId node, NodeId as_user) {
+  alias_[node] = as_user;
+}
+
+void MutableOpinions::swap_interests(NodeId a, NodeId b) {
+  const NodeId ra = resolve(a);
+  const NodeId rb = resolve(b);
+  alias_[a] = rb;
+  alias_[b] = ra;
+}
+
+NodeId MutableOpinions::resolve(NodeId node) const {
+  const auto it = alias_.find(node);
+  return it == alias_.end() ? node : it->second;
+}
+
+}  // namespace whatsup::sim

@@ -1,0 +1,39 @@
+// Opinion sources. Agents ask "does user u like item i?" when an item
+// first arrives (the like/dislike button of the paper's UI). Ground truth
+// comes from the workload; `MutableOpinions` layers the dynamic-interest
+// scenarios of §V-C on top (joining nodes cloning a reference user,
+// pairs of users switching interests mid-run).
+#pragma once
+
+#include <unordered_map>
+
+#include "common/ids.hpp"
+
+namespace whatsup::sim {
+
+class Opinions {
+ public:
+  virtual ~Opinions() = default;
+  virtual bool likes(NodeId user, ItemIdx item) const = 0;
+};
+
+// Decorates a base opinion source with per-node aliases: node u behaves as
+// (expresses the opinions of) user alias(u).
+class MutableOpinions : public Opinions {
+ public:
+  explicit MutableOpinions(const Opinions& base) : base_(base) {}
+
+  bool likes(NodeId user, ItemIdx item) const override;
+
+  // `node` starts answering with `as_user`'s opinions (joining clone).
+  void set_alias(NodeId node, NodeId as_user);
+  // Swap the interests of two nodes (the §V-C "changing node" experiment).
+  void swap_interests(NodeId a, NodeId b);
+  NodeId resolve(NodeId node) const;
+
+ private:
+  const Opinions& base_;
+  std::unordered_map<NodeId, NodeId> alias_;
+};
+
+}  // namespace whatsup::sim

@@ -1,0 +1,160 @@
+#include "whatsup/node.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace whatsup {
+
+WhatsUpAgent::WhatsUpAgent(NodeId self, WhatsUpConfig config, const sim::Opinions& opinions)
+    : self_(self),
+      config_(config),
+      opinions_(&opinions),
+      rps_(self, static_cast<std::size_t>(config.params.rps_view_size),
+           config.params.rps_period),
+      wup_(self, static_cast<std::size_t>(config.params.effective_wup_view_size()),
+           config.metric, config.params.wup_period) {}
+
+void WhatsUpAgent::bootstrap_rps(std::vector<net::Descriptor> seed) {
+  rps_.bootstrap(std::move(seed));
+}
+
+void WhatsUpAgent::bootstrap_wup(std::vector<net::Descriptor> seed) {
+  wup_.bootstrap(std::move(seed));
+}
+
+void WhatsUpAgent::on_cycle(sim::Context& ctx) {
+  // Profile window (§II-E): drop opinions on items older than the window.
+  profile_.purge_older_than(ctx.now() - config_.params.profile_window);
+  if (config_.obfuscation.enabled()) {
+    const Profile disclosed =
+        obfuscate_profile(profile_, config_.obfuscation, self_, ctx.now());
+    rps_.step(ctx, disclosed);
+    wup_.step(ctx, profile_, rps_.view(), &disclosed);
+  } else {
+    rps_.step(ctx, profile_);
+    wup_.step(ctx, profile_, rps_.view());
+  }
+}
+
+void WhatsUpAgent::on_message(sim::Context& ctx, const net::Message& message) {
+  switch (message.type) {
+    case net::MsgType::kRpsRequest:
+      if (config_.obfuscation.enabled()) {
+        rps_.on_request(ctx, message.view(),
+                        obfuscate_profile(profile_, config_.obfuscation, self_, ctx.now()));
+      } else {
+        rps_.on_request(ctx, message.view(), profile_);
+      }
+      break;
+    case net::MsgType::kRpsReply:
+      rps_.on_reply(ctx, message.view());
+      break;
+    case net::MsgType::kWupRequest:
+      if (config_.obfuscation.enabled()) {
+        const Profile disclosed =
+            obfuscate_profile(profile_, config_.obfuscation, self_, ctx.now());
+        wup_.on_request(ctx, message.view(), profile_, rps_.view(), &disclosed);
+      } else {
+        wup_.on_request(ctx, message.view(), profile_, rps_.view());
+      }
+      break;
+    case net::MsgType::kWupReply:
+      wup_.on_reply(ctx, message.view(), profile_, rps_.view());
+      break;
+    case net::MsgType::kNews:
+      handle_news(ctx, message.news());
+      break;
+  }
+}
+
+void WhatsUpAgent::handle_news(sim::Context& ctx, net::NewsPayload news) {
+  // SIR: an already-received item is simply dropped (§III).
+  if (!seen_.insert(news.id).second) return;
+
+  const bool liked = opinions_->likes(self_, news.index);
+  if (sim::DisseminationObserver* obs = ctx.engine().observer(); obs != nullptr) {
+    obs->on_delivery(self_, news.index, news.hops, news.via_dislike, news.dislikes);
+    obs->on_opinion(self_, news.index, liked);
+  }
+
+  if (liked) {
+    // Alg. 1 lines 2-5: fold the user profile into the item profile, then
+    // record the like (keyed by the ITEM's creation timestamp, so the
+    // profile window measures item age).
+    news.item_profile.fold_profile(profile_);
+    profile_.set(news.id, news.created, 1.0);
+  } else {
+    profile_.set(news.id, news.created, 0.0);  // line 7
+  }
+  // Alg. 1 lines 8-10: purge stale entries from the item profile.
+  news.item_profile.purge_older_than(ctx.now() - config_.params.profile_window);
+  forward(ctx, liked, std::move(news));
+}
+
+void WhatsUpAgent::forward(sim::Context& ctx, bool liked, net::NewsPayload news) {
+  const beep::BeepConfig beep_config = config_.beep_config();
+  const beep::ForwardPlan plan =
+      beep::plan_forward(ctx.rng(), beep_config, liked, news, wup_.view(), rps_.view());
+  if (sim::DisseminationObserver* obs = ctx.engine().observer(); obs != nullptr) {
+    obs->on_forward(self_, news.index, news.hops, liked, plan.targets.size());
+  }
+  if (plan.targets.empty()) return;
+  news.hops += 1;
+  news.via_dislike = !liked;
+  for (NodeId target : plan.targets) {
+    ctx.send(target, net::MsgType::kNews, news);
+  }
+}
+
+void WhatsUpAgent::publish(sim::Context& ctx, ItemIdx index, ItemId id) {
+  if (!seen_.insert(id).second) return;
+  // generateNewsItem (Alg. 1 lines 12-17): like the item, then initialise
+  // its item profile from the full user profile.
+  profile_.set(id, ctx.now(), 1.0);
+  net::NewsPayload news;
+  news.id = id;
+  news.index = index;
+  news.created = ctx.now();
+  news.origin = self_;
+  news.item_profile.fold_profile(profile_);
+  forward(ctx, /*liked=*/true, std::move(news));
+}
+
+void WhatsUpAgent::cold_start_from(sim::Context& ctx, const WhatsUpAgent& contact) {
+  // Inherit both views (§II-D).
+  rps_.view().clear();
+  rps_.bootstrap(contact.rps_view().entries());
+  wup_.view().clear();
+  wup_.bootstrap(contact.wup_view().entries());
+  profile_.clear();
+  seen_.clear();
+
+  // Rate the most popular items observed in the inherited RPS view: count
+  // how many view profiles LIKE each item, keep the top-k.
+  std::unordered_map<ItemId, std::pair<int, Cycle>> popularity;
+  for (const net::Descriptor& d : rps_.view().entries()) {
+    for (const ProfileEntry& e : d.profile_ref().entries()) {
+      if (e.score > 0.5) {
+        auto& [count, ts] = popularity[e.id];
+        ++count;
+        ts = std::max(ts, e.timestamp);
+      }
+    }
+  }
+  std::vector<std::pair<int, ItemId>> ranked;
+  ranked.reserve(popularity.size());
+  for (const auto& [id, info] : popularity) ranked.emplace_back(info.first, id);
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.first > b.first || (a.first == b.first && a.second < b.second);
+  });
+  const auto k = static_cast<std::size_t>(config_.params.cold_start_items);
+  for (std::size_t i = 0; i < ranked.size() && i < k; ++i) {
+    const ItemId item = ranked[i].second;
+    const Cycle ts = popularity[item].second;
+    profile_.set(item, std::max(ts, ctx.now() - config_.params.profile_window + 1), 1.0);
+    seen_.insert(item);
+  }
+}
+
+}  // namespace whatsup

@@ -1,0 +1,78 @@
+// The WhatsUp node: Algorithm 1 (profile maintenance and item-profile
+// aggregation) wired to the RPS + WUP gossip substrate and the BEEP
+// dissemination protocol. One WhatsUpAgent per user.
+//
+// The same class implements WHATSUP and WHATSUP-Cos: the `metric` config
+// switches both the WUP clustering similarity and BEEP's orientation.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+
+#include "beep/beep.hpp"
+#include "gossip/clustering_protocol.hpp"
+#include "gossip/rps.hpp"
+#include "profile/obfuscation.hpp"
+#include "sim/engine.hpp"
+#include "sim/opinions.hpp"
+#include "whatsup/params.hpp"
+
+namespace whatsup {
+
+struct WhatsUpConfig {
+  Params params;
+  Metric metric = Metric::kWup;
+  bool beep_amplification = true;  // ablation switch (§III-B)
+  bool beep_orientation = true;    // ablation switch (§III-A)
+  // Profile obfuscation (§VII): when enabled, gossiped descriptors carry a
+  // randomized-response snapshot; local decisions keep the true profile.
+  ObfuscationConfig obfuscation;
+
+  beep::BeepConfig beep_config() const {
+    return beep::BeepConfig{params.f_like,  params.f_dislike,    params.beep_ttl,
+                            metric,         beep_amplification,  beep_orientation};
+  }
+};
+
+class WhatsUpAgent : public sim::Agent {
+ public:
+  WhatsUpAgent(NodeId self, WhatsUpConfig config, const sim::Opinions& opinions);
+
+  // sim::Agent
+  void on_cycle(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const net::Message& message) override;
+  void publish(sim::Context& ctx, ItemIdx index, ItemId id) override;
+
+  // Seed the views directly (bootstrap server stand-in at deployment
+  // start; also used to wire deterministic topologies in tests).
+  void bootstrap_rps(std::vector<net::Descriptor> seed);
+  void bootstrap_wup(std::vector<net::Descriptor> seed);
+
+  // Cold start (§II-D): inherit the RPS and WUP views of `contact`, then
+  // build a fresh profile by liking the `cold_start_items` most popular
+  // items found in the inherited RPS-view profiles.
+  void cold_start_from(sim::Context& ctx, const WhatsUpAgent& contact);
+
+  // Probes used by tests and the Fig. 7 convergence experiments.
+  NodeId id() const { return self_; }
+  const Profile& user_profile() const { return profile_; }
+  const gossip::View& rps_view() const { return rps_.view(); }
+  const gossip::View& wup_view() const { return wup_.view(); }
+  const WhatsUpConfig& config() const { return config_; }
+  double avg_wup_similarity() const { return wup_.avg_similarity(profile_); }
+  bool has_seen(ItemId id) const { return seen_.count(id) != 0; }
+
+ private:
+  void handle_news(sim::Context& ctx, net::NewsPayload news);
+  void forward(sim::Context& ctx, bool liked, net::NewsPayload news);
+
+  NodeId self_;
+  WhatsUpConfig config_;
+  const sim::Opinions* opinions_;
+  Profile profile_;  // the user profile P~ (binary scores)
+  gossip::Rps rps_;
+  gossip::ClusteringProtocol wup_;
+  std::unordered_set<ItemId> seen_;  // SIR "removed" state
+};
+
+}  // namespace whatsup

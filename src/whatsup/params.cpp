@@ -1,0 +1,23 @@
+#include "whatsup/params.hpp"
+
+#include <string>
+
+namespace whatsup {
+
+Table Params::to_table() const {
+  Table table({"Parameter", "Description", "Value"});
+  table.add_row({"RPSvs", "Size of the random sample", std::to_string(rps_view_size)});
+  table.add_row({"RPSf", "Frequency of gossip in the RPS (cycles)",
+                 std::to_string(rps_period)});
+  table.add_row({"WUPvs", "Size of the social network",
+                 wup_view_size > 0 ? std::to_string(wup_view_size)
+                                   : "2*fLIKE (=" + std::to_string(effective_wup_view_size()) + ")"});
+  table.add_row({"Profile window", "News item TTL (cycles)",
+                 std::to_string(profile_window)});
+  table.add_row({"BEEP TTL", "Dissemination TTL for dislike", std::to_string(beep_ttl)});
+  table.add_row({"fLIKE", "BEEP like fanout", std::to_string(f_like)});
+  table.add_row({"fDISLIKE", "BEEP dislike fanout", std::to_string(f_dislike)});
+  return table;
+}
+
+}  // namespace whatsup

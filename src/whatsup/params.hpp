@@ -1,0 +1,31 @@
+// WhatsUp per-node system parameters (paper Table II and §IV-D).
+#pragma once
+
+#include <cstddef>
+
+#include "common/ids.hpp"
+#include "common/table.hpp"
+
+namespace whatsup {
+
+struct Params {
+  int rps_view_size = 30;   // RPSvs: size of the random sample
+  Cycle rps_period = 1;     // RPSf: RPS gossip period, in cycles (1h deployed)
+  Cycle wup_period = 1;     // WUP gossip period, in cycles
+  int f_like = 10;          // fLIKE: BEEP like fanout
+  int wup_view_size = 0;    // WUPvs; 0 means the paper's default of 2*fLIKE
+  int beep_ttl = 4;         // dissemination TTL for disliked items
+  int f_dislike = 1;        // dislike fanout (fixed at 1 in the paper)
+  Cycle profile_window = 13;  // news-item TTL in profiles, in cycles
+  int cold_start_items = 3;   // popular items rated on join (§II-D)
+
+  // WUPvs defaults to 2*fLIKE: the best precision/recall trade-off (§IV-D).
+  int effective_wup_view_size() const {
+    return wup_view_size > 0 ? wup_view_size : 2 * f_like;
+  }
+
+  // Renders the Table II parameter sheet.
+  Table to_table() const;
+};
+
+}  // namespace whatsup

@@ -1,0 +1,84 @@
+#include "common/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace whatsup {
+namespace {
+
+TEST(DynBitset, SetTestReset) {
+  DynBitset bits(100);
+  EXPECT_EQ(bits.size(), 100u);
+  EXPECT_FALSE(bits.test(63));
+  bits.set(63);
+  bits.set(64);
+  bits.set(0);
+  EXPECT_TRUE(bits.test(63));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_FALSE(bits.test(1));
+  bits.reset(63);
+  EXPECT_FALSE(bits.test(63));
+  EXPECT_EQ(bits.count(), 2u);
+}
+
+TEST(DynBitset, CountAndAny) {
+  DynBitset bits(130);
+  EXPECT_FALSE(bits.any());
+  EXPECT_EQ(bits.count(), 0u);
+  for (std::size_t i = 0; i < 130; i += 13) bits.set(i);
+  EXPECT_TRUE(bits.any());
+  EXPECT_EQ(bits.count(), 10u);
+  bits.clear();
+  EXPECT_FALSE(bits.any());
+}
+
+TEST(DynBitset, SetWiseCounts) {
+  DynBitset a(200), b(200);
+  for (std::size_t i = 0; i < 200; i += 2) a.set(i);    // evens: 100
+  for (std::size_t i = 0; i < 200; i += 3) b.set(i);    // multiples of 3: 67
+  EXPECT_EQ(a.intersect_count(b), 34u);                 // multiples of 6
+  EXPECT_EQ(a.union_count(b), 100u + 67u - 34u);
+  EXPECT_EQ(a.difference_count(b), 100u - 34u);
+  EXPECT_EQ(b.difference_count(a), 67u - 34u);
+}
+
+TEST(DynBitset, ForEachSetVisitsExactlySetBits) {
+  DynBitset bits(300);
+  const std::vector<std::size_t> expected = {0, 1, 63, 64, 65, 128, 299};
+  for (std::size_t i : expected) bits.set(i);
+  std::vector<std::size_t> seen;
+  bits.for_each_set([&seen](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+  EXPECT_EQ(bits.indices(), expected);
+}
+
+TEST(DynBitset, ResizeClears) {
+  DynBitset bits(10);
+  bits.set(3);
+  bits.resize(20);
+  EXPECT_EQ(bits.size(), 20u);
+  EXPECT_EQ(bits.count(), 0u);
+}
+
+TEST(DynBitset, EqualityComparesContent) {
+  DynBitset a(64), b(64);
+  EXPECT_EQ(a, b);
+  a.set(10);
+  EXPECT_NE(a, b);
+  b.set(10);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DynBitset, NonMultipleOf64Sizes) {
+  for (std::size_t n : {1u, 63u, 64u, 65u, 127u}) {
+    DynBitset bits(n);
+    bits.set(n - 1);
+    EXPECT_TRUE(bits.test(n - 1));
+    EXPECT_EQ(bits.count(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace whatsup

@@ -1,0 +1,90 @@
+#include "baselines/cascade_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "whatsup_test_utils.hpp"
+
+namespace whatsup::baselines {
+namespace {
+
+using whatsup::testing::CaptureAgent;
+using whatsup::testing::FixedOpinions;
+
+net::Message news_to(NodeId from, NodeId to, ItemIdx index) {
+  net::Message m;
+  m.from = from;
+  m.to = to;
+  m.type = net::MsgType::kNews;
+  net::NewsPayload payload;
+  payload.index = index;
+  payload.id = 40000 + index;
+  m.payload = payload;
+  return m;
+}
+
+struct CascadeFixture {
+  CascadeFixture() : engine({31, {}, {}}) {
+    for (int i = 0; i < 2; ++i) {
+      auto sink = std::make_unique<CaptureAgent>();
+      sinks.push_back(sink.get());
+      engine.add_agent(std::move(sink));
+    }
+    auto agent = std::make_unique<CascadeAgent>(2, std::vector<NodeId>{0, 1}, opinions);
+    node = agent.get();
+    engine.add_agent(std::move(agent));
+  }
+  sim::Engine engine;
+  FixedOpinions opinions;
+  std::vector<CaptureAgent*> sinks;
+  CascadeAgent* node = nullptr;
+};
+
+TEST(CascadeAgent, LikedItemCascadesToAllFriends) {
+  CascadeFixture fx;
+  fx.opinions.like(2, 1);
+  fx.engine.send(news_to(0, 2, 1));
+  fx.engine.run_cycles(3);
+  for (auto* sink : fx.sinks) {
+    ASSERT_EQ(sink->news.size(), 1u);
+    EXPECT_EQ(sink->news[0].hops, 1);
+  }
+}
+
+TEST(CascadeAgent, DislikedItemStops) {
+  CascadeFixture fx;
+  fx.engine.send(news_to(0, 2, 1));
+  fx.engine.run_cycles(3);
+  for (auto* sink : fx.sinks) EXPECT_TRUE(sink->news.empty());
+}
+
+TEST(CascadeAgent, PublishAlwaysCascades) {
+  CascadeFixture fx;
+  fx.engine.publish(2, 3, 40003);
+  fx.engine.run_cycles(3);
+  for (auto* sink : fx.sinks) EXPECT_EQ(sink->news.size(), 1u);
+}
+
+TEST(CascadeAgent, DuplicatesDropped) {
+  CascadeFixture fx;
+  fx.opinions.like(2, 1);
+  fx.engine.send(news_to(0, 2, 1));
+  fx.engine.send(news_to(1, 2, 1));
+  fx.engine.run_cycles(3);
+  for (auto* sink : fx.sinks) EXPECT_EQ(sink->news.size(), 1u);
+}
+
+TEST(CascadeAgent, NoFriendsNoMessages) {
+  sim::Engine engine({32, {}, {}});
+  FixedOpinions opinions;
+  opinions.like(0, 1);
+  auto agent = std::make_unique<CascadeAgent>(0, std::vector<NodeId>{}, opinions);
+  engine.add_agent(std::move(agent));
+  engine.publish(0, 1, 40001);
+  engine.run_cycles(3);
+  EXPECT_EQ(engine.traffic().total_messages(), 0u);
+}
+
+}  // namespace
+}  // namespace whatsup::baselines

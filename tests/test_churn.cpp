@@ -1,0 +1,123 @@
+// Churn robustness: the paper's pitch for gossip is "simplicity of
+// deployment and robustness" (§I). These tests subject a WhatsUp
+// deployment to node departures and returns and check that dissemination
+// and overlay maintenance survive.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "analysis/runner.hpp"
+#include "dataset/survey.hpp"
+#include "metrics/tracker.hpp"
+#include "sim/engine.hpp"
+#include "whatsup/node.hpp"
+
+namespace whatsup {
+namespace {
+
+struct ChurnDeployment {
+  explicit ChurnDeployment(std::uint64_t seed) : rng(seed), engine({seed, {}, {}}) {
+    data::SurveyConfig config;
+    config.base_users = 60;
+    config.base_items = 90;
+    config.replication = 1;
+    workload = data::make_survey(config, rng);
+    workload.schedule_publications(3, 45, rng);
+    opinions = std::make_unique<analysis::WorkloadOpinions>(workload);
+
+    WhatsUpConfig wu;
+    wu.params.f_like = 6;
+    for (NodeId v = 0; v < workload.num_users(); ++v) {
+      auto agent = std::make_unique<WhatsUpAgent>(v, wu, *opinions);
+      agents.push_back(agent.get());
+      engine.add_agent(std::move(agent));
+    }
+    const std::size_t n = workload.num_users();
+    for (NodeId v = 0; v < n; ++v) {
+      std::vector<net::Descriptor> seed_view;
+      for (int i = 0; i < wu.params.rps_view_size; ++i) {
+        NodeId peer = v;
+        while (peer == v) peer = static_cast<NodeId>(rng.index(n));
+        seed_view.push_back(net::Descriptor{peer, -1, nullptr});
+      }
+      agents[v]->bootstrap_rps(std::move(seed_view));
+    }
+    tracker = std::make_unique<metrics::Tracker>(n, workload.num_items());
+    tracker->attach(engine);
+    for (const data::NewsSpec& spec : workload.news) {
+      calendar[spec.publish_at].push_back(spec.index);
+    }
+  }
+
+  void run_cycle() {
+    if (const auto it = calendar.find(engine.now()); it != calendar.end()) {
+      for (ItemIdx item : it->second) {
+        if (engine.is_active(workload.news[item].source)) {
+          engine.publish(workload.news[item].source, item, workload.news[item].id);
+        }
+      }
+    }
+    engine.run_cycle();
+  }
+
+  metrics::Scores scores_after(Cycle published_from) const {
+    std::vector<ItemIdx> measured;
+    for (const data::NewsSpec& spec : workload.news) {
+      if (spec.publish_at >= published_from) measured.push_back(spec.index);
+    }
+    return metrics::compute_scores(workload, tracker->reached_sets(), measured);
+  }
+
+  Rng rng;
+  sim::Engine engine;
+  data::Workload workload;
+  std::unique_ptr<analysis::WorkloadOpinions> opinions;
+  std::unique_ptr<metrics::Tracker> tracker;
+  std::vector<WhatsUpAgent*> agents;
+  std::map<Cycle, std::vector<ItemIdx>> calendar;
+};
+
+TEST(Churn, DisseminationSurvivesMassDeparture) {
+  ChurnDeployment deployment(101);
+  for (int c = 0; c < 20; ++c) deployment.run_cycle();
+  // 25% of the network leaves abruptly (no goodbye messages).
+  for (NodeId v = 0; v < 15; ++v) deployment.engine.set_active(v, false);
+  for (int c = 0; c < 40; ++c) deployment.run_cycle();
+  // Items published after the departure still reach a meaningful share of
+  // the surviving interested users (gossip redundancy routes around the
+  // dead view entries) — dissemination does not collapse.
+  const metrics::Scores scores = deployment.scores_after(22);
+  EXPECT_GT(scores.recall, 0.2);
+}
+
+TEST(Churn, ReturningNodesReintegrate) {
+  ChurnDeployment deployment(202);
+  for (int c = 0; c < 15; ++c) deployment.run_cycle();
+  for (NodeId v = 0; v < 10; ++v) deployment.engine.set_active(v, false);
+  for (int c = 0; c < 10; ++c) deployment.run_cycle();
+  for (NodeId v = 0; v < 10; ++v) deployment.engine.set_active(v, true);
+  for (int c = 0; c < 30; ++c) deployment.run_cycle();
+  // Returned nodes keep receiving: their RPS/WUP views refill and fresh
+  // items reach them again.
+  std::size_t received_late = 0;
+  for (const data::NewsSpec& spec : deployment.workload.news) {
+    if (spec.publish_at < 30) continue;
+    for (NodeId v = 0; v < 10; ++v) {
+      received_late += deployment.tracker->reached(spec.index).test(v);
+    }
+  }
+  EXPECT_GT(received_late, 10u);
+}
+
+TEST(Churn, DepartedNodesReceiveNothing) {
+  ChurnDeployment deployment(303);
+  deployment.engine.set_active(5, false);
+  for (int c = 0; c < 40; ++c) deployment.run_cycle();
+  for (ItemIdx i = 0; i < deployment.workload.num_items(); ++i) {
+    EXPECT_FALSE(deployment.tracker->reached(i).test(5));
+  }
+}
+
+}  // namespace
+}  // namespace whatsup

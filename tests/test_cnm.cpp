@@ -1,0 +1,103 @@
+#include "graph/community.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace whatsup::graph {
+namespace {
+
+UGraph two_cliques_with_bridge(std::size_t k) {
+  UGraph g(2 * k);
+  for (NodeId a = 0; a < k; ++a) {
+    for (NodeId b = a + 1; b < k; ++b) {
+      g.add_edge(a, b);
+      g.add_edge(static_cast<NodeId>(k + a), static_cast<NodeId>(k + b));
+    }
+  }
+  g.add_edge(0, static_cast<NodeId>(k));
+  return g;
+}
+
+TEST(Modularity, AllInOneCommunityIsZeroish) {
+  const UGraph g = two_cliques_with_bridge(5);
+  const std::vector<int> one(g.num_nodes(), 0);
+  EXPECT_NEAR(modularity(g, one), 0.0, 1e-12);
+}
+
+TEST(Modularity, PlantedSplitBeatsRandomSplit) {
+  const UGraph g = two_cliques_with_bridge(6);
+  std::vector<int> planted(g.num_nodes());
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) planted[v] = v < 6 ? 0 : 1;
+  std::vector<int> alternating(g.num_nodes());
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) alternating[v] = static_cast<int>(v % 2);
+  EXPECT_GT(modularity(g, planted), 0.3);
+  EXPECT_GT(modularity(g, planted), modularity(g, alternating));
+}
+
+TEST(Cnm, RecoversTwoCliques) {
+  const UGraph g = two_cliques_with_bridge(8);
+  const CommunityResult result = detect_communities(g);
+  EXPECT_EQ(result.count, 2u);
+  // Everyone in clique 0 shares a label, distinct from clique 1.
+  for (NodeId v = 1; v < 8; ++v) EXPECT_EQ(result.membership[v], result.membership[0]);
+  for (NodeId v = 9; v < 16; ++v) EXPECT_EQ(result.membership[v], result.membership[8]);
+  EXPECT_NE(result.membership[0], result.membership[8]);
+  EXPECT_GT(result.modularity, 0.3);
+}
+
+TEST(Cnm, SizesSortedDescendingAndSumToN) {
+  Rng rng(11);
+  std::vector<int> planted;
+  const std::vector<std::size_t> sizes = {50, 30, 20};
+  const UGraph g = planted_partition(sizes, 0.35, 0.005, rng, planted);
+  const CommunityResult result = detect_communities(g);
+  std::size_t total = 0;
+  for (std::size_t c = 1; c < result.sizes.size(); ++c) {
+    EXPECT_LE(result.sizes[c], result.sizes[c - 1]);
+  }
+  for (std::size_t s : result.sizes) total += s;
+  EXPECT_EQ(total, g.num_nodes());
+}
+
+TEST(Cnm, RecoversPlantedPartitionApproximately) {
+  Rng rng(12);
+  std::vector<int> planted;
+  const std::vector<std::size_t> sizes = {60, 60, 60};
+  const UGraph g = planted_partition(sizes, 0.3, 0.005, rng, planted);
+  const CommunityResult result = detect_communities(g);
+  // Count pairs that agree between planted and detected labels (Rand-like).
+  std::size_t agree = 0, total = 0;
+  for (NodeId a = 0; a < g.num_nodes(); ++a) {
+    for (NodeId b = a + 1; b < g.num_nodes(); ++b) {
+      const bool same_planted = planted[a] == planted[b];
+      const bool same_detected = result.membership[a] == result.membership[b];
+      agree += same_planted == same_detected;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.9);
+}
+
+TEST(Cnm, EdgelessGraphIsAllSingletons) {
+  const CommunityResult result = detect_communities(UGraph(5));
+  EXPECT_EQ(result.count, 5u);
+  EXPECT_EQ(result.sizes.size(), 5u);
+}
+
+TEST(Cnm, EmptyGraph) {
+  const CommunityResult result = detect_communities(UGraph{});
+  EXPECT_EQ(result.count, 0u);
+}
+
+TEST(Cnm, MembershipLabelsAreDense) {
+  const UGraph g = two_cliques_with_bridge(4);
+  const CommunityResult result = detect_communities(g);
+  for (int label : result.membership) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, static_cast<int>(result.count));
+  }
+}
+
+}  // namespace
+}  // namespace whatsup::graph

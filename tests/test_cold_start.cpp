@@ -1,0 +1,127 @@
+// Cold-start behaviour (§II-D): a joining node inherits the RPS and WUP
+// views of a contact and builds a fresh profile from the most popular items
+// it can observe in those views.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "whatsup/node.hpp"
+#include "whatsup_test_utils.hpp"
+
+namespace whatsup {
+namespace {
+
+using testing::FixedOpinions;
+
+Profile liked(std::initializer_list<ItemId> ids) {
+  Profile p;
+  for (ItemId id : ids) p.set(id, 3, 1.0);
+  return p;
+}
+
+WhatsUpConfig quiet_config() {
+  WhatsUpConfig config;
+  config.params.rps_period = 1 << 20;
+  config.params.wup_period = 1 << 20;
+  return config;
+}
+
+struct ColdStartFixture {
+  ColdStartFixture() : engine({55, {}, {}}) {
+    auto contact_owner = std::make_unique<WhatsUpAgent>(0, quiet_config(), opinions);
+    contact = contact_owner.get();
+    engine.add_agent(std::move(contact_owner));
+    auto joiner_owner = std::make_unique<WhatsUpAgent>(1, quiet_config(), opinions);
+    joiner = joiner_owner.get();
+    engine.add_agent(std::move(joiner_owner));
+
+    // Contact's RPS view holds profiles with a clear popularity ranking:
+    // item 100 liked by 3 peers, 200 by 2, 300 by 1, 400 by 1.
+    contact->bootstrap_rps({
+        net::make_descriptor(10, 0, liked({100, 200, 300})),
+        net::make_descriptor(11, 0, liked({100, 200})),
+        net::make_descriptor(12, 0, liked({100, 400})),
+    });
+    contact->bootstrap_wup({net::make_descriptor(10, 0, liked({100}))});
+  }
+
+  sim::Engine engine;
+  FixedOpinions opinions;
+  WhatsUpAgent* contact = nullptr;
+  WhatsUpAgent* joiner = nullptr;
+
+  void join() {
+    sim::Context ctx(engine, 1);
+    joiner->cold_start_from(ctx, *contact);
+  }
+};
+
+TEST(ColdStart, InheritsBothViews) {
+  ColdStartFixture fx;
+  fx.join();
+  EXPECT_EQ(fx.joiner->rps_view().size(), 3u);
+  EXPECT_TRUE(fx.joiner->rps_view().contains(10));
+  EXPECT_TRUE(fx.joiner->rps_view().contains(12));
+  EXPECT_EQ(fx.joiner->wup_view().size(), 1u);
+  EXPECT_TRUE(fx.joiner->wup_view().contains(10));
+}
+
+TEST(ColdStart, RatesThreeMostPopularItems) {
+  ColdStartFixture fx;
+  fx.join();
+  const Profile& profile = fx.joiner->user_profile();
+  EXPECT_EQ(profile.size(), 3u);
+  EXPECT_TRUE(profile.contains(100));  // popularity 3
+  EXPECT_TRUE(profile.contains(200));  // popularity 2
+  // Exactly one of the popularity-1 items (deterministic tie-break by id).
+  EXPECT_TRUE(profile.contains(300));
+  EXPECT_FALSE(profile.contains(400));
+  for (const ProfileEntry& e : profile.entries()) EXPECT_EQ(e.score, 1.0);
+}
+
+TEST(ColdStart, ColdStartItemCountHonorsParameter) {
+  ColdStartFixture fx;
+  WhatsUpConfig config = quiet_config();
+  config.params.cold_start_items = 1;
+  auto small = std::make_unique<WhatsUpAgent>(2, config, fx.opinions);
+  WhatsUpAgent* small_ptr = small.get();
+  fx.engine.add_agent(std::move(small));
+  sim::Context ctx(fx.engine, 2);
+  small_ptr->cold_start_from(ctx, *fx.contact);
+  EXPECT_EQ(small_ptr->user_profile().size(), 1u);
+  EXPECT_TRUE(small_ptr->user_profile().contains(100));
+}
+
+TEST(ColdStart, ResetsPreviousState) {
+  ColdStartFixture fx;
+  // Give the joiner prior state, then cold-start: it must be replaced.
+  fx.joiner->bootstrap_rps({net::Descriptor{42, 0, nullptr}});
+  fx.join();
+  EXPECT_FALSE(fx.joiner->rps_view().contains(42));
+}
+
+TEST(ColdStart, RatedItemsMarkedSeen) {
+  ColdStartFixture fx;
+  fx.join();
+  EXPECT_TRUE(fx.joiner->has_seen(100));
+  EXPECT_TRUE(fx.joiner->has_seen(200));
+  EXPECT_FALSE(fx.joiner->has_seen(999));
+}
+
+TEST(ColdStart, EmptyContactViewsYieldEmptyProfile) {
+  sim::Engine engine({56, {}, {}});
+  FixedOpinions opinions;
+  auto a = std::make_unique<WhatsUpAgent>(0, quiet_config(), opinions);
+  auto b = std::make_unique<WhatsUpAgent>(1, quiet_config(), opinions);
+  WhatsUpAgent* contact = a.get();
+  WhatsUpAgent* joiner = b.get();
+  engine.add_agent(std::move(a));
+  engine.add_agent(std::move(b));
+  sim::Context ctx(engine, 1);
+  joiner->cold_start_from(ctx, *contact);
+  EXPECT_TRUE(joiner->user_profile().empty());
+  EXPECT_EQ(joiner->rps_view().size(), 0u);
+}
+
+}  // namespace
+}  // namespace whatsup

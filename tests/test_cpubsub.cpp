@@ -1,0 +1,85 @@
+#include "baselines/cpubsub.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.hpp"
+
+namespace whatsup::baselines {
+namespace {
+
+// 6 users, 2 topics. Topic 0 items liked by {0,1,2}; topic 1 by {3,4}.
+// User 5 likes nothing. One "cross" item of topic 0 additionally liked by 3,
+// which subscribes user 3 to topic 0 and dilutes precision.
+data::Workload pubsub_workload() {
+  data::Workload w;
+  w.name = "pubsub";
+  w.n_users = 6;
+  w.n_topics = 2;
+  auto add_item = [&w](int topic, std::initializer_list<NodeId> fans, NodeId source) {
+    data::NewsSpec spec;
+    spec.index = static_cast<ItemIdx>(w.news.size());
+    spec.id = make_item_id(w.name, spec.index);
+    spec.topic = topic;
+    spec.source = source;
+    DynBitset interested(6);
+    for (NodeId u : fans) interested.set(u);
+    w.news.push_back(spec);
+    w.interested_in.push_back(interested);
+  };
+  add_item(0, {0, 1, 2}, 0);
+  add_item(0, {0, 1, 2}, 1);
+  add_item(0, {0, 1, 2, 3}, 2);  // the cross item
+  add_item(1, {3, 4}, 3);
+  w.validate();
+  return w;
+}
+
+TEST(CPubSub, RecallIsAlwaysOne) {
+  const data::Workload w = pubsub_workload();
+  const std::vector<ItemIdx> measured = {0, 1, 2, 3};
+  const CentralizedResult r = evaluate_cpubsub(w, measured);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);  // complete dissemination by construction
+}
+
+TEST(CPubSub, PrecisionLimitedByTopicGranularity) {
+  const data::Workload w = pubsub_workload();
+  // Topic-0 subscribers: {0,1,2,3} (user 3 via the cross item).
+  // Item 0 (source 0): reached {1,2,3}, interested {1,2} -> precision 2/3.
+  const std::vector<ItemIdx> measured = {0};
+  const CentralizedResult r = evaluate_cpubsub(w, measured);
+  EXPECT_NEAR(r.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+  EXPECT_NEAR(r.f1, 2 * (2.0 / 3.0) / (2.0 / 3.0 + 1.0), 1e-12);
+}
+
+TEST(CPubSub, MessageCountIsSubscriberCount) {
+  const data::Workload w = pubsub_workload();
+  const std::vector<ItemIdx> measured = {0, 3};
+  const CentralizedResult r = evaluate_cpubsub(w, measured);
+  // Item 0: 3 non-source subscribers; item 3: topic-1 subscribers {3,4},
+  // source 3 excluded -> 1.
+  EXPECT_EQ(r.messages, 4u);
+}
+
+TEST(CPubSub, EmptyMeasuredSetIsZero) {
+  const data::Workload w = pubsub_workload();
+  const CentralizedResult r = evaluate_cpubsub(w, {});
+  EXPECT_EQ(r.messages, 0u);
+  EXPECT_EQ(r.f1, 0.0);
+}
+
+TEST(CPubSub, PerfectTopicsGivePerfectScores) {
+  // Without the cross item, topics == audiences: precision = recall = 1.
+  data::Workload w = pubsub_workload();
+  w.news.pop_back();
+  w.interested_in.pop_back();
+  w.news.pop_back();  // drop the cross item (index 2)
+  w.interested_in.pop_back();
+  const std::vector<ItemIdx> measured = {0, 1};
+  const CentralizedResult r = evaluate_cpubsub(w, measured);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+}
+
+}  // namespace
+}  // namespace whatsup::baselines

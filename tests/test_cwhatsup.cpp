@@ -1,0 +1,126 @@
+#include "baselines/cwhatsup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.hpp"
+#include "metrics/scores.hpp"
+
+namespace whatsup::baselines {
+namespace {
+
+// Two disjoint interest groups of 5; items alternate groups.
+data::Workload grouped_workload(std::size_t items_per_group = 6) {
+  data::Workload w;
+  w.name = "cw";
+  w.n_users = 10;
+  w.n_topics = 2;
+  for (ItemIdx i = 0; i < items_per_group * 2; ++i) {
+    const int group = static_cast<int>(i % 2);
+    data::NewsSpec spec;
+    spec.index = i;
+    spec.id = make_item_id(w.name, i);
+    spec.topic = group;
+    spec.source = static_cast<NodeId>(group * 5);
+    spec.publish_at = static_cast<Cycle>(i);
+    DynBitset interested(10);
+    for (NodeId u = 0; u < 5; ++u) interested.set(group * 5 + u);
+    w.news.push_back(spec);
+    w.interested_in.push_back(interested);
+  }
+  w.validate();
+  return w;
+}
+
+TEST(CWhatsUp, ReachesTheInterestGroupOnceProfilesExist) {
+  const data::Workload w = grouped_workload();
+  CWhatsUpConfig config;
+  config.f_like = 4;
+  config.profile_window = 1000;
+  Rng rng(1);
+  const CWhatsUpResult result = run_cwhatsup(w, config, rng);
+  ASSERT_EQ(result.reached.size(), w.num_items());
+  // Later items (profiles built) should reach most of their group.
+  std::vector<ItemIdx> late;
+  for (ItemIdx i = 4; i < w.num_items(); ++i) late.push_back(i);
+  const auto scores = metrics::compute_scores(w, result.reached, late);
+  EXPECT_GT(scores.recall, 0.6);
+  // Ten users, two groups: the cold-start random seeding caps precision
+  // well below 1 at this scale, but complete search must beat a coin flip
+  // against the 4/9 non-group share.
+  EXPECT_GT(scores.precision, 0.40);
+}
+
+TEST(CWhatsUp, MessagesCountDeliveries) {
+  const data::Workload w = grouped_workload(2);
+  CWhatsUpConfig config;
+  Rng rng(2);
+  const CWhatsUpResult result = run_cwhatsup(w, config, rng);
+  std::size_t total_reached = 0;
+  for (const auto& bits : result.reached) total_reached += bits.count();
+  EXPECT_EQ(result.messages, total_reached);
+}
+
+TEST(CWhatsUp, SourceNeverInReachedSet) {
+  const data::Workload w = grouped_workload();
+  CWhatsUpConfig config;
+  Rng rng(3);
+  const CWhatsUpResult result = run_cwhatsup(w, config, rng);
+  for (ItemIdx i = 0; i < w.num_items(); ++i) {
+    EXPECT_FALSE(result.reached[i].test(w.news[i].source)) << "item " << i;
+  }
+}
+
+TEST(CWhatsUp, DeterministicGivenSeed) {
+  const data::Workload w = grouped_workload();
+  CWhatsUpConfig config;
+  Rng a(5), b(5);
+  const auto ra = run_cwhatsup(w, config, a);
+  const auto rb = run_cwhatsup(w, config, b);
+  EXPECT_EQ(ra.messages, rb.messages);
+  for (ItemIdx i = 0; i < w.num_items(); ++i) EXPECT_EQ(ra.reached[i], rb.reached[i]);
+}
+
+TEST(CWhatsUp, LargerFanoutReachesMore) {
+  const data::Workload w = grouped_workload();
+  Rng a(7), b(7);
+  CWhatsUpConfig small;
+  small.f_like = 1;
+  CWhatsUpConfig big;
+  big.f_like = 6;
+  const auto rs = run_cwhatsup(w, small, a);
+  const auto rb = run_cwhatsup(w, big, b);
+  std::size_t reached_small = 0, reached_big = 0;
+  for (const auto& bits : rs.reached) reached_small += bits.count();
+  for (const auto& bits : rb.reached) reached_big += bits.count();
+  EXPECT_GE(reached_big, reached_small);
+}
+
+TEST(CWhatsUp, TtlBoundsDislikeDeliveries) {
+  // A workload where only the source likes the item: every other delivery
+  // is a dislike, so deliveries are bounded by the TTL budget.
+  data::Workload w;
+  w.name = "ttl";
+  w.n_users = 8;
+  w.n_topics = 1;
+  data::NewsSpec spec;
+  spec.index = 0;
+  spec.id = make_item_id(w.name, 0);
+  spec.source = 0;
+  spec.publish_at = 0;
+  DynBitset interested(8);
+  interested.set(0);
+  w.news.push_back(spec);
+  w.interested_in.push_back(interested);
+
+  CWhatsUpConfig config;
+  config.ttl = 2;
+  config.f_like = 4;
+  Rng rng(9);
+  const auto result = run_cwhatsup(w, config, rng);
+  // The source's like triggers selection (by profile similarity, all zero
+  // at the start -> no one) plus at most ttl dislike-driven deliveries.
+  EXPECT_LE(result.reached[0].count(), 2u + 8u);
+}
+
+}  // namespace
+}  // namespace whatsup::baselines

@@ -1,0 +1,97 @@
+#include "dataset/digg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+
+namespace whatsup::data {
+namespace {
+
+DiggConfig small_config() {
+  DiggConfig config;
+  config.users = 150;
+  config.items = 300;
+  config.categories = 12;
+  return config;
+}
+
+TEST(Digg, BasicShapeAndValidation) {
+  Rng rng(1);
+  const Workload w = make_digg(small_config(), rng);
+  EXPECT_NO_THROW(w.validate());
+  EXPECT_EQ(w.num_users(), 150u);
+  EXPECT_EQ(w.num_items(), 300u);
+  EXPECT_EQ(w.n_topics, 12u);
+  ASSERT_TRUE(w.social.has_value());
+  EXPECT_EQ(w.social->num_nodes(), 150u);
+}
+
+TEST(Digg, LikesAreCategoryClosure) {
+  Rng rng(2);
+  const Workload w = make_digg(small_config(), rng);
+  // Any two items of the same category have identical audiences (the
+  // paper's de-biasing defines interests per category).
+  for (ItemIdx a = 0; a < w.num_items(); a += 13) {
+    for (ItemIdx b = a + 1; b < w.num_items(); b += 17) {
+      if (w.topic_of(a) != w.topic_of(b)) continue;
+      EXPECT_EQ(w.interested(a), w.interested(b));
+    }
+  }
+}
+
+TEST(Digg, PopularCategoriesHaveLargerAudiences) {
+  Rng rng(3);
+  DiggConfig config = small_config();
+  config.users = 400;
+  const Workload w = make_digg(config, rng);
+  // Category 0 (Zipf rank 0) should beat a deep-tail category.
+  double pop_head = 0.0, pop_tail = 0.0;
+  std::size_t head_n = 0, tail_n = 0;
+  for (ItemIdx i = 0; i < w.num_items(); ++i) {
+    if (w.topic_of(i) == 0) {
+      pop_head += w.popularity(i);
+      ++head_n;
+    }
+    if (w.topic_of(i) >= 8) {
+      pop_tail += w.popularity(i);
+      ++tail_n;
+    }
+  }
+  if (head_n > 0 && tail_n > 0) {
+    EXPECT_GT(pop_head / static_cast<double>(head_n),
+              pop_tail / static_cast<double>(tail_n));
+  }
+}
+
+TEST(Digg, SocialGraphIsWellConnected) {
+  Rng rng(4);
+  const Workload w = make_digg(small_config(), rng);
+  const auto comps = graph::connected_components(*w.social);
+  EXPECT_EQ(comps.count, 1u);  // BA graphs are connected
+  // Mean degree ~ 2 * attach.
+  double total_degree = 0.0;
+  for (NodeId v = 0; v < w.social->num_nodes(); ++v) {
+    total_degree += static_cast<double>(w.social->degree(v));
+  }
+  EXPECT_GT(total_degree / static_cast<double>(w.social->num_nodes()), 4.0);
+}
+
+TEST(Digg, PaperScaleMatchesTableI) {
+  Rng rng(5);
+  const DiggConfig config;  // defaults = paper scale
+  const Workload w = make_digg(config, rng);
+  EXPECT_EQ(w.num_users(), 750u);
+  EXPECT_EQ(w.num_items(), 2500u);
+  EXPECT_EQ(w.n_topics, 40u);
+}
+
+TEST(Digg, EveryItemHasAnAudience) {
+  Rng rng(6);
+  const Workload w = make_digg(small_config(), rng);
+  for (ItemIdx i = 0; i < w.num_items(); ++i) {
+    EXPECT_GT(w.interested(i).count(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace whatsup::data

@@ -1,0 +1,59 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace whatsup::graph {
+namespace {
+
+TEST(Digraph, EmptyGraph) {
+  Digraph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Digraph, AddEdgeAndOut) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  EXPECT_EQ(g.num_edges(), 3u);
+  const auto out0 = g.out(0);
+  EXPECT_EQ(std::vector<NodeId>(out0.begin(), out0.end()), (std::vector<NodeId>{1, 2}));
+  EXPECT_TRUE(g.out(1).empty());
+}
+
+TEST(Digraph, SelfLoopsIgnored) {
+  Digraph g(2);
+  g.add_edge(0, 0);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.out(0).empty());
+}
+
+TEST(Digraph, DedupeCollapsesParallelEdges) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  EXPECT_EQ(g.num_edges(), 3u);
+  g.dedupe();
+  EXPECT_EQ(g.num_edges(), 2u);
+  const auto out0 = g.out(0);
+  EXPECT_EQ(std::vector<NodeId>(out0.begin(), out0.end()), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(Digraph, ReversedFlipsEdges) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const Digraph rev = g.reversed();
+  EXPECT_EQ(rev.num_edges(), 2u);
+  EXPECT_EQ(rev.out(1).size(), 1u);
+  EXPECT_EQ(rev.out(1)[0], 0u);
+  EXPECT_EQ(rev.out(2)[0], 1u);
+  EXPECT_TRUE(rev.out(0).empty());
+}
+
+}  // namespace
+}  // namespace whatsup::graph

@@ -1,0 +1,192 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace whatsup::sim {
+namespace {
+
+// Minimal agent that records everything it sees and can emit on demand.
+class ProbeAgent : public Agent {
+ public:
+  void on_cycle(Context& ctx) override { cycles.push_back(ctx.now()); }
+  void on_message(Context& ctx, const net::Message& message) override {
+    received.push_back({message.from, ctx.now()});
+  }
+  void publish(Context& ctx, ItemIdx index, ItemId id) override {
+    published.push_back(index);
+    // Broadcast one news message to node 0 so tests can observe sends.
+    net::NewsPayload news;
+    news.id = id;
+    news.index = index;
+    if (ctx.self() != 0) ctx.send(0, net::MsgType::kNews, news);
+  }
+
+  std::vector<Cycle> cycles;
+  std::vector<std::pair<NodeId, Cycle>> received;
+  std::vector<ItemIdx> published;
+};
+
+struct Fixture {
+  explicit Fixture(Engine::Config config = {}) : engine(config) {
+    for (int i = 0; i < 4; ++i) {
+      auto agent = std::make_unique<ProbeAgent>();
+      probes.push_back(agent.get());
+      engine.add_agent(std::move(agent));
+    }
+  }
+  Engine engine;
+  std::vector<ProbeAgent*> probes;
+};
+
+net::Message news_message(NodeId from, NodeId to) {
+  net::Message m;
+  m.from = from;
+  m.to = to;
+  m.type = net::MsgType::kNews;
+  m.payload = net::NewsPayload{};
+  return m;
+}
+
+TEST(Engine, CyclesAdvanceAndActivateAgents) {
+  Fixture fx;
+  fx.engine.run_cycles(3);
+  EXPECT_EQ(fx.engine.now(), 3);
+  for (auto* probe : fx.probes) {
+    EXPECT_EQ(probe->cycles, (std::vector<Cycle>{0, 1, 2}));
+  }
+}
+
+TEST(Engine, MessagesDeliveredNextCycleByDefault) {
+  Fixture fx;
+  fx.engine.send(news_message(1, 2));
+  fx.engine.run_cycle();  // cycle 0 -> delivery scheduled for cycle 1
+  EXPECT_TRUE(fx.probes[2]->received.empty());
+  fx.engine.run_cycle();
+  ASSERT_EQ(fx.probes[2]->received.size(), 1u);
+  EXPECT_EQ(fx.probes[2]->received[0].first, 1u);
+  EXPECT_EQ(fx.probes[2]->received[0].second, 1);
+}
+
+TEST(Engine, ConfigurableLatency) {
+  Engine::Config config;
+  config.network.latency = 3;
+  Fixture fx(config);
+  fx.engine.send(news_message(0, 1));
+  fx.engine.run_cycles(3);
+  EXPECT_TRUE(fx.probes[1]->received.empty());
+  fx.engine.run_cycle();
+  EXPECT_EQ(fx.probes[1]->received.size(), 1u);
+}
+
+TEST(Engine, FullLossDropsEverythingAndCountsIt) {
+  Engine::Config config;
+  config.network.loss_rate = 1.0;
+  Fixture fx(config);
+  for (int i = 0; i < 10; ++i) fx.engine.send(news_message(0, 1));
+  fx.engine.run_cycles(3);
+  EXPECT_TRUE(fx.probes[1]->received.empty());
+  // Senders still paid for the messages; the network dropped them.
+  EXPECT_EQ(fx.engine.traffic().messages(net::Protocol::kBeep), 10u);
+  EXPECT_EQ(fx.engine.traffic().dropped(net::Protocol::kBeep), 10u);
+}
+
+TEST(Engine, PartialLossIsApproximatelyCalibrated) {
+  Engine::Config config;
+  config.network.loss_rate = 0.3;
+  config.seed = 99;
+  Fixture fx(config);
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) fx.engine.send(news_message(0, 1));
+  fx.engine.run_cycles(2);
+  const double delivered = static_cast<double>(fx.probes[1]->received.size());
+  EXPECT_NEAR(delivered / n, 0.7, 0.03);
+}
+
+TEST(Engine, InboxCapacityDropsOverflow) {
+  Engine::Config config;
+  config.network.inbox_capacity = 5;
+  Fixture fx(config);
+  for (int i = 0; i < 20; ++i) fx.engine.send(news_message(0, 1));
+  fx.engine.run_cycles(2);
+  EXPECT_EQ(fx.probes[1]->received.size(), 5u);
+  EXPECT_EQ(fx.engine.traffic().dropped(net::Protocol::kBeep), 15u);
+}
+
+TEST(Engine, InactiveNodesLoseMessagesAndSkipCycles) {
+  Fixture fx;
+  fx.engine.set_active(2, false);
+  fx.engine.send(news_message(0, 2));
+  fx.engine.run_cycles(2);
+  EXPECT_TRUE(fx.probes[2]->received.empty());
+  EXPECT_TRUE(fx.probes[2]->cycles.empty());
+  EXPECT_EQ(fx.engine.num_active(), 3u);
+  fx.engine.set_active(2, true);
+  fx.engine.run_cycle();
+  EXPECT_EQ(fx.probes[2]->cycles.size(), 1u);
+}
+
+TEST(Engine, RandomActiveRespectsExclusionsAndActivity) {
+  Fixture fx;
+  fx.engine.set_active(0, false);
+  fx.engine.set_active(1, false);
+  for (int i = 0; i < 50; ++i) {
+    const NodeId pick = fx.engine.random_active(2);
+    EXPECT_EQ(pick, 3u);
+  }
+  fx.engine.set_active(3, false);
+  EXPECT_EQ(fx.engine.random_active(2), kNoNode);
+}
+
+TEST(Engine, PublishInvokesSourceAgent) {
+  Fixture fx;
+  fx.engine.publish(1, 7, 7777);
+  EXPECT_EQ(fx.probes[1]->published, (std::vector<ItemIdx>{7}));
+  // The probe forwards to node 0 on publish.
+  fx.engine.run_cycles(2);
+  EXPECT_EQ(fx.probes[0]->received.size(), 1u);
+}
+
+TEST(Engine, CycleHooksRunEveryCycle) {
+  Fixture fx;
+  std::vector<Cycle> hook_cycles;
+  fx.engine.add_cycle_hook(
+      [&hook_cycles](Engine&, Cycle c) { hook_cycles.push_back(c); });
+  fx.engine.run_cycles(3);
+  EXPECT_EQ(hook_cycles, (std::vector<Cycle>{0, 1, 2}));
+}
+
+TEST(Engine, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    Engine::Config config;
+    config.seed = seed;
+    config.network.loss_rate = 0.5;
+    Fixture fx(config);
+    for (int i = 0; i < 100; ++i) fx.engine.send(news_message(0, 1));
+    fx.engine.run_cycles(2);
+    return fx.probes[1]->received.size();
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+  // (Different seeds almost surely differ somewhere, but we only assert
+  // the reproducibility contract here.)
+}
+
+TEST(Engine, JitterSpreadsDeliveries) {
+  Engine::Config config;
+  config.network.jitter = 3;
+  config.seed = 5;
+  Fixture fx(config);
+  for (int i = 0; i < 200; ++i) fx.engine.send(news_message(0, 1));
+  fx.engine.run_cycles(6);
+  // All 200 arrive within latency+jitter cycles, at varying times.
+  EXPECT_EQ(fx.probes[1]->received.size(), 200u);
+  std::set<Cycle> arrival_cycles;
+  for (const auto& [from, cycle] : fx.probes[1]->received) arrival_cycles.insert(cycle);
+  EXPECT_GT(arrival_cycles.size(), 1u);
+}
+
+}  // namespace
+}  // namespace whatsup::sim

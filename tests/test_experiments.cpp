@@ -1,0 +1,95 @@
+// Smoke tests for the experiment printers backing the bench binaries:
+// every driver must produce non-empty, well-formed output at tiny scale.
+#include "analysis/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace whatsup::analysis {
+namespace {
+
+constexpr std::uint64_t kSeed = 21;
+constexpr double kTinyScale = 0.15;
+
+TEST(Experiments, StandardWorkloadFactories) {
+  const data::Workload synthetic = standard_workload("synthetic", kSeed, 0.15);
+  const data::Workload digg = standard_workload("digg", kSeed, 0.2);
+  const data::Workload survey = standard_workload("survey", kSeed, 0.25);
+  EXPECT_NO_THROW(synthetic.validate());
+  EXPECT_NO_THROW(digg.validate());
+  EXPECT_NO_THROW(survey.validate());
+  EXPECT_GT(synthetic.num_users(), 50u);
+  EXPECT_EQ(digg.num_users(), 150u);
+  EXPECT_EQ(survey.num_users(), 120u);  // replication 1
+  EXPECT_THROW(standard_workload("nope", kSeed, 1.0), std::invalid_argument);
+}
+
+TEST(Experiments, Table1PrintsAllThreeWorkloads) {
+  std::ostringstream os;
+  print_table1(os, kSeed, kTinyScale);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("synthetic-arxiv"), std::string::npos);
+  EXPECT_NE(out.find("digg"), std::string::npos);
+  EXPECT_NE(out.find("survey"), std::string::npos);
+}
+
+TEST(Experiments, Table2PrintsParameterSheet) {
+  std::ostringstream os;
+  print_table2(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("RPSvs"), std::string::npos);
+  EXPECT_NE(out.find("30"), std::string::npos);
+  EXPECT_NE(out.find("BEEP TTL"), std::string::npos);
+}
+
+TEST(Experiments, Table4DislikeDistribution) {
+  std::ostringstream os;
+  print_table4(os, kSeed, 0.25, 1);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Number of dislikes"), std::string::npos);
+  EXPECT_NE(out.find('%'), std::string::npos);
+}
+
+TEST(Experiments, Fig5TtlSeries) {
+  std::ostringstream os;
+  print_fig5(os, kSeed, 0.25, 1);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Fig 5"), std::string::npos);
+  EXPECT_NE(out.find("Precision"), std::string::npos);
+  // TTL sweep 0..8 -> 9 data rows.
+  std::size_t rows = 0;
+  for (char c : out) rows += c == '\n';
+  EXPECT_GE(rows, 10u);
+}
+
+TEST(Experiments, Fig11Sociability) {
+  std::ostringstream os;
+  print_fig11(os, kSeed, 0.25, 1);
+  EXPECT_NE(os.str().find("sociability"), std::string::npos);
+}
+
+TEST(Experiments, AblationMetricCoversAllFive) {
+  std::ostringstream os;
+  print_ablation_metric(os, kSeed, 0.25, 1);
+  const std::string out = os.str();
+  for (const char* name : {"wup", "cosine", "jaccard", "overlap", "pearson"}) {
+    EXPECT_NE(out.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Experiments, DynamicsSeriesShapes) {
+  const data::Workload w = standard_workload("survey", kSeed, 0.25);
+  const DynamicsSeries series = run_dynamics(w, Metric::kWup, kSeed, 20, 50, 1);
+  EXPECT_EQ(series.cycle.size(), 50u);
+  EXPECT_EQ(series.join_sim.size(), 50u);
+  // Joiner inactive before the event: zero similarity.
+  EXPECT_EQ(series.join_sim[5], 0.0);
+  // Active after: it gossips and fills a view.
+  double post = 0.0;
+  for (std::size_t c = 30; c < 50; ++c) post += series.join_sim[c];
+  EXPECT_GT(post, 0.0);
+}
+
+}  // namespace
+}  // namespace whatsup::analysis

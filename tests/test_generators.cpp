@@ -1,0 +1,93 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/components.hpp"
+
+namespace whatsup::graph {
+namespace {
+
+TEST(ErdosRenyi, EdgeCountMatchesExpectation) {
+  Rng rng(1);
+  const std::size_t n = 500;
+  const double p = 0.02;
+  const UGraph g = erdos_renyi(n, p, rng);
+  const double expected = p * static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 0.2 * expected);
+}
+
+TEST(ErdosRenyi, ZeroProbabilityIsEmpty) {
+  Rng rng(1);
+  EXPECT_EQ(erdos_renyi(100, 0.0, rng).num_edges(), 0u);
+}
+
+TEST(BarabasiAlbert, MinimumDegreeIsM) {
+  Rng rng(2);
+  const UGraph g = barabasi_albert(300, 4, rng);
+  for (NodeId v = 0; v < 300; ++v) EXPECT_GE(g.degree(v), 4u);
+  // n*m edges up to the seed clique correction.
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), 300.0 * 4.0, 40.0);
+}
+
+TEST(BarabasiAlbert, ProducesHubs) {
+  Rng rng(3);
+  const UGraph g = barabasi_albert(1000, 3, rng);
+  std::size_t max_degree = 0;
+  for (NodeId v = 0; v < 1000; ++v) max_degree = std::max(max_degree, g.degree(v));
+  // Preferential attachment yields hubs far above the mean degree (6).
+  EXPECT_GE(max_degree, 30u);
+}
+
+TEST(WattsStrogatz, DegreePreservedWithoutRewiring) {
+  Rng rng(4);
+  const UGraph g = watts_strogatz(100, 6, 0.0, rng);
+  for (NodeId v = 0; v < 100; ++v) EXPECT_EQ(g.degree(v), 6u);
+}
+
+TEST(WattsStrogatz, RewiringKeepsEdgeCount) {
+  Rng rng(5);
+  const UGraph g = watts_strogatz(200, 4, 0.3, rng);
+  EXPECT_EQ(g.num_edges(), 400u);
+}
+
+TEST(PlantedPartition, IntraDenserThanInter) {
+  Rng rng(6);
+  std::vector<int> membership;
+  const std::vector<std::size_t> sizes = {60, 60};
+  const UGraph g = planted_partition(sizes, 0.3, 0.01, rng, membership);
+  ASSERT_EQ(membership.size(), 120u);
+  std::size_t intra = 0, inter = 0;
+  for (const auto& [a, b] : g.edges()) {
+    (membership[a] == membership[b] ? intra : inter) += 1;
+  }
+  EXPECT_GT(intra, inter * 5);
+}
+
+TEST(CollaborationGraph, CommunitiesAreDenseAndBridged) {
+  Rng rng(7);
+  std::vector<int> membership;
+  const std::vector<std::size_t> sizes = {80, 80, 80};
+  const UGraph g = collaboration_graph(sizes, 2.0, 0.05, rng, membership);
+  ASSERT_EQ(g.num_nodes(), 240u);
+  std::size_t intra = 0, inter = 0;
+  for (const auto& [a, b] : g.edges()) {
+    (membership[a] == membership[b] ? intra : inter) += 1;
+  }
+  EXPECT_GT(intra, 10 * std::max<std::size_t>(inter, 1));
+  EXPECT_GT(inter, 0u);  // bridges exist
+  // Triangle-based construction yields high local clustering.
+}
+
+TEST(CollaborationGraph, TinyCommunitiesStayConnectedAsChains) {
+  Rng rng(8);
+  std::vector<int> membership;
+  const std::vector<std::size_t> sizes = {2, 3};
+  const UGraph g = collaboration_graph(sizes, 1.0, 0.0, rng, membership);
+  const auto comps = connected_components(g);
+  EXPECT_LE(comps.count, 2u);
+}
+
+}  // namespace
+}  // namespace whatsup::graph

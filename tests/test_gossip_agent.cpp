@@ -1,0 +1,104 @@
+#include "baselines/gossip_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "whatsup_test_utils.hpp"
+
+namespace whatsup::baselines {
+namespace {
+
+using whatsup::testing::CaptureAgent;
+using whatsup::testing::FixedOpinions;
+
+net::Message news_to(NodeId from, NodeId to, ItemIdx index) {
+  net::Message m;
+  m.from = from;
+  m.to = to;
+  m.type = net::MsgType::kNews;
+  net::NewsPayload payload;
+  payload.index = index;
+  payload.id = 10000 + index;
+  m.payload = payload;
+  return m;
+}
+
+struct GossipFixture {
+  GossipFixture() : engine({17, {}, {}}) {
+    for (int i = 0; i < 3; ++i) {
+      auto sink = std::make_unique<CaptureAgent>();
+      sinks.push_back(sink.get());
+      engine.add_agent(std::move(sink));
+    }
+    auto agent = std::make_unique<GossipAgent>(3, /*fanout=*/3, /*rps_view_size=*/8,
+                                               /*rps_period=*/1 << 20, opinions);
+    node = agent.get();
+    engine.add_agent(std::move(agent));
+    node->bootstrap_rps({net::Descriptor{0, 0, nullptr}, net::Descriptor{1, 0, nullptr},
+                         net::Descriptor{2, 0, nullptr}});
+  }
+  sim::Engine engine;
+  FixedOpinions opinions;
+  std::vector<CaptureAgent*> sinks;
+  GossipAgent* node = nullptr;
+};
+
+TEST(GossipAgent, ForwardsRegardlessOfDislike) {
+  GossipFixture fx;  // node 3 dislikes everything by default
+  fx.engine.send(news_to(0, 3, 5));
+  fx.engine.run_cycles(3);
+  std::size_t delivered = 0;
+  for (auto* sink : fx.sinks) delivered += sink->news.size();
+  EXPECT_EQ(delivered, 3u);  // homogeneous gossip is opinion-blind
+}
+
+TEST(GossipAgent, ForwardsWhenLikedToo) {
+  GossipFixture fx;
+  fx.opinions.like(3, 5);
+  fx.engine.send(news_to(0, 3, 5));
+  fx.engine.run_cycles(3);
+  std::size_t delivered = 0;
+  for (auto* sink : fx.sinks) delivered += sink->news.size();
+  EXPECT_EQ(delivered, 3u);
+}
+
+TEST(GossipAgent, InfectAndDieForwardsOnlyOnce) {
+  GossipFixture fx;
+  fx.engine.send(news_to(0, 3, 5));
+  fx.engine.send(news_to(1, 3, 5));  // duplicate
+  fx.engine.run_cycles(3);
+  std::size_t delivered = 0;
+  for (auto* sink : fx.sinks) delivered += sink->news.size();
+  EXPECT_EQ(delivered, 3u);
+}
+
+TEST(GossipAgent, PublishSpreadsToFanoutPeers) {
+  GossipFixture fx;
+  fx.engine.publish(3, 9, 10009);
+  fx.engine.run_cycles(3);
+  std::size_t delivered = 0;
+  for (auto* sink : fx.sinks) delivered += sink->news.size();
+  EXPECT_EQ(delivered, 3u);
+  EXPECT_EQ(fx.sinks[0]->news.empty() ? fx.sinks[1]->news[0].hops
+                                      : fx.sinks[0]->news[0].hops,
+            1);
+}
+
+TEST(GossipAgent, FanoutClampedToViewSize) {
+  sim::Engine engine({18, {}, {}});
+  FixedOpinions opinions;
+  auto sink = std::make_unique<CaptureAgent>();
+  CaptureAgent* sink_ptr = sink.get();
+  engine.add_agent(std::move(sink));
+  auto agent = std::make_unique<GossipAgent>(1, /*fanout=*/10, 8, 1 << 20, opinions);
+  GossipAgent* node = agent.get();
+  engine.add_agent(std::move(agent));
+  node->bootstrap_rps({net::Descriptor{0, 0, nullptr}});
+  engine.send(news_to(0, 1, 4));
+  engine.run_cycles(3);
+  EXPECT_EQ(sink_ptr->news.size(), 1u);
+}
+
+}  // namespace
+}  // namespace whatsup::baselines

@@ -1,0 +1,44 @@
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace whatsup {
+namespace {
+
+TEST(Hash, Fnv1a64KnownVectors) {
+  // Reference values for FNV-1a 64-bit.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Hash, Fnv1a64Deterministic) {
+  EXPECT_EQ(fnv1a64("whatsup"), fnv1a64("whatsup"));
+  EXPECT_NE(fnv1a64("whatsup"), fnv1a64("whatsdown"));
+}
+
+TEST(Hash, CombineIsOrderDependent) {
+  const auto ab = hash_combine(fnv1a64("a"), fnv1a64("b"));
+  const auto ba = hash_combine(fnv1a64("b"), fnv1a64("a"));
+  EXPECT_NE(ab, ba);
+}
+
+TEST(Hash, ItemIdsUniquePerWorkloadAndIndex) {
+  std::set<ItemId> ids;
+  for (ItemIdx i = 0; i < 5000; ++i) {
+    ids.insert(make_item_id("survey", i));
+    ids.insert(make_item_id("digg", i));
+  }
+  EXPECT_EQ(ids.size(), 10000u);
+}
+
+TEST(Hash, ItemIdStableAcrossCalls) {
+  EXPECT_EQ(make_item_id("survey", 7), make_item_id("survey", 7));
+  EXPECT_NE(make_item_id("survey", 7), make_item_id("survey", 8));
+}
+
+}  // namespace
+}  // namespace whatsup

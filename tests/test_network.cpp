@@ -1,0 +1,42 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace whatsup::net {
+namespace {
+
+TEST(NetworkConfig, PerfectDefaults) {
+  const NetworkConfig c = NetworkConfig::perfect();
+  EXPECT_EQ(c.loss_rate, 0.0);
+  EXPECT_EQ(c.latency, 1);
+  EXPECT_EQ(c.jitter, 0);
+  EXPECT_EQ(c.inbox_capacity, 0u);
+}
+
+TEST(NetworkConfig, LossyPreset) {
+  const NetworkConfig c = NetworkConfig::lossy(0.2);
+  EXPECT_DOUBLE_EQ(c.loss_rate, 0.2);
+}
+
+TEST(NetworkConfig, ModelNetHasSmallResidualLoss) {
+  const NetworkConfig c = NetworkConfig::modelnet();
+  EXPECT_GT(c.loss_rate, 0.0);
+  EXPECT_LT(c.loss_rate, 0.05);
+}
+
+TEST(NetworkConfig, PlanetLabIsCongested) {
+  const NetworkConfig c = NetworkConfig::planetlab();
+  // §V-D: up to ~30% of news never reached their targets.
+  EXPECT_GE(c.loss_rate, 0.2);
+  EXPECT_LE(c.loss_rate, 0.35);
+  EXPECT_GT(c.inbox_capacity, 0u);
+}
+
+TEST(NetworkConfig, DescribeMentionsParameters) {
+  const std::string text = describe(NetworkConfig::planetlab());
+  EXPECT_NE(text.find("loss=0.28"), std::string::npos);
+  EXPECT_NE(text.find("inbox"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace whatsup::net

@@ -1,0 +1,82 @@
+#include "profile/obfuscation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace whatsup {
+namespace {
+
+Profile big_profile(std::size_t n) {
+  Profile p;
+  for (std::size_t i = 0; i < n; ++i) p.set(i + 1, 0, i % 2 == 0 ? 1.0 : 0.0);
+  return p;
+}
+
+TEST(Obfuscation, DisabledIsIdentity) {
+  const Profile p = big_profile(20);
+  const ObfuscationConfig config;  // all zeros
+  EXPECT_FALSE(config.enabled());
+  EXPECT_EQ(obfuscate_profile(p, config, 1, 5), p);
+}
+
+TEST(Obfuscation, DropRateRemovesEntries) {
+  const Profile p = big_profile(2000);
+  ObfuscationConfig config;
+  config.drop_prob = 0.5;
+  const Profile out = obfuscate_profile(p, config, 1, 0);
+  EXPECT_NEAR(static_cast<double>(out.size()), 1000.0, 120.0);
+}
+
+TEST(Obfuscation, FlipRateChangesScores) {
+  const Profile p = big_profile(2000);
+  ObfuscationConfig config;
+  config.flip_prob = 0.4;
+  const Profile out = obfuscate_profile(p, config, 1, 0);
+  EXPECT_EQ(out.size(), p.size());  // nothing dropped
+  std::size_t changed = 0;
+  for (const ProfileEntry& e : p.entries()) {
+    if (out.score(e.id).value() != e.score) ++changed;
+  }
+  // flip 0.4 × coin 0.5 -> ~20% visibly changed.
+  EXPECT_NEAR(static_cast<double>(changed) / 2000.0, 0.2, 0.05);
+}
+
+TEST(Obfuscation, StableWithinEpochFreshAcrossEpochs) {
+  const Profile p = big_profile(500);
+  ObfuscationConfig config;
+  config.flip_prob = 0.5;
+  config.epoch_length = 10;
+  const Profile a = obfuscate_profile(p, config, 1, 3);
+  const Profile b = obfuscate_profile(p, config, 1, 7);   // same epoch
+  const Profile c = obfuscate_profile(p, config, 1, 13);  // next epoch
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Obfuscation, DifferentNodesDifferentNoise) {
+  const Profile p = big_profile(500);
+  ObfuscationConfig config;
+  config.flip_prob = 0.5;
+  EXPECT_NE(obfuscate_profile(p, config, 1, 0), obfuscate_profile(p, config, 2, 0));
+}
+
+TEST(Obfuscation, DeniabilityFormula) {
+  ObfuscationConfig config;
+  EXPECT_EQ(deniability(config), 0.0);
+  config.flip_prob = 0.4;
+  EXPECT_DOUBLE_EQ(deniability(config), 0.2);
+  config.drop_prob = 0.5;
+  EXPECT_DOUBLE_EQ(deniability(config), 0.5 + 0.5 * 0.2);
+}
+
+TEST(Obfuscation, TimestampsPreserved) {
+  Profile p;
+  p.set(1, 42, 1.0);
+  ObfuscationConfig config;
+  config.flip_prob = 1.0;  // always rerolled
+  const Profile out = obfuscate_profile(p, config, 1, 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.find(1)->timestamp, 42);
+}
+
+}  // namespace
+}  // namespace whatsup

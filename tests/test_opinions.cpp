@@ -1,0 +1,63 @@
+#include "sim/opinions.hpp"
+
+#include <gtest/gtest.h>
+
+namespace whatsup::sim {
+namespace {
+
+// Toy ground truth: user u likes item i iff u == i (mod 3).
+class ModOpinions : public Opinions {
+ public:
+  bool likes(NodeId user, ItemIdx item) const override {
+    return user % 3 == item % 3;
+  }
+};
+
+TEST(MutableOpinions, PassThroughByDefault) {
+  ModOpinions base;
+  MutableOpinions opinions(base);
+  EXPECT_TRUE(opinions.likes(0, 3));
+  EXPECT_FALSE(opinions.likes(1, 3));
+  EXPECT_EQ(opinions.resolve(5), 5u);
+}
+
+TEST(MutableOpinions, AliasCopiesAnotherUsersTastes) {
+  ModOpinions base;
+  MutableOpinions opinions(base);
+  opinions.set_alias(100, 1);  // node 100 behaves as user 1
+  EXPECT_TRUE(opinions.likes(100, 1));
+  EXPECT_TRUE(opinions.likes(100, 4));
+  EXPECT_FALSE(opinions.likes(100, 3));
+  EXPECT_EQ(opinions.resolve(100), 1u);
+}
+
+TEST(MutableOpinions, SwapExchangesInterests) {
+  ModOpinions base;
+  MutableOpinions opinions(base);
+  opinions.swap_interests(0, 1);
+  EXPECT_TRUE(opinions.likes(0, 1));   // 0 now behaves as 1
+  EXPECT_TRUE(opinions.likes(1, 0));   // 1 now behaves as 0
+  EXPECT_FALSE(opinions.likes(0, 0));
+  EXPECT_FALSE(opinions.likes(1, 1));
+}
+
+TEST(MutableOpinions, DoubleSwapRestoresOriginal) {
+  ModOpinions base;
+  MutableOpinions opinions(base);
+  opinions.swap_interests(0, 1);
+  opinions.swap_interests(0, 1);
+  EXPECT_TRUE(opinions.likes(0, 0));
+  EXPECT_TRUE(opinions.likes(1, 1));
+}
+
+TEST(MutableOpinions, SwapAfterAliasUsesResolvedIdentities) {
+  ModOpinions base;
+  MutableOpinions opinions(base);
+  opinions.set_alias(0, 2);      // 0 behaves as 2
+  opinions.swap_interests(0, 1); // swap resolved identities 2 <-> 1
+  EXPECT_TRUE(opinions.likes(0, 1));
+  EXPECT_TRUE(opinions.likes(1, 2));
+}
+
+}  // namespace
+}  // namespace whatsup::sim

@@ -1,0 +1,39 @@
+#include "whatsup/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace whatsup {
+namespace {
+
+TEST(Params, PaperDefaults) {
+  const Params p;  // Table II
+  EXPECT_EQ(p.rps_view_size, 30);
+  EXPECT_EQ(p.beep_ttl, 4);
+  EXPECT_EQ(p.profile_window, 13);
+  EXPECT_EQ(p.f_dislike, 1);
+  EXPECT_EQ(p.cold_start_items, 3);
+}
+
+TEST(Params, WupViewDefaultsToTwiceFLike) {
+  Params p;
+  p.f_like = 7;
+  EXPECT_EQ(p.effective_wup_view_size(), 14);
+  p.wup_view_size = 5;  // explicit override wins
+  EXPECT_EQ(p.effective_wup_view_size(), 5);
+}
+
+TEST(Params, TableListsEveryParameter) {
+  std::ostringstream os;
+  Params().to_table().print(os, "Table II");
+  const std::string out = os.str();
+  for (const char* key : {"RPSvs", "RPSf", "WUPvs", "Profile window", "BEEP TTL",
+                          "fLIKE", "fDISLIKE"}) {
+    EXPECT_NE(out.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(out.find("2*fLIKE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace whatsup

@@ -1,0 +1,134 @@
+#include "profile/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace whatsup {
+namespace {
+
+TEST(Profile, StartsEmpty) {
+  Profile p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_FALSE(p.contains(1));
+  EXPECT_FALSE(p.score(1).has_value());
+  EXPECT_EQ(p.norm(), 0.0);
+}
+
+TEST(Profile, SetInsertsAndOverwrites) {
+  Profile p;
+  p.set(10, 5, 1.0);
+  EXPECT_TRUE(p.contains(10));
+  EXPECT_EQ(p.score(10).value(), 1.0);
+  p.set(10, 7, 0.0);  // a single entry per id (§II-B)
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.score(10).value(), 0.0);
+  EXPECT_EQ(p.find(10)->timestamp, 7);
+}
+
+TEST(Profile, EntriesSortedById) {
+  Profile p;
+  p.set(30, 0, 1.0);
+  p.set(10, 0, 1.0);
+  p.set(20, 0, 1.0);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.entries()[0].id, 10u);
+  EXPECT_EQ(p.entries()[1].id, 20u);
+  EXPECT_EQ(p.entries()[2].id, 30u);
+}
+
+TEST(Profile, FoldAveragesExistingScore) {
+  // addToNewsProfile (Alg. 1 lines 18-22).
+  Profile item;
+  item.fold(1, 0, 1.0);
+  EXPECT_EQ(item.score(1).value(), 1.0);  // inserted as-is
+  item.fold(1, 1, 0.0);
+  EXPECT_EQ(item.score(1).value(), 0.5);  // averaged
+  item.fold(1, 2, 0.5);
+  EXPECT_EQ(item.score(1).value(), 0.5);
+}
+
+TEST(Profile, FoldKeepsFreshestTimestamp) {
+  Profile item;
+  item.fold(1, 9, 1.0);
+  item.fold(1, 3, 0.0);
+  EXPECT_EQ(item.find(1)->timestamp, 9);
+}
+
+TEST(Profile, FoldProfileMergesAllEntries) {
+  Profile user;
+  user.set(1, 0, 1.0);
+  user.set(2, 0, 0.0);
+  user.set(3, 0, 1.0);
+  Profile item;
+  item.set(2, 0, 1.0);
+  item.fold_profile(user);
+  EXPECT_EQ(item.size(), 3u);
+  EXPECT_EQ(item.score(1).value(), 1.0);
+  EXPECT_EQ(item.score(2).value(), 0.5);  // (1 + 0) / 2
+  EXPECT_EQ(item.score(3).value(), 1.0);
+}
+
+TEST(Profile, PurgeRemovesStrictlyOlder) {
+  Profile p;
+  p.set(1, 5, 1.0);
+  p.set(2, 10, 1.0);
+  p.set(3, 15, 0.0);
+  p.purge_older_than(10);
+  EXPECT_FALSE(p.contains(1));
+  EXPECT_TRUE(p.contains(2));
+  EXPECT_TRUE(p.contains(3));
+}
+
+TEST(Profile, PurgeAllAndNone) {
+  Profile p;
+  p.set(1, 5, 1.0);
+  p.purge_older_than(-100);
+  EXPECT_EQ(p.size(), 1u);
+  p.purge_older_than(100);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(Profile, LikedCountThresholdsAtHalf) {
+  Profile p;
+  p.set(1, 0, 1.0);
+  p.set(2, 0, 0.0);
+  p.set(3, 0, 0.6);
+  p.set(4, 0, 0.5);
+  EXPECT_EQ(p.liked_count(), 2u);  // 1.0 and 0.6
+}
+
+TEST(Profile, NormIsEuclidean) {
+  Profile p;
+  p.set(1, 0, 1.0);
+  p.set(2, 0, 0.0);
+  p.set(3, 0, 1.0);
+  EXPECT_DOUBLE_EQ(p.norm(), std::sqrt(2.0));
+  p.set(4, 0, 0.5);
+  EXPECT_DOUBLE_EQ(p.norm(), std::sqrt(2.25));
+}
+
+TEST(Profile, EqualityByContent) {
+  Profile a, b;
+  a.set(1, 2, 1.0);
+  b.set(1, 2, 1.0);
+  EXPECT_EQ(a, b);
+  b.set(2, 0, 0.0);
+  EXPECT_NE(a, b);
+}
+
+// User-profile semantics of Algorithm 1: entries keyed by the item's
+// creation timestamp, so the window measures item age.
+TEST(Profile, WindowDropsOldItemsEvenIfRecentlyRated) {
+  Profile p;
+  const Cycle item_created = 2;
+  const Cycle rated_at = 50;
+  (void)rated_at;  // the rating time is NOT stored (Alg. 1 line 5 uses tI)
+  p.set(123, item_created, 1.0);
+  p.purge_older_than(50 - 13);
+  EXPECT_TRUE(p.empty());
+}
+
+}  // namespace
+}  // namespace whatsup

@@ -1,0 +1,93 @@
+#include "graph/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace whatsup::graph {
+namespace {
+
+TEST(Scc, EmptyGraph) {
+  const auto result = strongly_connected_components(Digraph{});
+  EXPECT_EQ(result.count, 0u);
+  EXPECT_EQ(result.largest, 0u);
+  EXPECT_EQ(largest_scc_fraction(Digraph{}), 0.0);
+}
+
+TEST(Scc, SingleCycleIsOneComponent) {
+  Digraph g(5);
+  for (NodeId v = 0; v < 5; ++v) g.add_edge(v, (v + 1) % 5);
+  const auto result = strongly_connected_components(g);
+  EXPECT_EQ(result.count, 1u);
+  EXPECT_EQ(result.largest, 5u);
+  EXPECT_DOUBLE_EQ(largest_scc_fraction(g), 1.0);
+}
+
+TEST(Scc, DagHasSingletonComponents) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto result = strongly_connected_components(g);
+  EXPECT_EQ(result.count, 4u);
+  EXPECT_EQ(result.largest, 1u);
+  EXPECT_DOUBLE_EQ(largest_scc_fraction(g), 0.25);
+}
+
+TEST(Scc, TwoCyclesJoinedByOneWayBridge) {
+  Digraph g(6);
+  // Cycle A: 0-1-2, cycle B: 3-4-5, bridge 2 -> 3.
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 3);
+  g.add_edge(2, 3);
+  const auto result = strongly_connected_components(g);
+  EXPECT_EQ(result.count, 2u);
+  EXPECT_EQ(result.largest, 3u);
+  // Nodes within each cycle share a component label.
+  EXPECT_EQ(result.component[0], result.component[1]);
+  EXPECT_EQ(result.component[1], result.component[2]);
+  EXPECT_EQ(result.component[3], result.component[4]);
+  EXPECT_NE(result.component[0], result.component[3]);
+}
+
+TEST(Scc, BidirectionalBridgeMergesComponents) {
+  Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 3);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  const auto result = strongly_connected_components(g);
+  EXPECT_EQ(result.count, 1u);
+  EXPECT_EQ(result.largest, 6u);
+}
+
+TEST(Scc, IsolatedNodesAreSingletons) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const auto result = strongly_connected_components(g);
+  EXPECT_EQ(result.count, 2u);
+  EXPECT_EQ(result.largest, 2u);
+}
+
+TEST(Scc, LargeRandomGraphTerminatesAndLabelsEveryone) {
+  // Deep chains exercise the iterative Tarjan (no stack overflow).
+  Rng rng(7);
+  Digraph g(20000);
+  for (NodeId v = 0; v + 1 < 20000; ++v) g.add_edge(v, v + 1);
+  g.add_edge(19999, 0);  // giant cycle
+  const auto result = strongly_connected_components(g);
+  EXPECT_EQ(result.count, 1u);
+  EXPECT_EQ(result.largest, 20000u);
+}
+
+}  // namespace
+}  // namespace whatsup::graph

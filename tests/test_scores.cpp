@@ -1,0 +1,127 @@
+#include "metrics/scores.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.hpp"
+
+namespace whatsup::metrics {
+namespace {
+
+// 5 users; item 0: users {0,1,2} interested, source 0.
+data::Workload scored_workload() {
+  data::Workload w;
+  w.name = "scored";
+  w.n_users = 5;
+  w.n_topics = 1;
+  for (ItemIdx i = 0; i < 2; ++i) {
+    data::NewsSpec spec;
+    spec.index = i;
+    spec.id = make_item_id(w.name, i);
+    spec.source = 0;
+    DynBitset interested(5);
+    interested.set(0);
+    interested.set(1);
+    interested.set(2);
+    w.news.push_back(spec);
+    w.interested_in.push_back(interested);
+  }
+  return w;
+}
+
+TEST(Scores, HandComputedPrecisionRecall) {
+  const data::Workload w = scored_workload();
+  // Item 0 reached users {1, 3} (plus the source, which is excluded).
+  std::vector<DynBitset> reached(2, DynBitset(5));
+  reached[0].set(0);  // source: excluded from both sets
+  reached[0].set(1);  // interested
+  reached[0].set(3);  // not interested
+  const std::vector<ItemIdx> measured = {0};
+  const Scores s = compute_scores(w, reached, measured);
+  // reached\{src} = {1,3}; interested\{src} = {1,2}; hits = {1}.
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);
+  EXPECT_DOUBLE_EQ(s.f1, 0.5);
+  EXPECT_EQ(s.items, 1u);
+}
+
+TEST(Scores, MacroAverageOverItems) {
+  const data::Workload w = scored_workload();
+  std::vector<DynBitset> reached(2, DynBitset(5));
+  reached[0].set(1);
+  reached[0].set(2);  // item 0: precision 1, recall 1
+  reached[1].set(3);
+  reached[1].set(4);  // item 1: precision 0, recall 0
+  const std::vector<ItemIdx> measured = {0, 1};
+  const Scores s = compute_scores(w, reached, measured);
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);
+}
+
+TEST(Scores, EmptyMeasuredSet) {
+  const data::Workload w = scored_workload();
+  const std::vector<DynBitset> reached(2, DynBitset(5));
+  const Scores s = compute_scores(w, reached, {});
+  EXPECT_EQ(s.items, 0u);
+  EXPECT_EQ(s.f1, 0.0);
+}
+
+TEST(Scores, EmptyDeliveryGetsVacuousPrecision) {
+  const data::Workload w = scored_workload();
+  const std::vector<DynBitset> reached(2, DynBitset(5));
+  const std::vector<ItemIdx> measured = {0};
+  const Scores s = compute_scores(w, reached, measured);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+}
+
+TEST(F1, HarmonicMean) {
+  EXPECT_DOUBLE_EQ(f1_score(0.5, 0.5), 0.5);
+  EXPECT_NEAR(f1_score(0.47, 0.83), 2 * 0.47 * 0.83 / (0.47 + 0.83), 1e-12);
+  EXPECT_EQ(f1_score(0.0, 0.0), 0.0);
+}
+
+TEST(PerUser, CountsReceivedAndInterested) {
+  const data::Workload w = scored_workload();
+  std::vector<DynBitset> reached(2, DynBitset(5));
+  // User 1 receives both items (interested in both): P=1, R=1.
+  reached[0].set(1);
+  reached[1].set(1);
+  // User 3 receives one item (interested in none): P=0, R=1 by convention.
+  reached[0].set(3);
+  const std::vector<ItemIdx> measured = {0, 1};
+  const PerUserScores scores = per_user_scores(w, reached, measured);
+  EXPECT_DOUBLE_EQ(scores.precision[1], 1.0);
+  EXPECT_DOUBLE_EQ(scores.recall[1], 1.0);
+  EXPECT_TRUE(scores.valid[1]);
+  EXPECT_DOUBLE_EQ(scores.precision[3], 0.0);
+  EXPECT_FALSE(scores.valid[3]);  // no interested measured item
+  // User 2 interested in both, received none: recall 0.
+  EXPECT_DOUBLE_EQ(scores.recall[2], 0.0);
+}
+
+TEST(Sociability, IdenticalUsersAreMaximallySociable) {
+  data::Workload w = scored_workload();  // users 0,1,2 share all likes
+  const auto soc = sociability(w, 2);
+  EXPECT_NEAR(soc[0], 1.0, 1e-9);
+  EXPECT_NEAR(soc[1], 1.0, 1e-9);
+  // Users 3, 4 like nothing: similarity 0 everywhere.
+  EXPECT_EQ(soc[3], 0.0);
+}
+
+TEST(RecallByPopularity, BucketsAndDistribution) {
+  const data::Workload w = scored_workload();  // popularity 3/5 = 0.6
+  std::vector<DynBitset> reached(2, DynBitset(5));
+  reached[0].set(1);
+  reached[0].set(2);  // full recall for item 0
+  const std::vector<ItemIdx> measured = {0, 1};
+  const auto curve = recall_by_popularity(w, reached, measured, 10);
+  // Popularity 0.6 lands in bucket 6.
+  EXPECT_EQ(curve.items[6], 2u);
+  EXPECT_DOUBLE_EQ(curve.item_fraction[6], 1.0);
+  EXPECT_DOUBLE_EQ(curve.recall[6], 0.5);  // item0 recall 1, item1 recall 0
+  EXPECT_EQ(curve.items[0], 0u);
+}
+
+}  // namespace
+}  // namespace whatsup::metrics

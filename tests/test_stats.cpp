@@ -1,0 +1,90 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace whatsup {
+namespace {
+
+TEST(RunningStat, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MomentsMatchClosedForm) {
+  RunningStat s;
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_NEAR(s.variance(), 5.25, 1e-12);  // population variance
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.25), 1e-12);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 8.0);
+  EXPECT_NEAR(s.sum(), 36.0, 1e-12);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(-3.5);
+  EXPECT_EQ(s.mean(), -3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), -3.5);
+  EXPECT_EQ(s.max(), -3.5);
+}
+
+TEST(Histogram, BinningAndFractions) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);   // bin 0
+  h.add(0.3);   // bin 1
+  h.add(0.35);  // bin 1
+  h.add(0.9);   // bin 3
+  EXPECT_EQ(h.bins(), 4u);
+  EXPECT_EQ(h.count(0), 1.0);
+  EXPECT_EQ(h.count(1), 2.0);
+  EXPECT_EQ(h.count(2), 0.0);
+  EXPECT_EQ(h.count(3), 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(7.0);
+  EXPECT_EQ(h.count(0), 1.0);
+  EXPECT_EQ(h.count(1), 1.0);
+}
+
+TEST(Histogram, WeightsAndCenters) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0, 2.5);
+  EXPECT_EQ(h.count(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+}
+
+TEST(SpanStats, MeanAndStddev) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+  EXPECT_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_EQ(stddev(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 20.0);
+  EXPECT_EQ(quantile({}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace whatsup

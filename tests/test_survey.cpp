@@ -1,0 +1,109 @@
+#include "dataset/survey.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace whatsup::data {
+namespace {
+
+TEST(Survey, PaperScaleMatchesTableI) {
+  Rng rng(1);
+  const SurveyConfig config;  // defaults = Table I
+  const Workload w = make_survey(config, rng);
+  EXPECT_NO_THROW(w.validate());
+  EXPECT_EQ(w.num_users(), 480u);
+  EXPECT_EQ(w.num_items(), 1000u);
+}
+
+TEST(Survey, ReplicationMakesExactCopies) {
+  Rng rng(2);
+  SurveyConfig config;
+  config.base_users = 30;
+  config.base_items = 40;
+  config.replication = 3;
+  const Workload w = make_survey(config, rng);
+  EXPECT_EQ(w.num_users(), 90u);
+  EXPECT_EQ(w.num_items(), 120u);
+  // Instance (u, r) likes instance (i, s) iff base u likes base i: compare
+  // replica blocks of the interest bitsets.
+  for (ItemIdx i = 0; i < 40; ++i) {
+    for (std::size_t s = 1; s < 3; ++s) {
+      const ItemIdx replica = static_cast<ItemIdx>(s * 40 + i);
+      EXPECT_EQ(w.interested(i), w.interested(replica)) << "item " << i;
+    }
+    for (NodeId u = 0; u < 30; ++u) {
+      for (std::size_t r = 1; r < 3; ++r) {
+        EXPECT_EQ(w.likes(u, i), w.likes(static_cast<NodeId>(r * 30 + u), i));
+      }
+    }
+  }
+}
+
+TEST(Survey, MeanPopularityNearGossipPrecisionAnchor) {
+  Rng rng(3);
+  const SurveyConfig config;
+  const Workload w = make_survey(config, rng);
+  RunningStat pop;
+  for (ItemIdx i = 0; i < w.num_items(); ++i) pop.add(w.popularity(i));
+  // Table III anchors homogeneous-gossip precision at 0.35 — the mean item
+  // popularity of the survey.
+  EXPECT_GT(pop.mean(), 0.25);
+  EXPECT_LT(pop.mean(), 0.45);
+}
+
+TEST(Survey, PopularitySpreadMatchesFig10Shape) {
+  Rng rng(4);
+  const SurveyConfig config;
+  const Workload w = make_survey(config, rng);
+  std::size_t low = 0, high = 0;
+  for (ItemIdx i = 0; i < w.num_items(); ++i) {
+    const double p = w.popularity(i);
+    low += p < 0.5;
+    high += p >= 0.8;
+  }
+  // Fig. 10: mass concentrated below 0.5 with a thin popular tail.
+  EXPECT_GT(low, w.num_items() / 2);
+  EXPECT_LT(high, w.num_items() / 5);
+  EXPECT_GT(high, 0u);
+}
+
+TEST(Survey, EveryItemHasAFan) {
+  Rng rng(5);
+  SurveyConfig config;
+  config.base_users = 25;
+  config.base_items = 60;
+  const Workload w = make_survey(config, rng);
+  for (ItemIdx i = 0; i < w.num_items(); ++i) {
+    EXPECT_GT(w.interested(i).count(), 0u);
+  }
+}
+
+TEST(Survey, UsersHaveHeterogeneousTastes) {
+  Rng rng(6);
+  const SurveyConfig config;
+  const Workload w = make_survey(config, rng);
+  // Per-user like counts should spread out (sociability axis of Fig. 11).
+  RunningStat likes_per_user;
+  std::vector<std::size_t> count(w.num_users(), 0);
+  for (ItemIdx i = 0; i < w.num_items(); ++i) {
+    w.interested(i).for_each_set([&](std::size_t u) { ++count[u]; });
+  }
+  for (std::size_t c : count) likes_per_user.add(static_cast<double>(c));
+  EXPECT_GT(likes_per_user.stddev(), 20.0);
+}
+
+TEST(Survey, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  SurveyConfig config;
+  config.base_users = 20;
+  config.base_items = 30;
+  const Workload wa = make_survey(config, a);
+  const Workload wb = make_survey(config, b);
+  for (ItemIdx i = 0; i < wa.num_items(); ++i) {
+    EXPECT_EQ(wa.interested(i), wb.interested(i));
+  }
+}
+
+}  // namespace
+}  // namespace whatsup::data

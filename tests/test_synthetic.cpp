@@ -1,0 +1,95 @@
+#include "dataset/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace whatsup::data {
+namespace {
+
+SyntheticConfig small_config() {
+  SyntheticConfig config;
+  config.n_authors = 400;
+  config.communities = 6;
+  config.min_community = 20;
+  config.max_community = 150;
+  config.total_items = 120;
+  return config;
+}
+
+TEST(Synthetic, BasicShape) {
+  Rng rng(1);
+  const Workload w = make_synthetic(small_config(), rng);
+  EXPECT_NO_THROW(w.validate());
+  EXPECT_GT(w.num_users(), 200u);
+  EXPECT_GT(w.num_items(), 60u);
+  EXPECT_GE(w.n_topics, 3u);
+  EXPECT_FALSE(w.social.has_value());
+}
+
+TEST(Synthetic, ItemsLikedByExactlyOneCommunity) {
+  Rng rng(2);
+  const Workload w = make_synthetic(small_config(), rng);
+  // Two items of the same topic have identical audiences; items of
+  // different topics have disjoint audiences (clearly separated interests).
+  for (ItemIdx a = 0; a < w.num_items(); a += 7) {
+    for (ItemIdx b = a + 1; b < w.num_items(); b += 11) {
+      const auto common = w.interested(a).intersect_count(w.interested(b));
+      if (w.topic_of(a) == w.topic_of(b)) {
+        EXPECT_EQ(common, w.interested(a).count());
+      } else {
+        EXPECT_EQ(common, 0u);
+      }
+    }
+  }
+}
+
+TEST(Synthetic, EveryUserBelongsToOneCommunity) {
+  Rng rng(3);
+  const Workload w = make_synthetic(small_config(), rng);
+  std::vector<std::size_t> liked_topics(w.num_users(), 0);
+  std::vector<std::set<int>> topics(w.num_users());
+  for (ItemIdx i = 0; i < w.num_items(); ++i) {
+    w.interested(i).for_each_set(
+        [&](std::size_t u) { topics[u].insert(w.topic_of(i)); });
+  }
+  for (NodeId u = 0; u < w.num_users(); ++u) {
+    EXPECT_LE(topics[u].size(), 1u) << "user " << u;
+  }
+}
+
+TEST(Synthetic, SourcesBelongToTheItemCommunity) {
+  Rng rng(4);
+  const Workload w = make_synthetic(small_config(), rng);
+  for (const NewsSpec& spec : w.news) {
+    EXPECT_TRUE(w.likes(spec.source, spec.index));
+  }
+}
+
+TEST(Synthetic, PaperScaleProducesTableIShape) {
+  Rng rng(5);
+  SyntheticConfig config;  // paper-scale defaults
+  const Workload w = make_synthetic(config, rng);
+  // Table I: 3180 users (we keep all detected-community members, ~3.7k),
+  // ~2000 items, 21 communities.
+  EXPECT_GT(w.num_users(), 2500u);
+  EXPECT_LT(w.num_users(), 4200u);
+  EXPECT_GT(w.num_items(), 1500u);
+  EXPECT_LE(w.num_items(), 2200u);
+  EXPECT_GE(w.n_topics, 10u);
+  EXPECT_LE(w.n_topics, 40u);
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  Rng rng_a(7), rng_b(7);
+  const Workload a = make_synthetic(small_config(), rng_a);
+  const Workload b = make_synthetic(small_config(), rng_b);
+  EXPECT_EQ(a.num_users(), b.num_users());
+  EXPECT_EQ(a.num_items(), b.num_items());
+  for (ItemIdx i = 0; i < a.num_items(); ++i) {
+    EXPECT_EQ(a.news[i].source, b.news[i].source);
+  }
+}
+
+}  // namespace
+}  // namespace whatsup::data

@@ -1,0 +1,58 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace whatsup {
+namespace {
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fixed(0.5), "0.50");
+  EXPECT_EQ(fixed(1.23456, 3), "1.235");
+  EXPECT_EQ(fixed(-2.0, 0), "-2");
+}
+
+TEST(Format, SiCount) {
+  EXPECT_EQ(si_count(950), "950");
+  EXPECT_EQ(si_count(4600), "4.6k");
+  EXPECT_EQ(si_count(1100000), "1.1M");
+}
+
+TEST(Table, PrintsHeadersAndRowsAligned) {
+  Table t({"Algorithm", "F1"});
+  t.add_row({"WhatsUp", "0.60"});
+  t.add_row({"Gossip", "0.51"});
+  std::ostringstream os;
+  t.print(os, "Demo");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("Algorithm"), std::string::npos);
+  EXPECT_NE(out.find("WhatsUp"), std::string::npos);
+  EXPECT_NE(out.find("0.51"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Series, PrintsGnuplotStyle) {
+  Series s("fanout", {"WhatsUp", "CF"});
+  s.add(5, {0.5, 0.4});
+  s.add(10, {0.6, 0.5});
+  std::ostringstream os;
+  s.print(os, "F1 vs fanout");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# F1 vs fanout"), std::string::npos);
+  EXPECT_NE(out.find("# fanout\tWhatsUp\tCF"), std::string::npos);
+  EXPECT_NE(out.find("5.000\t0.5000\t0.4000"), std::string::npos);
+  EXPECT_EQ(s.points(), 2u);
+}
+
+}  // namespace
+}  // namespace whatsup

@@ -1,0 +1,117 @@
+#include "metrics/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace whatsup::metrics {
+namespace {
+
+TEST(Tracker, RecordsReachedAndLiked) {
+  Tracker tracker(10, 5);
+  tracker.on_delivery(3, 2, 1, false, 0);
+  tracker.on_opinion(3, 2, true);
+  tracker.on_delivery(4, 2, 2, true, 1);
+  tracker.on_opinion(4, 2, false);
+  EXPECT_TRUE(tracker.reached(2).test(3));
+  EXPECT_TRUE(tracker.reached(2).test(4));
+  EXPECT_TRUE(tracker.liked(2).test(3));
+  EXPECT_FALSE(tracker.liked(2).test(4));
+  EXPECT_FALSE(tracker.reached(1).test(3));
+}
+
+TEST(Tracker, HopHistogramsSplitByForwardType) {
+  Tracker tracker(10, 3);
+  tracker.on_delivery(1, 0, 2, /*via_dislike=*/false, 0);
+  tracker.on_delivery(2, 0, 2, /*via_dislike=*/true, 1);
+  tracker.on_forward(1, 0, 2, /*liked=*/true, 5);
+  tracker.on_forward(2, 0, 2, /*liked=*/false, 1);
+  const HopCounts& hops = tracker.hops(0);
+  ASSERT_GE(hops.infect_like.size(), 3u);
+  EXPECT_EQ(hops.infect_like[2], 1.0);
+  EXPECT_EQ(hops.infect_dislike[2], 1.0);
+  EXPECT_EQ(hops.forward_like[2], 1.0);
+  EXPECT_EQ(hops.forward_dislike[2], 1.0);
+}
+
+TEST(Tracker, ZeroTargetForwardsNotCounted) {
+  Tracker tracker(10, 3);
+  tracker.on_forward(1, 0, 2, true, 0);
+  EXPECT_EQ(tracker.hops(0).forward_like.size(), 0u);
+}
+
+TEST(Tracker, DislikeHistogramCountsLikedDeliveriesOnly) {
+  Tracker tracker(10, 3);
+  tracker.on_delivery(1, 0, 1, true, 2);
+  tracker.on_opinion(1, 0, true);   // liked after 2 dislikes -> bin 2
+  tracker.on_delivery(2, 0, 1, true, 3);
+  tracker.on_opinion(2, 0, false);  // not liked: not counted
+  const auto& hist = tracker.dislikes_at_liked(0);
+  EXPECT_EQ(hist[2], 1u);
+  EXPECT_EQ(hist[3], 0u);
+}
+
+TEST(Tracker, DislikeHistogramClipsAtMaxBin) {
+  Tracker tracker(4, 1);
+  tracker.on_delivery(1, 0, 1, true, 99);
+  tracker.on_opinion(1, 0, true);
+  EXPECT_EQ(tracker.dislikes_at_liked(0)[Tracker::kMaxDislikeBin], 1u);
+}
+
+TEST(Tracker, OutOfRangeEventsIgnored) {
+  Tracker tracker(4, 2);
+  tracker.on_delivery(99, 0, 1, false, 0);  // user out of range
+  tracker.on_delivery(1, 99, 1, false, 0);  // item out of range
+  EXPECT_FALSE(tracker.reached(0).any());
+  EXPECT_FALSE(tracker.reached(1).any());
+}
+
+TEST(Tracker, TrackedNodeSeriesCountsLikedPerCycle) {
+  sim::Engine engine({1, {}, {}});
+  Tracker tracker(4, 2);
+  tracker.attach(engine);
+  tracker.track_node(2);
+  tracker.on_opinion(2, 0, true);   // cycle 0
+  tracker.on_opinion(2, 1, true);   // cycle 0
+  engine.run_cycle();
+  tracker.on_opinion(2, 0, false);  // dislikes not counted
+  tracker.on_opinion(2, 1, true);   // cycle 1
+  const auto& series = tracker.liked_series(2);
+  ASSERT_GE(series.size(), 2u);
+  EXPECT_EQ(series[0], 2u);
+  EXPECT_EQ(series[1], 1u);
+}
+
+TEST(Tracker, TrackedSeriesWorksBeyondUserRange) {
+  // The Fig. 7 joiner lives outside the workload's user id range.
+  sim::Engine engine({1, {}, {}});
+  Tracker tracker(4, 2);
+  tracker.attach(engine);
+  tracker.track_node(100);
+  tracker.on_opinion(100, 0, true);
+  EXPECT_EQ(tracker.liked_series(100)[0], 1u);
+}
+
+TEST(Tracker, UntrackedNodeHasEmptySeries) {
+  Tracker tracker(4, 2);
+  EXPECT_TRUE(tracker.liked_series(3).empty());
+}
+
+TEST(HopCounts, AccumulateResizesAndWeights) {
+  HopCounts a, b;
+  b.forward_like = {1.0, 2.0, 3.0};
+  b.infect_dislike = {4.0};
+  a.accumulate(b, 0.5);
+  ASSERT_EQ(a.forward_like.size(), 3u);
+  EXPECT_EQ(a.forward_like[1], 1.0);
+  EXPECT_EQ(a.infect_dislike[0], 2.0);
+  EXPECT_EQ(a.max_hop(), 3u);
+}
+
+TEST(Tracker, AttachRegistersAsEngineObserver) {
+  sim::Engine engine({1, {}, {}});
+  Tracker tracker(4, 2);
+  tracker.attach(engine);
+  EXPECT_EQ(engine.observer(), &tracker);
+}
+
+}  // namespace
+}  // namespace whatsup::metrics

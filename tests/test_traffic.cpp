@@ -1,0 +1,59 @@
+#include "net/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace whatsup::net {
+namespace {
+
+TEST(Traffic, CountsPerProtocol) {
+  Traffic t;
+  t.record_sent(Protocol::kRps, 100);
+  t.record_sent(Protocol::kRps, 50);
+  t.record_sent(Protocol::kBeep, 500);
+  EXPECT_EQ(t.messages(Protocol::kRps), 2u);
+  EXPECT_EQ(t.bytes(Protocol::kRps), 150u);
+  EXPECT_EQ(t.messages(Protocol::kWup), 0u);
+  EXPECT_EQ(t.messages(Protocol::kBeep), 1u);
+  EXPECT_EQ(t.total_messages(), 3u);
+  EXPECT_EQ(t.total_bytes(), 650u);
+}
+
+TEST(Traffic, DroppedCounter) {
+  Traffic t;
+  t.record_dropped(Protocol::kBeep);
+  t.record_dropped(Protocol::kBeep);
+  EXPECT_EQ(t.dropped(Protocol::kBeep), 2u);
+  EXPECT_EQ(t.dropped(Protocol::kRps), 0u);
+}
+
+TEST(Traffic, MarkSeparatesWarmup) {
+  Traffic t;
+  t.record_sent(Protocol::kBeep, 100);
+  t.mark();
+  t.record_sent(Protocol::kBeep, 70);
+  t.record_sent(Protocol::kWup, 30);
+  EXPECT_EQ(t.total_messages(), 3u);
+  EXPECT_EQ(t.total_messages_since_mark(), 2u);
+  EXPECT_EQ(t.bytes_since_mark(Protocol::kBeep), 70u);
+  EXPECT_EQ(t.total_bytes_since_mark(), 100u);
+}
+
+TEST(Traffic, KbpsPerNode) {
+  Traffic t;
+  // 1000 bytes over 10 nodes, 2 cycles of 30 s each:
+  // 8000 bits / 10 nodes / 60 s = 13.33 bps = 0.013333 Kbps per node.
+  t.record_sent(Protocol::kBeep, 1000);
+  EXPECT_NEAR(t.kbps_per_node(Protocol::kBeep, 10, 2.0, 30.0, false), 0.013333, 1e-6);
+  EXPECT_NEAR(t.kbps_per_node_total(10, 2.0, 30.0, false), 0.013333, 1e-6);
+}
+
+TEST(Traffic, KbpsGuardsAgainstZeroDivisors) {
+  Traffic t;
+  t.record_sent(Protocol::kBeep, 1000);
+  EXPECT_EQ(t.kbps_per_node(Protocol::kBeep, 0, 2.0, 30.0), 0.0);
+  EXPECT_EQ(t.kbps_per_node(Protocol::kBeep, 10, 0.0, 30.0), 0.0);
+  EXPECT_EQ(t.kbps_per_node(Protocol::kBeep, 10, 2.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace whatsup::net

@@ -1,0 +1,142 @@
+#include "gossip/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace whatsup::gossip {
+namespace {
+
+Profile liked(std::initializer_list<ItemId> ids) {
+  Profile p;
+  for (ItemId id : ids) p.set(id, 0, 1.0);
+  return p;
+}
+
+net::Descriptor desc(NodeId node, Cycle ts, std::initializer_list<ItemId> likes = {}) {
+  return net::make_descriptor(node, ts, liked(likes));
+}
+
+TEST(View, InsertAndLookup) {
+  View view(5);
+  EXPECT_TRUE(view.empty());
+  view.insert_or_refresh(desc(1, 10));
+  view.insert_or_refresh(desc(2, 20));
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_TRUE(view.contains(1));
+  EXPECT_FALSE(view.contains(3));
+  ASSERT_NE(view.find(2), nullptr);
+  EXPECT_EQ(view.find(2)->timestamp, 20);
+}
+
+TEST(View, RefreshKeepsFreshest) {
+  View view(5);
+  view.insert_or_refresh(desc(1, 10, {7}));
+  view.insert_or_refresh(desc(1, 5, {8}));  // stale: ignored
+  EXPECT_EQ(view.size(), 1u);
+  EXPECT_EQ(view.find(1)->timestamp, 10);
+  EXPECT_TRUE(view.find(1)->profile_ref().contains(7));
+  view.insert_or_refresh(desc(1, 30, {9}));  // fresher: replaces
+  EXPECT_EQ(view.find(1)->timestamp, 30);
+  EXPECT_TRUE(view.find(1)->profile_ref().contains(9));
+}
+
+TEST(View, OldestFindsMinTimestamp) {
+  View view(5);
+  EXPECT_EQ(view.oldest(), nullptr);
+  view.insert_or_refresh(desc(1, 10));
+  view.insert_or_refresh(desc(2, 3));
+  view.insert_or_refresh(desc(3, 7));
+  EXPECT_EQ(view.oldest()->node, 2u);
+}
+
+TEST(View, RemoveErasesEntry) {
+  View view(5);
+  view.insert_or_refresh(desc(1, 1));
+  view.insert_or_refresh(desc(2, 2));
+  view.remove(1);
+  EXPECT_FALSE(view.contains(1));
+  EXPECT_EQ(view.size(), 1u);
+}
+
+TEST(View, RandomSubsetSizeAndDistinctness) {
+  Rng rng(3);
+  View view(10);
+  for (NodeId v = 0; v < 10; ++v) view.insert_or_refresh(desc(v, 0));
+  const auto subset = view.random_subset(rng, 4);
+  EXPECT_EQ(subset.size(), 4u);
+  std::set<NodeId> nodes;
+  for (const auto& d : subset) nodes.insert(d.node);
+  EXPECT_EQ(nodes.size(), 4u);
+  EXPECT_EQ(view.random_subset(rng, 99).size(), 10u);
+}
+
+TEST(View, RandomMemberFromEmptyIsNoNode) {
+  Rng rng(3);
+  View view(4);
+  EXPECT_EQ(view.random_member(rng), kNoNode);
+  view.insert_or_refresh(desc(7, 0));
+  EXPECT_EQ(view.random_member(rng), 7u);
+}
+
+TEST(View, AssignRandomRespectsCapacity) {
+  Rng rng(5);
+  View view(3);
+  std::vector<net::Descriptor> candidates;
+  for (NodeId v = 0; v < 10; ++v) candidates.push_back(desc(v, 0));
+  view.assign_random(candidates, rng);
+  EXPECT_EQ(view.size(), 3u);
+}
+
+TEST(View, AssignClosestKeepsMostSimilar) {
+  Rng rng(7);
+  View view(2);
+  const Profile own = liked({1, 2, 3});
+  std::vector<net::Descriptor> candidates = {
+      desc(1, 0, {1, 2, 3}),      // perfect match
+      desc(2, 0, {1, 2}),         // good match
+      desc(3, 0, {50, 51}),       // disjoint
+      desc(4, 0, {}),             // empty
+  };
+  view.assign_closest(candidates, own, Metric::kWup, rng);
+  ASSERT_EQ(view.size(), 2u);
+  std::set<NodeId> kept;
+  for (const auto& d : view.entries()) kept.insert(d.node);
+  EXPECT_TRUE(kept.count(1));
+  EXPECT_TRUE(kept.count(2));
+}
+
+TEST(View, AssignClosestRandomizesTies) {
+  const Profile own;  // empty: everything ties at similarity 0
+  std::vector<net::Descriptor> candidates;
+  for (NodeId v = 0; v < 20; ++v) candidates.push_back(desc(v, 0));
+  std::set<NodeId> first_picks;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    View view(1);
+    view.assign_closest(candidates, own, Metric::kWup, rng);
+    first_picks.insert(view.entries()[0].node);
+  }
+  EXPECT_GT(first_picks.size(), 3u);  // not stuck on one candidate
+}
+
+TEST(MergeCandidates, DeduplicatesKeepingFreshest) {
+  const std::vector<net::Descriptor> base = {desc(1, 5), desc(2, 7)};
+  const std::vector<net::Descriptor> incoming = {desc(1, 9), desc(3, 2)};
+  const auto merged = merge_candidates(base, incoming, /*self=*/99);
+  EXPECT_EQ(merged.size(), 3u);
+  for (const auto& d : merged) {
+    if (d.node == 1) EXPECT_EQ(d.timestamp, 9);
+  }
+}
+
+TEST(MergeCandidates, ExcludesSelf) {
+  const std::vector<net::Descriptor> base = {desc(1, 5), desc(2, 7)};
+  const std::vector<net::Descriptor> incoming = {desc(2, 9)};
+  const auto merged = merge_candidates(base, incoming, /*self=*/2);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].node, 1u);
+}
+
+}  // namespace
+}  // namespace whatsup::gossip

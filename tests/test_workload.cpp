@@ -1,0 +1,107 @@
+#include "dataset/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.hpp"
+
+namespace whatsup::data {
+namespace {
+
+// Hand-built 6-user, 3-topic workload.
+Workload tiny_workload() {
+  Workload w;
+  w.name = "tiny";
+  w.n_users = 6;
+  w.n_topics = 3;
+  for (ItemIdx i = 0; i < 6; ++i) {
+    NewsSpec spec;
+    spec.index = i;
+    spec.id = make_item_id(w.name, i);
+    spec.topic = static_cast<int>(i % 3);
+    DynBitset interested(6);
+    // Items of topic t are liked by users {t, t+3}.
+    interested.set(i % 3);
+    interested.set(i % 3 + 3);
+    spec.source = static_cast<NodeId>(i % 3);
+    w.news.push_back(spec);
+    w.interested_in.push_back(interested);
+  }
+  return w;
+}
+
+TEST(Workload, ValidatePassesOnConsistentData) {
+  EXPECT_NO_THROW(tiny_workload().validate());
+}
+
+TEST(Workload, ValidateRejectsSourceWhoDislikesOwnItem) {
+  Workload w = tiny_workload();
+  w.news[0].source = 1;  // user 1 does not like topic-0 items
+  EXPECT_THROW(w.validate(), std::logic_error);
+}
+
+TEST(Workload, ValidateRejectsMismatchedBitsets) {
+  Workload w = tiny_workload();
+  w.interested_in.pop_back();
+  EXPECT_THROW(w.validate(), std::logic_error);
+}
+
+TEST(Workload, LikesAndPopularity) {
+  const Workload w = tiny_workload();
+  EXPECT_TRUE(w.likes(0, 0));
+  EXPECT_TRUE(w.likes(3, 0));
+  EXPECT_FALSE(w.likes(1, 0));
+  EXPECT_DOUBLE_EQ(w.popularity(0), 2.0 / 6.0);
+}
+
+TEST(Workload, TopicSubscribersFollowLikeClosure) {
+  const Workload w = tiny_workload();
+  const auto subs = w.topic_subscribers();
+  ASSERT_EQ(subs.size(), 3u);
+  EXPECT_EQ(subs[0], (std::vector<NodeId>{0, 3}));
+  EXPECT_EQ(subs[1], (std::vector<NodeId>{1, 4}));
+}
+
+TEST(Workload, FullProfileCoversAllItems) {
+  const Workload w = tiny_workload();
+  const Profile p = w.full_profile(0);
+  EXPECT_EQ(p.size(), w.num_items());
+  EXPECT_EQ(p.score(w.news[0].id).value(), 1.0);
+  EXPECT_EQ(p.score(w.news[1].id).value(), 0.0);
+}
+
+TEST(Workload, SchedulePublicationsCoversWindowUniformly) {
+  Workload w = tiny_workload();
+  Rng rng(3);
+  w.schedule_publications(10, 12, rng);
+  for (const NewsSpec& spec : w.news) {
+    EXPECT_GE(spec.publish_at, 10);
+    EXPECT_LE(spec.publish_at, 12);
+  }
+  // 6 items over 3 cycles: 2 per cycle.
+  std::map<Cycle, int> per_cycle;
+  for (const NewsSpec& spec : w.news) per_cycle[spec.publish_at]++;
+  for (const auto& [cycle, count] : per_cycle) EXPECT_EQ(count, 2) << cycle;
+}
+
+TEST(Workload, SubsampleKeepsConsistency) {
+  const Workload w = tiny_workload();
+  Rng rng(9);
+  const Workload sub = w.subsample_users(4, rng);
+  EXPECT_EQ(sub.num_users(), 4u);
+  EXPECT_LE(sub.num_items(), w.num_items());
+  EXPECT_NO_THROW(sub.validate());
+  for (ItemIdx i = 0; i < sub.num_items(); ++i) {
+    EXPECT_GT(sub.interested(i).count(), 0u);
+  }
+}
+
+TEST(Workload, SubsampleAllUsersKeepsEverything) {
+  const Workload w = tiny_workload();
+  Rng rng(9);
+  const Workload sub = w.subsample_users(6, rng);
+  EXPECT_EQ(sub.num_users(), 6u);
+  EXPECT_EQ(sub.num_items(), w.num_items());
+}
+
+}  // namespace
+}  // namespace whatsup::data

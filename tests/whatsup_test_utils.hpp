@@ -1,0 +1,37 @@
+// Shared helpers for WhatsUp-node-level tests: a news-capturing sink agent
+// and a table-driven opinion stub.
+#pragma once
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/opinions.hpp"
+
+namespace whatsup::testing {
+
+// Records every news payload it receives; never forwards.
+class CaptureAgent : public sim::Agent {
+ public:
+  void on_cycle(sim::Context&) override {}
+  void on_message(sim::Context&, const net::Message& m) override {
+    if (m.type == net::MsgType::kNews) news.push_back(m.news());
+  }
+  void publish(sim::Context&, ItemIdx, ItemId) override {}
+
+  std::vector<net::NewsPayload> news;
+};
+
+// Explicit (user, item) like table.
+class FixedOpinions : public sim::Opinions {
+ public:
+  bool likes(NodeId user, ItemIdx item) const override {
+    return likes_set.count({user, item}) != 0;
+  }
+  void like(NodeId user, ItemIdx item) { likes_set.insert({user, item}); }
+
+  std::set<std::pair<NodeId, ItemIdx>> likes_set;
+};
+
+}  // namespace whatsup::testing
