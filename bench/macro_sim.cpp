@@ -1,0 +1,61 @@
+// Macro benchmark: a full WhatsUp deployment (RPS + WUP clustering + BEEP
+// dissemination + metrics tracking) at simulator scale, reporting
+// simulated gossip cycles per second. This is the number the ROADMAP's
+// "as fast as the hardware allows" target tracks PR over PR; the micro
+// kernels live in micro_primitives.cpp.
+//
+//   items_per_second == simulated cycles / second
+//
+// Scales: 500 nodes × 200 cycles (the BENCH_micro.json baseline) plus a
+// smaller and a larger configuration for shape.
+#include <benchmark/benchmark.h>
+
+#include "analysis/runner.hpp"
+#include "dataset/survey.hpp"
+
+namespace whatsup {
+namespace {
+
+data::Workload macro_workload(std::size_t users) {
+  Rng rng(11);
+  data::SurveyConfig config;
+  config.base_users = users / 2;
+  config.base_items = users / 2;  // one item per two users, like Table I's ratio
+  config.replication = 2;
+  return data::make_survey(config, rng);
+}
+
+void run_macro(benchmark::State& state, std::size_t users, Cycle publish_cycles) {
+  const data::Workload workload = macro_workload(users);
+  analysis::RunConfig config;
+  config.approach = analysis::Approach::kWhatsUp;
+  config.fanout = 8;
+  config.seed = 3;
+  config.warmup_cycles = 5;
+  config.publish_cycles = publish_cycles;
+  config.drain_cycles = 15;
+  config.measure_margin = 13;
+  const auto total = static_cast<std::size_t>(config.total_cycles());
+  for (auto _ : state) {
+    const analysis::RunResult result = analysis::run_protocol(workload, config);
+    benchmark::DoNotOptimize(result.scores.f1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * total));
+  state.counters["nodes"] = static_cast<double>(workload.num_users());
+  state.counters["cycles"] = static_cast<double>(total);
+}
+
+void BM_WhatsUpSim_250n_100c(benchmark::State& state) { run_macro(state, 250, 80); }
+BENCHMARK(BM_WhatsUpSim_250n_100c)->Unit(benchmark::kMillisecond);
+
+// The BENCH_micro.json baseline configuration: >= 500 nodes, >= 200 cycles.
+void BM_WhatsUpSim_500n_200c(benchmark::State& state) { run_macro(state, 500, 180); }
+BENCHMARK(BM_WhatsUpSim_500n_200c)->Unit(benchmark::kMillisecond);
+
+void BM_WhatsUpSim_1000n_200c(benchmark::State& state) { run_macro(state, 1000, 180); }
+BENCHMARK(BM_WhatsUpSim_1000n_200c)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace whatsup
+
+BENCHMARK_MAIN();

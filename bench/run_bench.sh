@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Runs the perf-tracking benchmarks (micro kernels + macro simulation) and
+# writes a merged BENCH_micro.json at the repo root, so every PR leaves a
+# perf trajectory behind.
+#
+#   bench/run_bench.sh [output.json]
+#
+# Environment:
+#   BUILD_DIR     build tree with bench binaries (default: build; configure
+#                 with -DWHATSUP_BENCH=ON)
+#   MICRO_FILTER  --benchmark_filter for micro_primitives (default: all)
+#   MACRO_FILTER  --benchmark_filter for macro_sim        (default: all)
+#   MIN_TIME      --benchmark_min_time per micro benchmark (default: 0.5)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${1:-BENCH_micro.json}
+MICRO_FILTER=${MICRO_FILTER:-.}
+MACRO_FILTER=${MACRO_FILTER:-.}
+MIN_TIME=${MIN_TIME:-0.5}
+
+for bin in micro_primitives macro_sim; do
+  if [[ ! -x "$BUILD_DIR/$bin" ]]; then
+    echo "error: $BUILD_DIR/$bin not found — configure with -DWHATSUP_BENCH=ON" >&2
+    exit 1
+  fi
+done
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$BUILD_DIR/micro_primitives" \
+  --benchmark_filter="$MICRO_FILTER" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out="$tmp/micro.json" --benchmark_out_format=json
+"$BUILD_DIR/macro_sim" \
+  --benchmark_filter="$MACRO_FILTER" \
+  --benchmark_out="$tmp/macro.json" --benchmark_out_format=json
+
+python3 - "$tmp/micro.json" "$tmp/macro.json" "$OUT" <<'EOF'
+import json
+import sys
+
+micro_path, macro_path, out_path = sys.argv[1:4]
+with open(micro_path) as f:
+    merged = json.load(f)
+with open(macro_path) as f:
+    macro = json.load(f)
+merged["benchmarks"].extend(macro["benchmarks"])
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+EOF
+
+echo "wrote $OUT"

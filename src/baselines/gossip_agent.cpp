@@ -51,15 +51,16 @@ void GossipAgent::publish(sim::Context& ctx, ItemIdx index, ItemId id) {
 
 void GossipAgent::spread(sim::Context& ctx, net::NewsPayload news, bool liked) {
   // Infect-and-die: forward once to `fanout` random peers, opinion-blind.
+  // Ids only — same sampling stream as random_subset, no descriptor copies.
   const auto targets =
-      rps_.view().random_subset(ctx.rng(), static_cast<std::size_t>(fanout_));
+      rps_.view().random_members(ctx.rng(), static_cast<std::size_t>(fanout_));
   if (sim::DisseminationObserver* obs = ctx.engine().observer(); obs != nullptr) {
     obs->on_forward(self_, news.index, news.hops, liked, targets.size());
   }
   news.hops += 1;
   news.via_dislike = false;
-  for (const net::Descriptor& d : targets) {
-    ctx.send(d.node, net::MsgType::kNews, news);
+  for (const NodeId target : targets) {
+    ctx.send(target, net::MsgType::kNews, news);
   }
 }
 

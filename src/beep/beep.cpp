@@ -48,10 +48,10 @@ ForwardPlan plan_forward(Rng& rng, const BeepConfig& config, bool liked,
     return plan;
   }
   const int fanout = config.amplification ? config.f_like : 1;
-  const auto picks =
-      wup_view.random_subset(rng, static_cast<std::size_t>(std::max(fanout, 0)));
-  plan.targets.reserve(picks.size());
-  for (const net::Descriptor& d : picks) plan.targets.push_back(d.node);
+  // Ids only: no reason to copy descriptors (and bump snapshot refcounts)
+  // for a fanout pick.
+  plan.targets =
+      wup_view.random_members(rng, static_cast<std::size_t>(std::max(fanout, 0)));
   return plan;
 }
 

@@ -16,7 +16,7 @@ void ClusteringProtocol::bootstrap(std::vector<net::Descriptor> seed) {
 net::ViewPayload ClusteringProtocol::make_payload(Cycle now,
                                                   const Profile& own_profile) const {
   net::ViewPayload payload;
-  payload.sender = net::make_descriptor(self_, now, own_profile);
+  payload.sender = net::Descriptor{self_, now, snapshot_cache_.get(own_profile)};
   payload.view = view_.entries();  // the ENTIRE view (§II)
   return payload;
 }
@@ -54,14 +54,14 @@ void ClusteringProtocol::merge(sim::Context& ctx, const net::ViewPayload& payloa
   incoming.push_back(payload.sender);
   incoming.insert(incoming.end(), rps_view.entries().begin(), rps_view.entries().end());
   auto merged = merge_candidates(view_.entries(), incoming, self_);
-  view_.assign_closest(std::move(merged), own_profile, metric_, ctx.rng());
+  view_.assign_closest(std::move(merged), own_profile, metric_, ctx.rng(), &memo_);
 }
 
 double ClusteringProtocol::avg_similarity(const Profile& own_profile) const {
   if (view_.empty()) return 0.0;
   double total = 0.0;
   for (const net::Descriptor& d : view_.entries()) {
-    total += similarity(metric_, own_profile, d.profile_ref());
+    total += memo_.score(metric_, own_profile, d.node, d.profile_ref());
   }
   return total / static_cast<double>(view_.size());
 }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "gossip/view.hpp"
+#include "profile/snapshot.hpp"
 #include "sim/engine.hpp"
 
 namespace whatsup::gossip {
@@ -52,6 +53,12 @@ class ClusteringProtocol {
   View view_;
   Metric metric_;
   Cycle period_;
+  // Hot-path caches (perf only — see docs/perf.md): outgoing descriptors
+  // reuse one immutable snapshot until the disclosed profile's version
+  // changes, and view merges / convergence probes only rescore descriptors
+  // whose profile (or whose subject profile) actually changed.
+  mutable ProfileSnapshotCache snapshot_cache_;
+  mutable SimilarityMemo memo_;
 };
 
 }  // namespace whatsup::gossip

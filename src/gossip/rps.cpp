@@ -13,7 +13,7 @@ void Rps::bootstrap(std::vector<net::Descriptor> seed) {
 }
 
 net::Descriptor Rps::self_descriptor(Cycle now, const Profile& own_profile) const {
-  return net::make_descriptor(self_, now, own_profile);
+  return net::Descriptor{self_, now, snapshot_cache_.get(own_profile)};
 }
 
 net::ViewPayload Rps::make_payload(sim::Context& ctx, const Profile& own_profile) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "gossip/view.hpp"
+#include "profile/snapshot.hpp"
 #include "sim/engine.hpp"
 
 namespace whatsup::gossip {
@@ -40,6 +41,9 @@ class Rps {
   NodeId self_;
   View view_;
   Cycle period_;
+  // Outgoing descriptors share one immutable snapshot until the disclosed
+  // profile's version changes (perf only; see docs/perf.md).
+  mutable ProfileSnapshotCache snapshot_cache_;
 };
 
 }  // namespace whatsup::gossip

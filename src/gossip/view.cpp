@@ -46,6 +46,14 @@ std::vector<net::Descriptor> View::random_subset(Rng& rng, std::size_t k) const 
   return out;
 }
 
+std::vector<NodeId> View::random_members(Rng& rng, std::size_t k) const {
+  const auto picks = rng.sample_indices(entries_.size(), k);
+  std::vector<NodeId> out;
+  out.reserve(picks.size());
+  for (std::size_t i : picks) out.push_back(entries_[i].node);
+  return out;
+}
+
 NodeId View::random_member(Rng& rng) const {
   if (entries_.empty()) return kNoNode;
   return entries_[rng.index(entries_.size())].node;
@@ -65,21 +73,39 @@ void View::assign_random(std::vector<net::Descriptor> candidates, Rng& rng) {
 }
 
 void View::assign_closest(std::vector<net::Descriptor> candidates, const Profile& own_profile,
-                          Metric metric, Rng& rng) {
-  // Random shuffle before the stable sort randomizes tie-breaking, which
-  // matters at cold start when every similarity is 0.
+                          Metric metric, Rng& rng, SimilarityMemo* memo) {
+  // Random shuffle before selection randomizes tie-breaking, which matters
+  // at cold start when every similarity is 0.
   rng.shuffle(candidates);
   std::vector<std::pair<double, std::size_t>> scored;
   scored.reserve(candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    scored.emplace_back(similarity(metric, own_profile, candidates[i].profile_ref()), i);
+    const double s =
+        memo != nullptr
+            ? memo->score(metric, own_profile, candidates[i].node,
+                          candidates[i].profile_ref())
+            : similarity(metric, own_profile, candidates[i].profile_ref());
+    scored.emplace_back(s, i);
   }
-  std::stable_sort(scored.begin(), scored.end(),
-                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  // (descending score, ascending shuffled position) is a strict total order
+  // — exactly the ranking the seed's shuffle + stable_sort produced — so
+  // top-K selection keeps the identical member sequence while only paying
+  // O(n + K log K) instead of O(n log n).
+  const auto ranks_before = [](const std::pair<double, std::size_t>& a,
+                               const std::pair<double, std::size_t>& b) {
+    return a.first > b.first || (a.first == b.first && a.second < b.second);
+  };
+  if (scored.size() > capacity_) {
+    std::nth_element(scored.begin(),
+                     scored.begin() + static_cast<std::ptrdiff_t>(capacity_),
+                     scored.end(), ranks_before);
+    scored.resize(capacity_);
+  }
+  std::sort(scored.begin(), scored.end(), ranks_before);
   std::vector<net::Descriptor> kept;
-  kept.reserve(std::min(capacity_, candidates.size()));
-  for (std::size_t r = 0; r < scored.size() && kept.size() < capacity_; ++r) {
-    kept.push_back(std::move(candidates[scored[r].second]));
+  kept.reserve(scored.size());
+  for (const auto& ranked : scored) {
+    kept.push_back(std::move(candidates[ranked.second]));
   }
   entries_ = std::move(kept);
 }

@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "net/message.hpp"
 #include "profile/similarity.hpp"
+#include "profile/snapshot.hpp"
 
 namespace whatsup::gossip {
 
@@ -40,6 +41,10 @@ class View {
 
   // k entries picked uniformly without replacement.
   std::vector<net::Descriptor> random_subset(Rng& rng, std::size_t k) const;
+  // Same sampling, ids only — skips the descriptor (and snapshot pointer)
+  // copies when the caller just needs gossip targets. Consumes the same
+  // randomness as random_subset, picking the same members.
+  std::vector<NodeId> random_members(Rng& rng, std::size_t k) const;
   // Uniformly random member id; kNoNode when empty.
   NodeId random_member(Rng& rng) const;
   std::vector<NodeId> members() const;
@@ -50,9 +55,12 @@ class View {
 
   // Replace contents with the `capacity()` candidates most similar to
   // `own_profile` under `metric`; ties broken uniformly at random
-  // (WUP merge policy).
+  // (WUP merge policy). Selection is top-K (nth_element + bounded sort)
+  // rather than a full sort, with the same deterministic shuffle-based
+  // tie-breaking as a stable sort by descending score. When `memo` is
+  // non-null, unchanged (subject, candidate) pairs reuse memoized scores.
   void assign_closest(std::vector<net::Descriptor> candidates, const Profile& own_profile,
-                      Metric metric, Rng& rng);
+                      Metric metric, Rng& rng, SimilarityMemo* memo = nullptr);
 
  private:
   std::size_t capacity_;

@@ -44,8 +44,18 @@ struct Descriptor {
   }
 };
 
+// Deep-copies `profile` into a fresh snapshot. Hot paths should prefer a
+// ProfileSnapshotCache (profile/snapshot.hpp), which reuses one immutable
+// snapshot until the profile's version changes; this helper is for tests,
+// bootstrap wiring, and other cold paths.
 inline Descriptor make_descriptor(NodeId node, Cycle timestamp, const Profile& profile) {
   return Descriptor{node, timestamp, std::make_shared<const Profile>(profile)};
+}
+
+// Wraps an already-materialized snapshot without copying.
+inline Descriptor make_descriptor(NodeId node, Cycle timestamp,
+                                  std::shared_ptr<const Profile> snapshot) {
+  return Descriptor{node, timestamp, std::move(snapshot)};
 }
 
 // Payload of RPS/WUP gossip: the sender's own fresh descriptor plus the

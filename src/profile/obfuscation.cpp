@@ -11,7 +11,9 @@ Profile obfuscate_profile(const Profile& profile, const ObfuscationConfig& confi
   const Cycle epoch =
       config.epoch_length > 0 ? now / config.epoch_length : Cycle{0};
   Profile out;
-  for (const ProfileEntry& entry : profile.entries()) {
+  const std::size_t n = profile.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const ProfileEntry entry = profile.entry(i);
     // Per-(node, epoch, item) deterministic noise stream: stable within an
     // epoch, refreshed across epochs.
     Rng noise(hash_combine(
@@ -25,6 +27,20 @@ Profile obfuscate_profile(const Profile& profile, const ObfuscationConfig& confi
     out.set(entry.id, entry.timestamp, score);
   }
   return out;
+}
+
+const Profile& ObfuscatedProfileCache::get(const Profile& profile,
+                                           const ObfuscationConfig& config,
+                                           NodeId node, Cycle now) {
+  const Cycle epoch =
+      config.epoch_length > 0 ? now / config.epoch_length : Cycle{0};
+  if (!valid_ || source_version_ != profile.version() || epoch_ != epoch) {
+    disclosed_ = obfuscate_profile(profile, config, node, now);
+    source_version_ = profile.version();
+    epoch_ = epoch;
+    valid_ = true;
+  }
+  return disclosed_;
 }
 
 double deniability(const ObfuscationConfig& config) {

@@ -35,6 +35,23 @@ struct ObfuscationConfig {
 Profile obfuscate_profile(const Profile& profile, const ObfuscationConfig& config,
                           NodeId node, Cycle now);
 
+// Per-node cache for the disclosed profile. obfuscate_profile is a pure
+// function of (profile contents, config, node, epoch), so the disclosed
+// profile only needs rebuilding when the true profile's version or the
+// epoch changes — not on every gossip exchange (perf only; results are
+// identical to calling obfuscate_profile directly).
+class ObfuscatedProfileCache {
+ public:
+  const Profile& get(const Profile& profile, const ObfuscationConfig& config,
+                     NodeId node, Cycle now);
+
+ private:
+  Profile disclosed_;
+  std::uint64_t source_version_ = 0;
+  Cycle epoch_ = kNoCycle;
+  bool valid_ = false;
+};
+
 // Expected privacy of the scheme: probability that a disclosed opinion
 // differs from the user's true opinion (the deniability level).
 double deniability(const ObfuscationConfig& config);

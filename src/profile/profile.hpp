@@ -9,10 +9,27 @@
 //    insert otherwise).
 //
 // Both are purged of entries older than the profile window (§II-E).
+//
+// Layout: structure-of-arrays (parallel id / timestamp / score vectors,
+// all sorted by ascending id). The similarity kernels stream the id and
+// score arrays only, so the merge loop touches 8-byte lanes instead of
+// 24-byte structs. Profiles additionally carry:
+//
+//  * a content `version()` — a globally unique stamp bumped on every
+//    content change. Equal versions imply equal contents (copies inherit
+//    the stamp; empty profiles are normalized to version 0), which is what
+//    the descriptor snapshot cache and the similarity memo key on;
+//  * an incrementally maintained `liked_count()` (exact integer math);
+//  * a lazily cached `norm()`, recomputed with the same left-to-right
+//    summation as a fresh scan so cached and fresh values are bit-equal
+//    (a running norm² under removals would drift in the last ulp and
+//    break fixed-seed reproducibility).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -31,8 +48,8 @@ class Profile {
  public:
   Profile() = default;
 
-  std::size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
 
   bool contains(ItemId id) const;
   std::optional<double> score(ItemId id) const;
@@ -51,28 +68,56 @@ class Profile {
   // Removes entries strictly older than `cutoff` (profile window, §II-E).
   void purge_older_than(Cycle cutoff);
 
-  // Entries sorted by ascending item id (stable iteration order for the
-  // similarity kernels).
-  const std::vector<ProfileEntry>& entries() const { return entries_; }
+  // Parallel arrays sorted by ascending item id (stable iteration order
+  // for the similarity kernels).
+  std::span<const ItemId> ids() const { return ids_; }
+  std::span<const Cycle> timestamps() const { return timestamps_; }
+  std::span<const double> scores() const { return scores_; }
+  ProfileEntry entry(std::size_t i) const {
+    return ProfileEntry{ids_[i], timestamps_[i], scores_[i]};
+  }
 
   // Number of entries with score > 0.5 (the "liked" items of a binary
   // profile; a coarse but monotone proxy for real-valued item profiles).
-  std::size_t liked_count() const;
+  // Maintained incrementally — O(1).
+  std::size_t liked_count() const { return liked_; }
 
-  // Euclidean norm of the score vector.
+  // Euclidean norm of the score vector. Cached; recomputed only after a
+  // content change.
   double norm() const;
 
-  void clear() { entries_.clear(); }
+  // Globally unique content stamp: changes whenever the contents change,
+  // and two profiles with the same version have equal contents. Empty
+  // profiles always report version 0.
+  std::uint64_t version() const { return version_; }
 
-  bool operator==(const Profile&) const = default;
+  void clear();
+
+  bool operator==(const Profile& other) const {
+    return ids_ == other.ids_ && timestamps_ == other.timestamps_ &&
+           scores_ == other.scores_;
+  }
 
  private:
-  // Sorted by id; profiles stay small (bounded by the profile window), so a
-  // flat sorted vector beats node-based maps on both speed and memory.
-  std::vector<ProfileEntry> entries_;
+  // Sorted by id; profiles stay small (bounded by the profile window), so
+  // flat sorted vectors beat node-based maps on both speed and memory.
+  std::vector<ItemId> ids_;
+  std::vector<Cycle> timestamps_;
+  std::vector<double> scores_;
 
-  std::vector<ProfileEntry>::iterator lower_bound(ItemId id);
-  std::vector<ProfileEntry>::const_iterator lower_bound(ItemId id) const;
+  std::size_t liked_ = 0;
+  std::uint64_t version_ = 0;
+  mutable double cached_norm_ = 0.0;
+  mutable bool norm_dirty_ = false;
+
+  // Index of the first entry with ids_[i] >= id.
+  std::size_t lower_bound(ItemId id) const;
+  // Inserts into all three parallel arrays at position i (liked_ updated;
+  // caller bumps the version).
+  void insert_at(std::size_t i, ItemId id, Cycle timestamp, double score);
+  // Stamps a content change: fresh unique version (0 when now empty) and
+  // norm invalidation.
+  void bump_version();
 };
 
 }  // namespace whatsup

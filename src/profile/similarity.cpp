@@ -2,48 +2,252 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define WHATSUP_X86_DISPATCH 1
+#endif
 
 namespace whatsup {
 
 namespace {
 
-// Single merge pass over two id-sorted profiles, accumulating the common-
-// item statistics every metric needs.
-struct CommonStats {
-  double dot = 0.0;        // Σ sa·sb over common items
-  double sub_norm2 = 0.0;  // Σ sa² over common items (‖sub(Pa,Pb)‖²)
-  double sum_a = 0.0;      // Σ sa over common items
-  double sum_b = 0.0;      // Σ sb over common items
-  double sum_a2 = 0.0;     // Σ sa² over common items
-  double sum_b2 = 0.0;     // Σ sb² over common items
-  std::size_t common = 0;  // number of common items
-  std::size_t both_liked = 0;
+// ---- Merge kernels --------------------------------------------------------
+//
+// Every metric reduces to a two-pointer merge of two id-sorted profiles.
+// The scalar loops below use branch-free pointer advances (the compiler
+// lowers the conditional increments to cmov/setcc) with a branchy — but
+// rare — accumulate on matches; measured faster than both the fully branchy
+// and the fully gated variants on random interleaves.
+//
+// On x86-64 an AVX-512 path intersects 8-id blocks at a time: compare the
+// `a` block against all 8 cyclic rotations of the `b` block, collect the
+// match bits, and process matches in ascending a-lane order. Ascending
+// lane order equals ascending id order, so the floating-point accumulation
+// order — and therefore every similarity value — is bit-identical to the
+// scalar merge. Selected at runtime via __builtin_cpu_supports.
+
+struct WupStats {
+  double dot = 0.0;        // dot(sub(a,b), b)
+  double sub_norm2 = 0.0;  // ‖sub(a,b)‖²
 };
 
-CommonStats common_stats(const Profile& a, const Profile& b) {
-  CommonStats stats;
-  const auto& ea = a.entries();
-  const auto& eb = b.entries();
+WupStats wup_stats_scalar(const Profile& a, const Profile& b) {
+  const ItemId* ia = a.ids().data();
+  const ItemId* ib = b.ids().data();
+  const double* sa = a.scores().data();
+  const double* sb = b.scores().data();
+  const std::size_t na = a.size(), nb = b.size();
+  WupStats s;
   std::size_t i = 0, j = 0;
-  while (i < ea.size() && j < eb.size()) {
-    if (ea[i].id < eb[j].id) {
-      ++i;
-    } else if (eb[j].id < ea[i].id) {
-      ++j;
-    } else {
-      const double sa = ea[i].score;
-      const double sb = eb[j].score;
-      stats.dot += sa * sb;
-      stats.sub_norm2 += sa * sa;
-      stats.sum_a += sa;
-      stats.sum_b += sb;
-      stats.sum_a2 += sa * sa;
-      stats.sum_b2 += sb * sb;
-      ++stats.common;
-      if (sa > 0.5 && sb > 0.5) ++stats.both_liked;
-      ++i;
-      ++j;
+  while (i < na && j < nb) {
+    const ItemId da = ia[i], db = ib[j];
+    if (da == db) {
+      const double va = sa[i];
+      s.dot += va * sb[j];
+      s.sub_norm2 += va * va;
     }
+    i += da <= db ? 1 : 0;
+    j += db <= da ? 1 : 0;
+  }
+  return s;
+}
+
+double common_dot_scalar(const Profile& a, const Profile& b) {
+  const ItemId* ia = a.ids().data();
+  const ItemId* ib = b.ids().data();
+  const double* sa = a.scores().data();
+  const double* sb = b.scores().data();
+  const std::size_t na = a.size(), nb = b.size();
+  double dot = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < na && j < nb) {
+    const ItemId da = ia[i], db = ib[j];
+    if (da == db) dot += sa[i] * sb[j];
+    i += da <= db ? 1 : 0;
+    j += db <= da ? 1 : 0;
+  }
+  return dot;
+}
+
+#ifdef WHATSUP_X86_DISPATCH
+
+// Match bits for one 8×8 block pair: compare `va` against all 8 cyclic
+// rotations of `vb`. Rotation r lane l set ⟺ a[i+l] == b[j + ((l+r)&7)].
+// Returns the l-major transpose (bit 8l+r), so ascending bit position scans
+// matches in ascending a-lane order.
+__attribute__((target("avx512f"))) inline std::uint64_t block_matches(
+    __m512i va, __m512i vb) {
+  std::uint64_t rows = 0;
+  // Independent permutes (no serial rotate chain) keep the 8 compares in
+  // flight together.
+  const __m512i base = _mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0);
+  const __m512i seven = _mm512_set1_epi64(7);
+#define WHATSUP_ROT(r)                                                      \
+  {                                                                         \
+    const __m512i idx =                                                     \
+        _mm512_and_epi64(_mm512_add_epi64(base, _mm512_set1_epi64(r)), seven); \
+    const __m512i rot = _mm512_permutexvar_epi64(idx, vb);                  \
+    rows |= static_cast<std::uint64_t>(_mm512_cmpeq_epi64_mask(va, rot))    \
+            << (8 * (r));                                                   \
+  }
+  WHATSUP_ROT(0)
+  WHATSUP_ROT(1)
+  WHATSUP_ROT(2)
+  WHATSUP_ROT(3)
+  WHATSUP_ROT(4)
+  WHATSUP_ROT(5)
+  WHATSUP_ROT(6)
+  WHATSUP_ROT(7)
+#undef WHATSUP_ROT
+  if (rows == 0) return 0;
+  // 8×8 bit-matrix transpose (Hacker's Delight §7-3): r-major → l-major.
+  std::uint64_t t = rows, tmp;
+  tmp = (t ^ (t >> 7)) & 0x00AA00AA00AA00AAULL;
+  t ^= tmp ^ (tmp << 7);
+  tmp = (t ^ (t >> 14)) & 0x0000CCCC0000CCCCULL;
+  t ^= tmp ^ (tmp << 14);
+  tmp = (t ^ (t >> 28)) & 0x00000000F0F0F0F0ULL;
+  t ^= tmp ^ (tmp << 28);
+  return t;
+}
+
+__attribute__((target("avx512f"))) WupStats wup_stats_avx512(const Profile& a,
+                                                             const Profile& b) {
+  const ItemId* ia = a.ids().data();
+  const ItemId* ib = b.ids().data();
+  const double* sa = a.scores().data();
+  const double* sb = b.scores().data();
+  const std::size_t na = a.size(), nb = b.size();
+  WupStats s;
+  std::size_t i = 0, j = 0;
+  while (i + 8 <= na && j + 8 <= nb) {
+    const __m512i va = _mm512_loadu_si512(ia + i);
+    const __m512i vb = _mm512_loadu_si512(ib + j);
+    std::uint64_t matches = block_matches(va, vb);
+    while (matches != 0) {
+      const int t = __builtin_ctzll(matches);
+      matches &= matches - 1;
+      const int l = t >> 3, r = t & 7;
+      const double av = sa[i + static_cast<std::size_t>(l)];
+      const double bv = sb[j + static_cast<std::size_t>((l + r) & 7)];
+      s.dot += av * bv;
+      s.sub_norm2 += av * av;
+    }
+    const ItemId amax = ia[i + 7], bmax = ib[j + 7];
+    i += amax <= bmax ? 8 : 0;
+    j += bmax <= amax ? 8 : 0;
+  }
+  while (i < na && j < nb) {
+    const ItemId da = ia[i], db = ib[j];
+    if (da == db) {
+      const double va = sa[i];
+      s.dot += va * sb[j];
+      s.sub_norm2 += va * va;
+    }
+    i += da <= db ? 1 : 0;
+    j += db <= da ? 1 : 0;
+  }
+  return s;
+}
+
+__attribute__((target("avx512f"))) double common_dot_avx512(const Profile& a,
+                                                            const Profile& b) {
+  const ItemId* ia = a.ids().data();
+  const ItemId* ib = b.ids().data();
+  const double* sa = a.scores().data();
+  const double* sb = b.scores().data();
+  const std::size_t na = a.size(), nb = b.size();
+  double dot = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i + 8 <= na && j + 8 <= nb) {
+    const __m512i va = _mm512_loadu_si512(ia + i);
+    const __m512i vb = _mm512_loadu_si512(ib + j);
+    std::uint64_t matches = block_matches(va, vb);
+    while (matches != 0) {
+      const int t = __builtin_ctzll(matches);
+      matches &= matches - 1;
+      const int l = t >> 3, r = t & 7;
+      dot += sa[i + static_cast<std::size_t>(l)] *
+             sb[j + static_cast<std::size_t>((l + r) & 7)];
+    }
+    const ItemId amax = ia[i + 7], bmax = ib[j + 7];
+    i += amax <= bmax ? 8 : 0;
+    j += bmax <= amax ? 8 : 0;
+  }
+  while (i < na && j < nb) {
+    const ItemId da = ia[i], db = ib[j];
+    if (da == db) dot += sa[i] * sb[j];
+    i += da <= db ? 1 : 0;
+    j += db <= da ? 1 : 0;
+  }
+  return dot;
+}
+
+bool have_avx512() { return __builtin_cpu_supports("avx512f") != 0; }
+
+WupStats (*const wup_stats)(const Profile&, const Profile&) =
+    have_avx512() ? wup_stats_avx512 : wup_stats_scalar;
+double (*const common_dot)(const Profile&, const Profile&) =
+    have_avx512() ? common_dot_avx512 : common_dot_scalar;
+
+#else
+
+constexpr WupStats (*wup_stats)(const Profile&, const Profile&) = wup_stats_scalar;
+constexpr double (*common_dot)(const Profile&, const Profile&) = common_dot_scalar;
+
+#endif  // WHATSUP_X86_DISPATCH
+
+// |liked(a) ∩ liked(b)| — Jaccard only (off the clustering hot path).
+std::size_t common_both_liked(const Profile& a, const Profile& b) {
+  const ItemId* ia = a.ids().data();
+  const ItemId* ib = b.ids().data();
+  const double* sa = a.scores().data();
+  const double* sb = b.scores().data();
+  const std::size_t na = a.size(), nb = b.size();
+  std::size_t both = 0;
+  std::size_t i = 0, j = 0;
+  while (i < na && j < nb) {
+    const ItemId da = ia[i], db = ib[j];
+    if (da == db && sa[i] > 0.5 && sb[j] > 0.5) ++both;
+    i += da <= db ? 1 : 0;
+    j += db <= da ? 1 : 0;
+  }
+  return both;
+}
+
+// Full co-rating statistics — Pearson only.
+struct PearsonStats {
+  double dot = 0.0;
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  double sum_a2 = 0.0;
+  double sum_b2 = 0.0;
+  std::size_t common = 0;
+};
+
+PearsonStats pearson_stats(const Profile& a, const Profile& b) {
+  const ItemId* ia = a.ids().data();
+  const ItemId* ib = b.ids().data();
+  const double* sa = a.scores().data();
+  const double* sb = b.scores().data();
+  const std::size_t na = a.size(), nb = b.size();
+  PearsonStats stats;
+  std::size_t i = 0, j = 0;
+  while (i < na && j < nb) {
+    const ItemId da = ia[i], db = ib[j];
+    if (da == db) {
+      const double va = sa[i], vb = sb[j];
+      stats.dot += va * vb;
+      stats.sum_a += va;
+      stats.sum_b += vb;
+      stats.sum_a2 += va * va;
+      stats.sum_b2 += vb * vb;
+      ++stats.common;
+    }
+    i += da <= db ? 1 : 0;
+    j += db <= da ? 1 : 0;
   }
   return stats;
 }
@@ -64,7 +268,7 @@ std::string to_string(Metric metric) {
 }
 
 double wup_similarity(const Profile& subject, const Profile& candidate) {
-  const CommonStats stats = common_stats(subject, candidate);
+  const WupStats stats = wup_stats(subject, candidate);
   if (stats.sub_norm2 <= 0.0) return 0.0;
   const double cand_norm = candidate.norm();
   if (cand_norm <= 0.0) return 0.0;
@@ -72,34 +276,30 @@ double wup_similarity(const Profile& subject, const Profile& candidate) {
 }
 
 double cosine_similarity(const Profile& a, const Profile& b) {
-  const CommonStats stats = common_stats(a, b);
   const double na = a.norm();
   const double nb = b.norm();
   if (na <= 0.0 || nb <= 0.0) return 0.0;
-  return clamp01(stats.dot / (na * nb));
+  return clamp01(common_dot(a, b) / (na * nb));
 }
 
 double jaccard_similarity(const Profile& a, const Profile& b) {
-  const CommonStats stats = common_stats(a, b);
-  const std::size_t liked_a = a.liked_count();
-  const std::size_t liked_b = b.liked_count();
-  const std::size_t uni = liked_a + liked_b - stats.both_liked;
+  const std::size_t both_liked = common_both_liked(a, b);
+  const std::size_t uni = a.liked_count() + b.liked_count() - both_liked;
   if (uni == 0) return 0.0;
-  return static_cast<double>(stats.both_liked) / static_cast<double>(uni);
+  return static_cast<double>(both_liked) / static_cast<double>(uni);
 }
 
 double overlap_similarity(const Profile& a, const Profile& b) {
-  const CommonStats stats = common_stats(a, b);
   const double na = a.norm();
   const double nb = b.norm();
-  const double denom = std::min(na, nb) * std::max(std::min(na, nb), 1e-12);
   if (na <= 0.0 || nb <= 0.0) return 0.0;
   // dot / min(‖a‖,‖b‖)² keeps binary profiles in [0,1].
-  return clamp01(stats.dot / denom);
+  const double m = std::min(na, nb);
+  return clamp01(common_dot(a, b) / (m * m));
 }
 
 double pearson_similarity(const Profile& a, const Profile& b) {
-  const CommonStats stats = common_stats(a, b);
+  const PearsonStats stats = pearson_stats(a, b);
   if (stats.common < 2) return 0.0;
   const auto n = static_cast<double>(stats.common);
   const double cov = stats.dot - stats.sum_a * stats.sum_b / n;

@@ -40,7 +40,7 @@ double cosine_similarity(const Profile& a, const Profile& b);
 // |liked(a) ∩ liked(b)| / |liked(a) ∪ liked(b)| with liked = score > 0.5.
 double jaccard_similarity(const Profile& a, const Profile& b);
 
-// dot(common) / min(‖a‖, ‖b‖).
+// dot(common) / min(‖a‖, ‖b‖)², clamped to [0, 1].
 double overlap_similarity(const Profile& a, const Profile& b);
 
 // Pearson correlation over co-rated items, rescaled to [0, 1].

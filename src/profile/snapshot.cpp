@@ -1,0 +1,39 @@
+#include "profile/snapshot.hpp"
+
+namespace whatsup {
+
+const std::shared_ptr<const Profile>& empty_profile_snapshot() {
+  static const std::shared_ptr<const Profile> kEmpty =
+      std::make_shared<const Profile>();
+  return kEmpty;
+}
+
+std::shared_ptr<const Profile> ProfileSnapshotCache::get(const Profile& profile) {
+  if (profile.version() == 0) return empty_profile_snapshot();
+  if (snapshot_ == nullptr || version_ != profile.version()) {
+    snapshot_ = std::make_shared<const Profile>(profile);
+    version_ = profile.version();
+  }
+  return snapshot_;
+}
+
+double SimilarityMemo::score(Metric metric, const Profile& subject, NodeId node,
+                             const Profile& candidate) {
+  const std::uint64_t subject_version = subject.version();
+  const std::uint64_t candidate_version = candidate.version();
+  auto it = entries_.find(node);
+  if (it != entries_.end() && it->second.subject_version == subject_version &&
+      it->second.candidate_version == candidate_version &&
+      it->second.metric == metric) {
+    return it->second.value;
+  }
+  const double value = similarity(metric, subject, candidate);
+  if (it == entries_.end()) {
+    if (entries_.size() >= kMaxEntries) entries_.clear();
+    it = entries_.try_emplace(node).first;
+  }
+  it->second = Entry{subject_version, candidate_version, metric, value};
+  return value;
+}
+
+}  // namespace whatsup

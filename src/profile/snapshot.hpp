@@ -1,0 +1,70 @@
+// Version-keyed caches around immutable profile snapshots — the memory
+// half of the gossip hot path.
+//
+// Descriptors ship profiles as shared, immutable `shared_ptr<const
+// Profile>` snapshots (net::Descriptor). The seed implementation deep-
+// copied the sender's profile into a fresh snapshot for EVERY outgoing
+// gossip message, and rescored every candidate descriptor from scratch on
+// EVERY view merge. Both are redundant while the underlying profiles are
+// unchanged, which `Profile::version()` detects exactly: equal versions
+// imply equal contents (see profile.hpp).
+//
+//  * `ProfileSnapshotCache` re-materializes a node's outgoing snapshot
+//    only when its profile version changed; all empty profiles share one
+//    static snapshot.
+//  * `SimilarityMemo` memoizes similarity(metric, subject, candidate) per
+//    candidate node, keyed by (candidate node, candidate profile version,
+//    subject profile version, metric). Scores are recomputed only for
+//    descriptors whose profile (or whose subject) actually changed, and
+//    memoized values are bit-equal to fresh ones because similarity() is a
+//    pure function of the two profiles.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "profile/similarity.hpp"
+
+namespace whatsup {
+
+// Shared snapshot of the empty profile (descriptors with no payload).
+const std::shared_ptr<const Profile>& empty_profile_snapshot();
+
+class ProfileSnapshotCache {
+ public:
+  // Returns an immutable snapshot with the same contents as `profile`,
+  // reusing the previous snapshot while the version is unchanged.
+  std::shared_ptr<const Profile> get(const Profile& profile);
+
+ private:
+  std::shared_ptr<const Profile> snapshot_;
+  std::uint64_t version_ = 0;
+};
+
+class SimilarityMemo {
+ public:
+  // Memoized similarity(metric, subject, candidate); `node` is the owner
+  // of `candidate` (the descriptor's node id, unique within one merge).
+  double score(Metric metric, const Profile& subject, NodeId node,
+               const Profile& candidate);
+
+  void clear() { entries_.clear(); }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t subject_version = 0;
+    std::uint64_t candidate_version = 0;
+    Metric metric = Metric::kWup;
+    double value = 0.0;
+  };
+
+  // One entry per peer node; bounded by the peers a node ever scores. The
+  // cap is a safety valve for very large deployments.
+  static constexpr std::size_t kMaxEntries = 1 << 14;
+  std::unordered_map<NodeId, Entry> entries_;
+};
+
+}  // namespace whatsup

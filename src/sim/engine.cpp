@@ -38,28 +38,44 @@ Engine::Engine(Config config) : config_(config), rng_(config.seed) {
 NodeId Engine::add_agent(std::unique_ptr<Agent> agent) {
   agents_.push_back(std::move(agent));
   active_.push_back(true);
-  return static_cast<NodeId>(agents_.size() - 1);
+  const auto id = static_cast<NodeId>(agents_.size() - 1);
+  ++num_active_;
+  active_ids_.push_back(id);  // registration order is ascending
+  return id;
 }
 
-void Engine::set_active(NodeId id, bool active) { active_.at(id) = active; }
-
-std::size_t Engine::num_active() const {
-  return static_cast<std::size_t>(std::count(active_.begin(), active_.end(), true));
+void Engine::set_active(NodeId id, bool active) {
+  if (active_.at(id) == active) return;
+  active_[id] = active;
+  // Activity flips are rare (churn events), so the ordered-insert cost is
+  // noise next to the per-cycle scans it replaces.
+  const auto it = std::lower_bound(active_ids_.begin(), active_ids_.end(), id);
+  if (active) {
+    ++num_active_;
+    active_ids_.insert(it, id);
+  } else {
+    --num_active_;
+    active_ids_.erase(it);
+  }
 }
 
 NodeId Engine::random_active(NodeId excluding) {
-  std::size_t n = num_active();
+  const std::size_t n = num_active_;
   if (n == 0) return kNoNode;
   if (excluding != kNoNode && excluding < active_.size() && active_[excluding]) {
     if (n == 1) return kNoNode;
   }
+  // Rejection sampling over the full id range: byte-identical RNG stream to
+  // the seed implementation (a direct draw from active_ids_ would consume
+  // different randomness and change fixed-seed runs).
   for (int attempts = 0; attempts < 1024; ++attempts) {
     const NodeId cand = static_cast<NodeId>(rng_.index(agents_.size()));
     if (active_[cand] && cand != excluding) return cand;
   }
-  // Dense fallback for pathological activity patterns.
-  for (NodeId v = 0; v < agents_.size(); ++v) {
-    if (active_[v] && v != excluding) return v;
+  // Dense fallback for pathological activity patterns: first active id in
+  // ascending order, as before, but without scanning the full population.
+  for (const NodeId v : active_ids_) {
+    if (v != excluding) return v;
   }
   return kNoNode;
 }
@@ -94,16 +110,18 @@ void Engine::publish(NodeId source, ItemIdx index, ItemId id) {
 void Engine::deliver_due() {
   auto& due = bucket(now_);
   if (due.empty()) return;
-  std::vector<net::Message> batch;
-  batch.swap(due);
+  // Swap the due bucket with the reusable scratch vector: the bucket
+  // inherits the scratch capacity, so steady-state cycles never reallocate
+  // message storage.
+  delivery_batch_.clear();
+  delivery_batch_.swap(due);
   // Randomize delivery order to avoid send-order artifacts.
-  rng_.shuffle(batch);
-  std::vector<std::size_t> inbox_count;
-  if (config_.network.inbox_capacity > 0) inbox_count.assign(agents_.size(), 0);
-  for (net::Message& m : batch) {
+  rng_.shuffle(delivery_batch_);
+  if (config_.network.inbox_capacity > 0) inbox_count_.assign(agents_.size(), 0);
+  for (net::Message& m : delivery_batch_) {
     if (!active_[m.to]) continue;  // node offline: message lost
     if (config_.network.inbox_capacity > 0) {
-      if (++inbox_count[m.to] > config_.network.inbox_capacity) {
+      if (++inbox_count_[m.to] > config_.network.inbox_capacity) {
         traffic_.record_dropped(net::protocol_of(m.type));  // queue overflow
         continue;
       }
@@ -111,14 +129,15 @@ void Engine::deliver_due() {
     Context ctx(*this, m.to);
     agents_[m.to]->on_message(ctx, m);
   }
+  delivery_batch_.clear();
 }
 
 void Engine::run_cycle() {
   deliver_due();
-  std::vector<NodeId> order(agents_.size());
-  std::iota(order.begin(), order.end(), NodeId{0});
-  rng_.shuffle(order);
-  for (NodeId id : order) {
+  cycle_order_.resize(agents_.size());
+  std::iota(cycle_order_.begin(), cycle_order_.end(), NodeId{0});
+  rng_.shuffle(cycle_order_);
+  for (NodeId id : cycle_order_) {
     if (!active_[id]) continue;
     Context ctx(*this, id);
     agents_[id]->on_cycle(ctx);

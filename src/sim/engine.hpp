@@ -93,7 +93,10 @@ class Engine {
   // (models nodes that have not joined yet / have left).
   void set_active(NodeId id, bool active);
   bool is_active(NodeId id) const { return active_.at(id); }
-  std::size_t num_active() const;
+  // O(1): maintained incrementally by add_agent/set_active.
+  std::size_t num_active() const { return num_active_; }
+  // Ascending ids of the currently active nodes (maintained incrementally).
+  const std::vector<NodeId>& active_ids() const { return active_ids_; }
   // Uniformly random active node, excluding `excluding`; kNoNode if none.
   NodeId random_active(NodeId excluding = kNoNode);
 
@@ -127,11 +130,21 @@ class Engine {
   Cycle now_ = 0;
   std::vector<std::unique_ptr<Agent>> agents_;
   std::vector<bool> active_;
+  std::size_t num_active_ = 0;
+  std::vector<NodeId> active_ids_;  // ascending; mirrors active_
   // pending_[c % window] holds messages due at cycle c.
   std::vector<std::vector<net::Message>> pending_;
   net::Traffic traffic_;
   DisseminationObserver* observer_ = nullptr;
   std::vector<CycleHook> hooks_;
+
+  // Per-cycle scratch buffers, reused so steady-state cycles allocate
+  // nothing: deliver_due swaps the due bucket with `delivery_batch_`
+  // (capacities circulate between the buckets and the scratch vector) and
+  // run_cycle reuses `cycle_order_`.
+  std::vector<net::Message> delivery_batch_;
+  std::vector<std::size_t> inbox_count_;
+  std::vector<NodeId> cycle_order_;
 
   std::vector<net::Message>& bucket(Cycle cycle);
   void deliver_due();

@@ -23,14 +23,17 @@ void WhatsUpAgent::bootstrap_wup(std::vector<net::Descriptor> seed) {
   wup_.bootstrap(std::move(seed));
 }
 
+const Profile& WhatsUpAgent::disclosed(Cycle now) {
+  return obfuscation_cache_.get(profile_, config_.obfuscation, self_, now);
+}
+
 void WhatsUpAgent::on_cycle(sim::Context& ctx) {
   // Profile window (§II-E): drop opinions on items older than the window.
   profile_.purge_older_than(ctx.now() - config_.params.profile_window);
   if (config_.obfuscation.enabled()) {
-    const Profile disclosed =
-        obfuscate_profile(profile_, config_.obfuscation, self_, ctx.now());
-    rps_.step(ctx, disclosed);
-    wup_.step(ctx, profile_, rps_.view(), &disclosed);
+    const Profile& snapshot = disclosed(ctx.now());
+    rps_.step(ctx, snapshot);
+    wup_.step(ctx, profile_, rps_.view(), &snapshot);
   } else {
     rps_.step(ctx, profile_);
     wup_.step(ctx, profile_, rps_.view());
@@ -41,8 +44,7 @@ void WhatsUpAgent::on_message(sim::Context& ctx, const net::Message& message) {
   switch (message.type) {
     case net::MsgType::kRpsRequest:
       if (config_.obfuscation.enabled()) {
-        rps_.on_request(ctx, message.view(),
-                        obfuscate_profile(profile_, config_.obfuscation, self_, ctx.now()));
+        rps_.on_request(ctx, message.view(), disclosed(ctx.now()));
       } else {
         rps_.on_request(ctx, message.view(), profile_);
       }
@@ -52,9 +54,8 @@ void WhatsUpAgent::on_message(sim::Context& ctx, const net::Message& message) {
       break;
     case net::MsgType::kWupRequest:
       if (config_.obfuscation.enabled()) {
-        const Profile disclosed =
-            obfuscate_profile(profile_, config_.obfuscation, self_, ctx.now());
-        wup_.on_request(ctx, message.view(), profile_, rps_.view(), &disclosed);
+        const Profile& snapshot = disclosed(ctx.now());
+        wup_.on_request(ctx, message.view(), profile_, rps_.view(), &snapshot);
       } else {
         wup_.on_request(ctx, message.view(), profile_, rps_.view());
       }
@@ -134,11 +135,12 @@ void WhatsUpAgent::cold_start_from(sim::Context& ctx, const WhatsUpAgent& contac
   // how many view profiles LIKE each item, keep the top-k.
   std::unordered_map<ItemId, std::pair<int, Cycle>> popularity;
   for (const net::Descriptor& d : rps_.view().entries()) {
-    for (const ProfileEntry& e : d.profile_ref().entries()) {
-      if (e.score > 0.5) {
-        auto& [count, ts] = popularity[e.id];
+    const Profile& p = d.profile_ref();
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (p.scores()[i] > 0.5) {
+        auto& [count, ts] = popularity[p.ids()[i]];
         ++count;
-        ts = std::max(ts, e.timestamp);
+        ts = std::max(ts, p.timestamps()[i]);
       }
     }
   }

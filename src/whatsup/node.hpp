@@ -66,6 +66,10 @@ class WhatsUpAgent : public sim::Agent {
   void handle_news(sim::Context& ctx, net::NewsPayload news);
   void forward(sim::Context& ctx, bool liked, net::NewsPayload news);
 
+  // Disclosed-profile accessor: the cached obfuscated snapshot when
+  // obfuscation is on, the true profile otherwise.
+  const Profile& disclosed(Cycle now);
+
   NodeId self_;
   WhatsUpConfig config_;
   const sim::Opinions* opinions_;
@@ -73,6 +77,9 @@ class WhatsUpAgent : public sim::Agent {
   gossip::Rps rps_;
   gossip::ClusteringProtocol wup_;
   std::unordered_set<ItemId> seen_;  // SIR "removed" state
+  // Rebuilds the disclosed snapshot only when the profile version or the
+  // obfuscation epoch changes (perf only; see docs/perf.md).
+  ObfuscatedProfileCache obfuscation_cache_;
 };
 
 }  // namespace whatsup

@@ -76,7 +76,7 @@ TEST(ColdStart, RatesThreeMostPopularItems) {
   // Exactly one of the popularity-1 items (deterministic tie-break by id).
   EXPECT_TRUE(profile.contains(300));
   EXPECT_FALSE(profile.contains(400));
-  for (const ProfileEntry& e : profile.entries()) EXPECT_EQ(e.score, 1.0);
+  for (const double score : profile.scores()) EXPECT_EQ(score, 1.0);
 }
 
 TEST(ColdStart, ColdStartItemCountHonorsParameter) {

@@ -33,8 +33,8 @@ TEST(Obfuscation, FlipRateChangesScores) {
   const Profile out = obfuscate_profile(p, config, 1, 0);
   EXPECT_EQ(out.size(), p.size());  // nothing dropped
   std::size_t changed = 0;
-  for (const ProfileEntry& e : p.entries()) {
-    if (out.score(e.id).value() != e.score) ++changed;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (out.score(p.ids()[i]).value() != p.scores()[i]) ++changed;
   }
   // flip 0.4 × coin 0.5 -> ~20% visibly changed.
   EXPECT_NEAR(static_cast<double>(changed) / 2000.0, 0.2, 0.05);

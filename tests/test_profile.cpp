@@ -33,9 +33,9 @@ TEST(Profile, EntriesSortedById) {
   p.set(10, 0, 1.0);
   p.set(20, 0, 1.0);
   ASSERT_EQ(p.size(), 3u);
-  EXPECT_EQ(p.entries()[0].id, 10u);
-  EXPECT_EQ(p.entries()[1].id, 20u);
-  EXPECT_EQ(p.entries()[2].id, 30u);
+  EXPECT_EQ(p.ids()[0], 10u);
+  EXPECT_EQ(p.ids()[1], 20u);
+  EXPECT_EQ(p.ids()[2], 30u);
 }
 
 TEST(Profile, FoldAveragesExistingScore) {
