@@ -6,9 +6,22 @@
 //
 //   items_per_second == simulated cycles / second
 //
-// Scales: 500 nodes × 200 cycles (the BENCH_micro.json baseline) plus a
-// smaller and a larger configuration for shape.
+// Scales: 500 nodes × 200 cycles (the BENCH_micro.json baseline) at
+// worker-thread counts 1/4/8, a smaller CI-smoke configuration, and a
+// 10k-node configuration exercising the sharded scheduler. Fixed-seed
+// results are bit-identical across thread counts (the determinism suite
+// asserts this); only the wall clock changes.
+//
+// Flags (parsed before Google Benchmark's own):
+//   --nodes=N     additionally register BM_WhatsUpSim_Custom at N nodes
+//   --threads=N   thread count for the custom row (default: hardware
+//                 concurrency)
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
 
 #include "analysis/runner.hpp"
 #include "dataset/survey.hpp"
@@ -16,17 +29,18 @@
 namespace whatsup {
 namespace {
 
-data::Workload macro_workload(std::size_t users) {
+data::Workload macro_workload(std::size_t users, std::size_t items) {
   Rng rng(11);
   data::SurveyConfig config;
   config.base_users = users / 2;
-  config.base_items = users / 2;  // one item per two users, like Table I's ratio
+  config.base_items = items / 2;
   config.replication = 2;
   return data::make_survey(config, rng);
 }
 
-void run_macro(benchmark::State& state, std::size_t users, Cycle publish_cycles) {
-  const data::Workload workload = macro_workload(users);
+void run_macro(benchmark::State& state, std::size_t users, std::size_t items,
+               Cycle publish_cycles, unsigned threads) {
+  const data::Workload workload = macro_workload(users, items);
   analysis::RunConfig config;
   config.approach = analysis::Approach::kWhatsUp;
   config.fanout = 8;
@@ -35,6 +49,7 @@ void run_macro(benchmark::State& state, std::size_t users, Cycle publish_cycles)
   config.publish_cycles = publish_cycles;
   config.drain_cycles = 15;
   config.measure_margin = 13;
+  config.threads = threads;
   const auto total = static_cast<std::size_t>(config.total_cycles());
   for (auto _ : state) {
     const analysis::RunResult result = analysis::run_protocol(workload, config);
@@ -43,19 +58,101 @@ void run_macro(benchmark::State& state, std::size_t users, Cycle publish_cycles)
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * total));
   state.counters["nodes"] = static_cast<double>(workload.num_users());
   state.counters["cycles"] = static_cast<double>(total);
+  state.counters["threads"] = static_cast<double>(threads);
 }
 
-void BM_WhatsUpSim_250n_100c(benchmark::State& state) { run_macro(state, 250, 80); }
-BENCHMARK(BM_WhatsUpSim_250n_100c)->Unit(benchmark::kMillisecond);
+void BM_WhatsUpSim_250n_100c(benchmark::State& state) {
+  run_macro(state, 250, 250, 80, /*threads=*/1);
+}
 
-// The BENCH_micro.json baseline configuration: >= 500 nodes, >= 200 cycles.
-void BM_WhatsUpSim_500n_200c(benchmark::State& state) { run_macro(state, 500, 180); }
-BENCHMARK(BM_WhatsUpSim_500n_200c)->Unit(benchmark::kMillisecond);
+// The BENCH_micro.json baseline configuration: >= 500 nodes, >= 200
+// cycles; state.range(0) = worker threads.
+void BM_WhatsUpSim_500n_200c(benchmark::State& state) {
+  run_macro(state, 500, 500, 180, static_cast<unsigned>(state.range(0)));
+}
 
-void BM_WhatsUpSim_1000n_200c(benchmark::State& state) { run_macro(state, 1000, 180); }
-BENCHMARK(BM_WhatsUpSim_1000n_200c)->Unit(benchmark::kMillisecond);
+void BM_WhatsUpSim_1000n_200c(benchmark::State& state) {
+  run_macro(state, 1000, 1000, 180, static_cast<unsigned>(state.range(0)));
+}
+
+// Sharded-scheduler scaling row: 10k nodes (~160 shards). The item count
+// is capped (not users/2): at 10k nodes a Table-I-ratio publication storm
+// keeps millions of fat news payloads in flight per cycle, which
+// benchmarks the allocator, not the scheduler.
+void BM_WhatsUpSim_10000n_50c(benchmark::State& state) {
+  run_macro(state, 10000, 500, 30, static_cast<unsigned>(state.range(0)));
+}
+
+unsigned g_custom_threads = 0;  // 0 = hardware concurrency
+std::size_t g_custom_nodes = 0;
+
+void BM_WhatsUpSim_Custom(benchmark::State& state) {
+  const unsigned threads = g_custom_threads != 0
+                               ? g_custom_threads
+                               : std::max(1u, std::thread::hardware_concurrency());
+  run_macro(state, g_custom_nodes, std::max<std::size_t>(g_custom_nodes / 20, 50), 50,
+            threads);
+}
+
+// Consumes --nodes=/--threads= (also "--flag value" form) and compacts
+// argv so Google Benchmark never sees them.
+void parse_local_flags(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const auto match = [&](const char* name, std::string& value) {
+      const std::string prefix = std::string("--") + name;
+      if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) != 0) return false;
+      const char* rest = argv[i] + prefix.size();
+      if (*rest == '=') {
+        value = rest + 1;
+        return true;
+      }
+      if (*rest == '\0' && i + 1 < argc) {
+        value = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    std::string value;
+    if (match("nodes", value)) {
+      g_custom_nodes = static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else if (match("threads", value)) {
+      g_custom_threads = static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+}
 
 }  // namespace
 }  // namespace whatsup
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  whatsup::parse_local_flags(argc, argv);
+  benchmark::RegisterBenchmark("BM_WhatsUpSim_250n_100c",
+                               whatsup::BM_WhatsUpSim_250n_100c)
+      ->Unit(benchmark::kMillisecond);
+  for (auto* bench :
+       {benchmark::RegisterBenchmark("BM_WhatsUpSim_500n_200c",
+                                     whatsup::BM_WhatsUpSim_500n_200c),
+        benchmark::RegisterBenchmark("BM_WhatsUpSim_1000n_200c",
+                                     whatsup::BM_WhatsUpSim_1000n_200c),
+        benchmark::RegisterBenchmark("BM_WhatsUpSim_10000n_50c",
+                                     whatsup::BM_WhatsUpSim_10000n_50c)}) {
+    // UseRealTime: cycles/s must reflect the wall clock, not the calling
+    // thread's CPU time (which sleeps at phase barriers while the pool
+    // works).
+    bench->Unit(benchmark::kMillisecond)->UseRealTime()->Arg(1)->Arg(4)->Arg(8);
+  }
+  if (whatsup::g_custom_nodes != 0) {
+    benchmark::RegisterBenchmark("BM_WhatsUpSim_Custom", whatsup::BM_WhatsUpSim_Custom)
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

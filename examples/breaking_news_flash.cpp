@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7, "RNG seed"));
   const int fanout = static_cast<int>(flags.get_int("fanout", 5, "BEEP fLIKE"));
+  const auto threads = static_cast<unsigned>(
+      flags.get_int("threads", 0, "engine worker threads (0 = hardware concurrency)"));
   if (flags.maybe_print_help(std::cout)) return 0;
 
   const data::Workload workload = analysis::standard_workload("survey", seed, 0.5);
@@ -24,6 +26,7 @@ int main(int argc, char** argv) {
   analysis::RunConfig config = analysis::default_run_config(seed);
   config.approach = analysis::Approach::kWhatsUp;
   config.fanout = fanout;
+  config.threads = threads;
   const analysis::RunResult result = analysis::run_protocol(workload, config);
 
   // Pick the most popular measured item: the "breaking news".

@@ -18,6 +18,8 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 3, "RNG seed"));
   const double scale = flags.get_double("scale", 0.2, "workload scale (1 = 3703 authors)");
   const int fanout = static_cast<int>(flags.get_int("fanout", 10, "BEEP fLIKE"));
+  const auto threads = static_cast<unsigned>(
+      flags.get_int("threads", 0, "engine worker threads (0 = hardware concurrency)"));
   if (flags.maybe_print_help(std::cout)) return 0;
 
   const data::Workload w = analysis::standard_workload("synthetic", seed, scale);
@@ -28,6 +30,7 @@ int main(int argc, char** argv) {
   analysis::RunConfig config = analysis::default_run_config(seed);
   config.approach = analysis::Approach::kWhatsUp;
   config.fanout = fanout;
+  config.threads = threads;
   const analysis::RunResult r = analysis::run_protocol(w, config);
 
   // Per-community recall/precision over the measured items.

@@ -18,6 +18,8 @@ int main(int argc, char** argv) {
       static_cast<Cycle>(flags.get_int("event-cycle", 60, "join/switch cycle"));
   const auto total = static_cast<Cycle>(flags.get_int("cycles", 140, "total cycles"));
   const int trials = static_cast<int>(flags.get_int("trials", 2, "averaged trials"));
+  const auto threads = static_cast<unsigned>(
+      flags.get_int("threads", 0, "engine worker threads (0 = hardware concurrency)"));
   if (flags.maybe_print_help(std::cout)) return 0;
 
   const data::Workload workload = analysis::standard_workload("survey", seed, 0.25);
@@ -27,9 +29,9 @@ int main(int argc, char** argv) {
             << " trials.\n\n";
 
   const analysis::DynamicsSeries wup =
-      analysis::run_dynamics(workload, Metric::kWup, seed, event, total, trials);
-  const analysis::DynamicsSeries cos =
-      analysis::run_dynamics(workload, Metric::kCosine, seed, event, total, trials);
+      analysis::run_dynamics(workload, Metric::kWup, seed, event, total, trials, threads);
+  const analysis::DynamicsSeries cos = analysis::run_dynamics(
+      workload, Metric::kCosine, seed, event, total, trials, threads);
 
   Table table({"Cycle", "ref sim (WUP)", "join sim (WUP)", "join sim (cosine)",
                "change sim (WUP)", "liked news/cycle (joiner)"});

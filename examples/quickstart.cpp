@@ -18,6 +18,8 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42, "RNG seed"));
   const int fanout = static_cast<int>(flags.get_int("fanout", 8, "BEEP fLIKE"));
   const double scale = flags.get_double("scale", 0.5, "workload scale (1 = 480 users)");
+  const auto threads = static_cast<unsigned>(
+      flags.get_int("threads", 0, "engine worker threads (0 = hardware concurrency)"));
   if (flags.maybe_print_help(std::cout)) return 0;
 
   // 1. A workload: who likes what, who publishes what, and when.
@@ -30,6 +32,7 @@ int main(int argc, char** argv) {
   analysis::RunConfig config = analysis::default_run_config(seed);
   config.approach = analysis::Approach::kWhatsUp;
   config.fanout = fanout;
+  config.threads = threads;
 
   // 3. Run and inspect.
   const analysis::RunResult result = analysis::run_protocol(workload, config);

@@ -66,7 +66,7 @@ RunConfig default_run_config(std::uint64_t seed) {
 
 DynamicsSeries run_dynamics(const data::Workload& base_workload, Metric metric,
                             std::uint64_t seed, Cycle event_cycle, Cycle total_cycles,
-                            int trials) {
+                            int trials, unsigned threads) {
   DynamicsSeries out;
   const auto cycles = static_cast<std::size_t>(total_cycles);
   out.cycle.resize(cycles);
@@ -95,6 +95,7 @@ DynamicsSeries run_dynamics(const data::Workload& base_workload, Metric metric,
 
     sim::Engine::Config engine_config;
     engine_config.seed = rng.next_u64();
+    engine_config.threads = threads;
     sim::Engine engine(engine_config);
 
     WorkloadOpinions ground_truth(workload);

@@ -35,9 +35,11 @@ struct DynamicsSeries {
   std::vector<double> ref_liked, join_liked, change_liked;  // Fig. 7c
 };
 
+// `threads` is the engine worker-thread count (0 = hardware concurrency);
+// the series are bit-identical for any value.
 DynamicsSeries run_dynamics(const data::Workload& workload, Metric metric,
                             std::uint64_t seed, Cycle event_cycle, Cycle total_cycles,
-                            int trials);
+                            int trials, unsigned threads = 1);
 
 // ---- Table printers ------------------------------------------------------
 

@@ -92,6 +92,7 @@ RunResult run_protocol(const data::Workload& base_workload, const RunConfig& con
   sim::Engine::Config engine_config;
   engine_config.seed = rng.next_u64();
   engine_config.network = config.network;
+  engine_config.threads = config.threads;
   sim::Engine engine(engine_config);
 
   WorkloadOpinions opinions(workload);

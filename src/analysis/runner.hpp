@@ -41,6 +41,9 @@ struct RunConfig {
   Params params;
   net::NetworkConfig network;
   std::uint64_t seed = 1;
+  // Worker threads for the engine's parallel phases (0 = hardware
+  // concurrency). Results are bit-identical for any value.
+  unsigned threads = 1;
 
   Cycle warmup_cycles = 5;    // gossip-only cycles before the first item
   Cycle publish_cycles = 50;  // length of the publication phase

@@ -11,7 +11,7 @@ void CascadeAgent::on_message(sim::Context& ctx, const net::Message& message) {
   net::NewsPayload news = message.news();
   if (!seen_.insert(news.id).second) return;
   const bool liked = opinions_->likes(self_, news.index);
-  if (sim::DisseminationObserver* obs = ctx.engine().observer(); obs != nullptr) {
+  if (sim::DisseminationObserver* obs = ctx.observer(); obs != nullptr) {
     obs->on_delivery(self_, news.index, news.hops, false, 0);
     obs->on_opinion(self_, news.index, liked);
   }
@@ -30,7 +30,7 @@ void CascadeAgent::publish(sim::Context& ctx, ItemIdx index, ItemId id) {
 }
 
 void CascadeAgent::cascade(sim::Context& ctx, net::NewsPayload news) {
-  if (sim::DisseminationObserver* obs = ctx.engine().observer(); obs != nullptr) {
+  if (sim::DisseminationObserver* obs = ctx.observer(); obs != nullptr) {
     obs->on_forward(self_, news.index, news.hops, true, friends_.size());
   }
   news.hops += 1;

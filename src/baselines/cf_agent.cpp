@@ -43,14 +43,14 @@ void CfAgent::on_message(sim::Context& ctx, const net::Message& message) {
 void CfAgent::handle_news(sim::Context& ctx, net::NewsPayload news) {
   if (!seen_.insert(news.id).second) return;
   const bool liked = opinions_->likes(self_, news.index);
-  if (sim::DisseminationObserver* obs = ctx.engine().observer(); obs != nullptr) {
+  if (sim::DisseminationObserver* obs = ctx.observer(); obs != nullptr) {
     obs->on_delivery(self_, news.index, news.hops, false, 0);
     obs->on_opinion(self_, news.index, liked);
   }
   profile_.set(news.id, news.created, liked ? 1.0 : 0.0);
   if (!liked) {
     // CF takes no action on disliked items (§IV-B).
-    if (sim::DisseminationObserver* obs = ctx.engine().observer(); obs != nullptr) {
+    if (sim::DisseminationObserver* obs = ctx.observer(); obs != nullptr) {
       obs->on_forward(self_, news.index, news.hops, false, 0);
     }
     return;
@@ -61,7 +61,7 @@ void CfAgent::handle_news(sim::Context& ctx, net::NewsPayload news) {
 void CfAgent::forward_to_neighbors(sim::Context& ctx, net::NewsPayload news) {
   // Forward to ALL k nearest neighbors (the clustering view).
   const auto targets = knn_.view().members();
-  if (sim::DisseminationObserver* obs = ctx.engine().observer(); obs != nullptr) {
+  if (sim::DisseminationObserver* obs = ctx.observer(); obs != nullptr) {
     obs->on_forward(self_, news.index, news.hops, true, targets.size());
   }
   news.hops += 1;

@@ -27,7 +27,7 @@ void GossipAgent::on_message(sim::Context& ctx, const net::Message& message) {
       net::NewsPayload news = message.news();
       if (!seen_.insert(news.id).second) return;
       const bool liked = opinions_->likes(self_, news.index);
-      if (sim::DisseminationObserver* obs = ctx.engine().observer(); obs != nullptr) {
+      if (sim::DisseminationObserver* obs = ctx.observer(); obs != nullptr) {
         obs->on_delivery(self_, news.index, news.hops, false, 0);
         obs->on_opinion(self_, news.index, liked);
       }
@@ -54,7 +54,7 @@ void GossipAgent::spread(sim::Context& ctx, net::NewsPayload news, bool liked) {
   // Ids only — same sampling stream as random_subset, no descriptor copies.
   const auto targets =
       rps_.view().random_members(ctx.rng(), static_cast<std::size_t>(fanout_));
-  if (sim::DisseminationObserver* obs = ctx.engine().observer(); obs != nullptr) {
+  if (sim::DisseminationObserver* obs = ctx.observer(); obs != nullptr) {
     obs->on_forward(self_, news.index, news.hops, liked, targets.size());
   }
   news.hops += 1;

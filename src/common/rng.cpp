@@ -48,6 +48,16 @@ Rng Rng::fork(std::uint64_t stream) const {
   return Rng{splitmix64(mixed) ^ stream};
 }
 
+Rng Rng::fork(std::uint64_t stream, std::uint64_t substream) const {
+  // Chain both counters through independent splitmix mixes; a single xor
+  // of the raw counters would collide on (a^b) pairs.
+  std::uint64_t s = state_[0] ^ (state_[2] + 0x632be59bd9b4e019ULL);
+  s ^= splitmix64(stream);
+  std::uint64_t t = substream ^ 0x94d049bb133111ebULL;
+  s += splitmix64(t);
+  return Rng{splitmix64(s) ^ stream ^ rotl(substream, 32)};
+}
+
 double Rng::uniform() {
   return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
 }

@@ -30,6 +30,13 @@ class Rng {
   // parent with the same `stream` always yields the same child.
   [[nodiscard]] Rng fork(std::uint64_t stream) const;
 
+  // Two-level counter-based fork: the child is a pure function of the
+  // parent STATE and (stream, substream), so a pristine root forked with
+  // (node, cycle) yields the same generator no matter how many draws any
+  // other stream has consumed. This is the engine's per-node per-cycle
+  // reseed primitive (see docs/architecture.md).
+  [[nodiscard]] Rng fork(std::uint64_t stream, std::uint64_t substream) const;
+
   // Uniform real in [0, 1).
   double uniform();
   // Uniform real in [lo, hi).

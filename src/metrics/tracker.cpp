@@ -1,6 +1,7 @@
 #include "metrics/tracker.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace whatsup::metrics {
 
@@ -86,6 +87,31 @@ void Tracker::on_forward(NodeId user, ItemIdx item, int hops, bool liked,
   } else {
     bump(hops_[item].forward_dislike, hops);
   }
+}
+
+std::uint64_t Tracker::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t value) {
+    h ^= value;
+    h *= 0x100000001b3ULL;
+  };
+  const auto mix_double = [&mix](double value) {
+    mix(std::bit_cast<std::uint64_t>(value));
+  };
+  for (std::size_t item = 0; item < reached_.size(); ++item) {
+    mix(item);
+    reached_[item].for_each_set([&mix](std::size_t user) { mix(user + 1); });
+    mix(0xa11ce);
+    liked_[item].for_each_set([&mix](std::size_t user) { mix(user + 1); });
+    const HopCounts& hc = hops_[item];
+    for (const auto* hist : {&hc.forward_like, &hc.infect_like, &hc.forward_dislike,
+                             &hc.infect_dislike}) {
+      mix(hist->size());
+      for (const double x : *hist) mix_double(x);
+    }
+    for (const std::uint32_t d : dislike_hist_[item]) mix(d);
+  }
+  return h;
 }
 
 void Tracker::track_node(NodeId node) { tracked_[node]; }

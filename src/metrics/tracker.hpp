@@ -65,6 +65,14 @@ class Tracker : public sim::DisseminationObserver {
   void track_node(NodeId node);
   const std::vector<std::uint32_t>& liked_series(NodeId node) const;
 
+  // FNV-1a fingerprint of the full measurement state (reached/liked sets,
+  // hop histograms, dislike histograms): equal states yield equal
+  // digests. Sampled once per cycle, a digest series pins the whole
+  // trajectory — any divergence in what was measured, or when, changes
+  // some cycle's state — which is the determinism contract the sharded
+  // scheduler is tested against (tests/test_determinism.cpp).
+  std::uint64_t digest() const;
+
  private:
   std::size_t n_users_;
   std::vector<DynBitset> reached_;

@@ -24,6 +24,9 @@ enum class MsgType : std::uint8_t {
 // Protocol family, used for traffic accounting (Fig. 8b splits bandwidth
 // into view maintenance = RPS+WUP vs news dissemination = BEEP).
 enum class Protocol : std::uint8_t { kRps, kWup, kBeep };
+// Number of Protocol enumerators; sizes every per-protocol counter array
+// (net::Traffic, sim::Shard) so they cannot drift from the enum.
+inline constexpr std::size_t kNumProtocols = 3;
 
 Protocol protocol_of(MsgType type);
 std::string to_string(MsgType type);
@@ -47,9 +50,12 @@ struct Descriptor {
 // Deep-copies `profile` into a fresh snapshot. Hot paths should prefer a
 // ProfileSnapshotCache (profile/snapshot.hpp), which reuses one immutable
 // snapshot until the profile's version changes; this helper is for tests,
-// bootstrap wiring, and other cold paths.
+// bootstrap wiring, and other cold paths. The norm cache is warmed so the
+// snapshot can be shared across shard workers (see snapshot.cpp).
 inline Descriptor make_descriptor(NodeId node, Cycle timestamp, const Profile& profile) {
-  return Descriptor{node, timestamp, std::make_shared<const Profile>(profile)};
+  auto snapshot = std::make_shared<const Profile>(profile);
+  snapshot->norm();
+  return Descriptor{node, timestamp, std::move(snapshot)};
 }
 
 // Wraps an already-materialized snapshot without copying.
@@ -85,6 +91,12 @@ struct Message {
   NodeId to = kNoNode;
   MsgType type = MsgType::kNews;
   Cycle sent_at = 0;
+  // Position within the sender's turn (stamped by sim::Context::send;
+  // main-thread Engine::send leaves it 0). Purely a label for the
+  // canonical (cycle, phase, sender, seq) order — commits rely on outbox
+  // position, never on this field — kept for diagnostics and asserted in
+  // tests/test_shard.cpp.
+  std::uint32_t seq = 0;
   std::variant<ViewPayload, NewsPayload> payload;
 
   const ViewPayload& view() const { return std::get<ViewPayload>(payload); }

@@ -13,6 +13,10 @@ void Traffic::record_sent(Protocol protocol, std::size_t bytes) {
 
 void Traffic::record_dropped(Protocol protocol) { ++dropped_[idx(protocol)]; }
 
+void Traffic::record_dropped(Protocol protocol, std::size_t n) {
+  dropped_[idx(protocol)] += n;
+}
+
 void Traffic::mark() {
   mark_messages_ = messages_;
   mark_bytes_ = bytes_;

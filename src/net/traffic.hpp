@@ -13,6 +13,8 @@ class Traffic {
  public:
   void record_sent(Protocol protocol, std::size_t bytes);
   void record_dropped(Protocol protocol);
+  // Bulk variant: merges a shard's buffered drop count at a cycle barrier.
+  void record_dropped(Protocol protocol, std::size_t n);
 
   // Snapshot current totals; `*_since_mark` report deltas from here.
   void mark();
@@ -36,7 +38,7 @@ class Traffic {
                              bool since_mark = true) const;
 
  private:
-  static constexpr std::size_t kProtocols = 3;
+  static constexpr std::size_t kProtocols = kNumProtocols;
   std::array<std::size_t, kProtocols> messages_{};
   std::array<std::size_t, kProtocols> bytes_{};
   std::array<std::size_t, kProtocols> dropped_{};

@@ -11,7 +11,12 @@ const std::shared_ptr<const Profile>& empty_profile_snapshot() {
 std::shared_ptr<const Profile> ProfileSnapshotCache::get(const Profile& profile) {
   if (profile.version() == 0) return empty_profile_snapshot();
   if (snapshot_ == nullptr || version_ != profile.version()) {
-    snapshot_ = std::make_shared<const Profile>(profile);
+    auto snapshot = std::make_shared<const Profile>(profile);
+    // Warm the lazy norm cache before the snapshot escapes this thread:
+    // snapshots are shared across shard workers, and norm()'s non-atomic
+    // memoization is only safe once materialized.
+    snapshot->norm();
+    snapshot_ = std::move(snapshot);
     version_ = profile.version();
   }
   return snapshot_;

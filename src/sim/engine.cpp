@@ -2,12 +2,34 @@
 
 #include <algorithm>
 #include <cassert>
-#include <numeric>
+#include <thread>
+
+#include "sim/shard.hpp"
 
 namespace whatsup::sim {
 
+namespace {
+
+// Stream tags deriving the engine-level and per-node stream spaces from
+// the root seed.
+constexpr std::uint64_t kEngineStreamTag = 0x656e67696e65ULL;  // "engine"
+constexpr std::uint64_t kNodeStreamTag = 0x6e6f646573ULL;      // "nodes"
+
+}  // namespace
+
 Cycle Context::now() const { return engine_.now(); }
-Rng& Context::rng() { return engine_.rng(); }
+Rng& Context::rng() { return engine_.node_rng(self_); }
+
+DisseminationObserver* Context::observer() {
+  if (shard_ != nullptr) {
+    return engine_.observer() != nullptr ? &shard_->observer : nullptr;
+  }
+  return engine_.observer();
+}
+
+NodeId Context::random_active_peer(NodeId excluding) {
+  return engine_.draw_active_excluding(rng(), self_, excluding);
+}
 
 void Context::send(NodeId to, net::MsgType type, net::ViewPayload payload) {
   net::Message m;
@@ -16,7 +38,7 @@ void Context::send(NodeId to, net::MsgType type, net::ViewPayload payload) {
   m.type = type;
   m.sent_at = engine_.now();
   m.payload = std::move(payload);
-  engine_.send(std::move(m));
+  send(std::move(m));
 }
 
 void Context::send(NodeId to, net::MsgType type, net::NewsPayload payload) {
@@ -26,14 +48,31 @@ void Context::send(NodeId to, net::MsgType type, net::NewsPayload payload) {
   m.type = type;
   m.sent_at = engine_.now();
   m.payload = std::move(payload);
-  engine_.send(std::move(m));
+  send(std::move(m));
 }
 
-Engine::Engine(Config config) : config_(config), rng_(config.seed) {
-  const std::size_t window =
-      static_cast<std::size_t>(config_.network.latency + config_.network.jitter) + 2;
-  pending_.resize(window);
+void Context::send(net::Message message) {
+  message.seq = next_seq_++;
+  if (shard_ != nullptr) {
+    // Parallel phase: buffer; the engine commits at the barrier in
+    // canonical (cycle, phase, sender, seq) order.
+    shard_->outbox.push_back(std::move(message));
+  } else {
+    engine_.send(std::move(message));
+  }
 }
+
+Engine::Engine(Config config) : config_(config) {
+  Rng root(config_.seed);
+  rng_ = root.fork(kEngineStreamTag);
+  stream_root_ = root.fork(kNodeStreamTag);
+  threads_ = config_.threads != 0
+                 ? config_.threads
+                 : std::max(1u, std::thread::hardware_concurrency());
+  shard_nodes_ = config_.shard_nodes != 0 ? config_.shard_nodes : kDefaultShardNodes;
+}
+
+Engine::~Engine() = default;
 
 NodeId Engine::add_agent(std::unique_ptr<Agent> agent) {
   agents_.push_back(std::move(agent));
@@ -41,10 +80,14 @@ NodeId Engine::add_agent(std::unique_ptr<Agent> agent) {
   const auto id = static_cast<NodeId>(agents_.size() - 1);
   ++num_active_;
   active_ids_.push_back(id);  // registration order is ascending
+  node_rng_.emplace_back();
+  node_rng_cycle_.push_back(kNoCycle);
   return id;
 }
 
 void Engine::set_active(NodeId id, bool active) {
+  assert(!in_phase_.load(std::memory_order_relaxed) &&
+         "set_active must not be called from agent code");
   if (active_.at(id) == active) return;
   active_[id] = active;
   // Activity flips are rare (churn events), so the ordered-insert cost is
@@ -59,33 +102,90 @@ void Engine::set_active(NodeId id, bool active) {
   }
 }
 
-NodeId Engine::random_active(NodeId excluding) {
-  const std::size_t n = num_active_;
-  if (n == 0) return kNoNode;
-  if (excluding != kNoNode && excluding < active_.size() && active_[excluding]) {
-    if (n == 1) return kNoNode;
-  }
-  // Rejection sampling over the full id range: byte-identical RNG stream to
-  // the seed implementation (a direct draw from active_ids_ would consume
-  // different randomness and change fixed-seed runs).
-  for (int attempts = 0; attempts < 1024; ++attempts) {
-    const NodeId cand = static_cast<NodeId>(rng_.index(agents_.size()));
-    if (active_[cand] && cand != excluding) return cand;
-  }
-  // Dense fallback for pathological activity patterns: first active id in
-  // ascending order, as before, but without scanning the full population.
-  for (const NodeId v : active_ids_) {
-    if (v != excluding) return v;
-  }
-  return kNoNode;
+NodeId Engine::draw_active(Rng& rng, NodeId excluding) const {
+  return draw_active_excluding(rng, excluding, kNoNode);
 }
 
-std::vector<net::Message>& Engine::bucket(Cycle cycle) {
-  return pending_[static_cast<std::size_t>(cycle) % pending_.size()];
+NodeId Engine::draw_active_excluding(Rng& rng, NodeId a, NodeId b) const {
+  if (a == b) b = kNoNode;
+  // Positions of the active exclusions within active_ids_, ascending.
+  std::size_t skips[2];
+  std::size_t n_skips = 0;
+  for (const NodeId ex : {std::min(a, b), std::max(a, b)}) {
+    if (ex != kNoNode && ex < active_.size() && active_[ex]) {
+      skips[n_skips++] = static_cast<std::size_t>(
+          std::lower_bound(active_ids_.begin(), active_ids_.end(), ex) -
+          active_ids_.begin());
+    }
+  }
+  const std::size_t n = active_ids_.size() - n_skips;
+  if (n == 0) return kNoNode;
+  // Closed-form draw: one index over the reduced range, shifted past the
+  // excluded slots — exactly uniform, no rejection loop to bias or spin.
+  std::size_t idx = rng.index(n);
+  for (std::size_t j = 0; j < n_skips; ++j) {
+    if (idx >= skips[j]) ++idx;
+  }
+  return active_ids_[idx];
+}
+
+NodeId Engine::random_active(NodeId excluding) { return draw_active(rng_, excluding); }
+
+Rng& Engine::node_rng(NodeId id) {
+  // Per-cycle reseed discipline: the stream is a pure function of
+  // (seed, node id, cycle), so a node's draws are independent of how much
+  // randomness any other node — or any earlier cycle — consumed.
+  if (node_rng_cycle_.at(id) != now_) {
+    node_rng_[id] = stream_root_.fork(id, static_cast<std::uint64_t>(
+                                             static_cast<std::int64_t>(now_)));
+    node_rng_cycle_[id] = now_;
+  }
+  return node_rng_[id];
+}
+
+void Engine::set_network(const net::NetworkConfig& network) {
+  config_.network = network;
+  if (!shards_.empty()) ensure_shards();  // grow mailbox rings if needed
+}
+
+std::size_t Engine::window() const {
+  return static_cast<std::size_t>(config_.network.latency + config_.network.jitter) + 2;
+}
+
+Shard& Engine::shard_for(NodeId node) {
+  // Fast path: shards already cover the node (always true once run_cycle
+  // ran). The slow path serves pre-run external sends — including, as the
+  // old global ring did, targets registered only after the send.
+  const std::size_t idx = shard_index(node);
+  if (idx >= shards_.size()) {
+    const std::size_t w = window();
+    while (shards_.size() <= idx) {
+      const auto begin = static_cast<NodeId>(shards_.size() * shard_nodes_);
+      shards_.push_back(std::make_unique<Shard>(
+          begin, static_cast<NodeId>(begin + shard_nodes_), w));
+    }
+  }
+  return *shards_[idx];
+}
+
+void Engine::ensure_shards() {
+  const std::size_t w = window();
+  const std::size_t needed =
+      agents_.empty() ? 0 : (agents_.size() + shard_nodes_ - 1) / shard_nodes_;
+  while (shards_.size() < needed) {
+    const auto begin = static_cast<NodeId>(shards_.size() * shard_nodes_);
+    shards_.push_back(std::make_unique<Shard>(
+        begin, static_cast<NodeId>(begin + shard_nodes_), w));
+  }
+  for (auto& shard : shards_) shard->grow_window(w);
 }
 
 void Engine::send(net::Message message) {
-  assert(message.to < agents_.size());
+  // Agent code must send through Context::send (which buffers into the
+  // shard outbox); committing here from a worker would race on the engine
+  // stream and the destination mailbox.
+  assert(!in_phase_.load(std::memory_order_relaxed) &&
+         "Engine::send must not be called from agent code — use Context::send");
   const net::Protocol protocol = net::protocol_of(message.type);
   traffic_.record_sent(protocol, config_.size_model.bytes(message));
   if (config_.network.loss_rate > 0.0 && rng_.bernoulli(config_.network.loss_rate)) {
@@ -97,51 +197,115 @@ void Engine::send(net::Message message) {
     delay += static_cast<Cycle>(rng_.uniform_int(0, config_.network.jitter));
   }
   delay = std::max<Cycle>(delay, 1);
-  bucket(now_ + delay).push_back(std::move(message));
+  const Cycle due = now_ + delay;
+  shard_for(message.to).bucket(due).push_back(PendingMessage{due, std::move(message)});
 }
 
 void Engine::publish(NodeId source, ItemIdx index, ItemId id) {
   assert(source < agents_.size());
+  assert(!in_phase_.load(std::memory_order_relaxed) &&
+         "publish is a between-cycles, main-thread operation");
   if (!active_[source]) return;
-  Context ctx(*this, source);
+  Context ctx(*this, source);  // main-thread: sends commit directly
   agents_[source]->publish(ctx, index, id);
 }
 
-void Engine::deliver_due() {
-  auto& due = bucket(now_);
+void Engine::deliver_shard(Shard& shard) {
+  auto& due = shard.bucket(now_);
   if (due.empty()) return;
-  // Swap the due bucket with the reusable scratch vector: the bucket
-  // inherits the scratch capacity, so steady-state cycles never reallocate
-  // message storage.
-  delivery_batch_.clear();
-  delivery_batch_.swap(due);
-  // Randomize delivery order to avoid send-order artifacts.
-  rng_.shuffle(delivery_batch_);
-  if (config_.network.inbox_capacity > 0) inbox_count_.assign(agents_.size(), 0);
-  for (net::Message& m : delivery_batch_) {
-    if (!active_[m.to]) continue;  // node offline: message lost
-    if (config_.network.inbox_capacity > 0) {
-      if (++inbox_count_[m.to] > config_.network.inbox_capacity) {
-        traffic_.record_dropped(net::protocol_of(m.type));  // queue overflow
+  // Swap the due bucket with the shard's scratch vector so capacities
+  // circulate and steady-state cycles never reallocate message storage.
+  shard.delivery_batch.clear();
+  shard.delivery_batch.swap(due);
+  // Group by receiving node (ascending), keeping the canonical commit
+  // order within each node. Nodes then shuffle THEIR OWN batch with their
+  // per-cycle stream: delivery order per node is a pure function of the
+  // seed — independent of thread count AND shard width — while still
+  // randomized against send-order artifacts (who sent first no longer
+  // decides who wins an inbox-capacity slot or a view merge).
+  std::stable_sort(shard.delivery_batch.begin(), shard.delivery_batch.end(),
+                   [](const PendingMessage& a, const PendingMessage& b) {
+                     return a.message.to < b.message.to;
+                   });
+  const std::size_t capacity = config_.network.inbox_capacity;
+  auto& batch = shard.delivery_batch;
+  for (std::size_t i = 0; i < batch.size();) {
+    assert(batch[i].due == now_);
+    const NodeId to = batch[i].message.to;
+    std::size_t j = i;
+    while (j < batch.size() && batch[j].message.to == to) ++j;
+    // Offline — or never registered (sends may precede add_agent, as with
+    // the old global ring): messages lost.
+    if (to >= agents_.size() || !active_[to]) {
+      i = j;
+      continue;
+    }
+    Rng& rng = node_rng(to);
+    for (std::size_t k = j - i; k > 1; --k) {
+      std::swap(batch[i + k - 1], batch[i + rng.index(k)]);
+    }
+    Context ctx(*this, to, &shard);
+    for (std::size_t m = i; m < j; ++m) {
+      if (capacity > 0 && m - i >= capacity) {  // queue overflow
+        ++shard.dropped[static_cast<std::size_t>(net::protocol_of(batch[m].message.type))];
         continue;
       }
+      agents_[to]->on_message(ctx, batch[m].message);
     }
-    Context ctx(*this, m.to);
-    agents_[m.to]->on_message(ctx, m);
+    i = j;
   }
-  delivery_batch_.clear();
+  shard.delivery_batch.clear();
+}
+
+void Engine::activate_shard(Shard& shard) {
+  const auto limit =
+      static_cast<NodeId>(std::min<std::size_t>(shard.end, agents_.size()));
+  for (NodeId id = shard.begin; id < limit; ++id) {
+    if (!active_[id]) continue;
+    Context ctx(*this, id, &shard);
+    agents_[id]->on_cycle(ctx);
+  }
+}
+
+void Engine::run_phase(const std::function<void(Shard&)>& phase) {
+  if (shards_.empty()) return;
+  in_phase_.store(true, std::memory_order_relaxed);
+  if (threads_ > 1 && shards_.size() > 1) {
+    if (pool_ == nullptr) pool_ = std::make_unique<WorkerPool>(threads_);
+    pool_->run(shards_.size(), [&](std::size_t i) { phase(*shards_[i]); });
+  } else {
+    for (auto& shard : shards_) phase(*shard);
+  }
+  in_phase_.store(false, std::memory_order_relaxed);
+}
+
+void Engine::commit_phase() {
+  // Ascending shard order == ascending node-id order: the canonical
+  // sequential execution this parallel schedule is defined to match.
+  // (Index loop: committing a send may grow shards_ via shard_for.)
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    if (observer_ != nullptr && !shard.observer.empty()) {
+      shard.observer.replay_into(*observer_);
+    }
+    shard.observer.clear();
+    for (std::size_t p = 0; p < shard.dropped.size(); ++p) {
+      if (shard.dropped[p] != 0) {
+        traffic_.record_dropped(static_cast<net::Protocol>(p), shard.dropped[p]);
+        shard.dropped[p] = 0;
+      }
+    }
+    for (net::Message& m : shard.outbox) send(std::move(m));
+    shard.outbox.clear();
+  }
 }
 
 void Engine::run_cycle() {
-  deliver_due();
-  cycle_order_.resize(agents_.size());
-  std::iota(cycle_order_.begin(), cycle_order_.end(), NodeId{0});
-  rng_.shuffle(cycle_order_);
-  for (NodeId id : cycle_order_) {
-    if (!active_[id]) continue;
-    Context ctx(*this, id);
-    agents_[id]->on_cycle(ctx);
-  }
+  ensure_shards();
+  run_phase([this](Shard& shard) { deliver_shard(shard); });
+  commit_phase();
+  run_phase([this](Shard& shard) { activate_shard(shard); });
+  commit_phase();
   for (const CycleHook& hook : hooks_) hook(*this, now_);
   ++now_;
 }

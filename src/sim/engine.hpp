@@ -1,17 +1,37 @@
-// Cycle-driven peer-to-peer simulation engine.
+// Cycle-driven peer-to-peer simulation engine — deterministic sharded
+// scheduler.
 //
 // Time advances in gossip cycles (the paper's simulation time unit, §IV-D).
-// Each cycle the engine (1) delivers the messages due this cycle in random
-// order, respecting the network model (loss, latency, jitter, inbox
-// capacity), then (2) activates every active agent once, in a fresh random
-// permutation. All randomness derives from a single seed.
+// Nodes are partitioned into contiguous id-range shards; each cycle runs
+// two phases, each parallel over shards on a worker pool:
+//
+//   1. DELIVER  — every shard processes its due mailbox bucket (messages
+//      routed to it at earlier barriers), grouped by receiving node in
+//      ascending id order; each node shuffles its own batch with its
+//      per-cycle stream (randomized against send-order artifacts, yet a
+//      pure function of the seed) and enforces the network model's inbox
+//      capacity.
+//   2. ACTIVATE — every shard activates its active agents once, in
+//      ascending node-id order.
+//
+// Agents never touch shared mutable state during a phase: sends buffer
+// into the shard's outbox, measurements into the shard's BufferedObserver,
+// and randomness comes from per-node counter-based streams reseeded every
+// cycle (a pure function of seed, node id and cycle — independent of
+// activation interleaving). At the barrier after each phase the engine,
+// single-threaded, replays observer events in ascending shard order and
+// commits outboxes in the canonical (cycle, phase, sender, seq) order,
+// applying loss and latency from the engine-level stream. Fixed-seed
+// trajectories are therefore bit-identical for any worker-thread count;
+// see docs/architecture.md.
 //
 // Agents are protocol endpoints (WhatsUp node, gossip node, ...); the
 // engine knows nothing about protocols. Dissemination events are reported
-// through the `DisseminationObserver` interface, implemented by
-// metrics::Tracker — the core stays metrics-agnostic.
+// through the `DisseminationObserver` interface (sim/observer.hpp),
+// implemented by metrics::Tracker — the core stays metrics-agnostic.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -22,27 +42,52 @@
 #include "net/network.hpp"
 #include "net/size_model.hpp"
 #include "net/traffic.hpp"
+#include "sim/observer.hpp"
 
 namespace whatsup::sim {
 
 class Engine;
+struct Shard;
+class WorkerPool;
 
-// Facade handed to agents: scoped send/rng/time access for one agent.
+// Facade handed to agents: scoped send/rng/time/measurement access for one
+// agent. When constructed with a shard (by the scheduler), sends and
+// observer callbacks buffer into the shard; when constructed without one
+// (main-thread drivers: publish, cold-start wiring, tests), they commit
+// directly.
 class Context {
  public:
-  Context(Engine& engine, NodeId self) : engine_(engine), self_(self) {}
+  Context(Engine& engine, NodeId self, Shard* shard = nullptr)
+      : engine_(engine), self_(self), shard_(shard) {}
 
   NodeId self() const { return self_; }
   Cycle now() const;
+  // This node's private RNG stream for the current cycle (counter-based:
+  // a pure function of the seed, the node id and the cycle).
   Rng& rng();
   Engine& engine() { return engine_; }
+
+  // The dissemination observer to report measurements to; nullptr when no
+  // observer is attached. Shard-safe: during parallel phases this is the
+  // shard's buffer, replayed in canonical order at the barrier.
+  DisseminationObserver* observer();
+
+  // Uniformly random active node other than this one (and `excluding`, if
+  // given); kNoNode if none. Draws from this node's stream, so it is safe
+  // to call from agent code under any thread count (the active set is
+  // frozen during a cycle).
+  NodeId random_active_peer(NodeId excluding = kNoNode);
 
   void send(NodeId to, net::MsgType type, net::ViewPayload payload);
   void send(NodeId to, net::MsgType type, net::NewsPayload payload);
 
  private:
+  void send(net::Message message);
+
   Engine& engine_;
   NodeId self_;
+  Shard* shard_;
+  std::uint32_t next_seq_ = 0;  // per-turn send counter (canonical tie-break)
 };
 
 // Protocol endpoint living at one node.
@@ -58,30 +103,28 @@ class Agent {
   virtual void publish(Context& ctx, ItemIdx index, ItemId id) = 0;
 };
 
-// Hook for dissemination measurements (implemented by metrics::Tracker).
-class DisseminationObserver {
- public:
-  virtual ~DisseminationObserver() = default;
-  // First delivery of `item` at node `user`.
-  virtual void on_delivery(NodeId user, ItemIdx item, int hops, bool via_dislike,
-                           int dislike_count) = 0;
-  // Opinion expressed at first receipt.
-  virtual void on_opinion(NodeId user, ItemIdx item, bool liked) = 0;
-  // A forwarding action: `user` (who `liked` or not the item) sent
-  // `n_targets` copies, `hops` hops away from the source.
-  virtual void on_forward(NodeId user, ItemIdx item, int hops, bool liked,
-                          std::size_t n_targets) = 0;
-};
-
 class Engine {
  public:
   struct Config {
     std::uint64_t seed = 42;
     net::NetworkConfig network;
     net::SizeModel size_model;
+    // Worker threads for the two per-cycle phases; 0 = hardware
+    // concurrency. The fixed-seed trajectory does NOT depend on this.
+    unsigned threads = 1;
+    // Nodes per shard; 0 = default. The fixed-seed trajectory is
+    // invariant to the width (delivery grouping and all RNG streams are
+    // per node, never per shard); the knob only trades scheduling
+    // granularity against barrier overhead.
+    std::size_t shard_nodes = 0;
   };
 
+  // Small enough that a 500-node deployment still fans out over 8 workers;
+  // barrier cost per shard is a few dozen ns, so oversharding is cheap.
+  static constexpr std::size_t kDefaultShardNodes = 64;
+
   explicit Engine(Config config);
+  ~Engine();
 
   // Registers an agent; returns its node id (dense, in registration order).
   NodeId add_agent(std::unique_ptr<Agent> agent);
@@ -90,7 +133,8 @@ class Engine {
   const Agent& agent(NodeId id) const { return *agents_.at(id); }
 
   // Inactive nodes are skipped by on_cycle and lose incoming messages
-  // (models nodes that have not joined yet / have left).
+  // (models nodes that have not joined yet / have left). Must be called
+  // between cycles (main thread), never from agent code.
   void set_active(NodeId id, bool active);
   bool is_active(NodeId id) const { return active_.at(id); }
   // O(1): maintained incrementally by add_agent/set_active.
@@ -98,19 +142,30 @@ class Engine {
   // Ascending ids of the currently active nodes (maintained incrementally).
   const std::vector<NodeId>& active_ids() const { return active_ids_; }
   // Uniformly random active node, excluding `excluding`; kNoNode if none.
+  // Closed-form draw over the active set (exactly uniform, one draw) from
+  // the engine-level stream; main-thread use only — agents should use
+  // Context::random_active_peer.
   NodeId random_active(NodeId excluding = kNoNode);
 
   Cycle now() const { return now_; }
+  // Engine-level stream for global decisions (loss, latency, schedules).
   Rng& rng() { return rng_; }
+  // The per-node stream for the current cycle (lazily reseeded).
+  Rng& node_rng(NodeId id);
   net::Traffic& traffic() { return traffic_; }
   const net::Traffic& traffic() const { return traffic_; }
   const net::NetworkConfig& network() const { return config_.network; }
-  void set_network(const net::NetworkConfig& network) { config_.network = network; }
+  void set_network(const net::NetworkConfig& network);
+  unsigned threads() const { return threads_; }
 
   DisseminationObserver* observer() { return observer_; }
   void set_observer(DisseminationObserver* observer) { observer_ = observer; }
 
-  // Queues a message (called via Context::send). Applies loss and latency.
+  // Commits a message immediately: traffic accounting, loss and latency
+  // draws (engine stream), then routing into the destination shard's
+  // mailbox. Main-thread entry point (tests, drivers); agent sends go
+  // through Context::send, which buffers into the shard outbox during
+  // parallel phases and commits here at the barrier.
   void send(net::Message message);
 
   // Injects a new item at `source` during the current cycle.
@@ -124,30 +179,48 @@ class Engine {
   using CycleHook = std::function<void(Engine&, Cycle)>;
   void add_cycle_hook(CycleHook hook) { hooks_.push_back(std::move(hook)); }
 
+  // Closed-form uniform draw over the active set minus `excluding`, using
+  // `rng`. Exposed for Context and tests.
+  NodeId draw_active(Rng& rng, NodeId excluding) const;
+  // Same, minus both `a` and `b` (either may be kNoNode).
+  NodeId draw_active_excluding(Rng& rng, NodeId a, NodeId b) const;
+
  private:
   Config config_;
-  Rng rng_;
+  Rng rng_;          // engine-level stream (global decisions)
+  Rng stream_root_;  // pristine root for counter-based forks; never drawn
   Cycle now_ = 0;
   std::vector<std::unique_ptr<Agent>> agents_;
   std::vector<bool> active_;
   std::size_t num_active_ = 0;
   std::vector<NodeId> active_ids_;  // ascending; mirrors active_
-  // pending_[c % window] holds messages due at cycle c.
-  std::vector<std::vector<net::Message>> pending_;
+
+  // Per-node per-cycle streams, reseeded lazily on first use in a cycle.
+  std::vector<Rng> node_rng_;
+  std::vector<Cycle> node_rng_cycle_;
+
+  std::size_t shard_nodes_ = kDefaultShardNodes;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  unsigned threads_ = 1;
+  std::unique_ptr<WorkerPool> pool_;
+  std::atomic<bool> in_phase_{false};
+
   net::Traffic traffic_;
   DisseminationObserver* observer_ = nullptr;
   std::vector<CycleHook> hooks_;
 
-  // Per-cycle scratch buffers, reused so steady-state cycles allocate
-  // nothing: deliver_due swaps the due bucket with `delivery_batch_`
-  // (capacities circulate between the buckets and the scratch vector) and
-  // run_cycle reuses `cycle_order_`.
-  std::vector<net::Message> delivery_batch_;
-  std::vector<std::size_t> inbox_count_;
-  std::vector<NodeId> cycle_order_;
-
-  std::vector<net::Message>& bucket(Cycle cycle);
-  void deliver_due();
+  std::size_t window() const;
+  std::size_t shard_index(NodeId node) const { return node / shard_nodes_; }
+  Shard& shard_for(NodeId node);
+  // Sizes the shard vector and mailbox rings for the current node count
+  // and network window.
+  void ensure_shards();
+  void run_phase(const std::function<void(Shard&)>& phase);
+  // Barrier work after a phase: replay buffered observer events, merge
+  // drop counts, and commit outboxes — all in ascending shard order.
+  void commit_phase();
+  void deliver_shard(Shard& shard);
+  void activate_shard(Shard& shard);
 };
 
 }  // namespace whatsup::sim

@@ -1,0 +1,88 @@
+// Dissemination measurement hooks and their buffered form.
+//
+// Agents report dissemination events (deliveries, opinions, forwards)
+// through `DisseminationObserver`, implemented by metrics::Tracker. Under
+// the sharded scheduler the real observer must not be invoked from worker
+// threads, so each shard records events into a `BufferedObserver` and the
+// engine replays them at the cycle barrier in canonical shard order —
+// measurements see exactly the sequence a sequential run would produce.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace whatsup::sim {
+
+// Hook for dissemination measurements (implemented by metrics::Tracker).
+class DisseminationObserver {
+ public:
+  virtual ~DisseminationObserver() = default;
+  // First delivery of `item` at node `user`.
+  virtual void on_delivery(NodeId user, ItemIdx item, int hops, bool via_dislike,
+                           int dislike_count) = 0;
+  // Opinion expressed at first receipt.
+  virtual void on_opinion(NodeId user, ItemIdx item, bool liked) = 0;
+  // A forwarding action: `user` (who `liked` or not the item) sent
+  // `n_targets` copies, `hops` hops away from the source.
+  virtual void on_forward(NodeId user, ItemIdx item, int hops, bool liked,
+                          std::size_t n_targets) = 0;
+};
+
+// One recorded observer callback.
+struct ObserverEvent {
+  enum class Kind : std::uint8_t { kDelivery, kOpinion, kForward };
+  Kind kind = Kind::kDelivery;
+  NodeId user = kNoNode;
+  ItemIdx item = kNoItem;
+  int hops = 0;
+  bool flag = false;  // via_dislike (delivery) or liked (opinion/forward)
+  int dislikes = 0;
+  std::size_t n_targets = 0;
+};
+
+// Records callbacks into a vector for later replay. Used per shard; the
+// callbacks of one agent turn stay contiguous, which consumers such as
+// metrics::Tracker rely on (delivery/opinion pairing).
+class BufferedObserver final : public DisseminationObserver {
+ public:
+  void on_delivery(NodeId user, ItemIdx item, int hops, bool via_dislike,
+                   int dislike_count) override {
+    events_.push_back({ObserverEvent::Kind::kDelivery, user, item, hops, via_dislike,
+                       dislike_count, 0});
+  }
+  void on_opinion(NodeId user, ItemIdx item, bool liked) override {
+    events_.push_back({ObserverEvent::Kind::kOpinion, user, item, 0, liked, 0, 0});
+  }
+  void on_forward(NodeId user, ItemIdx item, int hops, bool liked,
+                  std::size_t n_targets) override {
+    events_.push_back(
+        {ObserverEvent::Kind::kForward, user, item, hops, liked, 0, n_targets});
+  }
+
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  // Replays the recorded events into `target` in recording order.
+  void replay_into(DisseminationObserver& target) const {
+    for (const ObserverEvent& e : events_) {
+      switch (e.kind) {
+        case ObserverEvent::Kind::kDelivery:
+          target.on_delivery(e.user, e.item, e.hops, e.flag, e.dislikes);
+          break;
+        case ObserverEvent::Kind::kOpinion:
+          target.on_opinion(e.user, e.item, e.flag);
+          break;
+        case ObserverEvent::Kind::kForward:
+          target.on_forward(e.user, e.item, e.hops, e.flag, e.n_targets);
+          break;
+      }
+    }
+  }
+
+ private:
+  std::vector<ObserverEvent> events_;
+};
+
+}  // namespace whatsup::sim

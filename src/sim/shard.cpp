@@ -1,0 +1,74 @@
+#include "sim/shard.hpp"
+
+namespace whatsup::sim {
+
+WorkerPool::WorkerPool(unsigned threads) {
+  const unsigned extra = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(extra);
+  for (unsigned i = 0; i < extra; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void WorkerPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_size_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    inflight_ = workers_.size();
+    ++job_epoch_;
+  }
+  start_cv_.notify_all();
+  // The caller works too; stealing the same atomic counter as the pool.
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    fn(i);
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return inflight_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || job_epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = job_epoch_;
+      job = job_;
+      n = job_size_;
+    }
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      (*job)(i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --inflight_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace whatsup::sim

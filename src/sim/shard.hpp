@@ -1,0 +1,118 @@
+// Shard-local state of the deterministic sharded scheduler.
+//
+// Nodes are partitioned into contiguous id ranges ("shards"); a cycle runs
+// each phase (message delivery, agent activation) shard-by-shard on a small
+// worker pool. Everything a worker touches while executing a shard is
+// either immutable for the duration of the phase (agent registry, activity
+// flags, network config) or lives here, in the shard:
+//
+//  * `mailbox` — ring of per-cycle buckets holding this shard's incoming
+//    messages, appended only at cycle barriers (single-threaded commit) in
+//    canonical order, so delivery order is a pure function of the seed.
+//  * `outbox` — messages sent by this shard's agents during the current
+//    phase. Committed at the barrier: the engine walks shards in ascending
+//    order, applying loss/latency (engine-level RNG stream) and routing
+//    into the destination shard's mailbox. The concatenation of outboxes
+//    in shard order IS the canonical (cycle, phase, sender, seq) order,
+//    because agents within a shard run in ascending id order.
+//  * `observer` — buffered measurement callbacks, replayed into the real
+//    observer at the barrier in ascending shard order.
+//  * `dropped` — inbox-overflow drop counts, merged into the global
+//    traffic accounting at the barrier.
+//
+// The shard COUNT is a function of the node count alone (never of the
+// worker-thread count), so the canonical order — and therefore every
+// fixed-seed trajectory — is bit-identical across `threads` settings.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "net/message.hpp"
+#include "sim/observer.hpp"
+
+namespace whatsup::sim {
+
+// A message queued for delivery, tagged with its absolute due cycle so the
+// ring can be re-bucketed when the latency window grows.
+struct PendingMessage {
+  Cycle due = 0;
+  net::Message message;
+};
+
+struct Shard {
+  Shard(NodeId begin, NodeId end, std::size_t window)
+      : begin(begin), end(end), mailbox(window) {}
+
+  NodeId begin = 0;  // node id range [begin, end)
+  NodeId end = 0;
+
+  // mailbox[c % mailbox.size()] holds messages due at cycle c.
+  std::vector<std::vector<PendingMessage>> mailbox;
+  std::vector<net::Message> outbox;
+  BufferedObserver observer;
+  // Inbox-overflow drops, indexed by net::Protocol.
+  std::array<std::size_t, net::kNumProtocols> dropped{};
+
+  // Scratch the due bucket is swapped with during delivery, reused so
+  // steady-state cycles allocate nothing.
+  std::vector<PendingMessage> delivery_batch;
+
+  std::vector<PendingMessage>& bucket(Cycle cycle) {
+    return mailbox[static_cast<std::size_t>(cycle) % mailbox.size()];
+  }
+
+  // Grows the ring to `window` buckets, re-bucketing queued messages by
+  // their absolute due cycle (needed when set_network raises latency or
+  // jitter after construction).
+  void grow_window(std::size_t window) {
+    if (mailbox.size() >= window) return;
+    std::vector<std::vector<PendingMessage>> grown(window);
+    for (auto& old_bucket : mailbox) {
+      for (PendingMessage& p : old_bucket) {
+        grown[static_cast<std::size_t>(p.due) % window].push_back(std::move(p));
+      }
+    }
+    mailbox = std::move(grown);
+  }
+};
+
+// Persistent pool executing `fn(index)` for index in [0, n) with dynamic
+// work stealing. The calling thread participates, so `threads` is the
+// total parallelism. Tasks must not throw.
+class WorkerPool {
+ public:
+  explicit WorkerPool(unsigned threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  unsigned threads() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  // Blocks until fn has been applied to every index.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_size_ = 0;
+  std::uint64_t job_epoch_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t inflight_ = 0;  // workers still inside the current job
+  bool stop_ = false;
+};
+
+}  // namespace whatsup::sim

@@ -74,7 +74,7 @@ void WhatsUpAgent::handle_news(sim::Context& ctx, net::NewsPayload news) {
   if (!seen_.insert(news.id).second) return;
 
   const bool liked = opinions_->likes(self_, news.index);
-  if (sim::DisseminationObserver* obs = ctx.engine().observer(); obs != nullptr) {
+  if (sim::DisseminationObserver* obs = ctx.observer(); obs != nullptr) {
     obs->on_delivery(self_, news.index, news.hops, news.via_dislike, news.dislikes);
     obs->on_opinion(self_, news.index, liked);
   }
@@ -97,7 +97,7 @@ void WhatsUpAgent::forward(sim::Context& ctx, bool liked, net::NewsPayload news)
   const beep::BeepConfig beep_config = config_.beep_config();
   const beep::ForwardPlan plan =
       beep::plan_forward(ctx.rng(), beep_config, liked, news, wup_.view(), rps_.view());
-  if (sim::DisseminationObserver* obs = ctx.engine().observer(); obs != nullptr) {
+  if (sim::DisseminationObserver* obs = ctx.observer(); obs != nullptr) {
     obs->on_forward(self_, news.index, news.hops, liked, plan.targets.size());
   }
   if (plan.targets.empty()) return;
