@@ -3,15 +3,47 @@
 // aggregation, and the SCC analysis used by Fig. 4.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "gossip/view.hpp"
 #include "graph/generators.hpp"
 #include "graph/scc.hpp"
+#include "profile/item_profile.hpp"
 #include "profile/similarity.hpp"
 #include "profile/snapshot.hpp"
+
+// Global operator-new hook counting heap allocations, so the payload
+// benchmarks can report `allocs_per_op` — the number the CoW + SBO work
+// is meant to drive to zero on the news fan-out path. Bench binary only;
+// the library itself is untouched.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::uint64_t allocs_now() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace whatsup {
 namespace {
@@ -165,6 +197,81 @@ void BM_DescriptorSnapshotCache(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DescriptorSnapshotCache);
+
+// ---- News payload replication (BEEP fan-out, §III) ------------------------
+//
+// Forwarding a liked item replicates the payload fLIKE times. Pre-PR the
+// item profile was held by value (one deep copy per target); the shipped
+// ItemProfileRef shares it copy-on-write (one refcount bump per target).
+// `allocs_per_op` counts heap allocations per replicated fan-out.
+
+constexpr int kNewsFanout = 10;  // the paper's fLIKE
+
+// Pre-change behavior: the item profile deep-copied once per target.
+void BM_NewsPayloadReplicateByValue(benchmark::State& state) {
+  Rng rng(9);
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const Profile profile = random_profile(rng, size, 4 * size);
+  const std::uint64_t before = allocs_now();
+  for (auto _ : state) {
+    for (int i = 0; i < kNewsFanout; ++i) {
+      Profile copy = profile;
+      benchmark::DoNotOptimize(copy);
+    }
+  }
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(allocs_now() - before) /
+      static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(state.iterations() * kNewsFanout);
+}
+BENCHMARK(BM_NewsPayloadReplicateByValue)->Arg(8)->Arg(64)->Arg(256);
+
+// Shipped path: fLIKE copies of the payload bump one shared refcount.
+void BM_NewsPayloadReplicateCoW(benchmark::State& state) {
+  Rng rng(9);
+  const auto size = static_cast<std::size_t>(state.range(0));
+  net::NewsPayload news;
+  news.item_profile = random_profile(rng, size, 4 * size);
+  const std::uint64_t before = allocs_now();
+  for (auto _ : state) {
+    for (int i = 0; i < kNewsFanout; ++i) {
+      net::NewsPayload copy = news;
+      benchmark::DoNotOptimize(copy);
+    }
+  }
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(allocs_now() - before) /
+      static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(state.iterations() * kNewsFanout);
+}
+BENCHMARK(BM_NewsPayloadReplicateCoW)->Arg(8)->Arg(64)->Arg(256);
+
+// One full BEEP hop on the shipped path: receive a payload that still
+// shares its profile with the sender's copy, fold the user profile into
+// it (the one CoW clone), run the no-op window purge, then replicate to
+// the fan-out. This is the per-delivery cost handle_news + forward pay.
+void BM_NewsHopForward(benchmark::State& state) {
+  Rng rng(10);
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const Profile user = random_profile(rng, size, 4 * size);
+  net::NewsPayload incoming;
+  incoming.item_profile = random_profile(rng, size, 4 * size);
+  const std::uint64_t before = allocs_now();
+  for (auto _ : state) {
+    net::NewsPayload news = incoming;        // delivery copy (shared)
+    news.item_profile.fold_profile(user);    // CoW clone, then in-place
+    news.item_profile.purge_older_than(0);   // no-op purge: no clone
+    for (int i = 0; i < kNewsFanout; ++i) {
+      net::NewsPayload copy = news;          // fan-out: refcount bumps
+      benchmark::DoNotOptimize(copy);
+    }
+  }
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(allocs_now() - before) /
+      static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NewsHopForward)->Arg(8)->Arg(64)->Arg(256);
 
 void BM_MergeCandidates(benchmark::State& state) {
   Rng rng(5);

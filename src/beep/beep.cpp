@@ -5,11 +5,15 @@
 namespace whatsup::beep {
 
 NodeId select_most_similar(const gossip::View& view, const Profile& item_profile,
-                           Metric metric, Rng& rng) {
+                           Metric metric, Rng& rng,
+                           std::span<const NodeId> excluded) {
   NodeId best = kNoNode;
   double best_score = -1.0;
   std::size_t ties = 0;
   for (const net::Descriptor& d : view.entries()) {
+    if (std::find(excluded.begin(), excluded.end(), d.node) != excluded.end()) {
+      continue;
+    }
     const double score = similarity(metric, item_profile, d.profile_ref());
     if (score > best_score) {
       best_score = score;
@@ -35,9 +39,15 @@ ForwardPlan plan_forward(Rng& rng, const BeepConfig& config, bool liked,
     }
     news.dislikes += 1;  // line 26
     for (int i = 0; i < config.f_dislike; ++i) {
+      // Oriented picks exclude the targets already in the plan: without
+      // the exclusion, every iteration re-selects the same most-similar
+      // node and the duplicate filter caps the plan at one target no
+      // matter how large f_dislike is. The random ablation branch keeps
+      // its historical semantics (duplicates discarded, not redrawn).
       const NodeId target =
           config.orientation
-              ? select_most_similar(rps_view, news.item_profile, config.metric, rng)
+              ? select_most_similar(rps_view, news.item_profile, config.metric,
+                                    rng, plan.targets)
               : rps_view.random_member(rng);
       if (target == kNoNode) break;
       if (std::find(plan.targets.begin(), plan.targets.end(), target) ==

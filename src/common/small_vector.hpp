@@ -1,0 +1,161 @@
+// Small-buffer-optimized vector for trivially copyable element types.
+//
+// Profiles are bounded by the profile window but are usually tiny: item
+// profiles start from a single opinion and grow one fold at a time, and
+// most user profiles hold a handful of recent items. Backing the Profile
+// arrays with inline storage keeps those common cases entirely off the
+// heap — a CoW clone of a small item profile allocates only the
+// shared_ptr control block, none of the array storage — while large
+// profiles spill to a heap block exactly like std::vector.
+//
+// Only the std::vector surface the Profile layer uses is implemented, and
+// only for trivially copyable T (elements move by memcpy; no per-element
+// construction or destruction). Iterators are raw pointers, so the
+// similarity kernels' span-based access works unchanged.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+namespace whatsup {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector moves elements with memcpy");
+  static_assert(N > 0, "inline capacity must be non-zero");
+
+ public:
+  // User-provided (not defaulted) so const SmallVector/Profile objects are
+  // well-formed despite the deliberately uninitialized inline buffer.
+  SmallVector() {}
+
+  SmallVector(const SmallVector& other) { append(other.data(), other.size_); }
+
+  SmallVector(SmallVector&& other) noexcept { steal(other); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      size_ = 0;
+      append(other.data(), other.size_);
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+
+  ~SmallVector() { release(); }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  T* data() { return heap_ != nullptr ? heap_ : inline_data(); }
+  const T* data() const { return heap_ != nullptr ? heap_ : inline_data(); }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(std::size_t n) {
+    if (n <= capacity_) return;
+    grow(n);
+  }
+
+  // Shrinking keeps storage; growing value-initializes the new elements.
+  void resize(std::size_t n) {
+    if (n > size_) {
+      reserve(n);
+      std::fill(data() + size_, data() + n, T{});
+    }
+    size_ = n;
+  }
+
+  void push_back(T value) {
+    if (size_ == capacity_) grow(size_ + 1);
+    data()[size_++] = value;
+  }
+
+  // Insert at index `pos` (not an iterator: callers position by index).
+  void insert(std::size_t pos, T value) {
+    if (size_ == capacity_) grow(size_ + 1);
+    T* p = data();
+    std::memmove(p + pos + 1, p + pos, (size_ - pos) * sizeof(T));
+    p[pos] = value;
+    ++size_;
+  }
+
+  bool operator==(const SmallVector& other) const {
+    return size_ == other.size_ &&
+           std::equal(begin(), end(), other.begin());
+  }
+
+ private:
+  T* inline_data() { return reinterpret_cast<T*>(inline_storage_); }
+  const T* inline_data() const {
+    return reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  void append(const T* src, std::size_t n) {
+    reserve(size_ + n);
+    std::memcpy(data() + size_, src, n * sizeof(T));
+    size_ += n;
+  }
+
+  void grow(std::size_t needed) {
+    const std::size_t cap = std::max(needed, capacity_ * 2);
+    T* fresh = static_cast<T*>(::operator new(cap * sizeof(T)));
+    std::memcpy(fresh, data(), size_ * sizeof(T));
+    release();
+    heap_ = fresh;
+    capacity_ = cap;
+  }
+
+  void steal(SmallVector& other) noexcept {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      other.heap_ = nullptr;
+      other.capacity_ = N;
+    } else {
+      heap_ = nullptr;
+      capacity_ = N;
+      std::memcpy(inline_storage_, other.inline_storage_,
+                  other.size_ * sizeof(T));
+    }
+    size_ = other.size_;
+    other.size_ = 0;
+  }
+
+  void release() {
+    if (heap_ != nullptr) {
+      ::operator delete(heap_);
+      heap_ = nullptr;
+      capacity_ = N;
+    }
+  }
+
+  T* heap_ = nullptr;
+  std::size_t capacity_ = N;
+  std::size_t size_ = 0;
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+};
+
+}  // namespace whatsup

@@ -13,11 +13,14 @@ void ClusteringProtocol::bootstrap(std::vector<net::Descriptor> seed) {
   }
 }
 
-net::ViewPayload ClusteringProtocol::make_payload(Cycle now,
+net::ViewPayload ClusteringProtocol::make_payload(sim::Context& ctx,
                                                   const Profile& own_profile) const {
   net::ViewPayload payload;
-  payload.sender = net::Descriptor{self_, now, snapshot_cache_.get(own_profile)};
-  payload.view = view_.entries();  // the ENTIRE view (§II)
+  payload.sender = net::Descriptor{self_, ctx.now(), snapshot_cache_.get(own_profile)};
+  // The ENTIRE view (§II), copied into a pooled buffer recycled from
+  // earlier delivered messages.
+  payload.view = ctx.acquire_descriptor_buffer();
+  payload.view.assign(view_.entries().begin(), view_.entries().end());
   return payload;
 }
 
@@ -32,14 +35,14 @@ void ClusteringProtocol::step(sim::Context& ctx, const Profile& own_profile,
   }
   if (to == kNoNode) return;
   ctx.send(to, net::MsgType::kWupRequest,
-           make_payload(ctx.now(), disclosed != nullptr ? *disclosed : own_profile));
+           make_payload(ctx, disclosed != nullptr ? *disclosed : own_profile));
 }
 
 void ClusteringProtocol::on_request(sim::Context& ctx, const net::ViewPayload& payload,
                                     const Profile& own_profile, const View& rps_view,
                                     const Profile* disclosed) {
   ctx.send(payload.sender.node, net::MsgType::kWupReply,
-           make_payload(ctx.now(), disclosed != nullptr ? *disclosed : own_profile));
+           make_payload(ctx, disclosed != nullptr ? *disclosed : own_profile));
   merge(ctx, payload, own_profile, rps_view);
 }
 

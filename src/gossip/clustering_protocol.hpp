@@ -45,7 +45,9 @@ class ClusteringProtocol {
   double avg_similarity(const Profile& own_profile) const;
 
  private:
-  net::ViewPayload make_payload(Cycle now, const Profile& own_profile) const;
+  // Takes the context to stamp the send cycle and to draw a pooled payload
+  // buffer from the executing shard.
+  net::ViewPayload make_payload(sim::Context& ctx, const Profile& own_profile) const;
   void merge(sim::Context& ctx, const net::ViewPayload& payload,
              const Profile& own_profile, const View& rps_view);
 

@@ -28,7 +28,15 @@ void View::insert_or_refresh(net::Descriptor descriptor) {
       entries_.begin(), entries_.end(),
       [&descriptor](const net::Descriptor& d) { return d.node == descriptor.node; });
   if (it != entries_.end()) {
-    if (descriptor.timestamp >= it->timestamp) *it = std::move(descriptor);
+    if (descriptor.timestamp >= it->timestamp) {
+      // A refresh may legitimately carry no snapshot (bootstrap entries
+      // ship bare addresses). Keep the newer timestamp but never downgrade
+      // an entry that already has profile contents to a null snapshot.
+      if (descriptor.profile == nullptr && it->profile != nullptr) {
+        descriptor.profile = std::move(it->profile);
+      }
+      *it = std::move(descriptor);
+    }
     return;
   }
   entries_.push_back(std::move(descriptor));
@@ -39,11 +47,17 @@ void View::remove(NodeId node) {
 }
 
 std::vector<net::Descriptor> View::random_subset(Rng& rng, std::size_t k) const {
-  const auto picks = rng.sample_indices(entries_.size(), k);
   std::vector<net::Descriptor> out;
+  random_subset_into(rng, k, out);
+  return out;
+}
+
+void View::random_subset_into(Rng& rng, std::size_t k,
+                              std::vector<net::Descriptor>& out) const {
+  const auto picks = rng.sample_indices(entries_.size(), k);
+  out.clear();
   out.reserve(picks.size());
   for (std::size_t i : picks) out.push_back(entries_[i]);
-  return out;
 }
 
 std::vector<NodeId> View::random_members(Rng& rng, std::size_t k) const {

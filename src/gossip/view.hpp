@@ -33,14 +33,22 @@ class View {
   const net::Descriptor* oldest() const;
 
   // Inserts, or refreshes in place if the node is present and the new
-  // descriptor is fresher. May grow beyond capacity (merge buffers shrink
-  // views via the assign_* policies).
+  // descriptor is fresher. A fresher descriptor with a null profile
+  // snapshot refreshes the timestamp but keeps the previously known
+  // snapshot (never downgrades contents to null). May grow beyond capacity
+  // (merge buffers shrink views via the assign_* policies).
   void insert_or_refresh(net::Descriptor descriptor);
   void remove(NodeId node);
   void clear() { entries_.clear(); }
 
   // k entries picked uniformly without replacement.
   std::vector<net::Descriptor> random_subset(Rng& rng, std::size_t k) const;
+  // Same draw into a caller-provided buffer (cleared first): lets message
+  // builders reuse pooled payload storage (sim::DescriptorBufferPool)
+  // instead of allocating a fresh vector per gossip message. Consumes the
+  // same randomness as random_subset, picking the same members.
+  void random_subset_into(Rng& rng, std::size_t k,
+                          std::vector<net::Descriptor>& out) const;
   // Same sampling, ids only — skips the descriptor (and snapshot pointer)
   // copies when the caller just needs gossip targets. Consumes the same
   // randomness as random_subset, picking the same members.

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "profile/item_profile.hpp"
 #include "profile/profile.hpp"
 
 namespace whatsup::net {
@@ -75,12 +76,19 @@ struct ViewPayload {
 // path-dependent item profile and the dislike counter. `hops` and
 // `via_dislike` are measurement-only fields (not part of the wire format
 // proper; they stand in for the tracing the authors instrumented).
+//
+// The item profile is held by copy-on-write reference: replicating the
+// payload for a fan-out of fLIKE targets bumps a refcount fLIKE times
+// instead of deep-copying the profile, and receivers that fold their user
+// profile into it (Alg. 1) clone it only while it is still shared with
+// other in-flight copies. SizeModel keeps charging the LOGICAL wire size
+// of the full profile per message (profile/item_profile.hpp).
 struct NewsPayload {
   ItemId id = 0;
   ItemIdx index = kNoItem;
   Cycle created = 0;
   NodeId origin = kNoNode;
-  Profile item_profile;
+  ItemProfileRef item_profile;
   int dislikes = 0;     // d_I, §II-A
   int hops = 0;         // path length from the source
   bool via_dislike = false;  // last forward was performed by a disliker

@@ -1,0 +1,68 @@
+#include "profile/item_profile.hpp"
+
+#include <utility>
+
+namespace whatsup {
+
+namespace {
+
+const Profile& empty_profile() {
+  // A default-constructed Profile is born with a clean (non-dirty) norm
+  // cache, so sharing this instance across threads is safe.
+  static const Profile kEmpty;
+  return kEmpty;
+}
+
+}  // namespace
+
+const Profile& ItemProfileRef::get() const {
+  return profile_ != nullptr ? *profile_ : empty_profile();
+}
+
+std::size_t ItemProfileRef::size() const {
+  return profile_ != nullptr ? profile_->size() : 0;
+}
+
+ItemProfileRef& ItemProfileRef::operator=(Profile profile) {
+  if (profile.empty()) {
+    profile_.reset();
+    return *this;
+  }
+  profile_ = std::make_shared<Profile>(std::move(profile));
+  profile_->norm();  // warm before the ref can escape across threads
+  return *this;
+}
+
+Profile& ItemProfileRef::owned() {
+  if (profile_ == nullptr) {
+    profile_ = std::make_shared<Profile>();
+  } else if (profile_.use_count() > 1) {
+    // Shared with in-flight payload copies: clone, leave them untouched.
+    profile_ = std::make_shared<Profile>(*profile_);
+  }
+  return *profile_;
+}
+
+void ItemProfileRef::fold_profile(const Profile& user) {
+  if (user.empty()) return;  // Profile::fold_profile would no-op too
+  Profile& p = owned();
+  p.fold_profile(user);
+  p.norm();
+}
+
+void ItemProfileRef::purge_older_than(Cycle cutoff) {
+  if (profile_ == nullptr || !profile_->has_entries_older_than(cutoff)) {
+    return;  // nothing to drop: keep sharing, skip the clone
+  }
+  Profile& p = owned();
+  p.purge_older_than(cutoff);
+  p.norm();
+}
+
+void ItemProfileRef::set(ItemId id, Cycle timestamp, double score) {
+  Profile& p = owned();
+  p.set(id, timestamp, score);
+  p.norm();
+}
+
+}  // namespace whatsup

@@ -1,0 +1,83 @@
+// Copy-on-write handle for the path-dependent item profile carried by
+// every BEEP news message (paper §II-A / Alg. 1).
+//
+// The item profile is the fat part of a news payload: forwarding a liked
+// item replicates the payload fLIKE times, and holding the profile by
+// value used to deep-copy it once per target on every hop. An
+// ItemProfileRef instead shares one immutable `shared_ptr<const Profile>`
+// across all copies of a payload — a fan-out of fLIKE messages bumps a
+// refcount fLIKE times — and clones only when a holder actually mutates a
+// profile that is still shared (copy-on-write):
+//
+//  * a uniquely held profile is mutated in place (the common case when a
+//    receiver folds its user profile before re-forwarding a fresh clone);
+//  * a shared profile is cloned first, so in-flight copies of the same
+//    payload — including ones sitting in another shard's mailbox ring —
+//    never observe the mutation (tests/test_item_profile.cpp).
+//
+// Thread-safety contract: every mutator re-warms the lazily cached
+// Profile::norm() before returning, exactly like the Descriptor snapshot
+// caches (profile/snapshot.cpp), so a profile that escapes into messages
+// and is then scored concurrently by several shard workers (cosine /
+// overlap orientation reads norm()) never races on the norm memo.
+//
+// Wire-size accounting is unaffected: SizeModel charges the LOGICAL size
+// of the item profile (entry count × bytes per entry), which sharing does
+// not change — a real deployment still serializes the full profile per
+// copy (Fig. 8b).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "common/ids.hpp"
+#include "profile/profile.hpp"
+
+namespace whatsup {
+
+class ItemProfileRef {
+ public:
+  ItemProfileRef() = default;  // empty profile, no allocation
+
+  // Snapshots `profile` (deep copy, norm pre-warmed). Empty profiles
+  // normalize to the null (allocation-free) representation.
+  ItemProfileRef& operator=(Profile profile);
+
+  // Read access; all copies of a payload may alias the same Profile.
+  const Profile& get() const;
+  operator const Profile&() const { return get(); }
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+  bool contains(ItemId id) const { return get().contains(id); }
+
+  // --- Copy-on-write mutators (clone only while shared) ---
+
+  // Alg. 1 lines 18-22 applied to every entry of `user`; no-op (and no
+  // clone) when `user` is empty.
+  void fold_profile(const Profile& user);
+
+  // Profile window (Alg. 1 lines 8-10); clones only when an entry would
+  // actually be dropped.
+  void purge_older_than(Cycle cutoff);
+
+  // Inserts or overwrites one entry.
+  void set(ItemId id, Cycle timestamp, double score);
+
+  // Drops this holder's reference (other payload copies are unaffected).
+  void clear() { profile_.reset(); }
+
+  // True while at least one other ItemProfileRef aliases the same profile
+  // (observability hook for the CoW tests and benches).
+  bool shared() const { return profile_ != nullptr && profile_.use_count() > 1; }
+  long use_count() const { return profile_.use_count(); }
+
+ private:
+  // Materializes a uniquely owned profile to mutate: allocates when null,
+  // clones when shared, otherwise returns the existing profile in place.
+  Profile& owned();
+
+  std::shared_ptr<Profile> profile_;
+};
+
+}  // namespace whatsup

@@ -47,9 +47,9 @@ std::optional<ProfileEntry> Profile::find(ItemId id) const {
 }
 
 void Profile::insert_at(std::size_t i, ItemId id, Cycle timestamp, double score) {
-  ids_.insert(ids_.begin() + static_cast<std::ptrdiff_t>(i), id);
-  timestamps_.insert(timestamps_.begin() + static_cast<std::ptrdiff_t>(i), timestamp);
-  scores_.insert(scores_.begin() + static_cast<std::ptrdiff_t>(i), score);
+  ids_.insert(i, id);
+  timestamps_.insert(i, timestamp);
+  scores_.insert(i, score);
   liked_ += score > 0.5 ? 1 : 0;
 }
 
@@ -95,9 +95,9 @@ void Profile::fold_profile(const Profile& user) {
   // One linear merge instead of per-entry sorted inserts (which would cost
   // O(n·m) tail moves). `user` has unique ids, so merging applies exactly
   // the same per-entry fold arithmetic in the same order.
-  std::vector<ItemId> ids;
-  std::vector<Cycle> timestamps;
-  std::vector<double> scores;
+  IdArray ids;
+  CycleArray timestamps;
+  ScoreArray scores;
   const std::size_t total = ids_.size() + user.ids_.size();
   ids.reserve(total);
   timestamps.reserve(total);
@@ -133,6 +133,13 @@ void Profile::fold_profile(const Profile& user) {
   scores_ = std::move(scores);
   liked_ = liked;
   bump_version();
+}
+
+bool Profile::has_entries_older_than(Cycle cutoff) const {
+  for (const Cycle t : timestamps_) {
+    if (t < cutoff) return true;
+  }
+  return false;
 }
 
 void Profile::purge_older_than(Cycle cutoff) {

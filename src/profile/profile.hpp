@@ -10,10 +10,14 @@
 //
 // Both are purged of entries older than the profile window (§II-E).
 //
-// Layout: structure-of-arrays (parallel id / timestamp / score vectors,
+// Layout: structure-of-arrays (parallel id / timestamp / score arrays,
 // all sorted by ascending id). The similarity kernels stream the id and
 // score arrays only, so the merge loop touches 8-byte lanes instead of
-// 24-byte structs. Profiles additionally carry:
+// 24-byte structs. The arrays are small-buffer-optimized (kInlineEntries
+// inline slots each): profiles at or below that size live entirely inside
+// the Profile object, so copying or CoW-cloning them performs no heap
+// allocation (see docs/perf.md, "Payload memory"). Profiles additionally
+// carry:
 //
 //  * a content `version()` — a globally unique stamp bumped on every
 //    content change. Equal versions imply equal contents (copies inherit
@@ -30,9 +34,9 @@
 #include <cstdint>
 #include <optional>
 #include <span>
-#include <vector>
 
 #include "common/ids.hpp"
+#include "common/small_vector.hpp"
 
 namespace whatsup {
 
@@ -46,6 +50,10 @@ struct ProfileEntry {
 
 class Profile {
  public:
+  // Inline slots per parallel array; profiles up to this size are stored
+  // entirely within the object (no heap traffic on copy/clone).
+  static constexpr std::size_t kInlineEntries = 8;
+
   Profile() = default;
 
   std::size_t size() const { return ids_.size(); }
@@ -70,9 +78,13 @@ class Profile {
 
   // Parallel arrays sorted by ascending item id (stable iteration order
   // for the similarity kernels).
-  std::span<const ItemId> ids() const { return ids_; }
-  std::span<const Cycle> timestamps() const { return timestamps_; }
-  std::span<const double> scores() const { return scores_; }
+  std::span<const ItemId> ids() const { return {ids_.data(), ids_.size()}; }
+  std::span<const Cycle> timestamps() const {
+    return {timestamps_.data(), timestamps_.size()};
+  }
+  std::span<const double> scores() const {
+    return {scores_.data(), scores_.size()};
+  }
   ProfileEntry entry(std::size_t i) const {
     return ProfileEntry{ids_[i], timestamps_[i], scores_[i]};
   }
@@ -98,12 +110,20 @@ class Profile {
            scores_ == other.scores_;
   }
 
+  // True iff any entry has a timestamp strictly older than `cutoff`, i.e.
+  // purge_older_than(cutoff) would change the contents. Lets shared
+  // (copy-on-write) holders skip the clone when the purge is a no-op.
+  bool has_entries_older_than(Cycle cutoff) const;
+
  private:
   // Sorted by id; profiles stay small (bounded by the profile window), so
-  // flat sorted vectors beat node-based maps on both speed and memory.
-  std::vector<ItemId> ids_;
-  std::vector<Cycle> timestamps_;
-  std::vector<double> scores_;
+  // flat sorted arrays beat node-based maps on both speed and memory.
+  using IdArray = SmallVector<ItemId, kInlineEntries>;
+  using CycleArray = SmallVector<Cycle, kInlineEntries>;
+  using ScoreArray = SmallVector<double, kInlineEntries>;
+  IdArray ids_;
+  CycleArray timestamps_;
+  ScoreArray scores_;
 
   std::size_t liked_ = 0;
   std::uint64_t version_ = 0;

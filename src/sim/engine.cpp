@@ -51,6 +51,13 @@ void Context::send(NodeId to, net::MsgType type, net::NewsPayload payload) {
   send(std::move(m));
 }
 
+std::vector<net::Descriptor> Context::acquire_descriptor_buffer() {
+  // The shard is executed by exactly one worker per phase, so its pool
+  // needs no synchronization here.
+  return shard_ != nullptr ? shard_->descriptor_pool.acquire()
+                           : std::vector<net::Descriptor>{};
+}
+
 void Context::send(net::Message message) {
   message.seq = next_seq_++;
   if (shard_ != nullptr) {
@@ -190,6 +197,11 @@ void Engine::send(net::Message message) {
   traffic_.record_sent(protocol, config_.size_model.bytes(message));
   if (config_.network.loss_rate > 0.0 && rng_.bernoulli(config_.network.loss_rate)) {
     traffic_.record_dropped(protocol);
+    // Lost payload buffers are still worth recycling (main thread, between
+    // phases — the destination shard's pool is quiescent).
+    if (auto* view = std::get_if<net::ViewPayload>(&message.payload)) {
+      shard_for(message.to).descriptor_pool.recycle(std::move(view->view));
+    }
     return;
   }
   Cycle delay = config_.network.latency;
@@ -254,7 +266,28 @@ void Engine::deliver_shard(Shard& shard) {
     }
     i = j;
   }
+  // Harvest the payload storage of every message in the batch — processed,
+  // overflow-dropped, or addressed to an offline node alike — back into
+  // this shard's pool. The recycle clears each vector, releasing its
+  // descriptor snapshots at the same point the batch clear below used to.
+  for (PendingMessage& p : batch) {
+    if (auto* view = std::get_if<net::ViewPayload>(&p.message.payload)) {
+      shard.descriptor_pool.recycle(std::move(view->view));
+    }
+  }
   shard.delivery_batch.clear();
+}
+
+Engine::PoolStats Engine::descriptor_pool_stats() const {
+  PoolStats total;
+  for (const auto& shard : shards_) {
+    const DescriptorBufferPool::Stats& s = shard->descriptor_pool.stats();
+    total.reused += s.reused;
+    total.fresh += s.fresh;
+    total.recycled += s.recycled;
+    total.available += shard->descriptor_pool.available();
+  }
+  return total;
 }
 
 void Engine::activate_shard(Shard& shard) {

@@ -81,6 +81,12 @@ class Context {
   void send(NodeId to, net::MsgType type, net::ViewPayload payload);
   void send(NodeId to, net::MsgType type, net::NewsPayload payload);
 
+  // An empty descriptor vector for building a ViewPayload, drawn from this
+  // shard's free-list pool when possible (capacity recycled from earlier
+  // delivered messages); a fresh vector on main-thread contexts. Purely a
+  // memory optimization — never changes observable behavior.
+  std::vector<net::Descriptor> acquire_descriptor_buffer();
+
  private:
   void send(net::Message message);
 
@@ -160,6 +166,16 @@ class Engine {
 
   DisseminationObserver* observer() { return observer_; }
   void set_observer(DisseminationObserver* observer) { observer_ = observer; }
+
+  // Aggregated descriptor-buffer pool counters across all shards
+  // (observability for tests and the payload-memory benches).
+  struct PoolStats {
+    std::size_t reused = 0;
+    std::size_t fresh = 0;
+    std::size_t recycled = 0;
+    std::size_t available = 0;
+  };
+  PoolStats descriptor_pool_stats() const;
 
   // Commits a message immediately: traffic accounting, loss and latency
   // draws (engine stream), then routing into the destination shard's

@@ -147,6 +147,66 @@ TEST(SelectMostSimilar, TieBreaksUniformly) {
   EXPECT_GE(picked.size(), 3u);
 }
 
+// Regression: with orientation ON and f_dislike > 1, every loop iteration
+// used to re-run select_most_similar over the same view, re-pick the same
+// best node, and have the duplicate filter discard it — so the plan could
+// never hold more than ONE distinct oriented target. Already-chosen nodes
+// must be excluded between iterations.
+TEST(Beep, OrientedDislikeFanoutPicksDistinctTargets) {
+  Rng rng(10);
+  BeepConfig config;
+  config.f_dislike = 3;
+  config.ttl = 4;
+  net::NewsPayload news;
+  news.item_profile = liked({100, 101});
+
+  // WUP scores against the item profile: 1 → 1.0 (exact match),
+  // 2 → 1/√2 (one extra item inflates ‖b‖), 3 → 1/√3, 4 → 0 (disjoint);
+  // strictly ordered, so the plan sequence is deterministic.
+  gossip::View rps(8);
+  rps.insert_or_refresh(net::make_descriptor(1, 0, liked({100, 101})));
+  rps.insert_or_refresh(net::make_descriptor(2, 0, liked({100, 200})));
+  rps.insert_or_refresh(net::make_descriptor(3, 0, liked({101, 300, 301})));
+  rps.insert_or_refresh(net::make_descriptor(4, 0, liked({555})));
+
+  const ForwardPlan plan =
+      plan_forward(rng, config, false, news, make_view({7, 8}), rps);
+  ASSERT_EQ(plan.targets.size(), 3u);
+  // Best match first, then the next-closest nodes, never the disjoint one.
+  EXPECT_EQ(plan.targets, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(news.dislikes, 1);  // still one TTL increment per hop
+}
+
+// The exclusion must also terminate cleanly when f_dislike exceeds the
+// view: every member gets picked once, then select returns kNoNode.
+TEST(Beep, OrientedDislikeFanoutClampedToViewSize) {
+  Rng rng(11);
+  BeepConfig config;
+  config.f_dislike = 5;
+  net::NewsPayload news;
+  news.item_profile = liked({100});
+  gossip::View rps(8);
+  rps.insert_or_refresh(net::make_descriptor(1, 0, liked({100})));
+  rps.insert_or_refresh(net::make_descriptor(2, 0, liked({200})));
+  const ForwardPlan plan =
+      plan_forward(rng, config, false, news, make_view({}), rps);
+  EXPECT_EQ(plan.targets.size(), 2u);
+}
+
+TEST(SelectMostSimilar, ExcludedNodesAreSkipped) {
+  Rng rng(12);
+  Profile item = liked({100});
+  gossip::View rps(8);
+  rps.insert_or_refresh(net::make_descriptor(1, 0, liked({100})));
+  rps.insert_or_refresh(net::make_descriptor(2, 0, liked({100, 200})));
+  const NodeId first = select_most_similar(rps, item, Metric::kWup, rng);
+  EXPECT_EQ(first, 1u);
+  const std::vector<NodeId> excluded{first};
+  EXPECT_EQ(select_most_similar(rps, item, Metric::kWup, rng, excluded), 2u);
+  const std::vector<NodeId> all{1, 2};
+  EXPECT_EQ(select_most_similar(rps, item, Metric::kWup, rng, all), kNoNode);
+}
+
 TEST(Beep, DislikeFanoutParameterHonored) {
   Rng rng(9);
   BeepConfig config;

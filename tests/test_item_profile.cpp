@@ -1,0 +1,228 @@
+// The copy-on-write contract of ItemProfileRef (profile/item_profile.hpp):
+// replicating a news payload shares one immutable profile; folding or
+// purging through one holder must never mutate the copy held by another —
+// in particular not a copy sitting in another shard's mailbox ring. The
+// multi-thread end-to-end case also runs in the TSan CI job (ci.yml).
+#include "profile/item_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "analysis/runner.hpp"
+#include "dataset/survey.hpp"
+#include "metrics/tracker.hpp"
+#include "net/message.hpp"
+#include "sim/engine.hpp"
+#include "whatsup/node.hpp"
+#include "whatsup_test_utils.hpp"
+
+namespace whatsup {
+namespace {
+
+Profile liked(std::initializer_list<ItemId> ids) {
+  Profile p;
+  for (ItemId id : ids) p.set(id, 5, 1.0);
+  return p;
+}
+
+TEST(ItemProfileRef, DefaultIsEmptyAndAllocationFree) {
+  ItemProfileRef ref;
+  EXPECT_TRUE(ref.empty());
+  EXPECT_EQ(ref.size(), 0u);
+  EXPECT_EQ(ref.use_count(), 0);
+  EXPECT_DOUBLE_EQ(ref.get().norm(), 0.0);
+}
+
+TEST(ItemProfileRef, AssignFromProfileSnapshots) {
+  ItemProfileRef ref;
+  ref = liked({1, 2, 3});
+  EXPECT_EQ(ref.size(), 3u);
+  EXPECT_TRUE(ref.contains(2));
+  // Empty profiles normalize back to the null representation.
+  ref = Profile{};
+  EXPECT_TRUE(ref.empty());
+  EXPECT_EQ(ref.use_count(), 0);
+}
+
+TEST(ItemProfileRef, CopyIsARefcountBumpNotAProfileCopy) {
+  ItemProfileRef a;
+  a = liked({1, 2});
+  const ItemProfileRef b = a;
+  EXPECT_EQ(a.use_count(), 2);
+  EXPECT_TRUE(a.shared());
+  // Both handles alias the same Profile object.
+  EXPECT_EQ(&a.get(), &b.get());
+}
+
+TEST(ItemProfileRef, FoldClonesWhenSharedAndLeavesTheOtherCopyIntact) {
+  ItemProfileRef original;
+  original = liked({1, 2});
+  ItemProfileRef in_flight = original;  // e.g. a queued message's copy
+
+  original.fold_profile(liked({2, 3}));
+
+  // The mutated handle diverged; the in-flight copy kept the old contents.
+  EXPECT_NE(&original.get(), &in_flight.get());
+  EXPECT_FALSE(original.shared());
+  EXPECT_FALSE(in_flight.shared());
+  EXPECT_EQ(in_flight.size(), 2u);
+  EXPECT_FALSE(in_flight.contains(3));
+  EXPECT_TRUE(original.contains(3));
+  EXPECT_DOUBLE_EQ(*original.get().score(2), 1.0);  // (1+1)/2
+}
+
+TEST(ItemProfileRef, UniqueHolderMutatesInPlace) {
+  ItemProfileRef ref;
+  ref = liked({1});
+  const Profile* before = &ref.get();
+  ref.fold_profile(liked({2}));
+  EXPECT_EQ(&ref.get(), before);  // no clone while uniquely held
+  EXPECT_EQ(ref.size(), 2u);
+}
+
+TEST(ItemProfileRef, FoldOfEmptyUserIsANoOpWithoutClone) {
+  ItemProfileRef a;
+  a = liked({1});
+  const ItemProfileRef b = a;
+  a.fold_profile(Profile{});
+  EXPECT_EQ(&a.get(), &b.get());  // still sharing
+  EXPECT_EQ(a.use_count(), 2);
+}
+
+TEST(ItemProfileRef, PurgeSkipsTheCloneWhenNothingWouldDrop) {
+  ItemProfileRef a;
+  a = liked({1, 2});  // timestamps 5
+  const ItemProfileRef b = a;
+  a.purge_older_than(3);  // nothing older than 3
+  EXPECT_EQ(&a.get(), &b.get());
+  EXPECT_EQ(a.use_count(), 2);
+}
+
+TEST(ItemProfileRef, PurgeClonesWhenSharedAndDropsOnlyLocally) {
+  ItemProfileRef a;
+  a = liked({1, 2});
+  const ItemProfileRef b = a;
+  a.purge_older_than(10);  // drops everything, but only in a's clone
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(ItemProfileRef, ClearDropsOnlyTheLocalReference) {
+  ItemProfileRef a;
+  a = liked({1});
+  ItemProfileRef b = a;
+  a.clear();
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_FALSE(b.shared());
+}
+
+TEST(ItemProfileRef, NewsPayloadReplicationSharesTheProfile) {
+  net::NewsPayload news;
+  news.item_profile = liked({1, 2, 3});
+  std::vector<net::NewsPayload> fanout(10, news);  // fLIKE copies
+  EXPECT_EQ(news.item_profile.use_count(), 11);
+  for (const net::NewsPayload& copy : fanout) {
+    EXPECT_EQ(&copy.item_profile.get(), &news.item_profile.get());
+  }
+}
+
+// End-to-end: a payload committed into the engine's mailbox ring must be
+// isolated from post-send mutations of the sender's payload object.
+TEST(ItemProfileRef, InFlightMailboxCopyIsIsolatedFromSenderMutation) {
+  sim::Engine::Config config;
+  sim::Engine engine(config);
+  const NodeId sink_id = engine.add_agent(std::make_unique<testing::CaptureAgent>());
+  auto* sink = static_cast<testing::CaptureAgent*>(&engine.agent(sink_id));
+
+  net::NewsPayload news;
+  news.id = 77;
+  news.index = 0;
+  news.item_profile = liked({1, 2});
+
+  net::Message m;
+  m.from = sink_id;
+  m.to = sink_id;
+  m.type = net::MsgType::kNews;
+  m.payload = news;  // the mailbox now holds a sharing copy
+  engine.send(std::move(m));
+
+  // Sender keeps mutating its own handle after the send.
+  news.item_profile.fold_profile(liked({3, 4}));
+  news.item_profile.purge_older_than(100);
+
+  engine.run_cycles(2);  // unit network latency: due at cycle 1
+  ASSERT_EQ(sink->news.size(), 1u);
+  const Profile& delivered = sink->news[0].item_profile;
+  EXPECT_EQ(delivered.size(), 2u);
+  EXPECT_TRUE(delivered.contains(1));
+  EXPECT_FALSE(delivered.contains(3));
+}
+
+// Full WhatsUp dissemination with several shards and worker threads: the
+// trajectory must not depend on the thread count even though concurrent
+// receivers fold into payloads cloned from the same shared profile. Runs
+// at 1/4/WHATSUP_TEST_THREADS; under TSan this doubles as the race check
+// for the CoW + pooled-payload machinery.
+TEST(ItemProfileRef, CowTrajectoryIdenticalAcrossThreads) {
+  const auto run = [](unsigned threads) {
+    Rng rng(99);
+    data::SurveyConfig sc;
+    sc.base_users = 40;
+    sc.base_items = 50;
+    sc.replication = 2;
+    data::Workload workload = data::make_survey(sc, rng);
+    workload.schedule_publications(3, 15, rng);
+
+    sim::Engine::Config ec;
+    ec.seed = rng.next_u64();
+    ec.threads = threads;
+    ec.shard_nodes = 8;  // many shards: payload copies cross shard lines
+    sim::Engine engine(ec);
+
+    analysis::WorkloadOpinions opinions(workload);
+    WhatsUpConfig wu;
+    wu.params.f_like = 8;
+    const std::size_t n = workload.num_users();
+    std::vector<WhatsUpAgent*> agents;
+    for (NodeId v = 0; v < n; ++v) {
+      auto agent = std::make_unique<WhatsUpAgent>(v, wu, opinions);
+      agents.push_back(agent.get());
+      engine.add_agent(std::move(agent));
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      std::vector<net::Descriptor> seed_view;
+      for (int i = 0; i < wu.params.rps_view_size; ++i) {
+        NodeId peer = v;
+        while (peer == v) peer = static_cast<NodeId>(rng.index(n));
+        seed_view.push_back(net::Descriptor{peer, -1, nullptr});
+      }
+      agents[v]->bootstrap_rps(std::move(seed_view));
+    }
+    metrics::Tracker tracker(n, workload.num_items());
+    tracker.attach(engine);
+    for (Cycle c = 0; c < 25; ++c) {
+      for (const data::NewsSpec& spec : workload.news) {
+        if (spec.publish_at == c) {
+          engine.publish(workload.news[spec.index].source, spec.index,
+                         workload.news[spec.index].id);
+        }
+      }
+      engine.run_cycle();
+    }
+    return tracker.digest();
+  };
+
+  const std::uint64_t base = run(1);
+  EXPECT_EQ(base, run(4));
+  if (const char* env = std::getenv("WHATSUP_TEST_THREADS"); env != nullptr) {
+    const int extra = std::atoi(env);
+    if (extra > 0) EXPECT_EQ(base, run(static_cast<unsigned>(extra)));
+  }
+}
+
+}  // namespace
+}  // namespace whatsup

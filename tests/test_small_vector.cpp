@@ -1,0 +1,140 @@
+// Units for the small-buffer-optimized vector backing the Profile arrays
+// (common/small_vector.hpp): std::vector-equivalent semantics for the
+// operations the Profile layer uses, across the inline→heap boundary.
+#include "common/small_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+namespace whatsup {
+namespace {
+
+using Vec = SmallVector<std::uint64_t, 4>;
+
+Vec iota(std::size_t n) {
+  Vec v;
+  for (std::size_t i = 0; i < n; ++i) v.push_back(i + 1);
+  return v;
+}
+
+TEST(SmallVector, StartsEmptyWithInlineCapacity) {
+  Vec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVector, StaysInlineUpToN) {
+  Vec v = iota(4);
+  EXPECT_EQ(v.capacity(), 4u);  // no heap spill yet
+  // Inline data lives inside the object.
+  const auto* lo = reinterpret_cast<const unsigned char*>(&v);
+  const auto* hi = lo + sizeof(Vec);
+  const auto* p = reinterpret_cast<const unsigned char*>(v.data());
+  EXPECT_TRUE(p >= lo && p < hi);
+}
+
+TEST(SmallVector, SpillsToHeapAndPreservesContents) {
+  Vec v = iota(9);
+  ASSERT_EQ(v.size(), 9u);
+  EXPECT_GT(v.capacity(), 4u);
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_EQ(v[i], i + 1);
+}
+
+TEST(SmallVector, InsertShiftsTailAtAnyPosition) {
+  Vec v = iota(3);           // 1 2 3
+  v.insert(0, 100);          // 100 1 2 3      (inline, full)
+  v.insert(2, 200);          // 100 1 200 2 3  (forces the heap spill)
+  v.insert(5, 300);          // append via insert at size()
+  const std::uint64_t expect[] = {100, 1, 200, 2, 3, 300};
+  ASSERT_EQ(v.size(), 6u);
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), expect));
+}
+
+TEST(SmallVector, ResizeGrowsValueInitializedAndShrinksInPlace) {
+  Vec v = iota(2);
+  v.resize(6);
+  ASSERT_EQ(v.size(), 6u);
+  for (std::size_t i = 2; i < 6; ++i) EXPECT_EQ(v[i], 0u);
+  const std::size_t cap = v.capacity();
+  v.resize(1);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.capacity(), cap);  // storage retained
+  EXPECT_EQ(v[0], 1u);
+}
+
+TEST(SmallVector, CopyIsDeepForBothRepresentations) {
+  for (const std::size_t n : {3u, 12u}) {
+    Vec a = iota(n);
+    Vec b = a;
+    ASSERT_EQ(b.size(), n);
+    b[0] = 999;
+    EXPECT_EQ(a[0], 1u);  // unaffected
+    EXPECT_NE(a.data(), b.data());
+  }
+}
+
+TEST(SmallVector, CopyAssignReusesExistingCapacity) {
+  Vec a = iota(12);
+  const auto* storage = a.data();
+  Vec small = iota(2);
+  a = small;
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.data(), storage);  // heap block large enough: kept
+}
+
+TEST(SmallVector, MoveStealsHeapAndCopiesInline) {
+  Vec heap = iota(10);
+  const auto* storage = heap.data();
+  Vec stolen = std::move(heap);
+  EXPECT_EQ(stolen.data(), storage);  // pointer steal, no copy
+  EXPECT_EQ(stolen.size(), 10u);
+  EXPECT_TRUE(heap.empty());  // NOLINT(bugprone-use-after-move): spec'd empty
+
+  Vec inl = iota(3);
+  Vec moved = std::move(inl);
+  ASSERT_EQ(moved.size(), 3u);
+  EXPECT_EQ(moved[2], 3u);
+  EXPECT_TRUE(inl.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(SmallVector, MoveAssignReleasesOldHeapBlock) {
+  Vec a = iota(10);
+  Vec b = iota(20);
+  b = std::move(a);  // b's old block must be freed (ASan would catch leaks)
+  ASSERT_EQ(b.size(), 10u);
+  EXPECT_EQ(b[9], 10u);
+}
+
+TEST(SmallVector, EqualityComparesContentsNotRepresentation) {
+  Vec a = iota(5);   // heap
+  Vec b;
+  for (std::uint64_t i = 1; i <= 5; ++i) b.push_back(i);
+  b.reserve(64);     // different capacity, same contents
+  EXPECT_TRUE(a == b);
+  b.push_back(6);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(SmallVector, DoubleElementsCompareByValue) {
+  SmallVector<double, 2> a, b;
+  a.push_back(0.5);
+  b.push_back(0.5);
+  EXPECT_TRUE(a == b);
+  b[0] = 0.25;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(SmallVector, ClearKeepsStorage) {
+  Vec v = iota(10);
+  const std::size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+}  // namespace
+}  // namespace whatsup

@@ -41,6 +41,32 @@ TEST(View, RefreshKeepsFreshest) {
   EXPECT_TRUE(view.find(1)->profile_ref().contains(9));
 }
 
+// Regression: a fresher descriptor with a NULL profile snapshot used to
+// replace the whole entry, silently downgrading a peer we had profile
+// contents for. The refresh must keep the newer timestamp but retain the
+// previously known snapshot.
+TEST(View, RefreshWithNullSnapshotKeepsKnownProfile) {
+  View view(5);
+  view.insert_or_refresh(desc(1, 10, {7}));
+  view.insert_or_refresh(net::Descriptor{1, 20, nullptr});  // fresher, bare
+  ASSERT_NE(view.find(1), nullptr);
+  EXPECT_EQ(view.find(1)->timestamp, 20);          // timestamp refreshed
+  ASSERT_NE(view.find(1)->profile, nullptr);       // snapshot retained
+  EXPECT_TRUE(view.find(1)->profile_ref().contains(7));
+  // A fresher descriptor WITH a snapshot still replaces normally.
+  view.insert_or_refresh(desc(1, 30, {9}));
+  EXPECT_TRUE(view.find(1)->profile_ref().contains(9));
+  EXPECT_FALSE(view.find(1)->profile_ref().contains(7));
+}
+
+TEST(View, StaleNullSnapshotRefreshStillIgnored) {
+  View view(5);
+  view.insert_or_refresh(desc(1, 10, {7}));
+  view.insert_or_refresh(net::Descriptor{1, 5, nullptr});  // stale: ignored
+  EXPECT_EQ(view.find(1)->timestamp, 10);
+  EXPECT_TRUE(view.find(1)->profile_ref().contains(7));
+}
+
 TEST(View, OldestFindsMinTimestamp) {
   View view(5);
   EXPECT_EQ(view.oldest(), nullptr);
