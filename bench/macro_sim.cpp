@@ -12,12 +12,24 @@
 // results are bit-identical across thread counts (the determinism suite
 // asserts this); only the wall clock changes.
 //
+// Every row also reports memory counters read from /proc/self/status:
+//   peak_rss_mb          VmHWM — the process-wide peak resident set (MiB)
+//   peak_bytes_per_node  VmHWM / nodes
+// VmHWM is a high-water mark for the whole process, so it attributes
+// correctly when one configuration dominates the run (the CI 100k smoke
+// job runs exactly one row); across a full sweep the largest row sets it.
+//
 // Flags (parsed before Google Benchmark's own):
 //   --nodes=N     additionally register BM_WhatsUpSim_Custom at N nodes
 //   --threads=N   thread count for the custom row (default: hardware
 //                 concurrency)
+//   --items=N     item count for the custom row (default: nodes/20, so
+//                 large-node rows do not degenerate into an allocator
+//                 benchmark — see BM_WhatsUpSim_10000n_50c)
+//   --cycles=N    publication cycles for the custom row (default: 50)
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -28,6 +40,24 @@
 
 namespace whatsup {
 namespace {
+
+// Reads an integer field (kiB) from /proc/self/status; 0 when the key or
+// the file is unavailable (non-Linux).
+std::size_t proc_status_kib(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t value = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      value = std::strtoull(line + key_len + 1, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return value;
+}
 
 data::Workload macro_workload(std::size_t users, std::size_t items) {
   Rng rng(11);
@@ -59,6 +89,10 @@ void run_macro(benchmark::State& state, std::size_t users, std::size_t items,
   state.counters["nodes"] = static_cast<double>(workload.num_users());
   state.counters["cycles"] = static_cast<double>(total);
   state.counters["threads"] = static_cast<double>(threads);
+  const double peak_kib = static_cast<double>(proc_status_kib("VmHWM"));
+  state.counters["peak_rss_mb"] = peak_kib / 1024.0;
+  state.counters["peak_bytes_per_node"] =
+      peak_kib * 1024.0 / static_cast<double>(workload.num_users());
 }
 
 void BM_WhatsUpSim_250n_100c(benchmark::State& state) {
@@ -85,17 +119,22 @@ void BM_WhatsUpSim_10000n_50c(benchmark::State& state) {
 
 unsigned g_custom_threads = 0;  // 0 = hardware concurrency
 std::size_t g_custom_nodes = 0;
+std::size_t g_custom_items = 0;  // 0 = nodes/20 (capped-item default)
+Cycle g_custom_cycles = 0;       // 0 = 50 publication cycles
 
 void BM_WhatsUpSim_Custom(benchmark::State& state) {
   const unsigned threads = g_custom_threads != 0
                                ? g_custom_threads
                                : std::max(1u, std::thread::hardware_concurrency());
-  run_macro(state, g_custom_nodes, std::max<std::size_t>(g_custom_nodes / 20, 50), 50,
-            threads);
+  const std::size_t items = g_custom_items != 0
+                                ? g_custom_items
+                                : std::max<std::size_t>(g_custom_nodes / 20, 50);
+  const Cycle publish = g_custom_cycles != 0 ? g_custom_cycles : 50;
+  run_macro(state, g_custom_nodes, items, publish, threads);
 }
 
-// Consumes --nodes=/--threads= (also "--flag value" form) and compacts
-// argv so Google Benchmark never sees them.
+// Consumes --nodes=/--threads=/--items=/--cycles= (also "--flag value"
+// form) and compacts argv so Google Benchmark never sees them.
 void parse_local_flags(int& argc, char** argv) {
   int out = 1;
   for (int i = 1; i < argc; ++i) {
@@ -118,6 +157,10 @@ void parse_local_flags(int& argc, char** argv) {
       g_custom_nodes = static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
     } else if (match("threads", value)) {
       g_custom_threads = static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (match("items", value)) {
+      g_custom_items = static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else if (match("cycles", value)) {
+      g_custom_cycles = static_cast<Cycle>(std::strtol(value.c_str(), nullptr, 10));
     } else {
       argv[out++] = argv[i];
     }

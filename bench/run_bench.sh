@@ -51,6 +51,15 @@ merged["benchmarks"].extend(macro["benchmarks"])
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
+
+# Surface the memory counters of the macro rows (VmHWM is a process-wide
+# high-water mark: within one sweep the largest row sets it).
+for b in macro["benchmarks"]:
+    if "peak_rss_mb" in b:
+        print(
+            f"  {b['name']}: peak_rss={b['peak_rss_mb']:.1f} MiB, "
+            f"bytes/node={b.get('peak_bytes_per_node', 0):.0f}"
+        )
 EOF
 
 echo "wrote $OUT"

@@ -103,23 +103,27 @@ DynamicsSeries run_dynamics(const data::Workload& base_workload, Metric metric,
 
     WhatsUpConfig wu;
     wu.metric = metric;
-    std::vector<WhatsUpAgent*> agents;
-    for (NodeId v = 0; v <= n; ++v) {
+    // BOOTSTRAP phase: construction + RPS seeding per shard on the worker
+    // pool, each node drawing peers from its own bootstrap stream (the
+    // factory writes into pre-sized slots, so concurrent trials of the
+    // same shape stay bit-identical for any thread count).
+    std::vector<WhatsUpAgent*> agents(n + 1, nullptr);
+    engine.bootstrap(n + 1, [&](NodeId v, Rng& boot_rng) -> std::unique_ptr<sim::Agent> {
       auto agent = std::make_unique<WhatsUpAgent>(v, wu, opinions);
-      agents.push_back(agent.get());
-      engine.add_agent(std::move(agent));
-    }
-    engine.set_active(joiner, false);
-
-    for (NodeId v = 0; v < n; ++v) {
-      std::vector<net::Descriptor> view_seed;
-      for (int i = 0; i < wu.params.rps_view_size; ++i) {
-        NodeId peer = v;
-        while (peer == v) peer = static_cast<NodeId>(rng.index(n));
-        view_seed.push_back(net::Descriptor{peer, -1, nullptr});
+      agents[v] = agent.get();
+      if (v < n) {  // the joining node starts offline and unseeded (§V-C)
+        std::vector<net::Descriptor> view_seed;
+        view_seed.reserve(static_cast<std::size_t>(wu.params.rps_view_size));
+        for (int i = 0; i < wu.params.rps_view_size; ++i) {
+          NodeId peer = v;
+          while (peer == v) peer = static_cast<NodeId>(boot_rng.index(n));
+          view_seed.push_back(net::Descriptor{peer, -1, nullptr});
+        }
+        agent->bootstrap_rps(std::move(view_seed));
       }
-      agents[v]->bootstrap_rps(std::move(view_seed));
-    }
+      return agent;
+    });
+    engine.set_active(joiner, false);
 
     metrics::Tracker tracker(n, workload.num_items());
     tracker.attach(engine);

@@ -8,9 +8,11 @@
 #include "baselines/cascade_agent.hpp"
 #include "baselines/cf_agent.hpp"
 #include "baselines/gossip_agent.hpp"
+#include "common/parallel.hpp"
 #include "graph/clustering.hpp"
 #include "graph/components.hpp"
 #include "graph/scc.hpp"
+#include "graph/static_graph.hpp"
 #include "sim/engine.hpp"
 #include "whatsup/node.hpp"
 
@@ -40,42 +42,71 @@ Metric metric_of(Approach approach) {
 
 namespace {
 
-// Builds the overlay digraph from the per-agent neighbor views at the end
-// of a run: node -> members of its WUP/kNN view (RPS for gossip, the
-// social graph for cascading).
-graph::Digraph overlay_graph(const sim::Engine& engine, Approach approach,
-                             const data::Workload& workload) {
-  graph::Digraph g(engine.num_nodes());
-  for (NodeId v = 0; v < engine.num_nodes(); ++v) {
-    const sim::Agent& agent = engine.agent(v);
-    switch (approach) {
-      case Approach::kWhatsUp:
-      case Approach::kWhatsUpCos: {
-        const auto& node = dynamic_cast<const WhatsUpAgent&>(agent);
-        for (NodeId w : node.wup_view().members()) g.add_edge(v, w);
-        break;
-      }
-      case Approach::kCfWup:
-      case Approach::kCfCos: {
-        const auto& node = dynamic_cast<const baselines::CfAgent&>(agent);
-        for (NodeId w : node.knn_view().members()) g.add_edge(v, w);
-        break;
-      }
-      case Approach::kGossip: {
-        const auto& node = dynamic_cast<const baselines::GossipAgent&>(agent);
-        for (NodeId w : node.rps_view().members()) g.add_edge(v, w);
-        break;
-      }
-      case Approach::kCascade: {
-        if (workload.social.has_value()) {
-          for (NodeId w : workload.social->neighbors(v)) g.add_edge(v, w);
-        }
-        break;
-      }
-    }
+// Node-range width for the collection passes below. A constant (never a
+// function of the thread count) so partial merges happen in the same
+// order under any executor; see common/parallel.hpp.
+constexpr std::size_t kCollectChunk = 1024;
+
+// The overlay edge source of one node at the end of a run: members of its
+// WUP/kNN view (RPS for gossip, the social graph for cascading).
+std::span<const net::Descriptor> overlay_view(const sim::Agent& agent,
+                                              Approach approach) {
+  switch (approach) {
+    case Approach::kWhatsUp:
+    case Approach::kWhatsUpCos:
+      return dynamic_cast<const WhatsUpAgent&>(agent).wup_view().entries();
+    case Approach::kCfWup:
+    case Approach::kCfCos:
+      return dynamic_cast<const baselines::CfAgent&>(agent).knn_view().entries();
+    case Approach::kGossip:
+      return dynamic_cast<const baselines::GossipAgent&>(agent).rps_view().entries();
+    case Approach::kCascade:
+      return {};
   }
-  g.dedupe();
-  return g;
+  return {};
+}
+
+// Builds the end-of-run overlay as a CSR StaticGraph, streaming view
+// edges straight out of every agent into the pre-reserved edge slab —
+// degree count, fill and per-row dedupe all run over disjoint node ranges
+// on the engine's worker pool, and no intermediate adjacency-list graph
+// is ever materialized (the old Digraph path cost one heap block per node
+// plus a full resort on dedupe, all on the main thread).
+graph::StaticGraph overlay_graph(sim::Engine& engine, Approach approach,
+                                 const data::Workload& workload) {
+  const std::size_t n = engine.num_nodes();
+  const bool social = approach == Approach::kCascade && workload.social.has_value();
+  graph::StaticGraph::Builder builder(n);
+  parallel_chunks(&engine, n, kCollectChunk,
+                  [&](std::size_t, std::size_t lo, std::size_t hi) {
+                    for (std::size_t v = lo; v < hi; ++v) {
+                      const auto id = static_cast<NodeId>(v);
+                      const std::size_t degree =
+                          social ? workload.social->neighbors(id).size()
+                                 : overlay_view(engine.agent(id), approach).size();
+                      builder.set_degree(id, degree);
+                    }
+                  });
+  builder.finish_degrees();
+  parallel_chunks(&engine, n, kCollectChunk,
+                  [&](std::size_t, std::size_t lo, std::size_t hi) {
+                    for (std::size_t v = lo; v < hi; ++v) {
+                      const auto id = static_cast<NodeId>(v);
+                      if (social) {
+                        for (const NodeId w : workload.social->neighbors(id)) {
+                          builder.add_edge(id, w);
+                        }
+                      } else {
+                        for (const net::Descriptor& d :
+                             overlay_view(engine.agent(id), approach)) {
+                          builder.add_edge(id, d.node);
+                        }
+                      }
+                    }
+                    builder.dedupe_rows(static_cast<NodeId>(lo),
+                                        static_cast<NodeId>(hi));
+                  });
+  return builder.build();
 }
 
 }  // namespace
@@ -93,6 +124,7 @@ RunResult run_protocol(const data::Workload& base_workload, const RunConfig& con
   engine_config.seed = rng.next_u64();
   engine_config.network = config.network;
   engine_config.threads = config.threads;
+  engine_config.shard_nodes = config.shard_nodes;
   sim::Engine engine(engine_config);
 
   WorkloadOpinions opinions(workload);
@@ -105,65 +137,63 @@ RunResult run_protocol(const data::Workload& base_workload, const RunConfig& con
     throw std::invalid_argument("cascade requires a workload with a social graph");
   }
 
-  std::vector<WhatsUpAgent*> whatsup_agents;
-  std::vector<baselines::GossipAgent*> gossip_agents;
-  std::vector<baselines::CfAgent*> cf_agents;
-  for (NodeId v = 0; v < n; ++v) {
+  // BOOTSTRAP phase: agents are constructed AND their RPS/kNN views
+  // seeded with random peers (the role of the bootstrap server in the
+  // deployed system) per shard on the worker pool. Every node draws its
+  // seed peers from its own counter-based bootstrap stream, so the wiring
+  // is bit-identical for any thread count and shard width — this replaced
+  // the sequential per-node seeding loops that serialized 100k-node
+  // startup on the main thread (one re-baseline of fixed-seed digests).
+  const auto seed_view = [&](auto& agent, NodeId self, Rng& boot_rng) {
+    std::vector<net::Descriptor> seed;
+    const auto k = static_cast<std::size_t>(params.rps_view_size);
+    seed.reserve(k);
+    for (std::size_t picked = 0; picked < k && n > 1; ++picked) {
+      NodeId peer = self;
+      while (peer == self) peer = static_cast<NodeId>(boot_rng.index(n));
+      seed.push_back(net::Descriptor{peer, -1, nullptr});
+    }
+    agent.bootstrap_rps(std::move(seed));
+  };
+
+  WhatsUpConfig wu;
+  wu.params = params;
+  wu.metric = config.metric_override.value_or(metric_of(config.approach));
+  wu.beep_amplification = config.beep_amplification;
+  wu.beep_orientation = config.beep_orientation;
+  wu.obfuscation = config.obfuscation;
+  const Metric cf_metric = config.metric_override.value_or(metric_of(config.approach));
+
+  engine.bootstrap(n, [&](NodeId v, Rng& boot_rng) -> std::unique_ptr<sim::Agent> {
     switch (config.approach) {
       case Approach::kWhatsUp:
       case Approach::kWhatsUpCos: {
-        WhatsUpConfig wu;
-        wu.params = params;
-        wu.metric = config.metric_override.value_or(metric_of(config.approach));
-        wu.beep_amplification = config.beep_amplification;
-        wu.beep_orientation = config.beep_orientation;
-        wu.obfuscation = config.obfuscation;
         auto agent = std::make_unique<WhatsUpAgent>(v, wu, opinions);
-        whatsup_agents.push_back(agent.get());
-        engine.add_agent(std::move(agent));
-        break;
+        seed_view(*agent, v, boot_rng);
+        return agent;
       }
       case Approach::kCfWup:
       case Approach::kCfCos: {
-        auto agent = std::make_unique<baselines::CfAgent>(
-            v, config.fanout, config.metric_override.value_or(metric_of(config.approach)),
-            params, opinions);
-        cf_agents.push_back(agent.get());
-        engine.add_agent(std::move(agent));
-        break;
+        auto agent = std::make_unique<baselines::CfAgent>(v, config.fanout, cf_metric,
+                                                          params, opinions);
+        seed_view(*agent, v, boot_rng);
+        return agent;
       }
       case Approach::kGossip: {
         auto agent = std::make_unique<baselines::GossipAgent>(
             v, config.fanout, params.rps_view_size, params.rps_period, opinions);
-        gossip_agents.push_back(agent.get());
-        engine.add_agent(std::move(agent));
-        break;
+        seed_view(*agent, v, boot_rng);
+        return agent;
       }
       case Approach::kCascade: {
         const auto friends_span = workload.social->neighbors(v);
         std::vector<NodeId> friends(friends_span.begin(), friends_span.end());
-        engine.add_agent(
-            std::make_unique<baselines::CascadeAgent>(v, std::move(friends), opinions));
-        break;
+        return std::make_unique<baselines::CascadeAgent>(v, std::move(friends),
+                                                         opinions);
       }
     }
-  }
-
-  // Bootstrap: every node's RPS view starts with random peers (the role of
-  // the bootstrap server in the deployed system).
-  const auto seed_view = [&](auto* agent, NodeId self) {
-    std::vector<net::Descriptor> seed;
-    const auto k = static_cast<std::size_t>(params.rps_view_size);
-    for (std::size_t picked = 0; picked < k && n > 1; ++picked) {
-      NodeId peer = self;
-      while (peer == self) peer = static_cast<NodeId>(rng.index(n));
-      seed.push_back(net::Descriptor{peer, -1, nullptr});
-    }
-    agent->bootstrap_rps(std::move(seed));
-  };
-  for (auto* a : whatsup_agents) seed_view(a, a->id());
-  for (NodeId v = 0; v < gossip_agents.size(); ++v) seed_view(gossip_agents[v], v);
-  for (NodeId v = 0; v < cf_agents.size(); ++v) seed_view(cf_agents[v], v);
+    return nullptr;
+  });
 
   metrics::Tracker tracker(n, workload.num_items());
   tracker.attach(engine);
@@ -191,8 +221,12 @@ RunResult run_protocol(const data::Workload& base_workload, const RunConfig& con
     if (spec.publish_at >= measure_from) result.measured.push_back(spec.index);
   }
   result.reached = tracker.reached_sets();
-  result.scores = metrics::compute_scores(workload, result.reached, result.measured);
-  result.per_user = metrics::per_user_scores(workload, result.reached, result.measured);
+  // Score reduction fans out over the engine's worker pool (fixed chunk
+  // widths, in-order merges: bit-identical for any thread count).
+  result.scores = metrics::compute_scores(workload, result.reached, result.measured,
+                                          &engine);
+  result.per_user = metrics::per_user_scores(workload, result.reached,
+                                             result.measured, &engine);
 
   const net::Traffic& traffic = engine.traffic();
   result.news_messages = traffic.messages(net::Protocol::kBeep);
@@ -214,32 +248,49 @@ RunResult run_protocol(const data::Workload& base_workload, const RunConfig& con
                                            static_cast<double>(total),
                                            config.cycle_seconds, false);
 
-  const graph::Digraph overlay = overlay_graph(engine, config.approach, workload);
+  const graph::StaticGraph overlay = overlay_graph(engine, config.approach, workload);
   result.overlay.lscc_fraction = graph::largest_scc_fraction(overlay);
   result.overlay.clustering = graph::avg_clustering_coefficient(overlay);
   result.overlay.components = graph::weak_components(overlay).count;
 
-  // Table IV: distribution of the dislike counter carried by the copies
-  // that reached likers, over measured items.
+  // Table IV (dislike histograms) and Fig. 6 (hop histograms): per-item
+  // reduction over fixed item chunks on the worker pool, partials merged
+  // in ascending chunk order on this thread.
+  constexpr std::size_t kItemChunk = 64;
+  const std::size_t n_chunks =
+      result.measured.empty() ? 0 : (result.measured.size() + kItemChunk - 1) / kItemChunk;
+  std::vector<std::array<double, 5>> dislike_partial(n_chunks);
+  std::vector<double> dislike_partial_total(n_chunks, 0.0);
+  std::vector<metrics::HopCounts> hops_partial(n_chunks);
+  parallel_chunks(&engine, result.measured.size(), kItemChunk,
+                  [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+                    auto& counts = dislike_partial[chunk];
+                    counts.fill(0.0);
+                    for (std::size_t i = lo; i < hi; ++i) {
+                      const ItemIdx item = result.measured[i];
+                      const auto& hist = tracker.dislikes_at_liked(item);
+                      for (std::size_t bin = 0; bin < hist.size(); ++bin) {
+                        const std::size_t clipped = std::min<std::size_t>(bin, 4);
+                        counts[clipped] += static_cast<double>(hist[bin]);
+                        dislike_partial_total[chunk] += static_cast<double>(hist[bin]);
+                      }
+                      hops_partial[chunk].accumulate(tracker.hops(item));
+                    }
+                  });
   std::array<double, 5> dislike_counts{};
   double dislike_total = 0.0;
-  for (ItemIdx item : result.measured) {
-    const auto& hist = tracker.dislikes_at_liked(item);
-    for (std::size_t bin = 0; bin < hist.size(); ++bin) {
-      const std::size_t clipped = std::min<std::size_t>(bin, 4);
-      dislike_counts[clipped] += static_cast<double>(hist[bin]);
-      dislike_total += static_cast<double>(hist[bin]);
+  for (std::size_t chunk = 0; chunk < n_chunks; ++chunk) {
+    for (std::size_t bin = 0; bin < dislike_counts.size(); ++bin) {
+      dislike_counts[bin] += dislike_partial[chunk][bin];
     }
+    dislike_total += dislike_partial_total[chunk];
+    result.hops_per_item.accumulate(hops_partial[chunk]);
   }
   if (dislike_total > 0.0) {
     for (double& c : dislike_counts) c /= dislike_total;
   }
   result.dislike_fractions = dislike_counts;
 
-  // Fig. 6: average per-item hop histograms.
-  for (ItemIdx item : result.measured) {
-    result.hops_per_item.accumulate(tracker.hops(item));
-  }
   if (!result.measured.empty()) {
     const double inv = 1.0 / static_cast<double>(result.measured.size());
     for (auto* hist : {&result.hops_per_item.forward_like, &result.hops_per_item.infect_like,

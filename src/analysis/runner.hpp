@@ -44,6 +44,9 @@ struct RunConfig {
   // Worker threads for the engine's parallel phases (0 = hardware
   // concurrency). Results are bit-identical for any value.
   unsigned threads = 1;
+  // Nodes per shard (0 = engine default). Results are bit-identical for
+  // any width; exposed so the determinism suite can pin widths.
+  std::size_t shard_nodes = 0;
 
   Cycle warmup_cycles = 5;    // gossip-only cycles before the first item
   Cycle publish_cycles = 50;  // length of the publication phase
@@ -79,7 +82,10 @@ struct OverlayStats {
 struct RunResult {
   metrics::Scores scores;
   std::vector<ItemIdx> measured;
-  std::vector<DynBitset> reached;  // per item (for Fig. 10 / Fig. 11 post-analysis)
+  // Per item (for Fig. 10 / Fig. 11 post-analysis). Hybrid sparse→dense
+  // sets straight from the tracker — resident size scales with actual
+  // deliveries, not items × n (common/hybrid_set.hpp).
+  std::vector<HybridSet> reached;
 
   std::size_t news_messages = 0;
   std::size_t gossip_messages = 0;  // RPS + WUP

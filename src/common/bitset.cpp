@@ -80,6 +80,28 @@ void DynBitset::for_each_set(const std::function<void(std::size_t)>& fn) const {
   }
 }
 
+void DynBitset::for_each_set_in(std::size_t lo, std::size_t hi,
+                                const std::function<void(std::size_t)>& fn) const {
+  hi = hi < n_bits_ ? hi : n_bits_;
+  if (lo >= hi) return;
+  const std::size_t first_word = lo / kBits;
+  const std::size_t last_word = (hi - 1) / kBits;
+  for (std::size_t w = first_word; w <= last_word; ++w) {
+    std::uint64_t word = words_[w];
+    if (w == first_word && lo % kBits != 0) {
+      word &= ~std::uint64_t{0} << (lo % kBits);
+    }
+    if (w == last_word && hi % kBits != 0) {
+      word &= ~std::uint64_t{0} >> (kBits - hi % kBits);
+    }
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      fn(w * kBits + static_cast<std::size_t>(bit));
+      word &= word - 1;
+    }
+  }
+}
+
 std::vector<std::size_t> DynBitset::indices() const {
   std::vector<std::size_t> out;
   out.reserve(count());

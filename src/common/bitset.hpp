@@ -34,6 +34,11 @@ class DynBitset {
   std::size_t difference_count(const DynBitset& other) const;
 
   void for_each_set(const std::function<void(std::size_t)>& fn) const;
+  // Set bits in [lo, hi), ascending. Word-aligned scan: cost is
+  // O((hi - lo) / 64 + set bits in range), so range-partitioned parallel
+  // reductions pay for the slice they own, not the whole set.
+  void for_each_set_in(std::size_t lo, std::size_t hi,
+                       const std::function<void(std::size_t)>& fn) const;
   std::vector<std::size_t> indices() const;
 
   bool operator==(const DynBitset& other) const = default;

@@ -1,0 +1,105 @@
+#include "common/hybrid_set.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace whatsup {
+
+void HybridSet::resize(std::size_t n_bits) {
+  n_bits_ = n_bits;
+  promote_at_ = threshold_for(n_bits);
+  dense_ = false;
+  sparse_.clear();
+  bits_ = DynBitset();
+}
+
+void HybridSet::set(std::size_t i) {
+  assert(i < n_bits_);
+  if (dense_) {
+    bits_.set(i);
+    return;
+  }
+  const auto value = static_cast<std::uint32_t>(i);
+  auto* begin = sparse_.begin();
+  auto* pos = std::lower_bound(begin, sparse_.end(), value);
+  if (pos != sparse_.end() && *pos == value) return;
+  sparse_.insert(static_cast<std::size_t>(pos - begin), value);
+  if (sparse_.size() > promote_at_) promote();
+}
+
+void HybridSet::promote() {
+  bits_.resize(n_bits_);
+  for (const std::uint32_t v : sparse_) bits_.set(v);
+  sparse_.clear();
+  // Release any heap block the sparse array spilled to.
+  sparse_ = SmallVector<std::uint32_t, 8>();
+  dense_ = true;
+}
+
+bool HybridSet::test(std::size_t i) const {
+  assert(i < n_bits_);
+  if (dense_) return bits_.test(i);
+  return std::binary_search(sparse_.begin(), sparse_.end(),
+                            static_cast<std::uint32_t>(i));
+}
+
+void HybridSet::clear() {
+  sparse_.clear();
+  if (dense_) {
+    dense_ = false;
+    bits_ = DynBitset();
+  }
+}
+
+std::size_t HybridSet::intersect_count(const DynBitset& other) const {
+  assert(other.size() == n_bits_);
+  if (dense_) return bits_.intersect_count(other);
+  std::size_t total = 0;
+  for (const std::uint32_t v : sparse_) total += other.test(v) ? 1 : 0;
+  return total;
+}
+
+void HybridSet::for_each_set(const std::function<void(std::size_t)>& fn) const {
+  if (dense_) {
+    bits_.for_each_set(fn);
+    return;
+  }
+  for (const std::uint32_t v : sparse_) fn(v);
+}
+
+void HybridSet::for_each_set_in(std::size_t lo, std::size_t hi,
+                                const std::function<void(std::size_t)>& fn) const {
+  if (dense_) {
+    bits_.for_each_set_in(lo, hi, fn);
+    return;
+  }
+  const auto* it = std::lower_bound(sparse_.begin(), sparse_.end(),
+                                    static_cast<std::uint32_t>(lo));
+  for (; it != sparse_.end() && *it < hi; ++it) fn(*it);
+}
+
+bool HybridSet::operator==(const HybridSet& other) const {
+  if (n_bits_ != other.n_bits_ || count() != other.count()) return false;
+  bool equal = true;
+  // Same count + same universe: member-wise check in ascending order.
+  auto* self = this;
+  other.for_each_set([&](std::size_t i) {
+    if (!self->test(i)) equal = false;
+  });
+  return equal;
+}
+
+DynBitset HybridSet::to_bitset() const {
+  if (dense_) return bits_;
+  DynBitset out(n_bits_);
+  for (const std::uint32_t v : sparse_) out.set(v);
+  return out;
+}
+
+std::size_t HybridSet::memory_bytes() const {
+  if (dense_) return sizeof(HybridSet) + (n_bits_ + 7) / 8;
+  return sizeof(HybridSet) +
+         (sparse_.capacity() > 8 ? sparse_.capacity() * sizeof(std::uint32_t) : 0);
+}
+
+}  // namespace whatsup

@@ -1,0 +1,84 @@
+// Hybrid sparse→dense membership set over a fixed universe [0, n).
+//
+// A per-item reached/liked set in a 100k-node run is usually tiny (most
+// items reach a bounded neighborhood) but a dense DynBitset charges n/8
+// bytes for every item regardless, so the tracker's per-item sets dominate
+// the resident footprint at scale: O(items × n) bits. HybridSet stores the
+// members as a sorted SmallVector while that is the cheaper representation
+// and promotes to a DynBitset once the set is dense enough that the bitset
+// is smaller (and O(1) membership starts to matter). The promotion
+// threshold is a pure function of the universe size, so the representation
+// — and every observable — is deterministic for a given insert history.
+//
+// The read surface mirrors the DynBitset subset the metrics layer uses
+// (test/count/any/for_each_set/intersect_count), and iteration is always
+// in ascending order in BOTH representations, so digests and reductions
+// built on it cannot tell the representations apart.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "common/bitset.hpp"
+#include "common/small_vector.hpp"
+
+namespace whatsup {
+
+class HybridSet {
+ public:
+  HybridSet() = default;
+  explicit HybridSet(std::size_t n_bits) { resize(n_bits); }
+
+  // Universe size (matches DynBitset::size, not the member count).
+  std::size_t size() const { return n_bits_; }
+  // Drops all members and fixes a new universe.
+  void resize(std::size_t n_bits);
+
+  void set(std::size_t i);
+  bool test(std::size_t i) const;
+  std::size_t count() const { return dense_ ? bits_.count() : sparse_.size(); }
+  bool any() const { return count() != 0; }
+  void clear();
+
+  // |this AND other| over a same-universe dense set (workload ground
+  // truth stays DynBitset).
+  std::size_t intersect_count(const DynBitset& other) const;
+
+  // Ascending in both representations.
+  void for_each_set(const std::function<void(std::size_t)>& fn) const;
+  // Members in [lo, hi), ascending; sparse pays O(log k + members in
+  // range), dense pays a word-aligned scan of the range.
+  void for_each_set_in(std::size_t lo, std::size_t hi,
+                       const std::function<void(std::size_t)>& fn) const;
+
+  // Content equality, independent of representation.
+  bool operator==(const HybridSet& other) const;
+
+  // Dense materialization (interop with DynBitset-based post-analysis).
+  DynBitset to_bitset() const;
+
+  // Observability for tests and memory accounting.
+  bool is_dense() const { return dense_; }
+  std::size_t promote_threshold() const { return promote_at_; }
+  std::size_t memory_bytes() const;
+
+ private:
+  void promote();
+
+  // Promote when the sorted-u32 storage would outgrow the bitset:
+  // 4·k bytes vs n/8 bytes ⇒ k > n/32 (min 16 keeps tiny universes
+  // sparse-capable without thrashing).
+  static std::size_t threshold_for(std::size_t n_bits) {
+    const std::size_t t = n_bits / 32;
+    return t < 16 ? 16 : t;
+  }
+
+  std::size_t n_bits_ = 0;
+  std::size_t promote_at_ = 16;
+  bool dense_ = false;
+  SmallVector<std::uint32_t, 8> sparse_;  // sorted, unique; empty when dense
+  DynBitset bits_;                        // empty until promotion
+};
+
+}  // namespace whatsup

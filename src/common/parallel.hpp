@@ -1,0 +1,50 @@
+// Minimal data-parallel executor interface, so library layers (metrics,
+// analysis) can fan work out over the simulation engine's worker pool
+// without depending on sim/.
+//
+// Determinism contract for callers: partition work into chunks whose
+// boundaries are a function of the PROBLEM SIZE only (never of the thread
+// count), write results into per-chunk slots, and merge the slots in
+// ascending chunk order on the calling thread. Then the result — including
+// floating-point rounding — is bit-identical for any executor and any
+// worker-thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace whatsup {
+
+class ParallelExecutor {
+ public:
+  virtual ~ParallelExecutor() = default;
+
+  // Applies fn to every index in [0, n) exactly once, possibly
+  // concurrently; blocks until all indices are done. fn must be safe to
+  // invoke concurrently on distinct indices and must not throw.
+  virtual void parallel_for(std::size_t n,
+                            const std::function<void(std::size_t)>& fn) = 0;
+};
+
+// Runs fn over chunk index ranges: fn(chunk, lo, hi) for the chunk'th
+// slice [lo, hi) of [0, n). `chunk_size` must not depend on the thread
+// count (see the determinism contract above). A null executor runs the
+// chunks inline.
+inline void parallel_chunks(
+    ParallelExecutor* exec, std::size_t n, std::size_t chunk_size,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (chunk_size == 0) chunk_size = 1;
+  const std::size_t chunks = (n + chunk_size - 1) / chunk_size;
+  const auto run_chunk = [&](std::size_t c) {
+    const std::size_t lo = c * chunk_size;
+    fn(c, lo, lo + chunk_size < n ? lo + chunk_size : n);
+  };
+  if (exec == nullptr || chunks <= 1) {
+    for (std::size_t c = 0; c < chunks; ++c) run_chunk(c);
+  } else {
+    exec->parallel_for(chunks, run_chunk);
+  }
+}
+
+}  // namespace whatsup

@@ -3,23 +3,26 @@
 #include <algorithm>
 #include <vector>
 
+#include "graph/static_graph.hpp"
+
 namespace whatsup::graph {
 
 namespace {
 
-double avg_local_clustering(const std::vector<std::vector<NodeId>>& adj) {
-  const std::size_t n = adj.size();
+// Shared triangle-counting core. `rows(v)` must return the sorted, unique
+// undirected neighborhood of v (any span-like range of NodeId).
+template <typename RowFn>
+double avg_local_clustering_rows(std::size_t n, const RowFn& rows) {
   if (n == 0) return 0.0;
-  // Adjacency lists must be sorted and deduplicated before this call.
   double total = 0.0;
   std::size_t counted = 0;
   for (NodeId v = 0; v < n; ++v) {
-    const auto& nbrs = adj[v];
+    const auto nbrs = rows(v);
     const std::size_t k = nbrs.size();
     if (k < 2) continue;
     std::size_t links = 0;
     for (std::size_t i = 0; i < k; ++i) {
-      const auto& wi = adj[nbrs[i]];
+      const auto wi = rows(nbrs[i]);
       for (std::size_t j = i + 1; j < k; ++j) {
         if (std::binary_search(wi.begin(), wi.end(), nbrs[j])) ++links;
       }
@@ -28,6 +31,35 @@ double avg_local_clustering(const std::vector<std::vector<NodeId>>& adj) {
     ++counted;
   }
   return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+double avg_local_clustering(const std::vector<std::vector<NodeId>>& adj) {
+  // Adjacency lists must be sorted and deduplicated before this call.
+  return avg_local_clustering_rows(
+      adj.size(), [&adj](NodeId v) -> std::span<const NodeId> { return adj[v]; });
+}
+
+// Undirected closure of a CSR digraph, as another CSR: an edge exists if
+// it exists in either direction. Two-pass (symmetric degree count, fill),
+// then per-row sort+unique via the builder.
+StaticGraph undirected_closure(const StaticGraph& g) {
+  const std::size_t n = g.num_nodes();
+  StaticGraph::Builder b(n);
+  std::vector<std::size_t> degree(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] += g.out_degree(v);
+    for (const NodeId w : g.out(v)) ++degree[w];
+  }
+  for (NodeId v = 0; v < n; ++v) b.set_degree(v, degree[v]);
+  b.finish_degrees();
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId w : g.out(v)) {
+      b.add_edge(v, w);
+      b.add_edge(w, v);
+    }
+  }
+  b.dedupe_rows(0, static_cast<NodeId>(n));
+  return b.build();
 }
 
 }  // namespace
@@ -46,6 +78,12 @@ double avg_clustering_coefficient(const Digraph& g) {
     nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
   }
   return avg_local_clustering(adj);
+}
+
+double avg_clustering_coefficient(const StaticGraph& g) {
+  const StaticGraph closure = undirected_closure(g);
+  return avg_local_clustering_rows(
+      closure.num_nodes(), [&closure](NodeId v) { return closure.out(v); });
 }
 
 double avg_clustering_coefficient(const UGraph& g) {

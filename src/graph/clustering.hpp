@@ -8,9 +8,12 @@
 
 namespace whatsup::graph {
 
+class StaticGraph;
+
 // Average local clustering coefficient of the undirected closure of `g`
 // (an edge exists if it exists in either direction).
 double avg_clustering_coefficient(const Digraph& g);
+double avg_clustering_coefficient(const StaticGraph& g);
 double avg_clustering_coefficient(const UGraph& g);
 
 }  // namespace whatsup::graph

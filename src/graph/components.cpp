@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "graph/static_graph.hpp"
+
 namespace whatsup::graph {
 
 namespace {
@@ -46,12 +48,23 @@ ComponentsResult label_from_sets(DisjointSets& sets, std::size_t n) {
 
 }  // namespace
 
-ComponentsResult weak_components(const Digraph& g) {
+// Both digraph representations expose num_nodes()/out(v); edge direction
+// is irrelevant for weak connectivity.
+template <typename G>
+ComponentsResult weak_components_impl(const G& g) {
   DisjointSets sets(g.num_nodes());
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     for (NodeId w : g.out(v)) sets.unite(v, w);
   }
   return label_from_sets(sets, g.num_nodes());
+}
+
+ComponentsResult weak_components(const Digraph& g) {
+  return weak_components_impl(g);
+}
+
+ComponentsResult weak_components(const StaticGraph& g) {
+  return weak_components_impl(g);
 }
 
 ComponentsResult connected_components(const UGraph& g) {

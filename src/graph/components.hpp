@@ -10,6 +10,8 @@
 
 namespace whatsup::graph {
 
+class StaticGraph;
+
 struct ComponentsResult {
   std::vector<int> component;
   std::size_t count = 0;
@@ -17,6 +19,7 @@ struct ComponentsResult {
 };
 
 ComponentsResult weak_components(const Digraph& g);
+ComponentsResult weak_components(const StaticGraph& g);
 ComponentsResult connected_components(const UGraph& g);
 
 // Hop distance from `source` to every node (BFS over out-edges);

@@ -5,6 +5,164 @@
 
 namespace whatsup::metrics {
 
+namespace {
+
+// Fixed chunk widths for the parallel reductions. Constants (never a
+// function of the thread count), so partial-merge order — and therefore
+// floating-point rounding — is identical for any executor.
+constexpr std::size_t kItemChunk = 32;
+// Must stay a multiple of 64: chunks write disjoint WORDS of the
+// bit-packed PerUserScores::valid vector.
+constexpr std::size_t kUserChunk = 8192;
+static_assert(kUserChunk % 64 == 0);
+
+// Per-item hit accounting shared by both reductions. `ReachSet` is
+// DynBitset or HybridSet — both expose count/test/intersect_count.
+template <typename ReachSet>
+struct ItemCounts {
+  std::size_t reached = 0;
+  std::size_t interested = 0;
+  std::size_t hits = 0;
+};
+
+template <typename ReachSet>
+ItemCounts<ReachSet> count_item(const data::Workload& workload,
+                                const ReachSet& reach, ItemIdx item) {
+  const data::NewsSpec& spec = workload.news[item];
+  const DynBitset& interest = workload.interested(item);
+  ItemCounts<ReachSet> c;
+  c.reached = reach.count();
+  c.interested = interest.count();
+  c.hits = reach.intersect_count(interest);
+  if (reach.test(spec.source)) {
+    --c.reached;
+    if (interest.test(spec.source)) --c.hits;
+  }
+  if (interest.test(spec.source)) --c.interested;
+  return c;
+}
+
+template <typename ReachSet>
+Scores compute_scores_impl(const data::Workload& workload,
+                           const std::vector<ReachSet>& reached,
+                           std::span<const ItemIdx> measured,
+                           ParallelExecutor* exec) {
+  Scores scores;
+  if (measured.empty()) return scores;
+  // Parallel per-item pass into position-indexed slots; the (float) sums
+  // below run on the calling thread in measured order.
+  std::vector<double> precision(measured.size());
+  std::vector<double> recall(measured.size());
+  parallel_chunks(exec, measured.size(), kItemChunk,
+                  [&](std::size_t, std::size_t lo, std::size_t hi) {
+                    for (std::size_t i = lo; i < hi; ++i) {
+                      const auto c = count_item(workload, reached[measured[i]],
+                                                measured[i]);
+                      precision[i] = c.reached > 0
+                                         ? static_cast<double>(c.hits) /
+                                               static_cast<double>(c.reached)
+                                         : 1.0;  // empty delivery: vacuous
+                      recall[i] = c.interested > 0
+                                      ? static_cast<double>(c.hits) /
+                                            static_cast<double>(c.interested)
+                                      : 1.0;  // nobody (else) to reach
+                    }
+                  });
+  double precision_sum = 0.0;
+  double recall_sum = 0.0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    precision_sum += precision[i];
+    recall_sum += recall[i];
+  }
+  scores.items = measured.size();
+  scores.precision = precision_sum / static_cast<double>(scores.items);
+  scores.recall = recall_sum / static_cast<double>(scores.items);
+  scores.f1 = f1_score(scores.precision, scores.recall);
+  return scores;
+}
+
+template <typename ReachSet>
+PerUserScores per_user_scores_impl(const data::Workload& workload,
+                                   const std::vector<ReachSet>& reached,
+                                   std::span<const ItemIdx> measured,
+                                   ParallelExecutor* exec) {
+  const std::size_t n = workload.num_users();
+  std::vector<std::size_t> received(n, 0), interested(n, 0), hits(n, 0);
+  PerUserScores out;
+  out.precision.resize(n);
+  out.recall.resize(n);
+  out.f1.resize(n);
+  out.valid.resize(n);
+  // Each chunk owns a user range: counters are disjoint across chunks and
+  // integer-exact, so the reduction is order-independent. Range-restricted
+  // set iteration keeps each chunk's cost proportional to its slice.
+  parallel_chunks(exec, n, kUserChunk, [&](std::size_t, std::size_t lo,
+                                           std::size_t hi) {
+    for (const ItemIdx item : measured) {
+      const data::NewsSpec& spec = workload.news[item];
+      const DynBitset& interest = workload.interested(item);
+      reached[item].for_each_set_in(lo, hi, [&](std::size_t u) {
+        if (u == spec.source) return;
+        ++received[u];
+        if (interest.test(u)) ++hits[u];
+      });
+      interest.for_each_set_in(lo, hi, [&](std::size_t u) {
+        if (u == spec.source) return;
+        ++interested[u];
+      });
+    }
+    for (std::size_t u = lo; u < hi; ++u) {
+      out.valid[u] = interested[u] > 0;
+      out.precision[u] =
+          received[u] > 0
+              ? static_cast<double>(hits[u]) / static_cast<double>(received[u])
+              : 1.0;
+      out.recall[u] = interested[u] > 0 ? static_cast<double>(hits[u]) /
+                                              static_cast<double>(interested[u])
+                                        : 1.0;
+      out.f1[u] = f1_score(out.precision[u], out.recall[u]);
+    }
+  });
+  return out;
+}
+
+template <typename ReachSet>
+PopularityCurve recall_by_popularity_impl(const data::Workload& workload,
+                                          const std::vector<ReachSet>& reached,
+                                          std::span<const ItemIdx> measured,
+                                          std::size_t buckets) {
+  PopularityCurve curve;
+  curve.center.resize(buckets);
+  curve.recall.assign(buckets, 0.0);
+  curve.item_fraction.assign(buckets, 0.0);
+  curve.items.assign(buckets, 0);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    curve.center[b] = (static_cast<double>(b) + 0.5) / static_cast<double>(buckets);
+  }
+  for (ItemIdx item : measured) {
+    const auto c = count_item(workload, reached[item], item);
+    if (c.interested == 0) continue;
+    const double pop = workload.popularity(item);
+    auto b = static_cast<std::size_t>(pop * static_cast<double>(buckets));
+    b = std::min(b, buckets - 1);
+    curve.recall[b] +=
+        static_cast<double>(c.hits) / static_cast<double>(c.interested);
+    ++curve.items[b];
+  }
+  std::size_t total_items = 0;
+  for (std::size_t b = 0; b < buckets; ++b) total_items += curve.items[b];
+  for (std::size_t b = 0; b < buckets; ++b) {
+    if (curve.items[b] > 0) curve.recall[b] /= static_cast<double>(curve.items[b]);
+    if (total_items > 0) {
+      curve.item_fraction[b] =
+          static_cast<double>(curve.items[b]) / static_cast<double>(total_items);
+    }
+  }
+  return curve;
+}
+
+}  // namespace
+
 double f1_score(double precision, double recall) {
   const double denom = precision + recall;
   return denom > 0.0 ? 2.0 * precision * recall / denom : 0.0;
@@ -12,78 +170,28 @@ double f1_score(double precision, double recall) {
 
 Scores compute_scores(const data::Workload& workload,
                       const std::vector<DynBitset>& reached,
-                      std::span<const ItemIdx> measured) {
-  Scores scores;
-  double precision_sum = 0.0;
-  double recall_sum = 0.0;
-  for (ItemIdx item : measured) {
-    const data::NewsSpec& spec = workload.news[item];
-    const DynBitset& reach = reached[item];
-    const DynBitset& interest = workload.interested(item);
+                      std::span<const ItemIdx> measured, ParallelExecutor* exec) {
+  return compute_scores_impl(workload, reached, measured, exec);
+}
 
-    std::size_t n_reached = reach.count();
-    std::size_t n_interested = interest.count();
-    std::size_t hits = reach.intersect_count(interest);
-    if (reach.test(spec.source)) {
-      --n_reached;
-      if (interest.test(spec.source)) --hits;
-    }
-    if (interest.test(spec.source)) --n_interested;
-
-    if (n_reached > 0) {
-      precision_sum += static_cast<double>(hits) / static_cast<double>(n_reached);
-    } else {
-      precision_sum += 1.0;  // empty delivery: vacuous precision
-    }
-    if (n_interested > 0) {
-      recall_sum += static_cast<double>(hits) / static_cast<double>(n_interested);
-    } else {
-      recall_sum += 1.0;  // nobody (else) to reach
-    }
-    ++scores.items;
-  }
-  if (scores.items == 0) return scores;
-  scores.precision = precision_sum / static_cast<double>(scores.items);
-  scores.recall = recall_sum / static_cast<double>(scores.items);
-  scores.f1 = f1_score(scores.precision, scores.recall);
-  return scores;
+Scores compute_scores(const data::Workload& workload,
+                      const std::vector<HybridSet>& reached,
+                      std::span<const ItemIdx> measured, ParallelExecutor* exec) {
+  return compute_scores_impl(workload, reached, measured, exec);
 }
 
 PerUserScores per_user_scores(const data::Workload& workload,
                               const std::vector<DynBitset>& reached,
-                              std::span<const ItemIdx> measured) {
-  const std::size_t n = workload.num_users();
-  std::vector<std::size_t> received(n, 0), interested(n, 0), hits(n, 0);
-  for (ItemIdx item : measured) {
-    const data::NewsSpec& spec = workload.news[item];
-    const DynBitset& reach = reached[item];
-    const DynBitset& interest = workload.interested(item);
-    reach.for_each_set([&](std::size_t u) {
-      if (u == spec.source) return;
-      ++received[u];
-      if (interest.test(u)) ++hits[u];
-    });
-    interest.for_each_set([&](std::size_t u) {
-      if (u == spec.source) return;
-      ++interested[u];
-    });
-  }
-  PerUserScores out;
-  out.precision.resize(n);
-  out.recall.resize(n);
-  out.f1.resize(n);
-  out.valid.resize(n);
-  for (std::size_t u = 0; u < n; ++u) {
-    out.valid[u] = interested[u] > 0;
-    out.precision[u] = received[u] > 0
-                           ? static_cast<double>(hits[u]) / static_cast<double>(received[u])
-                           : 1.0;
-    out.recall[u] = interested[u] > 0
-                        ? static_cast<double>(hits[u]) / static_cast<double>(interested[u])
-                        : 1.0;
-    out.f1[u] = f1_score(out.precision[u], out.recall[u]);
-  }
-  return out;
+                              std::span<const ItemIdx> measured,
+                              ParallelExecutor* exec) {
+  return per_user_scores_impl(workload, reached, measured, exec);
+}
+
+PerUserScores per_user_scores(const data::Workload& workload,
+                              const std::vector<HybridSet>& reached,
+                              std::span<const ItemIdx> measured,
+                              ParallelExecutor* exec) {
+  return per_user_scores_impl(workload, reached, measured, exec);
 }
 
 std::vector<double> sociability(const data::Workload& workload, std::size_t k) {
@@ -127,41 +235,14 @@ PopularityCurve recall_by_popularity(const data::Workload& workload,
                                      const std::vector<DynBitset>& reached,
                                      std::span<const ItemIdx> measured,
                                      std::size_t buckets) {
-  PopularityCurve curve;
-  curve.center.resize(buckets);
-  curve.recall.assign(buckets, 0.0);
-  curve.item_fraction.assign(buckets, 0.0);
-  curve.items.assign(buckets, 0);
-  for (std::size_t b = 0; b < buckets; ++b) {
-    curve.center[b] = (static_cast<double>(b) + 0.5) / static_cast<double>(buckets);
-  }
-  for (ItemIdx item : measured) {
-    const data::NewsSpec& spec = workload.news[item];
-    const DynBitset& reach = reached[item];
-    const DynBitset& interest = workload.interested(item);
-    std::size_t n_interested = interest.count();
-    std::size_t hits = reach.intersect_count(interest);
-    if (interest.test(spec.source)) {
-      --n_interested;
-      if (reach.test(spec.source)) --hits;
-    }
-    if (n_interested == 0) continue;
-    const double pop = workload.popularity(item);
-    auto b = static_cast<std::size_t>(pop * static_cast<double>(buckets));
-    b = std::min(b, buckets - 1);
-    curve.recall[b] += static_cast<double>(hits) / static_cast<double>(n_interested);
-    ++curve.items[b];
-  }
-  std::size_t total_items = 0;
-  for (std::size_t b = 0; b < buckets; ++b) total_items += curve.items[b];
-  for (std::size_t b = 0; b < buckets; ++b) {
-    if (curve.items[b] > 0) curve.recall[b] /= static_cast<double>(curve.items[b]);
-    if (total_items > 0) {
-      curve.item_fraction[b] =
-          static_cast<double>(curve.items[b]) / static_cast<double>(total_items);
-    }
-  }
-  return curve;
+  return recall_by_popularity_impl(workload, reached, measured, buckets);
+}
+
+PopularityCurve recall_by_popularity(const data::Workload& workload,
+                                     const std::vector<HybridSet>& reached,
+                                     std::span<const ItemIdx> measured,
+                                     std::size_t buckets) {
+  return recall_by_popularity_impl(workload, reached, measured, buckets);
 }
 
 }  // namespace whatsup::metrics

@@ -6,14 +6,23 @@
 // F1 is the harmonic mean of the averaged precision and recall. The item
 // source is excluded from both the reached and the interested sets (it
 // trivially receives and likes its own item).
+//
+// Every entry point is overloaded for both reach-set representations:
+// dense DynBitset vectors (centralized baselines, ground truth) and the
+// tracker's hybrid sparse→dense sets. The optional ParallelExecutor fans
+// the per-item / per-user-range reductions over the engine's worker pool;
+// chunk boundaries depend only on the problem size and partial results
+// merge in ascending order on the calling thread, so the result is
+// bit-identical for any executor and thread count (see common/parallel.hpp).
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "common/bitset.hpp"
+#include "common/hybrid_set.hpp"
+#include "common/parallel.hpp"
 #include "dataset/workload.hpp"
-#include "metrics/tracker.hpp"
 
 namespace whatsup::metrics {
 
@@ -30,7 +39,12 @@ double f1_score(double precision, double recall);
 // baselines) against the workload ground truth.
 Scores compute_scores(const data::Workload& workload,
                       const std::vector<DynBitset>& reached,
-                      std::span<const ItemIdx> measured);
+                      std::span<const ItemIdx> measured,
+                      ParallelExecutor* exec = nullptr);
+Scores compute_scores(const data::Workload& workload,
+                      const std::vector<HybridSet>& reached,
+                      std::span<const ItemIdx> measured,
+                      ParallelExecutor* exec = nullptr);
 
 // Per-user precision/recall/F1 over the measured items (Fig. 11). Users
 // with no interested measured item get recall 1 by convention and are
@@ -43,7 +57,12 @@ struct PerUserScores {
 };
 PerUserScores per_user_scores(const data::Workload& workload,
                               const std::vector<DynBitset>& reached,
-                              std::span<const ItemIdx> measured);
+                              std::span<const ItemIdx> measured,
+                              ParallelExecutor* exec = nullptr);
+PerUserScores per_user_scores(const data::Workload& workload,
+                              const std::vector<HybridSet>& reached,
+                              std::span<const ItemIdx> measured,
+                              ParallelExecutor* exec = nullptr);
 
 // Sociability (§V-H): a node's average ground-truth similarity to the `k`
 // nodes most similar to it (binary cosine over like-vectors, which for
@@ -60,6 +79,10 @@ struct PopularityCurve {
 };
 PopularityCurve recall_by_popularity(const data::Workload& workload,
                                      const std::vector<DynBitset>& reached,
+                                     std::span<const ItemIdx> measured,
+                                     std::size_t buckets = 10);
+PopularityCurve recall_by_popularity(const data::Workload& workload,
+                                     const std::vector<HybridSet>& reached,
                                      std::span<const ItemIdx> measured,
                                      std::size_t buckets = 10);
 

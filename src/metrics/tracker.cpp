@@ -33,10 +33,17 @@ void HopCounts::accumulate(const HopCounts& other, double weight) {
 
 Tracker::Tracker(std::size_t n_users, std::size_t n_items)
     : n_users_(n_users),
-      reached_(n_items, DynBitset(n_users)),
-      liked_(n_items, DynBitset(n_users)),
+      reached_(n_items, HybridSet(n_users)),
+      liked_(n_items, HybridSet(n_users)),
       hops_(n_items),
       dislike_hist_(n_items) {}
+
+std::size_t Tracker::set_memory_bytes() const {
+  std::size_t total = 0;
+  for (const HybridSet& s : reached_) total += s.memory_bytes();
+  for (const HybridSet& s : liked_) total += s.memory_bytes();
+  return total;
+}
 
 void Tracker::attach(sim::Engine& engine) {
   engine_ = &engine;

@@ -15,7 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/bitset.hpp"
+#include "common/hybrid_set.hpp"
 #include "sim/engine.hpp"
 
 namespace whatsup::metrics {
@@ -48,9 +48,17 @@ class Tracker : public sim::DisseminationObserver {
 
   std::size_t num_items() const { return reached_.size(); }
   std::size_t num_users() const { return n_users_; }
-  const DynBitset& reached(ItemIdx item) const { return reached_[item]; }
-  const DynBitset& liked(ItemIdx item) const { return liked_[item]; }
-  const std::vector<DynBitset>& reached_sets() const { return reached_; }
+  // Per-item membership sets are hybrid sparse→dense (common/hybrid_set.hpp):
+  // sorted index arrays while small, bitsets once dense. This caps the
+  // tracker's resident footprint at O(total deliveries) instead of
+  // O(items × n), which is what dominates a 100k-node run.
+  const HybridSet& reached(ItemIdx item) const { return reached_[item]; }
+  const HybridSet& liked(ItemIdx item) const { return liked_[item]; }
+  const std::vector<HybridSet>& reached_sets() const { return reached_; }
+
+  // Resident bytes of the reached/liked sets (observability for the
+  // memory-lean metrics work; see bench/macro_sim.cpp).
+  std::size_t set_memory_bytes() const;
 
   // Per-item hop histograms and the dislike-counter histogram for copies
   // that reached likers (index clipped to kMaxDislikeBin).
@@ -75,8 +83,8 @@ class Tracker : public sim::DisseminationObserver {
 
  private:
   std::size_t n_users_;
-  std::vector<DynBitset> reached_;
-  std::vector<DynBitset> liked_;
+  std::vector<HybridSet> reached_;
+  std::vector<HybridSet> liked_;
   std::vector<HopCounts> hops_;
   std::vector<std::array<std::uint32_t, kMaxDislikeBin + 1>> dislike_hist_;
 

@@ -15,6 +15,11 @@ namespace {
 constexpr std::uint64_t kEngineStreamTag = 0x656e67696e65ULL;  // "engine"
 constexpr std::uint64_t kNodeStreamTag = 0x6e6f646573ULL;      // "nodes"
 
+// Substream of a node's stream space reserved for the BOOTSTRAP phase.
+// Per-cycle streams use the cycle number as the substream; cycles are
+// small non-negative values, so this can never collide.
+constexpr std::uint64_t kBootstrapSubstream = 0xb007'5742'0000'0000ULL;
+
 }  // namespace
 
 Cycle Context::now() const { return engine_.now(); }
@@ -90,6 +95,57 @@ NodeId Engine::add_agent(std::unique_ptr<Agent> agent) {
   node_rng_.emplace_back();
   node_rng_cycle_.push_back(kNoCycle);
   return id;
+}
+
+Rng Engine::bootstrap_rng(NodeId id) const {
+  return stream_root_.fork(id, kBootstrapSubstream);
+}
+
+void Engine::bootstrap(std::size_t count, const AgentFactory& factory) {
+  assert(!in_phase_.load(std::memory_order_relaxed) &&
+         "bootstrap is a between-cycles, main-thread operation");
+  if (count == 0) return;
+  const std::size_t n0 = agents_.size();
+  const std::size_t n1 = n0 + count;
+  // Registry bookkeeping up front (main thread): the parallel pass below
+  // only fills pre-sized slots, never grows containers.
+  agents_.resize(n1);
+  active_.resize(n1, true);
+  node_rng_.resize(n1);
+  node_rng_cycle_.resize(n1, kNoCycle);
+  active_ids_.reserve(n1);
+  for (std::size_t v = n0; v < n1; ++v) active_ids_.push_back(static_cast<NodeId>(v));
+  num_active_ += count;
+  ensure_shards();
+  // Construction + seeding per shard on the pool. Each node draws from its
+  // own counter-based bootstrap stream, so the result does not depend on
+  // which worker builds which shard — or on the shard width.
+  run_phase([&](Shard& shard) {
+    const auto lo = static_cast<std::size_t>(shard.begin) > n0
+                        ? static_cast<std::size_t>(shard.begin)
+                        : n0;
+    const auto hi = static_cast<std::size_t>(shard.end) < n1
+                        ? static_cast<std::size_t>(shard.end)
+                        : n1;
+    for (std::size_t v = lo; v < hi; ++v) {
+      const auto id = static_cast<NodeId>(v);
+      Rng rng = bootstrap_rng(id);
+      agents_[v] = factory(id, rng);
+      assert(agents_[v] != nullptr && "bootstrap factory must return an agent");
+    }
+  });
+}
+
+void Engine::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  assert(!in_phase_.load(std::memory_order_relaxed) &&
+         "parallel_for must not be nested inside a phase");
+  if (n == 0) return;
+  if (threads_ > 1 && n > 1) {
+    if (pool_ == nullptr) pool_ = std::make_unique<WorkerPool>(threads_);
+    pool_->run(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
 }
 
 void Engine::set_active(NodeId id, bool active) {

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "net/message.hpp"
 #include "net/network.hpp"
@@ -109,7 +110,7 @@ class Agent {
   virtual void publish(Context& ctx, ItemIdx index, ItemId id) = 0;
 };
 
-class Engine {
+class Engine : public ParallelExecutor {
  public:
   struct Config {
     std::uint64_t seed = 42;
@@ -134,6 +135,27 @@ class Engine {
 
   // Registers an agent; returns its node id (dense, in registration order).
   NodeId add_agent(std::unique_ptr<Agent> agent);
+
+  // BOOTSTRAP phase: constructs (and, via the factory, seeds) `count`
+  // agents with node ids [num_nodes(), num_nodes() + count), per shard on
+  // the worker pool. The factory's `rng` is the node's private
+  // counter-based bootstrap stream — a pure function of (seed, node id) —
+  // so the resulting deployment is bit-identical for any worker-thread
+  // count and any shard width. The factory runs concurrently across
+  // shards: it must only touch the node's own agent and shared immutable
+  // data (workload, params), and must return non-null.
+  using AgentFactory = std::function<std::unique_ptr<Agent>(NodeId, Rng&)>;
+  void bootstrap(std::size_t count, const AgentFactory& factory);
+
+  // The node's bootstrap stream (also used by drivers that wire extra
+  // deterministic per-node state outside the factory).
+  Rng bootstrap_rng(NodeId id) const;
+
+  // ParallelExecutor: runs fn(i) for i in [0, n) on the engine's worker
+  // pool (inline when threads() == 1). Main-thread, between-phases only —
+  // the runner uses it for result collection and metric reduction.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn) override;
   std::size_t num_nodes() const { return agents_.size(); }
   Agent& agent(NodeId id) { return *agents_.at(id); }
   const Agent& agent(NodeId id) const { return *agents_.at(id); }

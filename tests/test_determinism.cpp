@@ -186,6 +186,62 @@ TEST(Determinism, RunProtocolIdenticalAcrossThreadCounts) {
   }
 }
 
+// The full scale-out run pipeline — BOOTSTRAP phase (parallel agent
+// construction + per-node-stream view seeding), CSR overlay collection
+// and the parallel score/histogram reductions — must be bit-identical
+// across worker-thread counts AND shard widths: every stage either draws
+// from per-node counter-based streams or merges fixed-size chunks in
+// ascending order.
+TEST(Determinism, RunPipelineIdenticalAcrossThreadsAndShardWidths) {
+  Rng rng(13);
+  data::SurveyConfig sc;
+  sc.base_users = 60;
+  sc.base_items = 70;
+  sc.replication = 2;
+  const data::Workload workload = data::make_survey(sc, rng);
+  analysis::RunConfig config;
+  config.approach = analysis::Approach::kWhatsUp;
+  config.fanout = 6;
+  config.seed = 21;
+  config.network.loss_rate = 0.04;
+  config.network.jitter = 1;
+
+  config.threads = 1;
+  config.shard_nodes = 16;
+  const analysis::RunResult base = analysis::run_protocol(workload, config);
+  const struct {
+    unsigned threads;
+    std::size_t shard_nodes;
+  } grid[] = {{1, 64}, {4, 16}, {4, 32}, {2, 0 /* engine default */}};
+  for (const auto& point : grid) {
+    config.threads = point.threads;
+    config.shard_nodes = point.shard_nodes;
+    const analysis::RunResult result = analysis::run_protocol(workload, config);
+    SCOPED_TRACE(testing::Message() << "threads=" << point.threads
+                                    << " shard_nodes=" << point.shard_nodes);
+    EXPECT_EQ(base.scores.precision, result.scores.precision);
+    EXPECT_EQ(base.scores.recall, result.scores.recall);
+    EXPECT_EQ(base.scores.f1, result.scores.f1);
+    EXPECT_EQ(base.news_messages, result.news_messages);
+    EXPECT_EQ(base.gossip_messages, result.gossip_messages);
+    EXPECT_EQ(base.kbps_total, result.kbps_total);
+    // Overlay stats come off the CSR collection path.
+    EXPECT_EQ(base.overlay.lscc_fraction, result.overlay.lscc_fraction);
+    EXPECT_EQ(base.overlay.clustering, result.overlay.clustering);
+    EXPECT_EQ(base.overlay.components, result.overlay.components);
+    // Histogram reductions (fixed chunks, in-order merge).
+    EXPECT_EQ(base.dislike_fractions, result.dislike_fractions);
+    // Per-user reduction (disjoint user ranges).
+    EXPECT_EQ(base.per_user.precision, result.per_user.precision);
+    EXPECT_EQ(base.per_user.recall, result.per_user.recall);
+    // Tracker state itself, set by set (pins the whole trajectory).
+    ASSERT_EQ(base.reached.size(), result.reached.size());
+    for (std::size_t i = 0; i < base.reached.size(); ++i) {
+      EXPECT_EQ(base.reached[i], result.reached[i]) << "item " << i;
+    }
+  }
+}
+
 // The shard width changes how barrier work is grouped but must not change
 // the simulation state (delivery order per node and all RNG streams are
 // width-invariant).

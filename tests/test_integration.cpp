@@ -161,7 +161,9 @@ TEST(Fidelity, BandwidthGrowsWithFanoutAndBeepDominates) {
 
 TEST(Fidelity, DynamicsJoinerConvergesFasterUnderWupMetric) {
   // Fig. 7: the joining node rebuilds a good WUP view faster with the WUP
-  // metric than with cosine.
+  // metric than with cosine. At replication 1 the metric gap sits inside
+  // seed noise for small trial counts, so average over enough trials that
+  // the comparison is about the metric, not one bootstrap draw.
   Rng rng(17);
   data::SurveyConfig config;
   config.base_users = 80;
@@ -169,8 +171,8 @@ TEST(Fidelity, DynamicsJoinerConvergesFasterUnderWupMetric) {
   config.replication = 1;
   const data::Workload w = data::make_survey(config, rng);
   const Cycle event = 40, total = 110;
-  const DynamicsSeries wup = run_dynamics(w, Metric::kWup, 5, event, total, 3);
-  const DynamicsSeries cos = run_dynamics(w, Metric::kCosine, 5, event, total, 3);
+  const DynamicsSeries wup = run_dynamics(w, Metric::kWup, 5, event, total, 10);
+  const DynamicsSeries cos = run_dynamics(w, Metric::kCosine, 5, event, total, 10);
   // Average joiner view similarity over the post-join window, normalised by
   // the reference node's level under the same metric.
   auto post_join_ratio = [&](const DynamicsSeries& series) {

@@ -121,7 +121,7 @@ TEST(Runner, FullLossKillsDissemination) {
   // Nothing is ever delivered (items whose only fan is the source still
   // score a vacuous recall of 1, so check the reached sets directly).
   std::size_t delivered = 0;
-  for (const DynBitset& bits : r.reached) delivered += bits.count();
+  for (const auto& bits : r.reached) delivered += bits.count();
   EXPECT_EQ(delivered, 0u);
 }
 

@@ -1,0 +1,164 @@
+// CSR StaticGraph (graph/static_graph.hpp): builder contract plus
+// property tests asserting the CSR ports of scc / weak_components /
+// avg_clustering_coefficient match the legacy Digraph implementations on
+// graph::generators random instances.
+#include "graph/static_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/clustering.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/scc.hpp"
+
+namespace whatsup::graph {
+namespace {
+
+// Overlay-shaped random digraph: every node draws `k` random out-edges
+// (duplicates and self-draws allowed, to exercise dedupe and the
+// self-loop filter — exactly what a gossip view dump produces).
+Digraph random_view_digraph(std::size_t n, std::size_t k, Rng& rng) {
+  Digraph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < k; ++i) {
+      g.add_edge(v, static_cast<NodeId>(rng.index(n)));
+    }
+  }
+  return g;
+}
+
+Digraph directed_copy(const UGraph& u) {
+  Digraph g(u.num_nodes());
+  for (NodeId v = 0; v < u.num_nodes(); ++v) {
+    for (const NodeId w : u.neighbors(v)) g.add_edge(v, w);
+  }
+  return g;
+}
+
+void expect_same_analysis(const Digraph& legacy_raw) {
+  Digraph legacy = legacy_raw;
+  legacy.dedupe();
+  const StaticGraph csr = StaticGraph::from_digraph(legacy_raw);
+
+  ASSERT_EQ(csr.num_nodes(), legacy.num_nodes());
+  ASSERT_EQ(csr.num_edges(), legacy.num_edges());
+  for (NodeId v = 0; v < legacy.num_nodes(); ++v) {
+    const auto want = legacy.out(v);
+    const auto got = csr.out(v);
+    ASSERT_TRUE(std::equal(want.begin(), want.end(), got.begin(), got.end()))
+        << "row " << v;
+  }
+
+  const SccResult scc_legacy = strongly_connected_components(legacy);
+  const SccResult scc_csr = strongly_connected_components(csr);
+  EXPECT_EQ(scc_legacy.count, scc_csr.count);
+  EXPECT_EQ(scc_legacy.largest, scc_csr.largest);
+  EXPECT_EQ(scc_legacy.component, scc_csr.component);
+  EXPECT_EQ(largest_scc_fraction(legacy), largest_scc_fraction(csr));
+
+  const ComponentsResult wc_legacy = weak_components(legacy);
+  const ComponentsResult wc_csr = weak_components(csr);
+  EXPECT_EQ(wc_legacy.count, wc_csr.count);
+  EXPECT_EQ(wc_legacy.largest, wc_csr.largest);
+  EXPECT_EQ(wc_legacy.component, wc_csr.component);
+
+  // Same closure sets, same iteration order, same summation order:
+  // exact double equality, not an approximation.
+  EXPECT_EQ(avg_clustering_coefficient(legacy), avg_clustering_coefficient(csr));
+}
+
+TEST(StaticGraph, EmptyAndSingleton) {
+  const StaticGraph empty = StaticGraph::from_digraph(Digraph(0));
+  EXPECT_EQ(empty.num_nodes(), 0u);
+  EXPECT_EQ(empty.num_edges(), 0u);
+  EXPECT_EQ(largest_scc_fraction(empty), 0.0);
+
+  const StaticGraph one = StaticGraph::from_digraph(Digraph(1));
+  EXPECT_EQ(one.num_nodes(), 1u);
+  EXPECT_EQ(one.out(0).size(), 0u);
+  EXPECT_EQ(weak_components(one).count, 1u);
+}
+
+TEST(StaticGraph, BuilderDropsSelfLoopsDuplicatesAndSlack) {
+  StaticGraph::Builder b(3);
+  b.set_degree(0, 6);  // deliberate over-reservation
+  b.set_degree(1, 2);
+  b.set_degree(2, 1);
+  b.finish_degrees();
+  b.add_edge(0, 2);
+  b.add_edge(0, 1);
+  b.add_edge(0, 0);  // self-loop: ignored
+  b.add_edge(0, 2);  // duplicate: deduped
+  b.add_edge(1, 0);
+  b.add_edge(2, 1);
+  b.dedupe_rows(0, 3);
+  const StaticGraph g = b.build();
+  EXPECT_EQ(g.num_edges(), 4u);
+  ASSERT_EQ(g.out(0).size(), 2u);
+  EXPECT_EQ(g.out(0)[0], 1u);  // sorted
+  EXPECT_EQ(g.out(0)[1], 2u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+  EXPECT_EQ(g.out_degree(2), 1u);
+}
+
+TEST(StaticGraph, BuilderChunkedDedupeMatchesWholeGraphDedupe) {
+  // dedupe_rows over disjoint partitions (how the overlay collection
+  // calls it from worker chunks) must equal one whole-range call.
+  Rng rng(7);
+  const Digraph raw = random_view_digraph(97, 5, rng);
+  const StaticGraph whole = StaticGraph::from_digraph(raw);
+
+  StaticGraph::Builder b(raw.num_nodes());
+  for (NodeId v = 0; v < raw.num_nodes(); ++v) b.set_degree(v, raw.out(v).size());
+  b.finish_degrees();
+  for (NodeId v = 0; v < raw.num_nodes(); ++v) {
+    for (const NodeId w : raw.out(v)) b.add_edge(v, w);
+  }
+  for (NodeId lo = 0; lo < raw.num_nodes(); lo += 10) {
+    b.dedupe_rows(lo, std::min<NodeId>(lo + 10, static_cast<NodeId>(raw.num_nodes())));
+  }
+  const StaticGraph chunked = b.build();
+  ASSERT_EQ(chunked.num_edges(), whole.num_edges());
+  for (NodeId v = 0; v < whole.num_nodes(); ++v) {
+    const auto a = whole.out(v);
+    const auto c = chunked.out(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), c.begin(), c.end()));
+  }
+}
+
+TEST(StaticGraphProperty, MatchesDigraphOnRandomViewOverlays) {
+  Rng rng(20260731);
+  for (const std::size_t n : {2u, 17u, 64u, 300u}) {
+    for (const std::size_t k : {1u, 4u, 12u}) {
+      expect_same_analysis(random_view_digraph(n, k, rng));
+    }
+  }
+}
+
+TEST(StaticGraphProperty, MatchesDigraphOnErdosRenyi) {
+  Rng rng(42);
+  for (const double p : {0.01, 0.05, 0.2}) {
+    expect_same_analysis(directed_copy(erdos_renyi(120, p, rng)));
+  }
+}
+
+TEST(StaticGraphProperty, MatchesDigraphOnWattsStrogatzAndBarabasiAlbert) {
+  Rng rng(99);
+  expect_same_analysis(directed_copy(watts_strogatz(150, 6, 0.1, rng)));
+  expect_same_analysis(directed_copy(barabasi_albert(150, 3, rng)));
+}
+
+TEST(StaticGraphProperty, MatchesDigraphOnPlantedPartition) {
+  Rng rng(5);
+  std::vector<int> membership;
+  const std::vector<std::size_t> sizes{40, 35, 25};
+  expect_same_analysis(
+      directed_copy(planted_partition(sizes, 0.3, 0.02, rng, membership)));
+}
+
+}  // namespace
+}  // namespace whatsup::graph

@@ -95,6 +95,64 @@ TEST(Tracker, UntrackedNodeHasEmptySeries) {
   EXPECT_TRUE(tracker.liked_series(3).empty());
 }
 
+TEST(Tracker, ReachSetsPromoteSparseToDenseWithIdenticalCounts) {
+  // The per-item sets are hybrid sparse→dense (common/hybrid_set.hpp).
+  // Drive one item's deliveries across the promotion threshold and check
+  // that nothing observable changes: counts, membership, digest inputs.
+  const std::size_t n_users = 4096;  // promotion threshold: 4096/32 = 128
+  Tracker tracker(n_users, 2);
+  DynBitset mirror(n_users);
+  ASSERT_EQ(tracker.reached(0).promote_threshold(), 128u);
+  for (std::size_t i = 0; i < 400; ++i) {
+    const auto user = static_cast<NodeId>((i * 37) % n_users);
+    tracker.on_delivery(user, 0, 1, false, 0);
+    mirror.set(user);
+    ASSERT_EQ(tracker.reached(0).count(), mirror.count()) << "delivery " << i;
+  }
+  EXPECT_TRUE(tracker.reached(0).is_dense());
+  EXPECT_FALSE(tracker.reached(1).is_dense());  // untouched item stays sparse
+  EXPECT_EQ(tracker.reached(0).to_bitset(), mirror);
+  // Membership iteration order feeding digest() is ascending either way:
+  // a fresh tracker replaying the same users sparse-only (below the
+  // threshold) must agree with the dense set on the common prefix.
+  Tracker sparse_replay(n_users, 2);
+  DynBitset sparse_mirror(n_users);
+  std::size_t fed = 0;
+  for (std::size_t i = 0; i < 400 && fed < 100; ++i) {
+    const auto user = static_cast<NodeId>((i * 37) % n_users);
+    if (sparse_mirror.test(user)) continue;
+    sparse_replay.on_delivery(user, 0, 1, false, 0);
+    sparse_mirror.set(user);
+    ++fed;
+  }
+  EXPECT_FALSE(sparse_replay.reached(0).is_dense());
+  EXPECT_EQ(sparse_replay.reached(0).to_bitset().intersect_count(mirror), fed);
+  EXPECT_GT(tracker.set_memory_bytes(), 0u);
+}
+
+TEST(Tracker, DigestIndependentOfRepresentation) {
+  // Two trackers fed the same (user, item) deliveries in different orders
+  // hold equal sets — one may promote earlier than the other mid-stream —
+  // and must end at the same digest.
+  const std::size_t n_users = 2048;  // threshold 64
+  Tracker a(n_users, 1), b(n_users, 1);
+  std::vector<NodeId> users;
+  for (std::size_t i = 0; i < 90; ++i) users.push_back(static_cast<NodeId>(i * 11));
+  for (const NodeId u : users) {
+    a.on_delivery(u, 0, 1, false, 0);
+    a.on_opinion(u, 0, true);
+  }
+  for (auto it = users.rbegin(); it != users.rend(); ++it) {
+    b.on_delivery(*it, 0, 1, false, 0);
+    b.on_opinion(*it, 0, true);
+  }
+  EXPECT_TRUE(a.reached(0).is_dense());
+  EXPECT_TRUE(b.reached(0).is_dense());
+  EXPECT_EQ(a.reached(0), b.reached(0));
+  EXPECT_EQ(a.liked(0), b.liked(0));
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
 TEST(HopCounts, AccumulateResizesAndWeights) {
   HopCounts a, b;
   b.forward_like = {1.0, 2.0, 3.0};
