@@ -27,6 +27,9 @@
 //                 large-node rows do not degenerate into an allocator
 //                 benchmark — see BM_WhatsUpSim_10000n_50c)
 //   --cycles=N    publication cycles for the custom row (default: 50)
+//   --scenario=F  .scn event timeline applied to the custom row (implies
+//                 the custom row at 500 nodes when --nodes is not given);
+//                 see src/scenario/ and scenarios/
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -37,6 +40,7 @@
 
 #include "analysis/runner.hpp"
 #include "dataset/survey.hpp"
+#include "scenario/scenario.hpp"
 
 namespace whatsup {
 namespace {
@@ -69,7 +73,8 @@ data::Workload macro_workload(std::size_t users, std::size_t items) {
 }
 
 void run_macro(benchmark::State& state, std::size_t users, std::size_t items,
-               Cycle publish_cycles, unsigned threads) {
+               Cycle publish_cycles, unsigned threads,
+               const scenario::Timeline* timeline = nullptr) {
   const data::Workload workload = macro_workload(users, items);
   analysis::RunConfig config;
   config.approach = analysis::Approach::kWhatsUp;
@@ -80,6 +85,10 @@ void run_macro(benchmark::State& state, std::size_t users, std::size_t items,
   config.drain_cycles = 15;
   config.measure_margin = 13;
   config.threads = threads;
+  if (timeline != nullptr) {
+    config.scenario = *timeline;
+    config.fit_scenario_horizon();
+  }
   const auto total = static_cast<std::size_t>(config.total_cycles());
   for (auto _ : state) {
     const analysis::RunResult result = analysis::run_protocol(workload, config);
@@ -121,6 +130,7 @@ unsigned g_custom_threads = 0;  // 0 = hardware concurrency
 std::size_t g_custom_nodes = 0;
 std::size_t g_custom_items = 0;  // 0 = nodes/20 (capped-item default)
 Cycle g_custom_cycles = 0;       // 0 = 50 publication cycles
+std::string g_custom_scenario;   // .scn path; empty = plain run
 
 void BM_WhatsUpSim_Custom(benchmark::State& state) {
   const unsigned threads = g_custom_threads != 0
@@ -130,6 +140,11 @@ void BM_WhatsUpSim_Custom(benchmark::State& state) {
                                 ? g_custom_items
                                 : std::max<std::size_t>(g_custom_nodes / 20, 50);
   const Cycle publish = g_custom_cycles != 0 ? g_custom_cycles : 50;
+  if (!g_custom_scenario.empty()) {
+    const scenario::Timeline timeline = scenario::parse_file(g_custom_scenario);
+    run_macro(state, g_custom_nodes, items, publish, threads, &timeline);
+    return;
+  }
   run_macro(state, g_custom_nodes, items, publish, threads);
 }
 
@@ -161,11 +176,15 @@ void parse_local_flags(int& argc, char** argv) {
       g_custom_items = static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
     } else if (match("cycles", value)) {
       g_custom_cycles = static_cast<Cycle>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (match("scenario", value)) {
+      g_custom_scenario = value;
     } else {
       argv[out++] = argv[i];
     }
   }
   argc = out;
+  // A scenario implies the custom row; default it to the baseline scale.
+  if (!g_custom_scenario.empty() && g_custom_nodes == 0) g_custom_nodes = 500;
 }
 
 }  // namespace

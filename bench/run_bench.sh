@@ -11,6 +11,9 @@
 #   MICRO_FILTER  --benchmark_filter for micro_primitives (default: all)
 #   MACRO_FILTER  --benchmark_filter for macro_sim        (default: all)
 #   MIN_TIME      --benchmark_min_time per micro benchmark (default: 0.5)
+#   SCENARIO      .scn spec forwarded to macro_sim's custom row
+#                 (--scenario; adds a BM_WhatsUpSim_Custom row at 500
+#                 nodes under the timeline — see scenarios/)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,6 +38,7 @@ trap 'rm -rf "$tmp"' EXIT
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_out="$tmp/micro.json" --benchmark_out_format=json
 "$BUILD_DIR/macro_sim" \
+  ${SCENARIO:+--scenario="$SCENARIO"} \
   --benchmark_filter="$MACRO_FILTER" \
   --benchmark_out="$tmp/macro.json" --benchmark_out_format=json
 

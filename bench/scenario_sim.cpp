@@ -1,0 +1,111 @@
+// Scenario runner: loads a declarative .scn event timeline (src/scenario/),
+// drives one full WhatsUp deployment under it, and prints the per-window
+// metric table — recall/precision before/during/after each event — plus a
+// trajectory fingerprint for reproducibility checks.
+//
+//   bench_scenario_sim --scenario scenarios/kitchen_sink.scn [--scale 0.5]
+//       [--workload survey] [--seed N] [--fanout F] [--threads T]
+//       [--shard-nodes W]
+//
+// The run is extended so the timeline's horizon always fits inside the
+// publication+drain phases. Fixed-seed output is bit-identical for any
+// --threads / --shard-nodes (the determinism suite pins this); the
+// fingerprint line makes that easy to eyeball across invocations.
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+#include "analysis/runner.hpp"
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "scenario/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace whatsup;
+  Flags flags(argc, argv);
+  const std::string spec_path =
+      flags.get_string("scenario", "", "path to the .scn scenario spec (required)");
+  const std::string workload_name =
+      flags.get_string("workload", "survey", "workload: synthetic | digg | survey");
+  const double scale = flags.get_double("scale", 0.5, "workload scale");
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42, "RNG seed"));
+  const int fanout = static_cast<int>(flags.get_int("fanout", 8, "BEEP fLIKE"));
+  const auto threads = static_cast<unsigned>(
+      flags.get_int("threads", 1, "engine worker threads (0 = hardware concurrency)"));
+  const auto shard_nodes = static_cast<std::size_t>(
+      flags.get_int("shard-nodes", 0, "nodes per shard (0 = engine default)"));
+  if (flags.maybe_print_help(std::cout)) return 0;
+  if (spec_path.empty()) {
+    std::cerr << "error: --scenario <file.scn> is required (see scenarios/)\n";
+    return 1;
+  }
+
+  scenario::Timeline timeline;
+  try {
+    timeline = scenario::parse_file(spec_path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+
+  const data::Workload workload =
+      analysis::standard_workload(workload_name, seed, scale);
+
+  analysis::RunConfig config = analysis::default_run_config(seed);
+  config.approach = analysis::Approach::kWhatsUp;
+  config.fanout = fanout;
+  config.threads = threads;
+  config.shard_nodes = shard_nodes;
+  config.collect_cycle_digests = true;
+  config.scenario = timeline;
+  config.fit_scenario_horizon();  // make sure every event fires
+
+  std::cout << "Scenario '" << timeline.name << "' (" << spec_path << "), "
+            << timeline.events().size() << " events, horizon " << timeline.horizon()
+            << ":\n";
+  for (const scenario::Event& event : timeline.events()) {
+    std::cout << "  " << scenario::to_spec_line(event) << '\n';
+  }
+  std::cout << "Workload " << workload.name << ": " << workload.num_users()
+            << " users, " << workload.num_items() << " items"
+            << (timeline.num_adversaries() > 0
+                    ? " (+" + std::to_string(timeline.num_adversaries()) +
+                          " adversary nodes, " +
+                          std::to_string(timeline.num_spam_items()) + " spam items)"
+                    : std::string())
+            << "; " << config.total_cycles() << " cycles, threads=" << threads
+            << "\n\n";
+
+  const analysis::RunResult result = analysis::run_protocol(workload, config);
+
+  Table table({"Phase", "Cycles", "Items", "Precision", "Recall", "F1"});
+  for (const metrics::WindowScores& ws : result.windows) {
+    table.add_row({ws.window.label,
+                   "[" + std::to_string(ws.window.begin) + ", " +
+                       std::to_string(ws.window.end) + ")",
+                   std::to_string(ws.scores.items), fixed(ws.scores.precision, 3),
+                   fixed(ws.scores.recall, 3), fixed(ws.scores.f1, 3)});
+  }
+  table.print(std::cout, "Per-window scores around each event");
+
+  std::cout << "\nOverall: precision=" << fixed(result.scores.precision, 3)
+            << " recall=" << fixed(result.scores.recall, 3)
+            << " f1=" << fixed(result.scores.f1, 3) << " over "
+            << result.scores.items << " measured items\n";
+  std::cout << "Traffic: " << result.news_messages << " news + "
+            << result.gossip_messages << " gossip messages ("
+            << fixed(result.msgs_per_user, 1) << " msgs/user)\n";
+
+  // FNV-1a over the per-cycle tracker digests: one number that pins the
+  // whole measured trajectory (equal across --threads / --shard-nodes).
+  std::uint64_t fingerprint = 0xcbf29ce484222325ULL;
+  for (const std::uint64_t digest : result.cycle_digests) {
+    for (int byte = 0; byte < 8; ++byte) {
+      fingerprint ^= (digest >> (8 * byte)) & 0xff;
+      fingerprint *= 0x100000001b3ULL;
+    }
+  }
+  std::cout << "Trajectory fingerprint: " << std::hex << fingerprint << std::dec
+            << " over " << result.cycle_digests.size() << " cycles\n";
+  return 0;
+}

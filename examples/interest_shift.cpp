@@ -1,9 +1,12 @@
 // Interest shift: the §V-C dynamics scenarios as a narrative.
 //
 // A new user joins mid-run (cold start: inherited views + 3 popular items)
-// while an existing pair of users swap interests. The example tracks how
-// fast each of them converges back to a WUP view full of alter egos, and
-// how many interesting news items they receive per cycle along the way.
+// while an existing pair of users swap interests. Both events ride the
+// scenario engine (src/scenario/): run_dynamics builds a two-event
+// timeline — join-clone + swap-pair at the event cycle — instead of
+// hand-rolled per-trial event code. The example tracks how fast each node
+// converges back to a WUP view full of alter egos, and how many
+// interesting news items they receive per cycle along the way.
 #include <iostream>
 
 #include "analysis/experiments.hpp"

@@ -13,6 +13,7 @@
 #include "dataset/digg.hpp"
 #include "dataset/survey.hpp"
 #include "dataset/synthetic.hpp"
+#include "scenario/executor.hpp"
 #include "sim/engine.hpp"
 #include "whatsup/node.hpp"
 
@@ -125,6 +126,24 @@ DynamicsSeries run_dynamics(const data::Workload& base_workload, Metric metric,
     });
     engine.set_active(joiner, false);
 
+    // The §V-C events as a declarative scenario timeline: the joiner
+    // comes up as a clone of the reference user (cold-starting from a
+    // random contact via the hook below) and the chosen pair swaps
+    // interests — both at the event cycle, in this order. The executor
+    // replaces the bespoke per-trial event code this driver used to
+    // carry (scenario/executor.hpp).
+    scenario::Timeline timeline;
+    timeline.name = "fig7-dynamics";
+    timeline.at(event_cycle, scenario::JoinClone{joiner, reference});
+    timeline.at(event_cycle, scenario::SwapPair{changer_a, changer_b});
+    scenario::Executor executor(timeline, engine, workload, &opinions, rng.next_u64());
+    executor.register_adversaries();
+    executor.hooks().cold_start = [&agents](sim::Engine& eng, NodeId who,
+                                            NodeId contact) {
+      sim::Context ctx(eng, who);
+      agents[who]->cold_start_from(ctx, *agents[contact]);
+    };
+
     metrics::Tracker tracker(n, workload.num_items());
     tracker.attach(engine);
     tracker.track_node(reference);
@@ -137,16 +156,7 @@ DynamicsSeries run_dynamics(const data::Workload& base_workload, Metric metric,
     }
 
     for (Cycle c = 0; c < total_cycles; ++c) {
-      if (c == event_cycle) {
-        // Joining node: clone of the reference user (§V-C).
-        opinions.set_alias(joiner, reference);
-        engine.set_active(joiner, true);
-        const NodeId contact = engine.random_active(joiner);
-        sim::Context ctx(engine, joiner);
-        agents[joiner]->cold_start_from(ctx, *agents[contact]);
-        // Changing nodes: swap the interests of a random pair.
-        opinions.swap_interests(changer_a, changer_b);
-      }
+      executor.begin_cycle(c);
       if (const auto it = calendar.find(c); it != calendar.end()) {
         for (ItemIdx item : it->second) {
           engine.publish(workload.news[item].source, item, workload.news[item].id);

@@ -13,6 +13,7 @@
 #include "graph/components.hpp"
 #include "graph/scc.hpp"
 #include "graph/static_graph.hpp"
+#include "scenario/executor.hpp"
 #include "sim/engine.hpp"
 #include "whatsup/node.hpp"
 
@@ -40,6 +41,12 @@ Metric metric_of(Approach approach) {
   }
 }
 
+void RunConfig::fit_scenario_horizon(Cycle margin) {
+  if (!scenario.has_value()) return;
+  const Cycle needed = scenario->horizon() + margin;
+  if (needed > total_cycles()) drain_cycles += needed - total_cycles();
+}
+
 namespace {
 
 // Node-range width for the collection passes below. A constant (never a
@@ -49,17 +56,28 @@ constexpr std::size_t kCollectChunk = 1024;
 
 // The overlay edge source of one node at the end of a run: members of its
 // WUP/kNN view (RPS for gossip, the social graph for cascading).
+// Scenario-registered adversary nodes are not protocol agents (the casts
+// miss) and contribute no overlay edges.
 std::span<const net::Descriptor> overlay_view(const sim::Agent& agent,
                                               Approach approach) {
   switch (approach) {
     case Approach::kWhatsUp:
     case Approach::kWhatsUpCos:
-      return dynamic_cast<const WhatsUpAgent&>(agent).wup_view().entries();
+      if (const auto* wu = dynamic_cast<const WhatsUpAgent*>(&agent)) {
+        return wu->wup_view().entries();
+      }
+      return {};
     case Approach::kCfWup:
     case Approach::kCfCos:
-      return dynamic_cast<const baselines::CfAgent&>(agent).knn_view().entries();
+      if (const auto* cf = dynamic_cast<const baselines::CfAgent*>(&agent)) {
+        return cf->knn_view().entries();
+      }
+      return {};
     case Approach::kGossip:
-      return dynamic_cast<const baselines::GossipAgent&>(agent).rps_view().entries();
+      if (const auto* gossip = dynamic_cast<const baselines::GossipAgent*>(&agent)) {
+        return gossip->rps_view().entries();
+      }
+      return {};
     case Approach::kCascade:
       return {};
   }
@@ -127,7 +145,25 @@ RunResult run_protocol(const data::Workload& base_workload, const RunConfig& con
   engine_config.shard_nodes = config.shard_nodes;
   sim::Engine engine(engine_config);
 
-  WorkloadOpinions opinions(workload);
+  // Scenario wiring: prepare() rewrites the publication schedule (flash
+  // crowds) and appends spam items BEFORE the calendar is built and the
+  // tracker is sized; opinions gain a mutable alias layer only when the
+  // timeline needs one, so scenario-free runs keep the exact opinion
+  // object graph they had.
+  WorkloadOpinions ground_truth(workload);
+  std::optional<sim::MutableOpinions> dynamic_opinions;
+  std::optional<scenario::Executor> scenario_exec;
+  if (config.scenario.has_value()) {
+    if (config.scenario->mutates_opinions()) dynamic_opinions.emplace(ground_truth);
+    const std::uint64_t scenario_seed = rng.next_u64();
+    scenario_exec.emplace(*config.scenario, engine, workload,
+                          dynamic_opinions.has_value() ? &*dynamic_opinions : nullptr,
+                          scenario_seed);
+    scenario_exec->prepare();
+  }
+  const sim::Opinions& opinions =
+      dynamic_opinions.has_value() ? static_cast<const sim::Opinions&>(*dynamic_opinions)
+                                   : ground_truth;
 
   Params params = config.params;
   params.f_like = config.fanout;
@@ -195,17 +231,30 @@ RunResult run_protocol(const data::Workload& base_workload, const RunConfig& con
     return nullptr;
   });
 
+  // Adversary nodes (if the scenario declares any) register after the
+  // honest population, initially offline; their events bring them up.
+  if (scenario_exec.has_value()) scenario_exec->register_adversaries();
+
   metrics::Tracker tracker(n, workload.num_items());
   tracker.attach(engine);
 
-  // Publication calendar.
+  std::vector<std::uint64_t> cycle_digests;
+  if (config.collect_cycle_digests) {
+    engine.add_cycle_hook([&tracker, &cycle_digests](sim::Engine&, Cycle) {
+      cycle_digests.push_back(tracker.digest());
+    });
+  }
+
+  // Publication calendar (spam items carry publish_at == kNoCycle and are
+  // injected by their spammers, never by the calendar).
   std::map<Cycle, std::vector<ItemIdx>> calendar;
   for (const data::NewsSpec& spec : workload.news) {
-    calendar[spec.publish_at].push_back(spec.index);
+    if (spec.publish_at != kNoCycle) calendar[spec.publish_at].push_back(spec.index);
   }
 
   const Cycle total = config.total_cycles();
   for (Cycle c = 0; c < total; ++c) {
+    if (scenario_exec.has_value()) scenario_exec->begin_cycle(c);
     if (const auto it = calendar.find(c); it != calendar.end()) {
       for (ItemIdx item : it->second) {
         engine.publish(workload.news[item].source, item, workload.news[item].id);
@@ -227,6 +276,14 @@ RunResult run_protocol(const data::Workload& base_workload, const RunConfig& con
                                           &engine);
   result.per_user = metrics::per_user_scores(workload, result.reached,
                                              result.measured, &engine);
+  result.cycle_digests = std::move(cycle_digests);
+  if (config.scenario.has_value()) {
+    // Per-phase scores around each timeline event (windows split at every
+    // event cycle and episode end).
+    const std::vector<metrics::Window> windows = config.scenario->windows(total);
+    result.windows = metrics::windowed_scores(workload, result.reached,
+                                              result.measured, windows, &engine);
+  }
 
   const net::Traffic& traffic = engine.traffic();
   result.news_messages = traffic.messages(net::Protocol::kBeep);

@@ -15,6 +15,7 @@
 #include "net/network.hpp"
 #include "profile/obfuscation.hpp"
 #include "profile/similarity.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/opinions.hpp"
 #include "whatsup/params.hpp"
 
@@ -70,7 +71,24 @@ struct RunConfig {
   // Profile obfuscation for gossiped snapshots (WhatsUp only, §VII).
   ObfuscationConfig obfuscation;
 
+  // Declarative event timeline applied at cycle barriers (churn waves,
+  // flash crowds, interest drift, network episodes, adversaries — see
+  // src/scenario/). When set, the run wraps opinions in a mutable layer
+  // as needed, registers the declared adversary nodes after the honest
+  // population, and reports per-window scores in RunResult::windows.
+  // Events beyond total_cycles() never fire.
+  std::optional<scenario::Timeline> scenario;
+
+  // Record metrics::Tracker::digest() after every cycle into
+  // RunResult::cycle_digests (the determinism suite's trajectory pin).
+  bool collect_cycle_digests = false;
+
   Cycle total_cycles() const { return warmup_cycles + publish_cycles + drain_cycles; }
+
+  // Grows the drain tail so every scenario event fires inside the run
+  // (timeline horizon + `margin` settle cycles fit in total_cycles()).
+  // No-op without a scenario or when the run is already long enough.
+  void fit_scenario_horizon(Cycle margin = 5);
 };
 
 struct OverlayStats {
@@ -100,6 +118,12 @@ struct RunResult {
   std::array<double, 5> dislike_fractions{};  // Table IV (0..4 dislikes)
   metrics::HopCounts hops_per_item;           // Fig. 6 (avg per measured item)
   metrics::PerUserScores per_user;            // Fig. 11
+
+  // Scenario-mode extras (empty without RunConfig::scenario /
+  // collect_cycle_digests): per-phase scores around each timeline event,
+  // and the per-cycle tracker digest series.
+  std::vector<metrics::WindowScores> windows;
+  std::vector<std::uint64_t> cycle_digests;
 };
 
 // Adapter exposing workload ground truth as a sim::Opinions source.

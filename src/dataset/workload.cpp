@@ -50,6 +50,21 @@ void Workload::schedule_publications(Cycle first, Cycle last, Rng& rng) {
   }
 }
 
+ItemIdx Workload::append_unscheduled_items(std::size_t count, NodeId source, int topic) {
+  const auto first = static_cast<ItemIdx>(news.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    NewsSpec spec;
+    spec.index = static_cast<ItemIdx>(news.size());
+    spec.id = make_item_id(name + "-injected", spec.index);
+    spec.source = source;
+    spec.publish_at = kNoCycle;
+    spec.topic = topic;
+    news.push_back(spec);
+    interested_in.emplace_back(n_users);
+  }
+  return first;
+}
+
 Workload Workload::subsample_users(std::size_t keep_users, Rng& rng) const {
   keep_users = std::min(keep_users, n_users);
   auto picked = rng.sample_indices(n_users, keep_users);

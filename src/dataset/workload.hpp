@@ -64,6 +64,14 @@ class Workload {
   // shuffled first so topics interleave), sources untouched.
   void schedule_publications(Cycle first, Cycle last, Rng& rng);
 
+  // Appends `count` externally-injected items that NO user likes and that
+  // the publication calendar never schedules (publish_at stays kNoCycle,
+  // so they are excluded from every measured-item pass). The scenario
+  // engine uses this for adversarial spam, whose `source` ids may lie
+  // beyond the honest population — validate() is not expected to hold
+  // afterwards. Returns the index of the first appended item.
+  ItemIdx append_unscheduled_items(std::size_t count, NodeId source, int topic = 0);
+
   // Restricts the workload to `keep_users` uniformly sampled users
   // (re-indexing them densely) and drops items left with no interested
   // user or whose source was removed (re-indexing item ids too). Used for

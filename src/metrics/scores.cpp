@@ -245,4 +245,26 @@ PopularityCurve recall_by_popularity(const data::Workload& workload,
   return recall_by_popularity_impl(workload, reached, measured, buckets);
 }
 
+std::vector<WindowScores> windowed_scores(const data::Workload& workload,
+                                          const std::vector<HybridSet>& reached,
+                                          std::span<const ItemIdx> measured,
+                                          std::span<const Window> windows,
+                                          ParallelExecutor* exec) {
+  std::vector<WindowScores> out;
+  out.reserve(windows.size());
+  std::vector<ItemIdx> subset;
+  for (const Window& window : windows) {
+    subset.clear();
+    for (const ItemIdx item : measured) {
+      const Cycle at = workload.news[item].publish_at;
+      if (at >= window.begin && at < window.end) subset.push_back(item);
+    }
+    WindowScores ws;
+    ws.window = window;
+    ws.scores = compute_scores(workload, reached, subset, exec);
+    out.push_back(std::move(ws));
+  }
+  return out;
+}
+
 }  // namespace whatsup::metrics

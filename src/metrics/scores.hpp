@@ -17,6 +17,7 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/bitset.hpp"
@@ -63,6 +64,30 @@ PerUserScores per_user_scores(const data::Workload& workload,
                               const std::vector<HybridSet>& reached,
                               std::span<const ItemIdx> measured,
                               ParallelExecutor* exec = nullptr);
+
+// A half-open cycle range with a human-readable label. The scenario
+// engine derives these from an event timeline (scenario::Timeline::windows)
+// so recall/precision can be reported per phase around each event.
+struct Window {
+  Cycle begin = 0;
+  Cycle end = 0;  // exclusive
+  std::string label;
+  friend bool operator==(const Window&, const Window&) = default;
+};
+
+// compute_scores restricted to the measured items published within one
+// window (publish_at in [begin, end)); one entry per input window, in
+// order. Windows with no measured items report zero `items` and zero
+// scores.
+struct WindowScores {
+  Window window;
+  Scores scores;
+};
+std::vector<WindowScores> windowed_scores(const data::Workload& workload,
+                                          const std::vector<HybridSet>& reached,
+                                          std::span<const ItemIdx> measured,
+                                          std::span<const Window> windows,
+                                          ParallelExecutor* exec = nullptr);
 
 // Sociability (§V-H): a node's average ground-truth similarity to the `k`
 // nodes most similar to it (binary cosine over like-vectors, which for

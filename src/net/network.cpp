@@ -36,6 +36,10 @@ std::string describe(const NetworkConfig& config) {
   os << "loss=" << config.loss_rate << " latency=" << config.latency << "+U[0,"
      << config.jitter << "]";
   if (config.inbox_capacity > 0) os << " inbox<=" << config.inbox_capacity;
+  if (config.partitioned()) {
+    os << " partition@" << config.partition_nodes << "(xloss="
+       << config.partition_cross_loss << ")";
+  }
   return os.str();
 }
 

@@ -21,6 +21,16 @@ struct NetworkConfig {
   Cycle jitter = 0;                // extra uniform delay in [0, jitter]
   std::size_t inbox_capacity = 0;  // max deliveries per node per cycle; 0 = unbounded
 
+  // Regional partition (scenario-engine network episodes): nodes with
+  // id < partition_nodes form region A, the rest region B; cross-region
+  // messages are dropped with probability partition_cross_loss (1.0 =
+  // full cut). 0 = no partition. Loss and latency draws are unaffected
+  // when disabled, so baseline fixed-seed trajectories do not move.
+  NodeId partition_nodes = 0;
+  double partition_cross_loss = 1.0;
+
+  bool partitioned() const { return partition_nodes > 0; }
+
   static NetworkConfig perfect();
   static NetworkConfig lossy(double loss_rate);
   static NetworkConfig modelnet();   // cluster emulation: ~1% residual loss

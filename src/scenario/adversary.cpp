@@ -1,0 +1,26 @@
+#include "scenario/adversary.hpp"
+
+#include "net/message.hpp"
+
+namespace whatsup::scenario {
+
+void SpammerAgent::on_cycle(sim::Context& ctx) {
+  if (items_.empty() || fanout_ == 0) return;
+  if (published_ < items_.size()) ++published_;
+  const SpamItem& item = items_[next_push_ % published_];
+  ++next_push_;
+  net::NewsPayload news;
+  news.id = item.id;
+  news.index = item.index;
+  news.created = ctx.now();  // freshness spoofing: always looks brand new
+  news.origin = self_;
+  // Empty item profile: honest receivers dislike the item and never fold
+  // their profiles in, so orientation has nothing to aim with either.
+  for (std::uint32_t i = 0; i < fanout_; ++i) {
+    const NodeId target = ctx.random_active_peer();
+    if (target == kNoNode) break;
+    ctx.send(target, net::MsgType::kNews, news);
+  }
+}
+
+}  // namespace whatsup::scenario

@@ -1,0 +1,75 @@
+// Adversarial agents for scenario timelines (`spammers` / `freeriders`
+// events). Both are protocol outsiders: they speak only BEEP news on the
+// wire and never join the RPS/WUP gossip, so they cannot enter honest
+// views — the attack surface is the dissemination channel itself.
+//
+// Containment expectation (tests/test_scenario.cpp): spam items are liked
+// by nobody, so every honest receiver dislikes them and BEEP's dislike
+// TTL starves the wave — spam reach stays bounded by the spammers' own
+// push budget and honest top-K recall on real items is not dominated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/engine.hpp"
+
+namespace whatsup::scenario {
+
+// One spam item as injected into the workload (data::Workload::
+// append_unscheduled_items keeps trackers and score passes index-aligned).
+struct SpamItem {
+  ItemIdx index = kNoItem;
+  ItemId id = 0;
+};
+
+// Floods the network with worthless news. Every active cycle the spammer
+// "publishes" one more of its items and pushes `fanout` copies of one
+// published item (round-robin) to uniformly chosen active peers, stamping
+// the creation cycle to the current cycle — freshness spoofing, so the
+// profile window never ages the spam out on its own.
+class SpammerAgent : public sim::Agent {
+ public:
+  SpammerAgent(NodeId self, std::vector<SpamItem> items, std::uint32_t fanout)
+      : self_(self), items_(std::move(items)), fanout_(fanout) {}
+
+  void on_cycle(sim::Context& ctx) override;
+  void on_message(sim::Context&, const net::Message&) override {}  // sink
+  void publish(sim::Context&, ItemIdx, ItemId) override {}  // never legitimate
+
+  NodeId id() const { return self_; }
+  std::size_t published() const { return published_; }
+  const std::vector<SpamItem>& items() const { return items_; }
+
+ private:
+  NodeId self_;
+  std::vector<SpamItem> items_;
+  std::uint32_t fanout_;
+  std::size_t published_ = 0;
+  std::size_t next_push_ = 0;
+};
+
+// Consumes whatever reaches it and gives nothing back: no gossip replies,
+// no forwards, no opinions. Models selfish clients; an active free-rider
+// absorbs every message addressed to it.
+class FreeRiderAgent : public sim::Agent {
+ public:
+  explicit FreeRiderAgent(NodeId self) : self_(self) {}
+
+  void on_cycle(sim::Context&) override {}
+  void on_message(sim::Context&, const net::Message& message) override {
+    ++absorbed_;
+    (void)message;
+  }
+  void publish(sim::Context&, ItemIdx, ItemId) override {}
+
+  NodeId id() const { return self_; }
+  std::size_t absorbed() const { return absorbed_; }
+
+ private:
+  NodeId self_;
+  std::size_t absorbed_ = 0;
+};
+
+}  // namespace whatsup::scenario

@@ -1,0 +1,238 @@
+#include "scenario/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace whatsup::scenario {
+
+namespace {
+
+// Reserved stream tag deriving the scenario stream space from the run
+// seed: events can never collide with the engine or node streams, which
+// fork from differently-tagged roots (sim/engine.cpp).
+constexpr std::uint64_t kScenarioStreamTag = 0x5ce'7a71'0ULL;
+
+}  // namespace
+
+Executor::Executor(const Timeline& timeline, sim::Engine& engine,
+                   data::Workload& workload, sim::MutableOpinions* opinions,
+                   std::uint64_t seed)
+    : timeline_(&timeline),
+      engine_(&engine),
+      workload_(&workload),
+      opinions_(opinions),
+      root_(Rng(seed).fork(kScenarioStreamTag)),
+      baseline_(engine.network()) {
+  if (timeline.mutates_opinions() && opinions_ == nullptr) {
+    throw std::invalid_argument(
+        "scenario timeline mutates opinions but no MutableOpinions layer was given");
+  }
+}
+
+void Executor::prepare() {
+  if (prepared_) return;  // workload surgery must run exactly once
+  prepared_ = true;
+  // Flash crowds: pull the next `count` scheduled items forward to the
+  // event cycle, earliest publish_at first (ties by index) — the "next
+  // news wave lands at once" reading. Canonical event order, so multiple
+  // flashes compose deterministically.
+  for (const Event& event : timeline_->events()) {
+    const auto* flash = std::get_if<FlashCrowd>(&event.action);
+    if (flash == nullptr) continue;
+    std::vector<ItemIdx> candidates;
+    for (const data::NewsSpec& spec : workload_->news) {
+      if (spec.publish_at != kNoCycle && spec.publish_at > event.cycle) {
+        candidates.push_back(spec.index);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(), [&](ItemIdx a, ItemIdx b) {
+      const Cycle ca = workload_->news[a].publish_at;
+      const Cycle cb = workload_->news[b].publish_at;
+      return ca != cb ? ca < cb : a < b;
+    });
+    const std::size_t take = std::min<std::size_t>(flash->count, candidates.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      workload_->news[candidates[i]].publish_at = event.cycle;
+    }
+  }
+  // Spam items: appended past the honest item space so trackers and score
+  // passes stay index-aligned; sources are patched to the actual spammer
+  // node ids by register_adversaries().
+  num_spam_items_ = timeline_->num_spam_items();
+  if (num_spam_items_ > 0) {
+    first_spam_item_ = workload_->append_unscheduled_items(num_spam_items_, kNoNode);
+  }
+}
+
+void Executor::register_adversaries() {
+  if (!prepared_) prepare();
+  honest_n_ = engine_->num_nodes();
+  ItemIdx next_spam = first_spam_item_;
+  for (const Event& event : timeline_->events()) {
+    if (const auto* spam = std::get_if<Spammers>(&event.action)) {
+      auto& ids = adversaries_by_event_[event.seq];
+      for (std::uint32_t i = 0; i < spam->count; ++i) {
+        std::vector<SpamItem> items;
+        items.reserve(spam->items);
+        for (std::uint32_t j = 0; j < spam->items; ++j) {
+          items.push_back(SpamItem{next_spam, workload_->news[next_spam].id});
+          ++next_spam;
+        }
+        const auto id = static_cast<NodeId>(engine_->num_nodes());
+        auto agent = std::make_unique<SpammerAgent>(id, std::move(items), spam->fanout);
+        for (const SpamItem& item : agent->items()) {
+          workload_->news[item.index].source = id;
+        }
+        spammers_.push_back(agent.get());
+        engine_->add_agent(std::move(agent));
+        engine_->set_active(id, false);  // the event brings it up
+        ids.push_back(id);
+      }
+    } else if (const auto* riders = std::get_if<FreeRiders>(&event.action)) {
+      auto& ids = adversaries_by_event_[event.seq];
+      for (std::uint32_t i = 0; i < riders->count; ++i) {
+        const auto id = static_cast<NodeId>(engine_->num_nodes());
+        auto agent = std::make_unique<FreeRiderAgent>(id);
+        free_riders_.push_back(agent.get());
+        engine_->add_agent(std::move(agent));
+        engine_->set_active(id, false);
+        ids.push_back(id);
+      }
+    }
+  }
+}
+
+std::vector<NodeId> Executor::pick(Rng& rng, const std::vector<NodeId>& pool,
+                                   std::size_t k) {
+  const auto indices = rng.sample_indices(pool.size(), std::min(k, pool.size()));
+  std::vector<NodeId> out;
+  out.reserve(indices.size());
+  for (const std::size_t i : indices) out.push_back(pool[i]);
+  return out;
+}
+
+void Executor::refresh_network() {
+  net::NetworkConfig config = baseline_;
+  if (!active_losses_.empty()) config.loss_rate = active_losses_.back().rate;
+  if (!active_partitions_.empty()) {
+    config.partition_nodes = active_partitions_.back().boundary;
+    config.partition_cross_loss = active_partitions_.back().cross_loss;
+  }
+  engine_->set_network(config);
+}
+
+void Executor::begin_cycle(Cycle cycle) {
+  if (honest_n_ == 0) honest_n_ = engine_->num_nodes();
+  // 1. Expire episodes whose `until` has arrived. Each episode carries
+  // its own end, so an inner burst ending cannot wipe an outer one that
+  // is still running — the survivors' most recent entry wins in
+  // refresh_network().
+  bool changed = false;
+  const auto expire = [&](auto& episodes) {
+    const auto dead = [&](const auto& e) { return e.until <= cycle; };
+    const auto removed = std::erase_if(episodes, dead);
+    changed |= removed > 0;
+  };
+  expire(active_losses_);
+  expire(active_partitions_);
+  if (changed) refresh_network();
+  // 2. Due events in canonical (cycle, seq) order, each with its own
+  // counter-based substream.
+  const auto& events = timeline_->events();
+  while (next_event_ < events.size() && events[next_event_].cycle <= cycle) {
+    const Event& event = events[next_event_++];
+    Rng rng = root_.fork(event.seq, static_cast<std::uint64_t>(
+                                        static_cast<std::int64_t>(event.cycle)));
+    apply(event, rng);
+  }
+  // 3. Rotating-churn steps due this cycle (registered by their events
+  // above; step 0 fires at the event cycle itself).
+  for (const RunningChurn& churn : churns_) {
+    if (cycle < churn.start || cycle > churn.process.until) continue;
+    const auto elapsed = static_cast<std::size_t>(cycle - churn.start);
+    const auto period = static_cast<std::size_t>(churn.process.period);
+    if (elapsed % period != 0) continue;
+    churn.process.step(*engine_, elapsed / period, honest_n_);
+  }
+}
+
+void Executor::apply(const Event& event, Rng& rng) {
+  std::visit(
+      [&](const auto& a) {
+        using T = std::decay_t<decltype(a)>;
+        if constexpr (std::is_same_v<T, LeaveWave>) {
+          std::vector<NodeId> pool;
+          for (const NodeId id : engine_->active_ids()) {
+            if (id < honest_n_) pool.push_back(id);
+          }
+          for (const NodeId id : pick(rng, pool, a.count)) {
+            engine_->set_active(id, false);
+          }
+        } else if constexpr (std::is_same_v<T, JoinWave>) {
+          std::vector<NodeId> pool;
+          for (NodeId id = 0; id < honest_n_; ++id) {
+            if (!engine_->is_active(id)) pool.push_back(id);
+          }
+          for (const NodeId id : pick(rng, pool, a.count)) {
+            engine_->set_active(id, true);
+          }
+        } else if constexpr (std::is_same_v<T, SetRange>) {
+          const auto limit = engine_->num_nodes();
+          for (std::uint32_t j = 0; j < a.count; ++j) {
+            const NodeId id = a.first + j;
+            if (id < limit) engine_->set_active(id, a.active);
+          }
+        } else if constexpr (std::is_same_v<T, ChurnProcess>) {
+          churns_.push_back(RunningChurn{event.cycle, a});
+        } else if constexpr (std::is_same_v<T, FlashCrowd>) {
+          // Applied by prepare() (publication re-schedule); nothing to do
+          // at run time.
+        } else if constexpr (std::is_same_v<T, InterestDrift>) {
+          std::vector<NodeId> pool(honest_n_);
+          for (NodeId id = 0; id < honest_n_; ++id) pool[id] = id;
+          for (const NodeId node : pick(rng, pool, a.count)) {
+            NodeId target = node;
+            while (target == node && honest_n_ > 1) {
+              target = static_cast<NodeId>(rng.index(honest_n_));
+            }
+            opinions_->set_alias(node, target);
+          }
+        } else if constexpr (std::is_same_v<T, InterestSwap>) {
+          std::vector<NodeId> pool(honest_n_);
+          for (NodeId id = 0; id < honest_n_; ++id) pool[id] = id;
+          const auto picked = pick(rng, pool, static_cast<std::size_t>(a.pairs) * 2);
+          for (std::size_t i = 0; i + 1 < picked.size(); i += 2) {
+            opinions_->swap_interests(picked[i], picked[i + 1]);
+          }
+        } else if constexpr (std::is_same_v<T, SwapPair>) {
+          opinions_->swap_interests(a.a, a.b);
+        } else if constexpr (std::is_same_v<T, JoinClone>) {
+          opinions_->set_alias(a.node, a.as_user);
+          engine_->set_active(a.node, true);
+          const NodeId contact = engine_->draw_active(rng, a.node);
+          if (hooks_.cold_start && contact != kNoNode) {
+            hooks_.cold_start(*engine_, a.node, contact);
+          }
+        } else if constexpr (std::is_same_v<T, LossBurst>) {
+          active_losses_.push_back(ActiveLoss{a.rate, a.until});
+          refresh_network();
+        } else if constexpr (std::is_same_v<T, Partition>) {
+          const auto raw = std::llround(a.fraction * static_cast<double>(honest_n_));
+          const auto boundary = static_cast<NodeId>(std::clamp<long long>(
+              raw, 1, static_cast<long long>(honest_n_ > 1 ? honest_n_ - 1 : 1)));
+          active_partitions_.push_back(ActivePartition{boundary, a.cross_loss, a.until});
+          refresh_network();
+        } else if constexpr (std::is_same_v<T, Spammers> ||
+                             std::is_same_v<T, FreeRiders>) {
+          if (const auto it = adversaries_by_event_.find(event.seq);
+              it != adversaries_by_event_.end()) {
+            for (const NodeId id : it->second) engine_->set_active(id, true);
+          }
+        }
+      },
+      event.action);
+}
+
+}  // namespace whatsup::scenario

@@ -1,0 +1,430 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+
+namespace whatsup::scenario {
+
+namespace {
+
+// Shortest round-trip decimal for doubles: the canonical formatter must
+// satisfy parse(format(t)) == t bit-exactly.
+std::string format_double(double value) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;
+  return std::string(buf, ptr);
+}
+
+}  // namespace
+
+// ---- ChurnProcess ---------------------------------------------------------
+
+void ChurnProcess::step(sim::Engine& engine, std::size_t k, std::size_t n) const {
+  if (n == 0 || width == 0) return;
+  const auto w = static_cast<std::size_t>(width);
+  const auto slice = [&](std::size_t index, bool active) {
+    for (std::size_t j = 0; j < w; ++j) {
+      engine.set_active(static_cast<NodeId>((index * w + j) % n), active);
+    }
+  };
+  slice(k, false);
+  if (k > 0) slice(k - 1, true);
+}
+
+// ---- Timeline -------------------------------------------------------------
+
+Timeline& Timeline::at(Cycle cycle, Action action) {
+  Event event;
+  event.cycle = cycle;
+  event.seq = static_cast<std::uint32_t>(events_.size());
+  event.action = std::move(action);
+  // Insertion keeps the canonical (cycle, seq) order; seq is globally
+  // unique so the sort key is total.
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), event, [](const Event& a, const Event& b) {
+        return a.cycle != b.cycle ? a.cycle < b.cycle : a.seq < b.seq;
+      });
+  events_.insert(pos, std::move(event));
+  return *this;
+}
+
+bool operator==(const Timeline& a, const Timeline& b) {
+  if (a.name != b.name || a.events_.size() != b.events_.size()) return false;
+  for (std::size_t i = 0; i < a.events_.size(); ++i) {
+    if (a.events_[i].cycle != b.events_[i].cycle ||
+        a.events_[i].action != b.events_[i].action) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Cycle Timeline::horizon() const {
+  Cycle last = 0;
+  for (const Event& event : events_) {
+    last = std::max(last, event.cycle + 1);
+    if (const auto* churn = std::get_if<ChurnProcess>(&event.action)) {
+      last = std::max(last, churn->until + 1);
+    } else if (const auto* loss = std::get_if<LossBurst>(&event.action)) {
+      last = std::max(last, loss->until + 1);
+    } else if (const auto* part = std::get_if<Partition>(&event.action)) {
+      last = std::max(last, part->until + 1);
+    }
+  }
+  return last;
+}
+
+std::size_t Timeline::num_spammers() const {
+  std::size_t total = 0;
+  for (const Event& event : events_) {
+    if (const auto* s = std::get_if<Spammers>(&event.action)) total += s->count;
+  }
+  return total;
+}
+
+std::size_t Timeline::num_free_riders() const {
+  std::size_t total = 0;
+  for (const Event& event : events_) {
+    if (const auto* f = std::get_if<FreeRiders>(&event.action)) total += f->count;
+  }
+  return total;
+}
+
+std::size_t Timeline::num_spam_items() const {
+  std::size_t total = 0;
+  for (const Event& event : events_) {
+    if (const auto* s = std::get_if<Spammers>(&event.action)) {
+      total += static_cast<std::size_t>(s->count) * s->items;
+    }
+  }
+  return total;
+}
+
+bool Timeline::mutates_opinions() const {
+  for (const Event& event : events_) {
+    if (std::holds_alternative<InterestDrift>(event.action) ||
+        std::holds_alternative<InterestSwap>(event.action) ||
+        std::holds_alternative<SwapPair>(event.action) ||
+        std::holds_alternative<JoinClone>(event.action)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<metrics::Window> Timeline::windows(Cycle total_cycles) const {
+  // Boundary -> label. Event cycles label the window they open; bare
+  // episode ends read "restore".
+  std::map<Cycle, std::string> boundaries;
+  const auto add = [&](Cycle cycle, const std::string& label) {
+    if (cycle <= 0 || cycle >= total_cycles) return;
+    auto& existing = boundaries[cycle];
+    if (label.empty()) return;
+    if (!existing.empty()) existing += " + ";
+    existing += label;
+  };
+  for (const Event& event : events_) {
+    add(event.cycle, verb(event.action));
+    if (const auto* loss = std::get_if<LossBurst>(&event.action)) {
+      add(loss->until, "");
+    } else if (const auto* part = std::get_if<Partition>(&event.action)) {
+      add(part->until, "");
+    } else if (const auto* churn = std::get_if<ChurnProcess>(&event.action)) {
+      add(churn->until + 1, "");
+    }
+  }
+  std::vector<metrics::Window> out;
+  Cycle begin = 0;
+  std::string label = "start";
+  for (const auto& [cycle, name] : boundaries) {
+    out.push_back({begin, cycle, label});
+    begin = cycle;
+    label = name.empty() ? "restore" : name;
+  }
+  out.push_back({begin, total_cycles, label});
+  return out;
+}
+
+// ---- Canonical formatter --------------------------------------------------
+
+std::string verb(const Action& action) {
+  return std::visit(
+      [](const auto& a) -> std::string {
+        using T = std::decay_t<decltype(a)>;
+        if constexpr (std::is_same_v<T, LeaveWave>) return "leave";
+        if constexpr (std::is_same_v<T, JoinWave>) return "join";
+        if constexpr (std::is_same_v<T, SetRange>) return a.active ? "up" : "down";
+        if constexpr (std::is_same_v<T, ChurnProcess>) return "churn";
+        if constexpr (std::is_same_v<T, FlashCrowd>) return "flash";
+        if constexpr (std::is_same_v<T, InterestDrift>) return "drift";
+        if constexpr (std::is_same_v<T, InterestSwap>) return "swap";
+        if constexpr (std::is_same_v<T, SwapPair>) return "swap-pair";
+        if constexpr (std::is_same_v<T, JoinClone>) return "join-clone";
+        if constexpr (std::is_same_v<T, LossBurst>) return "loss";
+        if constexpr (std::is_same_v<T, Partition>) return "partition";
+        if constexpr (std::is_same_v<T, Spammers>) return "spammers";
+        if constexpr (std::is_same_v<T, FreeRiders>) return "freeriders";
+      },
+      action);
+}
+
+std::string to_spec_line(const Event& event) {
+  std::ostringstream os;
+  os << "at " << event.cycle << ' ' << verb(event.action);
+  std::visit(
+      [&](const auto& a) {
+        using T = std::decay_t<decltype(a)>;
+        if constexpr (std::is_same_v<T, LeaveWave> || std::is_same_v<T, JoinWave>) {
+          os << ' ' << a.count;
+        } else if constexpr (std::is_same_v<T, SetRange>) {
+          os << ' ' << a.first << ' ' << a.count;
+        } else if constexpr (std::is_same_v<T, ChurnProcess>) {
+          os << ' ' << a.width << " every " << a.period << " until " << a.until;
+        } else if constexpr (std::is_same_v<T, FlashCrowd> ||
+                             std::is_same_v<T, InterestDrift>) {
+          os << ' ' << a.count;
+        } else if constexpr (std::is_same_v<T, InterestSwap>) {
+          os << ' ' << a.pairs;
+        } else if constexpr (std::is_same_v<T, SwapPair>) {
+          os << ' ' << a.a << ' ' << a.b;
+        } else if constexpr (std::is_same_v<T, JoinClone>) {
+          os << ' ' << a.node << ' ' << a.as_user;
+        } else if constexpr (std::is_same_v<T, LossBurst>) {
+          os << ' ' << format_double(a.rate) << " until " << a.until;
+        } else if constexpr (std::is_same_v<T, Partition>) {
+          os << ' ' << format_double(a.fraction);
+          if (a.cross_loss != 1.0) os << " xloss " << format_double(a.cross_loss);
+          os << " until " << a.until;
+        } else if constexpr (std::is_same_v<T, Spammers>) {
+          os << ' ' << a.count << " items " << a.items << " fanout " << a.fanout;
+        } else if constexpr (std::is_same_v<T, FreeRiders>) {
+          os << ' ' << a.count;
+        }
+      },
+      event.action);
+  return os.str();
+}
+
+std::string format(const Timeline& timeline) {
+  std::ostringstream os;
+  os << "name " << timeline.name << '\n';
+  for (const Event& event : timeline.events()) {
+    os << to_spec_line(event) << '\n';
+  }
+  return os.str();
+}
+
+// ---- Parser ---------------------------------------------------------------
+
+namespace {
+
+// One spec line split into whitespace tokens, with typed accessors that
+// raise uniform errors naming the line.
+class Line {
+ public:
+  Line(std::vector<std::string> tokens, int number)
+      : tokens_(std::move(tokens)), number_(number) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("scenario spec line " + std::to_string(number_) + ": " +
+                                what);
+  }
+
+  const std::string& word() {
+    if (next_ >= tokens_.size()) fail("unexpected end of line");
+    return tokens_[next_++];
+  }
+
+  // Consumes `keyword` if it is the next token; false otherwise.
+  bool accept(std::string_view keyword) {
+    if (next_ < tokens_.size() && tokens_[next_] == keyword) {
+      ++next_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(std::string_view keyword) {
+    if (!accept(keyword)) fail("expected '" + std::string(keyword) + "'");
+  }
+
+  std::int64_t integer() {
+    const std::string& token = word();
+    std::int64_t value = 0;
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      fail("expected integer, got '" + token + "'");
+    }
+    return value;
+  }
+
+  std::uint32_t count() {
+    const std::int64_t value = integer();
+    if (value < 0 || value > std::numeric_limits<std::uint32_t>::max()) {
+      fail("count out of range: " + std::to_string(value));
+    }
+    return static_cast<std::uint32_t>(value);
+  }
+
+  Cycle cycle() {
+    const std::int64_t value = integer();
+    if (value < std::numeric_limits<Cycle>::min() ||
+        value > std::numeric_limits<Cycle>::max()) {
+      fail("cycle out of range: " + std::to_string(value));
+    }
+    return static_cast<Cycle>(value);
+  }
+
+  double real() {
+    const std::string& token = word();
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      fail("expected number, got '" + token + "'");
+    }
+    return value;
+  }
+
+  void done() {
+    if (next_ < tokens_.size()) fail("trailing tokens after '" + tokens_[next_ - 1] + "'");
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::size_t next_ = 0;
+  int number_;
+};
+
+Action parse_action(Line& line, const std::string& verb) {
+  if (verb == "leave") return LeaveWave{line.count()};
+  if (verb == "join") return JoinWave{line.count()};
+  if (verb == "down" || verb == "up") {
+    SetRange range;
+    range.first = static_cast<NodeId>(line.count());
+    range.count = line.count();
+    range.active = verb == "up";
+    return range;
+  }
+  if (verb == "churn") {
+    ChurnProcess churn;
+    churn.width = line.count();
+    line.expect("every");
+    churn.period = line.cycle();
+    if (churn.period <= 0) line.fail("churn period must be positive");
+    line.expect("until");
+    churn.until = line.cycle();
+    return churn;
+  }
+  if (verb == "flash") return FlashCrowd{line.count()};
+  if (verb == "drift") return InterestDrift{line.count()};
+  if (verb == "swap") return InterestSwap{line.count()};
+  if (verb == "swap-pair") {
+    SwapPair swap;
+    swap.a = static_cast<NodeId>(line.count());
+    swap.b = static_cast<NodeId>(line.count());
+    return swap;
+  }
+  if (verb == "join-clone") {
+    JoinClone join;
+    join.node = static_cast<NodeId>(line.count());
+    join.as_user = static_cast<NodeId>(line.count());
+    return join;
+  }
+  if (verb == "loss") {
+    LossBurst loss;
+    loss.rate = line.real();
+    if (loss.rate < 0.0 || loss.rate > 1.0) line.fail("loss rate must be in [0, 1]");
+    line.expect("until");
+    loss.until = line.cycle();
+    return loss;
+  }
+  if (verb == "partition") {
+    Partition part;
+    part.fraction = line.real();
+    if (part.fraction <= 0.0 || part.fraction >= 1.0) {
+      line.fail("partition fraction must be in (0, 1)");
+    }
+    if (line.accept("xloss")) {
+      part.cross_loss = line.real();
+      if (part.cross_loss < 0.0 || part.cross_loss > 1.0) {
+        line.fail("partition xloss must be in [0, 1]");
+      }
+    }
+    line.expect("until");
+    part.until = line.cycle();
+    return part;
+  }
+  if (verb == "spammers") {
+    Spammers spam;
+    spam.count = line.count();
+    line.expect("items");
+    spam.items = line.count();
+    line.expect("fanout");
+    spam.fanout = line.count();
+    return spam;
+  }
+  if (verb == "freeriders") return FreeRiders{line.count()};
+  line.fail("unknown event '" + verb + "'");
+}
+
+}  // namespace
+
+Timeline parse(std::string_view text) {
+  Timeline timeline;
+  std::istringstream input{std::string(text)};
+  std::string raw;
+  int number = 0;
+  while (std::getline(input, raw)) {
+    ++number;
+    if (const auto hash = raw.find('#'); hash != std::string::npos) raw.resize(hash);
+    std::istringstream words(raw);
+    std::vector<std::string> tokens;
+    for (std::string token; words >> token;) tokens.push_back(std::move(token));
+    if (tokens.empty()) continue;
+    Line line(std::move(tokens), number);
+    const std::string head = line.word();
+    if (head == "name") {
+      timeline.name = line.word();
+      line.done();
+      continue;
+    }
+    if (head != "at") line.fail("expected 'at' or 'name', got '" + head + "'");
+    const Cycle cycle = line.cycle();
+    if (cycle < 0) line.fail("event cycle must be non-negative");
+    const std::string event_verb = line.word();
+    Action action = parse_action(line, event_verb);
+    line.done();
+    if (const auto* churn = std::get_if<ChurnProcess>(&action);
+        churn != nullptr && churn->until < cycle) {
+      line.fail("churn 'until' precedes the event cycle");
+    }
+    if (const auto* loss = std::get_if<LossBurst>(&action);
+        loss != nullptr && loss->until <= cycle) {
+      line.fail("loss 'until' must follow the event cycle");
+    }
+    if (const auto* part = std::get_if<Partition>(&action);
+        part != nullptr && part->until <= cycle) {
+      line.fail("partition 'until' must follow the event cycle");
+    }
+    timeline.at(cycle, std::move(action));
+  }
+  return timeline;
+}
+
+Timeline parse_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot read scenario spec: " + path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  return parse(text.str());
+}
+
+}  // namespace whatsup::scenario

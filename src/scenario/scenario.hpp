@@ -1,0 +1,249 @@
+// Deterministic scenario engine: declarative event timelines for the
+// paper's §V-C dynamics (joins, interest switches, massive disconnections)
+// and everything beyond them — churn processes, flash-crowd bursts,
+// network episodes (loss bursts, regional partitions) and adversarial
+// agents.
+//
+// A scenario::Timeline is an ordered list of typed events. Events carry a
+// canonical (cycle, seq) key — `seq` is the builder/spec insertion order —
+// and are applied by scenario::Executor at the cycle barrier BEFORE the
+// deliver phase of their cycle, on the main thread, drawing any randomness
+// from a reserved counter-based substream of the run seed. Fixed-seed
+// scenario runs are therefore bit-identical for any worker-thread count
+// and any shard width, exactly like plain runs (tests/test_determinism.cpp).
+//
+// Timelines come from either the C++ builder API (`timeline.at(cycle,
+// Action{...})`) or the small text spec format parsed by scenario::parse
+// (bundled specs live under scenarios/*.scn; grammar in
+// docs/architecture.md "Scenario engine"). parse(format(t)) == t.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "metrics/scores.hpp"
+
+namespace whatsup::sim {
+class Engine;
+}  // namespace whatsup::sim
+
+namespace whatsup::scenario {
+
+// ---- Event actions --------------------------------------------------------
+//
+// Every action is a plain aggregate with defaulted equality so timelines
+// round-trip through the spec format. "Honest nodes" below means the
+// non-adversary population (the executor freezes its size before any
+// adversaries register).
+
+// `count` uniformly chosen active honest nodes leave abruptly (no goodbye
+// messages — the §V-C massive-disconnection experiment).
+struct LeaveWave {
+  std::uint32_t count = 0;
+  friend bool operator==(const LeaveWave&, const LeaveWave&) = default;
+};
+
+// `count` uniformly chosen offline honest nodes come (back) online.
+struct JoinWave {
+  std::uint32_t count = 0;
+  friend bool operator==(const JoinWave&, const JoinWave&) = default;
+};
+
+// Explicit range [first, first + count) goes offline/online. Spec verbs
+// `down` / `up`. The deterministic one-shot form of churn used by the
+// churn robustness tests.
+struct SetRange {
+  NodeId first = 0;
+  std::uint32_t count = 0;
+  bool active = false;
+  friend bool operator==(const SetRange&, const SetRange&) = default;
+};
+
+// Rotating-slice churn: starting at the event cycle and every `period`
+// cycles until `until` (inclusive), the next `width`-node slice of the
+// honest population goes offline and the previous slice returns. This is
+// THE churn primitive — the determinism suite and the churn tests drive
+// the same `step` the executor does, so churn semantics live in one place.
+struct ChurnProcess {
+  std::uint32_t width = 10;
+  Cycle period = 5;
+  Cycle until = 0;
+
+  // Applies rotation step `k` over the honest universe [0, n): slice k
+  // (nodes (k*width + j) % n) goes offline, slice k-1 returns. Step 0
+  // only takes the first slice down. Must be called between cycles.
+  void step(sim::Engine& engine, std::size_t k, std::size_t n) const;
+
+  friend bool operator==(const ChurnProcess&, const ChurnProcess&) = default;
+};
+
+// Flash crowd: the next `count` scheduled-but-unpublished items (earliest
+// publish_at first, ties by index) are pulled forward and all published at
+// the event cycle. Applied to the workload before the run starts.
+struct FlashCrowd {
+  std::uint32_t count = 0;
+  friend bool operator==(const FlashCrowd&, const FlashCrowd&) = default;
+};
+
+// Interest drift: `count` uniformly chosen honest nodes each start
+// expressing the opinions of a uniformly chosen other user
+// (sim::MutableOpinions aliasing).
+struct InterestDrift {
+  std::uint32_t count = 0;
+  friend bool operator==(const InterestDrift&, const InterestDrift&) = default;
+};
+
+// `pairs` uniformly chosen disjoint honest pairs swap interests (the §V-C
+// "changing node" experiment, randomized).
+struct InterestSwap {
+  std::uint32_t pairs = 0;
+  friend bool operator==(const InterestSwap&, const InterestSwap&) = default;
+};
+
+// Explicit pair swap (the deterministic §V-C form used by run_dynamics).
+struct SwapPair {
+  NodeId a = 0;
+  NodeId b = 0;
+  friend bool operator==(const SwapPair&, const SwapPair&) = default;
+};
+
+// §V-C joining node: `node` comes online as a clone of user `as_user`
+// (opinion alias) and cold-starts from a uniformly chosen active contact
+// via the executor's protocol-specific cold-start hook.
+struct JoinClone {
+  NodeId node = 0;
+  NodeId as_user = 0;
+  friend bool operator==(const JoinClone&, const JoinClone&) = default;
+};
+
+// Network episode: uniform loss raised to `rate` for cycles [cycle,
+// until); the baseline network config is restored at `until`.
+struct LossBurst {
+  double rate = 0.0;
+  Cycle until = 0;
+  friend bool operator==(const LossBurst&, const LossBurst&) = default;
+};
+
+// Network episode: regional partition for cycles [cycle, until). The first
+// round(fraction * honest nodes) ids form region A, the rest region B;
+// cross-region messages are dropped with probability `cross_loss`
+// (1.0 = full cut).
+struct Partition {
+  double fraction = 0.5;
+  double cross_loss = 1.0;
+  Cycle until = 0;
+  friend bool operator==(const Partition&, const Partition&) = default;
+};
+
+// `count` spammer nodes activate at the event cycle. Each spammer injects
+// `items` spam items (appended to the workload, liked by nobody), one per
+// cycle, and keeps re-pushing them to `fanout` uniformly chosen active
+// peers every cycle (src/scenario/adversary.hpp).
+struct Spammers {
+  std::uint32_t count = 1;
+  std::uint32_t items = 4;
+  std::uint32_t fanout = 8;
+  friend bool operator==(const Spammers&, const Spammers&) = default;
+};
+
+// `count` free-rider nodes activate at the event cycle: they consume
+// whatever reaches them but never gossip or forward (pure sinks).
+struct FreeRiders {
+  std::uint32_t count = 1;
+  friend bool operator==(const FreeRiders&, const FreeRiders&) = default;
+};
+
+using Action = std::variant<LeaveWave, JoinWave, SetRange, ChurnProcess, FlashCrowd,
+                            InterestDrift, InterestSwap, SwapPair, JoinClone, LossBurst,
+                            Partition, Spammers, FreeRiders>;
+
+// One scheduled event. `seq` is the canonical tie-break within a cycle:
+// events inserted (or written in the spec) earlier apply earlier.
+struct Event {
+  Cycle cycle = 0;
+  std::uint32_t seq = 0;
+  Action action;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+// Spec-verb of the action ("leave", "churn", ...); used by the canonical
+// formatter and the window labels.
+std::string verb(const Action& action);
+// One canonical spec line for the event (without the trailing newline).
+std::string to_spec_line(const Event& event);
+
+// ---- Timeline -------------------------------------------------------------
+
+class Timeline {
+ public:
+  // Builder API: appends an event at `cycle`; `seq` is the insertion
+  // index, so same-cycle events apply in the order they were added.
+  Timeline& at(Cycle cycle, Action action);
+
+  // Events in canonical (cycle, seq) order.
+  const std::vector<Event>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  // First cycle strictly after every event and episode end.
+  Cycle horizon() const;
+
+  // Adversary population declared by Spammers/FreeRiders events (the
+  // executor appends that many nodes after the honest population).
+  std::size_t num_spammers() const;
+  std::size_t num_free_riders() const;
+  std::size_t num_adversaries() const { return num_spammers() + num_free_riders(); }
+  // Total spam items the declared spammers will inject.
+  std::size_t num_spam_items() const;
+
+  // True when the timeline mutates opinions (drift/swap/join-clone) and
+  // therefore needs a sim::MutableOpinions layer.
+  bool mutates_opinions() const;
+
+  // Splits [0, total_cycles) at every event cycle and episode end, for
+  // per-phase recall/precision around each event. Window labels name the
+  // events starting there ("restore" for bare episode ends, "start" for
+  // the opening window).
+  std::vector<metrics::Window> windows(Cycle total_cycles) const;
+
+  std::string name = "scenario";
+
+  // Same name and same (cycle, action) sequence in canonical order; `seq`
+  // is derived bookkeeping (renumbered by the parser) and is ignored.
+  friend bool operator==(const Timeline& a, const Timeline& b);
+
+ private:
+  std::vector<Event> events_;  // kept sorted by (cycle, seq)
+};
+
+// ---- Spec format ----------------------------------------------------------
+//
+//   # comment / blank lines ignored
+//   name <identifier>
+//   at <cycle> leave <count>
+//   at <cycle> join <count>
+//   at <cycle> down <first> <count>
+//   at <cycle> up <first> <count>
+//   at <cycle> churn <width> every <period> until <cycle>
+//   at <cycle> flash <count>
+//   at <cycle> drift <count>
+//   at <cycle> swap <pairs>
+//   at <cycle> swap-pair <a> <b>
+//   at <cycle> join-clone <node> <user>
+//   at <cycle> loss <rate> until <cycle>
+//   at <cycle> partition <fraction> [xloss <rate>] until <cycle>
+//   at <cycle> spammers <count> items <n> fanout <f>
+//   at <cycle> freeriders <count>
+
+// Parses a spec; throws std::invalid_argument naming the offending line.
+Timeline parse(std::string_view text);
+// Reads and parses a .scn file; throws std::runtime_error if unreadable.
+Timeline parse_file(const std::string& path);
+// Canonical spec text: parse(format(t)) == t for any parseable t.
+std::string format(const Timeline& timeline);
+
+}  // namespace whatsup::scenario

@@ -251,14 +251,31 @@ void Engine::send(net::Message message) {
          "Engine::send must not be called from agent code — use Context::send");
   const net::Protocol protocol = net::protocol_of(message.type);
   traffic_.record_sent(protocol, config_.size_model.bytes(message));
-  if (config_.network.loss_rate > 0.0 && rng_.bernoulli(config_.network.loss_rate)) {
+  // A dropped message — uniform loss or a partition cut — is recorded and
+  // its payload buffer recycled (main thread, between phases — the
+  // destination shard's pool is quiescent).
+  const auto drop = [&](net::Message&& m) {
     traffic_.record_dropped(protocol);
-    // Lost payload buffers are still worth recycling (main thread, between
-    // phases — the destination shard's pool is quiescent).
-    if (auto* view = std::get_if<net::ViewPayload>(&message.payload)) {
-      shard_for(message.to).descriptor_pool.recycle(std::move(view->view));
+    if (auto* view = std::get_if<net::ViewPayload>(&m.payload)) {
+      shard_for(m.to).descriptor_pool.recycle(std::move(view->view));
     }
+  };
+  if (config_.network.loss_rate > 0.0 && rng_.bernoulli(config_.network.loss_rate)) {
+    drop(std::move(message));
     return;
+  }
+  // Regional partition episode (scenario engine): cross-region messages
+  // are cut. Checked only while a partition is active, so the engine
+  // stream's draw sequence — and every baseline trajectory — is untouched
+  // otherwise.
+  if (config_.network.partitioned() &&
+      (message.from < config_.network.partition_nodes) !=
+          (message.to < config_.network.partition_nodes)) {
+    if (config_.network.partition_cross_loss >= 1.0 ||
+        rng_.bernoulli(config_.network.partition_cross_loss)) {
+      drop(std::move(message));
+      return;
+    }
   }
   Cycle delay = config_.network.latency;
   if (config_.network.jitter > 0) {

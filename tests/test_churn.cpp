@@ -2,6 +2,12 @@
 // deployment and robustness" (§I). These tests subject a WhatsUp
 // deployment to node departures and returns and check that dissemination
 // and overlay maintenance survive.
+//
+// All churn is driven through the scenario engine: departures/returns are
+// declarative timeline events applied by scenario::Executor at cycle
+// barriers, and rotating churn uses scenario::ChurnProcess — churn
+// semantics live in one place (src/scenario/) instead of per-test
+// activate/deactivate loops.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -10,6 +16,7 @@
 #include "analysis/runner.hpp"
 #include "dataset/survey.hpp"
 #include "metrics/tracker.hpp"
+#include "scenario/executor.hpp"
 #include "sim/engine.hpp"
 #include "whatsup/node.hpp"
 
@@ -17,7 +24,8 @@ namespace whatsup {
 namespace {
 
 struct ChurnDeployment {
-  explicit ChurnDeployment(std::uint64_t seed) : rng(seed), engine({seed, {}, {}}) {
+  ChurnDeployment(std::uint64_t seed, scenario::Timeline timeline_in)
+      : rng(seed), engine({seed, {}, {}}), timeline(std::move(timeline_in)) {
     data::SurveyConfig config;
     config.base_users = 60;
     config.base_items = 90;
@@ -43,14 +51,21 @@ struct ChurnDeployment {
       }
       agents[v]->bootstrap_rps(std::move(seed_view));
     }
+    // Same ordering contract as run_protocol: the executor's workload
+    // surgery (flash re-schedules, spam appends) runs BEFORE the tracker
+    // is sized and the calendar is snapshotted.
+    executor = std::make_unique<scenario::Executor>(timeline, engine, workload,
+                                                    nullptr, seed);
+    executor->register_adversaries();
     tracker = std::make_unique<metrics::Tracker>(n, workload.num_items());
     tracker->attach(engine);
     for (const data::NewsSpec& spec : workload.news) {
-      calendar[spec.publish_at].push_back(spec.index);
+      if (spec.publish_at != kNoCycle) calendar[spec.publish_at].push_back(spec.index);
     }
   }
 
   void run_cycle() {
+    executor->begin_cycle(engine.now());
     if (const auto it = calendar.find(engine.now()); it != calendar.end()) {
       for (ItemIdx item : it->second) {
         if (engine.is_active(workload.news[item].source)) {
@@ -59,6 +74,10 @@ struct ChurnDeployment {
       }
     }
     engine.run_cycle();
+  }
+
+  void run_cycles(int n) {
+    for (int c = 0; c < n; ++c) run_cycle();
   }
 
   metrics::Scores scores_after(Cycle published_from) const {
@@ -71,19 +90,21 @@ struct ChurnDeployment {
 
   Rng rng;
   sim::Engine engine;
+  scenario::Timeline timeline;
   data::Workload workload;
   std::unique_ptr<analysis::WorkloadOpinions> opinions;
   std::unique_ptr<metrics::Tracker> tracker;
+  std::unique_ptr<scenario::Executor> executor;
   std::vector<WhatsUpAgent*> agents;
   std::map<Cycle, std::vector<ItemIdx>> calendar;
 };
 
 TEST(Churn, DisseminationSurvivesMassDeparture) {
-  ChurnDeployment deployment(101);
-  for (int c = 0; c < 20; ++c) deployment.run_cycle();
-  // 25% of the network leaves abruptly (no goodbye messages).
-  for (NodeId v = 0; v < 15; ++v) deployment.engine.set_active(v, false);
-  for (int c = 0; c < 40; ++c) deployment.run_cycle();
+  // 25% of the network leaves abruptly at cycle 20 (no goodbye messages).
+  scenario::Timeline timeline;
+  timeline.at(20, scenario::SetRange{0, 15, false});
+  ChurnDeployment deployment(101, timeline);
+  deployment.run_cycles(60);
   // Items published after the departure still reach a meaningful share of
   // the surviving interested users (gossip redundancy routes around the
   // dead view entries) — dissemination does not collapse.
@@ -92,12 +113,11 @@ TEST(Churn, DisseminationSurvivesMassDeparture) {
 }
 
 TEST(Churn, ReturningNodesReintegrate) {
-  ChurnDeployment deployment(202);
-  for (int c = 0; c < 15; ++c) deployment.run_cycle();
-  for (NodeId v = 0; v < 10; ++v) deployment.engine.set_active(v, false);
-  for (int c = 0; c < 10; ++c) deployment.run_cycle();
-  for (NodeId v = 0; v < 10; ++v) deployment.engine.set_active(v, true);
-  for (int c = 0; c < 30; ++c) deployment.run_cycle();
+  scenario::Timeline timeline;
+  timeline.at(15, scenario::SetRange{0, 10, false});
+  timeline.at(25, scenario::SetRange{0, 10, true});
+  ChurnDeployment deployment(202, timeline);
+  deployment.run_cycles(55);
   // Returned nodes keep receiving: their RPS/WUP views refill and fresh
   // items reach them again.
   std::size_t received_late = 0;
@@ -111,12 +131,56 @@ TEST(Churn, ReturningNodesReintegrate) {
 }
 
 TEST(Churn, DepartedNodesReceiveNothing) {
-  ChurnDeployment deployment(303);
-  deployment.engine.set_active(5, false);
-  for (int c = 0; c < 40; ++c) deployment.run_cycle();
+  scenario::Timeline timeline;
+  timeline.at(0, scenario::SetRange{5, 1, false});
+  ChurnDeployment deployment(303, timeline);
+  deployment.run_cycles(40);
   for (ItemIdx i = 0; i < deployment.workload.num_items(); ++i) {
     EXPECT_FALSE(deployment.tracker->reached(i).test(5));
   }
+}
+
+TEST(Churn, RotatingChurnProcessKeepsDisseminating) {
+  // Continuous churn: every 5 cycles from cycle 10 to 40 the next 10-node
+  // slice drops offline and the previous slice returns
+  // (scenario::ChurnProcess — the same rotation the determinism suite
+  // pins across thread counts).
+  scenario::Timeline timeline;
+  timeline.at(10, scenario::ChurnProcess{/*width=*/10, /*period=*/5, /*until=*/40});
+  ChurnDeployment deployment(404, timeline);
+  deployment.run_cycles(60);
+  // Rotation means at most one slice (~17%) is down at a time; the swarm
+  // keeps delivering to the online majority.
+  const metrics::Scores scores = deployment.scores_after(12);
+  EXPECT_GT(scores.recall, 0.2);
+  // After `until`, everyone except the final slice is back online.
+  EXPECT_GE(deployment.engine.num_active(), 50u);
+}
+
+TEST(Churn, ChurnProcessStepSemantics) {
+  // The rotation primitive itself: step k takes slice k down and brings
+  // slice k-1 back.
+  sim::Engine engine({1, {}, {}});
+  for (int i = 0; i < 30; ++i) {
+    struct Idle : sim::Agent {
+      void on_cycle(sim::Context&) override {}
+      void on_message(sim::Context&, const net::Message&) override {}
+      void publish(sim::Context&, ItemIdx, ItemId) override {}
+    };
+    engine.add_agent(std::make_unique<Idle>());
+  }
+  const scenario::ChurnProcess churn{/*width=*/10, /*period=*/5, /*until=*/40};
+  churn.step(engine, 0, 30);
+  EXPECT_EQ(engine.num_active(), 20u);
+  EXPECT_FALSE(engine.is_active(0));
+  EXPECT_TRUE(engine.is_active(10));
+  churn.step(engine, 1, 30);
+  EXPECT_EQ(engine.num_active(), 20u);
+  EXPECT_TRUE(engine.is_active(0));
+  EXPECT_FALSE(engine.is_active(10));
+  churn.step(engine, 2, 30);  // wraps: slice 2 = nodes 20..29
+  EXPECT_FALSE(engine.is_active(25));
+  EXPECT_TRUE(engine.is_active(10));
 }
 
 }  // namespace

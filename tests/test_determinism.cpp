@@ -14,6 +14,7 @@
 #include "analysis/runner.hpp"
 #include "dataset/survey.hpp"
 #include "metrics/tracker.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/engine.hpp"
 #include "whatsup/node.hpp"
 
@@ -238,6 +239,66 @@ TEST(Determinism, RunPipelineIdenticalAcrossThreadsAndShardWidths) {
     ASSERT_EQ(base.reached.size(), result.reached.size());
     for (std::size_t i = 0; i < base.reached.size(); ++i) {
       EXPECT_EQ(base.reached[i], result.reached[i]) << "item " << i;
+    }
+  }
+}
+
+// A scenario-driven run — churn wave + loss burst + interest drift + one
+// spammer, all applied by scenario::Executor at cycle barriers from a
+// reserved counter-based substream — must produce bit-identical per-cycle
+// Tracker::digest() sequences for any worker-thread count and any shard
+// width (the scenario engine's determinism contract; the spec below is
+// scenarios/kitchen_sink.scn at test scale).
+TEST(Determinism, ScenarioRunIdenticalAcrossThreadsAndShardWidths) {
+  constexpr const char* kSpec =
+      "name kitchen-sink\n"
+      "at 6 spammers 1 items 3 fanout 6\n"
+      "at 8 churn 8 every 4 until 24\n"
+      "at 10 loss 0.25 until 18\n"
+      "at 14 drift 3\n"
+      "at 20 leave 6\n";
+  Rng rng(29);
+  data::SurveyConfig sc;
+  sc.base_users = 60;
+  sc.base_items = 70;
+  sc.replication = 2;
+  const data::Workload workload = data::make_survey(sc, rng);
+  analysis::RunConfig config;
+  config.approach = analysis::Approach::kWhatsUp;
+  config.fanout = 6;
+  config.seed = 31;
+  config.network.loss_rate = 0.02;
+  config.network.jitter = 1;
+  config.scenario = scenario::parse(kSpec);
+  config.collect_cycle_digests = true;
+
+  config.threads = 1;
+  config.shard_nodes = 16;
+  const analysis::RunResult base = analysis::run_protocol(workload, config);
+  ASSERT_EQ(base.cycle_digests.size(),
+            static_cast<std::size_t>(config.total_cycles()));
+  EXPECT_GT(base.news_messages, 0u);
+  ASSERT_FALSE(base.windows.empty());
+  const struct {
+    unsigned threads;
+    std::size_t shard_nodes;
+  } grid[] = {{4, 16}, {1, 64}, {4, 64}, {2, 0 /* engine default */}};
+  for (const auto& point : grid) {
+    config.threads = point.threads;
+    config.shard_nodes = point.shard_nodes;
+    const analysis::RunResult result = analysis::run_protocol(workload, config);
+    SCOPED_TRACE(testing::Message() << "threads=" << point.threads
+                                    << " shard_nodes=" << point.shard_nodes);
+    // The per-cycle digest series pins the whole measured trajectory.
+    EXPECT_EQ(base.cycle_digests, result.cycle_digests);
+    EXPECT_EQ(base.news_messages, result.news_messages);
+    EXPECT_EQ(base.gossip_messages, result.gossip_messages);
+    EXPECT_EQ(base.kbps_total, result.kbps_total);
+    EXPECT_EQ(base.scores.f1, result.scores.f1);
+    ASSERT_EQ(base.windows.size(), result.windows.size());
+    for (std::size_t w = 0; w < base.windows.size(); ++w) {
+      EXPECT_EQ(base.windows[w].scores.precision, result.windows[w].scores.precision);
+      EXPECT_EQ(base.windows[w].scores.recall, result.windows[w].scores.recall);
     }
   }
 }

@@ -1,0 +1,387 @@
+// Scenario engine: spec parser round-trips, canonical event ordering,
+// executor semantics (waves, flash re-schedules, network episodes,
+// adversary registration) and adversary containment — spammer items must
+// not dominate the top-K recall of honest users.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "analysis/experiments.hpp"
+#include "analysis/runner.hpp"
+#include "dataset/survey.hpp"
+#include "scenario/adversary.hpp"
+#include "scenario/executor.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/engine.hpp"
+
+namespace whatsup {
+namespace {
+
+struct IdleAgent : sim::Agent {
+  void on_cycle(sim::Context&) override {}
+  void on_message(sim::Context&, const net::Message&) override {}
+  void publish(sim::Context&, ItemIdx, ItemId) override {}
+};
+
+std::unique_ptr<sim::Engine> make_idle_engine(std::size_t n, std::uint64_t seed = 1) {
+  auto engine = std::make_unique<sim::Engine>(sim::Engine::Config{seed, {}, {}});
+  for (std::size_t i = 0; i < n; ++i) engine->add_agent(std::make_unique<IdleAgent>());
+  return engine;
+}
+
+data::Workload small_survey(std::uint64_t seed) {
+  Rng rng(seed);
+  data::SurveyConfig config;
+  config.base_users = 60;
+  config.base_items = 80;
+  config.replication = 1;
+  return data::make_survey(config, rng);
+}
+
+// ---- Spec format ----------------------------------------------------------
+
+constexpr const char* kFullSpec = R"(# every verb once
+name full-demo
+at 5 leave 12
+at 8 join 6
+at 10 down 0 15
+at 12 up 0 15
+at 14 churn 8 every 4 until 30
+at 16 flash 5
+at 18 drift 3
+at 20 swap 2
+at 22 swap-pair 4 9
+at 24 join-clone 59 17
+at 26 loss 0.3 until 32
+at 28 partition 0.5 xloss 0.75 until 34
+at 30 spammers 2 items 3 fanout 6
+at 32 freeriders 2
+)";
+
+TEST(ScenarioSpec, ParseFormatRoundTrip) {
+  const scenario::Timeline parsed = scenario::parse(kFullSpec);
+  EXPECT_EQ(parsed.name, "full-demo");
+  ASSERT_EQ(parsed.events().size(), 14u);
+  const std::string canonical = scenario::format(parsed);
+  const scenario::Timeline reparsed = scenario::parse(canonical);
+  EXPECT_EQ(parsed, reparsed);
+  // The canonical form is a fixed point.
+  EXPECT_EQ(canonical, scenario::format(reparsed));
+}
+
+TEST(ScenarioSpec, BuilderMatchesParser) {
+  scenario::Timeline built;
+  built.name = "demo";
+  built.at(5, scenario::LeaveWave{12});
+  built.at(7, scenario::LossBurst{0.25, 15});
+  const scenario::Timeline parsed = scenario::parse(
+      "name demo\n"
+      "at 5 leave 12\n"
+      "at 7 loss 0.25 until 15\n");
+  EXPECT_EQ(built, parsed);
+}
+
+TEST(ScenarioSpec, CanonicalOrdering) {
+  // Insertion out of cycle order: events() must come back sorted by
+  // cycle, with same-cycle events in insertion order.
+  scenario::Timeline timeline;
+  timeline.at(30, scenario::LeaveWave{1});
+  timeline.at(10, scenario::JoinWave{2});
+  timeline.at(10, scenario::LeaveWave{3});
+  timeline.at(20, scenario::FlashCrowd{4});
+  const auto& events = timeline.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].cycle, 10);
+  EXPECT_TRUE(std::holds_alternative<scenario::JoinWave>(events[0].action));
+  EXPECT_EQ(events[1].cycle, 10);
+  EXPECT_TRUE(std::holds_alternative<scenario::LeaveWave>(events[1].action));
+  EXPECT_EQ(events[2].cycle, 20);
+  EXPECT_EQ(events[3].cycle, 30);
+  // Same-cycle order survives the spec round-trip (seq is renumbered but
+  // relative order is canonical).
+  const scenario::Timeline reparsed = scenario::parse(scenario::format(timeline));
+  EXPECT_EQ(timeline, reparsed);
+}
+
+TEST(ScenarioSpec, ErrorsNameTheLine) {
+  EXPECT_THROW(scenario::parse("at 5 explode 3\n"), std::invalid_argument);
+  EXPECT_THROW(scenario::parse("at x leave 3\n"), std::invalid_argument);
+  EXPECT_THROW(scenario::parse("at 5 loss 1.5 until 9\n"), std::invalid_argument);
+  EXPECT_THROW(scenario::parse("at 5 loss 0.2 until 4\n"), std::invalid_argument);
+  EXPECT_THROW(scenario::parse("at 5 leave 3 7\n"), std::invalid_argument);
+  EXPECT_THROW(scenario::parse("at 5 partition 1.5 until 9\n"), std::invalid_argument);
+  // Out-of-range integers fail loudly instead of wrapping silently.
+  EXPECT_THROW(scenario::parse("at 5 leave 4294967296\n"), std::invalid_argument);
+  EXPECT_THROW(scenario::parse("at 4294967296 leave 3\n"), std::invalid_argument);
+  try {
+    scenario::parse("name ok\n\nat 9 bogus 1\n");
+    FAIL() << "expected parse failure";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ScenarioSpec, HorizonAndPopulations) {
+  const scenario::Timeline timeline = scenario::parse(kFullSpec);
+  EXPECT_EQ(timeline.horizon(), 35);  // partition until 34
+  EXPECT_EQ(timeline.num_spammers(), 2u);
+  EXPECT_EQ(timeline.num_free_riders(), 2u);
+  EXPECT_EQ(timeline.num_adversaries(), 4u);
+  EXPECT_EQ(timeline.num_spam_items(), 6u);
+  EXPECT_TRUE(timeline.mutates_opinions());
+  EXPECT_FALSE(scenario::parse("at 5 leave 3\n").mutates_opinions());
+}
+
+TEST(ScenarioSpec, WindowsSplitAtEventsAndEpisodeEnds) {
+  const scenario::Timeline timeline = scenario::parse(
+      "at 15 loss 0.3 until 25\n"
+      "at 20 leave 10\n");
+  const auto windows = timeline.windows(60);
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_EQ(windows[0].begin, 0);
+  EXPECT_EQ(windows[0].end, 15);
+  EXPECT_EQ(windows[0].label, "start");
+  EXPECT_EQ(windows[1].begin, 15);
+  EXPECT_EQ(windows[1].label, "loss");
+  EXPECT_EQ(windows[2].begin, 20);
+  EXPECT_EQ(windows[2].label, "leave");
+  EXPECT_EQ(windows[3].begin, 25);
+  EXPECT_EQ(windows[3].end, 60);
+  EXPECT_EQ(windows[3].label, "restore");
+}
+
+// ---- Executor semantics ---------------------------------------------------
+
+TEST(ScenarioExecutor, WavesAreDeterministicAndSized) {
+  const scenario::Timeline timeline = scenario::parse(
+      "at 2 leave 10\n"
+      "at 5 join 4\n");
+  data::Workload dummy;
+  const auto run = [&](std::uint64_t seed) {
+    const auto engine_ptr = make_idle_engine(40, seed);
+    sim::Engine& engine = *engine_ptr;
+    data::Workload workload = dummy;
+    scenario::Executor executor(timeline, engine, workload, nullptr, seed);
+    executor.register_adversaries();
+    std::vector<bool> active_after_leave, active_after_join;
+    for (Cycle c = 0; c < 6; ++c) {
+      executor.begin_cycle(c);
+      if (c == 2) {
+        for (NodeId v = 0; v < 40; ++v) active_after_leave.push_back(engine.is_active(v));
+      }
+      engine.run_cycle();
+    }
+    for (NodeId v = 0; v < 40; ++v) active_after_join.push_back(engine.is_active(v));
+    EXPECT_EQ(engine.num_active(), 40u - 10u + 4u);
+    return std::make_pair(active_after_leave, active_after_join);
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  EXPECT_EQ(a, b);  // same seed, same victims
+  EXPECT_EQ(static_cast<int>(std::count(a.first.begin(), a.first.end(), false)), 10);
+  const auto c = run(8);
+  EXPECT_NE(a.first, c.first);  // different seed, (almost surely) different victims
+}
+
+TEST(ScenarioExecutor, FlashPullsTheNextPublicationsForward) {
+  data::Workload workload = small_survey(3);
+  Rng rng(3);
+  workload.schedule_publications(5, 50, rng);
+  std::size_t later_before = 0;
+  for (const auto& spec : workload.news) later_before += spec.publish_at > 20;
+  ASSERT_GT(later_before, 6u);
+
+  const scenario::Timeline timeline = scenario::parse("at 20 flash 6\n");
+  const auto engine_ptr = make_idle_engine(workload.num_users());
+  scenario::Executor executor(timeline, *engine_ptr, workload, nullptr, 9);
+  executor.prepare();
+
+  std::size_t at_flash = 0, later_after = 0;
+  for (const auto& spec : workload.news) {
+    at_flash += spec.publish_at == 20;
+    later_after += spec.publish_at > 20;
+  }
+  EXPECT_GE(at_flash, 6u);
+  EXPECT_EQ(later_after, later_before - 6u);
+}
+
+TEST(ScenarioExecutor, NetworkEpisodesApplyAndRestore) {
+  const scenario::Timeline timeline = scenario::parse(
+      "at 2 loss 0.4 until 5\n"
+      "at 3 partition 0.5 until 7\n");
+  data::Workload workload;
+  const auto engine_ptr = make_idle_engine(40);
+  sim::Engine& engine = *engine_ptr;
+  scenario::Executor executor(timeline, engine, workload, nullptr, 11);
+  executor.register_adversaries();
+  for (Cycle c = 0; c < 9; ++c) {
+    executor.begin_cycle(c);
+    if (c < 2) {
+      EXPECT_EQ(engine.network().loss_rate, 0.0) << c;
+    } else if (c < 5) {
+      EXPECT_EQ(engine.network().loss_rate, 0.4) << c;
+    } else {
+      EXPECT_EQ(engine.network().loss_rate, 0.0) << c;  // restored
+    }
+    if (c >= 3 && c < 7) {
+      EXPECT_TRUE(engine.network().partitioned()) << c;
+      EXPECT_EQ(engine.network().partition_nodes, 20u) << c;
+    } else {
+      EXPECT_FALSE(engine.network().partitioned()) << c;
+    }
+    engine.run_cycle();
+  }
+}
+
+TEST(ScenarioExecutor, OverlappingLossBurstsNest) {
+  // An inner burst that ends first must hand control back to the outer
+  // still-running burst, not to the baseline.
+  const scenario::Timeline timeline = scenario::parse(
+      "at 1 loss 0.5 until 8\n"
+      "at 3 loss 0.2 until 5\n");
+  data::Workload workload;
+  const auto engine_ptr = make_idle_engine(20);
+  sim::Engine& engine = *engine_ptr;
+  scenario::Executor executor(timeline, engine, workload, nullptr, 3);
+  executor.register_adversaries();
+  const double expected[] = {0.0, 0.5, 0.5, 0.2, 0.2, 0.5, 0.5, 0.5, 0.0, 0.0};
+  for (Cycle c = 0; c < 10; ++c) {
+    executor.begin_cycle(c);
+    EXPECT_EQ(engine.network().loss_rate, expected[c]) << "cycle " << c;
+    engine.run_cycle();
+  }
+}
+
+TEST(ScenarioExecutor, PrepareIsIdempotent) {
+  data::Workload workload = small_survey(7);
+  Rng rng(7);
+  workload.schedule_publications(5, 50, rng);
+  const std::size_t items_before = workload.num_items();
+  const scenario::Timeline timeline = scenario::parse(
+      "at 20 flash 4\n"
+      "at 10 spammers 1 items 3 fanout 4\n");
+  const auto engine_ptr = make_idle_engine(workload.num_users());
+  scenario::Executor executor(timeline, *engine_ptr, workload, nullptr, 7);
+  executor.prepare();
+  const std::vector<data::NewsSpec> after_first = workload.news;
+  executor.prepare();  // second call must be a no-op
+  executor.register_adversaries();  // and the implicit call in here too
+  EXPECT_EQ(workload.num_items(), items_before + 3);
+  ASSERT_EQ(workload.news.size(), after_first.size());
+  for (std::size_t i = 0; i < items_before; ++i) {
+    EXPECT_EQ(workload.news[i].publish_at, after_first[i].publish_at) << i;
+  }
+}
+
+TEST(ScenarioExecutor, AdversariesRegisterOfflineAndActivateOnCue) {
+  const scenario::Timeline timeline = scenario::parse(
+      "at 5 spammers 2 items 3 fanout 4\n"
+      "at 8 freeriders 1\n");
+  data::Workload workload = small_survey(5);
+  const std::size_t honest_items = workload.num_items();
+  const std::size_t n = workload.num_users();
+  const auto engine_ptr = make_idle_engine(n);
+  sim::Engine& engine = *engine_ptr;
+  scenario::Executor executor(timeline, engine, workload, nullptr, 13);
+  executor.prepare();
+  EXPECT_EQ(workload.num_items(), honest_items + 6);
+  executor.register_adversaries();
+  ASSERT_EQ(engine.num_nodes(), n + 3);
+  EXPECT_EQ(executor.spammer_agents().size(), 2u);
+  EXPECT_EQ(executor.free_rider_agents().size(), 1u);
+  EXPECT_EQ(executor.first_spam_item(), honest_items);
+  // Spam specs are sourced at their spammer and never scheduled.
+  for (std::size_t i = honest_items; i < workload.num_items(); ++i) {
+    EXPECT_EQ(workload.news[i].publish_at, kNoCycle);
+    EXPECT_GE(workload.news[i].source, n);
+    EXPECT_EQ(workload.interested_in[i].count(), 0u);
+  }
+  for (NodeId id = static_cast<NodeId>(n); id < engine.num_nodes(); ++id) {
+    EXPECT_FALSE(engine.is_active(id));
+  }
+  for (Cycle c = 0; c < 9; ++c) {
+    executor.begin_cycle(c);
+    engine.run_cycle();
+  }
+  EXPECT_TRUE(engine.is_active(static_cast<NodeId>(n)));      // spammer 1
+  EXPECT_TRUE(engine.is_active(static_cast<NodeId>(n + 1)));  // spammer 2
+  EXPECT_TRUE(engine.is_active(static_cast<NodeId>(n + 2)));  // free rider
+  // The spammers actually pushed spam once activated.
+  EXPECT_GT(engine.traffic().messages(net::Protocol::kBeep), 0u);
+}
+
+// ---- Adversary containment ------------------------------------------------
+
+TEST(ScenarioAdversary, SpammerDoesNotDominateHonestRecall) {
+  const data::Workload workload = small_survey(17);
+  const std::size_t honest_items = workload.num_items();
+
+  analysis::RunConfig config = analysis::default_run_config(17);
+  config.approach = analysis::Approach::kWhatsUp;
+  config.fanout = 6;
+  const analysis::RunResult clean = analysis::run_protocol(workload, config);
+
+  config.scenario = scenario::parse("at 8 spammers 2 items 4 fanout 10\n");
+  const analysis::RunResult attacked = analysis::run_protocol(workload, config);
+
+  // The attack is live: spam items exist past the honest item space and
+  // reach users...
+  ASSERT_EQ(attacked.reached.size(), honest_items + 8);
+  std::size_t spam_reach = 0;
+  for (std::size_t i = honest_items; i < attacked.reached.size(); ++i) {
+    spam_reach += attacked.reached[i].count();
+  }
+  EXPECT_GT(spam_reach, 0u);
+  // ...but spam is never measured (it cannot enter the score pass at all)
+  for (const ItemIdx item : attacked.measured) {
+    EXPECT_LT(item, honest_items);
+  }
+  // ...and honest top-K recall does not collapse under the flood: BEEP's
+  // dislike TTL starves the spam wave, so real news keeps flowing.
+  EXPECT_GT(attacked.scores.recall, 0.5 * clean.scores.recall);
+  EXPECT_GT(attacked.scores.f1, 0.0);
+}
+
+TEST(ScenarioRun, WindowedScoresReportedAroundEvents) {
+  const data::Workload workload = small_survey(23);
+  analysis::RunConfig config = analysis::default_run_config(23);
+  config.approach = analysis::Approach::kWhatsUp;
+  config.fanout = 6;
+  config.scenario = scenario::parse(
+      "at 30 flash 5\n"
+      "at 40 leave 10\n");
+  const analysis::RunResult result = analysis::run_protocol(workload, config);
+  ASSERT_EQ(result.windows.size(), 3u);
+  EXPECT_EQ(result.windows[0].window.label, "start");
+  EXPECT_EQ(result.windows[1].window.label, "flash");
+  EXPECT_EQ(result.windows[2].window.label, "leave");
+  // Every measured item lands in exactly one window.
+  std::size_t windowed_items = 0;
+  for (const auto& ws : result.windows) windowed_items += ws.scores.items;
+  EXPECT_EQ(windowed_items, result.measured.size());
+  // The flash window actually holds the pulled-forward burst.
+  EXPECT_GE(result.windows[1].scores.items, 5u);
+}
+
+TEST(ScenarioRun, DriftAndSwapNeedMutableOpinions) {
+  const scenario::Timeline timeline = scenario::parse("at 3 drift 2\n");
+  data::Workload workload = small_survey(29);
+  const auto engine_ptr = make_idle_engine(workload.num_users());
+  EXPECT_THROW(scenario::Executor(timeline, *engine_ptr, workload, nullptr, 1),
+               std::invalid_argument);
+  // run_protocol wires the mutable layer automatically.
+  analysis::RunConfig config = analysis::default_run_config(29);
+  config.approach = analysis::Approach::kWhatsUp;
+  config.fanout = 6;
+  config.scenario = scenario::parse(
+      "at 25 drift 2\n"
+      "at 25 swap 1\n");
+  const analysis::RunResult result = analysis::run_protocol(workload, config);
+  EXPECT_GT(result.scores.f1, 0.0);
+}
+
+}  // namespace
+}  // namespace whatsup
