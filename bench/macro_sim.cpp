@@ -74,7 +74,9 @@ data::Workload macro_workload(std::size_t users, std::size_t items) {
 
 void run_macro(benchmark::State& state, std::size_t users, std::size_t items,
                Cycle publish_cycles, unsigned threads,
-               const scenario::Timeline* timeline = nullptr) {
+               const scenario::Timeline* timeline = nullptr,
+               const net::NetworkConfig* network = nullptr,
+               bool reliability = false) {
   const data::Workload workload = macro_workload(users, items);
   analysis::RunConfig config;
   config.approach = analysis::Approach::kWhatsUp;
@@ -88,6 +90,12 @@ void run_macro(benchmark::State& state, std::size_t users, std::size_t items,
   if (timeline != nullptr) {
     config.scenario = *timeline;
     config.fit_scenario_horizon();
+  }
+  if (network != nullptr) config.network = *network;
+  if (reliability) {
+    config.reliability.enabled = true;
+    config.view_hygiene.max_age = 20;
+    config.view_hygiene.suspicion_limit = 2;
   }
   const auto total = static_cast<std::size_t>(config.total_cycles());
   for (auto _ : state) {
@@ -116,6 +124,23 @@ void BM_WhatsUpSim_500n_200c(benchmark::State& state) {
 
 void BM_WhatsUpSim_1000n_200c(benchmark::State& state) {
   run_macro(state, 1000, 1000, 180, static_cast<unsigned>(state.range(0)));
+}
+
+// Fault-sweep rows: the baseline scale re-run under the fault-testbed
+// presets with the ack/retransmit reliability layer and view hygiene
+// enabled — what the fault model plus per-copy acks, retransmission
+// queues and dedup logs cost in simulated cycles/s. state.range(0) =
+// worker threads; the profile is baked into the row name.
+void BM_WhatsUpSim_500n_200c_ModelNetFaults(benchmark::State& state) {
+  const net::NetworkConfig network = net::NetworkConfig::modelnet_faults();
+  run_macro(state, 500, 500, 180, static_cast<unsigned>(state.range(0)),
+            /*timeline=*/nullptr, &network, /*reliability=*/true);
+}
+
+void BM_WhatsUpSim_500n_200c_PlanetLabFaults(benchmark::State& state) {
+  const net::NetworkConfig network = net::NetworkConfig::planetlab_faults();
+  run_macro(state, 500, 500, 180, static_cast<unsigned>(state.range(0)),
+            /*timeline=*/nullptr, &network, /*reliability=*/true);
 }
 
 // Sharded-scheduler scaling row: 10k nodes (~160 shards). The item count
@@ -206,6 +231,16 @@ int main(int argc, char** argv) {
     // thread's CPU time (which sleeps at phase barriers while the pool
     // works).
     bench->Unit(benchmark::kMillisecond)->UseRealTime()->Arg(1)->Arg(4)->Arg(8);
+  }
+  // Fault-sweep rows run at 1 and 4 threads (the determinism grid's
+  // acceptance pair); 8-thread scaling is tracked by the plain rows.
+  for (auto* bench : {benchmark::RegisterBenchmark(
+                          "BM_WhatsUpSim_500n_200c_ModelNetFaults",
+                          whatsup::BM_WhatsUpSim_500n_200c_ModelNetFaults),
+                      benchmark::RegisterBenchmark(
+                          "BM_WhatsUpSim_500n_200c_PlanetLabFaults",
+                          whatsup::BM_WhatsUpSim_500n_200c_PlanetLabFaults)}) {
+    bench->Unit(benchmark::kMillisecond)->UseRealTime()->Arg(1)->Arg(4);
   }
   if (whatsup::g_custom_nodes != 0) {
     benchmark::RegisterBenchmark("BM_WhatsUpSim_Custom", whatsup::BM_WhatsUpSim_Custom)

@@ -198,6 +198,8 @@ RunResult run_protocol(const data::Workload& base_workload, const RunConfig& con
   wu.beep_amplification = config.beep_amplification;
   wu.beep_orientation = config.beep_orientation;
   wu.obfuscation = config.obfuscation;
+  wu.reliability = config.reliability;
+  wu.hygiene = config.view_hygiene;
   const Metric cf_metric = config.metric_override.value_or(metric_of(config.approach));
 
   engine.bootstrap(n, [&](NodeId v, Rng& boot_rng) -> std::unique_ptr<sim::Agent> {
@@ -249,7 +251,12 @@ RunResult run_protocol(const data::Workload& base_workload, const RunConfig& con
   // injected by their spammers, never by the calendar).
   std::map<Cycle, std::vector<ItemIdx>> calendar;
   for (const data::NewsSpec& spec : workload.news) {
-    if (spec.publish_at != kNoCycle) calendar[spec.publish_at].push_back(spec.index);
+    if (spec.publish_at != kNoCycle) {
+      calendar[spec.publish_at].push_back(spec.index);
+      // Declare publication cycles so the tracker can latency-score each
+      // unique delivery (publication -> delivery, in cycles).
+      tracker.set_publish_cycle(spec.index, spec.publish_at);
+    }
   }
 
   const Cycle total = config.total_cycles();
@@ -304,6 +311,44 @@ RunResult run_protocol(const data::Workload& base_workload, const RunConfig& con
   result.kbps_beep = traffic.kbps_per_node(net::Protocol::kBeep, n,
                                            static_cast<double>(total),
                                            config.cycle_seconds, false);
+
+  // Reliability accounting: retransmit-queue totals over all WhatsUp
+  // agents (other approaches have no reliability layer and contribute
+  // zeros), ack control traffic, and the tracker's redundancy/latency
+  // reductions. Cheap relative to the run; always collected.
+  for (NodeId v = 0; v < n; ++v) {
+    if (const auto* wu_agent = dynamic_cast<const WhatsUpAgent*>(&engine.agent(v))) {
+      const sim::RetransmitQueue::Stats& s = wu_agent->retransmit_queue().stats();
+      result.reliability.tracked += s.tracked;
+      result.reliability.retransmits += s.retransmits;
+      result.reliability.acked += s.acked;
+      result.reliability.expired += s.expired;
+    } else {
+      break;  // homogeneous honest population: no WhatsUp agents at all
+    }
+  }
+  result.reliability.ack_messages = traffic.messages(net::Protocol::kCtrl);
+  result.reliability.duplicates = tracker.total_duplicates();
+  result.reliability.deliveries = tracker.total_deliveries();
+  result.reliability.redundancy_ratio = tracker.redundancy_ratio();
+  result.reliability.mean_latency = tracker.mean_latency();
+  if (config.scenario.has_value()) {
+    const auto& by_cycle = tracker.latency_by_cycle();
+    const std::vector<metrics::Window> windows = config.scenario->windows(total);
+    result.reliability.window_latency.reserve(windows.size());
+    for (const metrics::Window& w : windows) {
+      std::uint64_t sum = 0;
+      std::uint64_t count = 0;
+      for (Cycle c = w.begin; c < w.end; ++c) {
+        const auto idx = static_cast<std::size_t>(c);
+        if (idx >= by_cycle.size()) break;
+        sum += by_cycle[idx].first;
+        count += by_cycle[idx].second;
+      }
+      result.reliability.window_latency.push_back(
+          count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count));
+    }
+  }
 
   const graph::StaticGraph overlay = overlay_graph(engine, config.approach, workload);
   result.overlay.lscc_fraction = graph::largest_scc_fraction(overlay);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "dataset/workload.hpp"
+#include "gossip/hygiene.hpp"
 #include "metrics/scores.hpp"
 #include "metrics/tracker.hpp"
 #include "net/network.hpp"
@@ -17,6 +18,7 @@
 #include "profile/similarity.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/opinions.hpp"
+#include "sim/reliability.hpp"
 #include "whatsup/params.hpp"
 
 namespace whatsup::analysis {
@@ -71,6 +73,13 @@ struct RunConfig {
   // Profile obfuscation for gossiped snapshots (WhatsUp only, §VII).
   ObfuscationConfig obfuscation;
 
+  // Ack/retransmit reliability layer for BEEP forwards (WhatsUp only;
+  // sim/reliability.hpp). Off by default — fault-free runs are bit-
+  // identical with the layer compiled in but disabled.
+  sim::ReliabilityConfig reliability;
+  // Failure-aware view hygiene (WhatsUp only; gossip/hygiene.hpp).
+  gossip::ViewHygieneConfig view_hygiene;
+
   // Declarative event timeline applied at cycle barriers (churn waves,
   // flash crowds, interest drift, network episodes, adversaries — see
   // src/scenario/). When set, the run wraps opinions in a mutable layer
@@ -95,6 +104,24 @@ struct OverlayStats {
   double lscc_fraction = 0.0;   // Fig. 4
   double clustering = 0.0;      // §V-A clustering coefficient
   std::size_t components = 0;   // §V-A weakly-connected component count
+};
+
+// Reliability-layer accounting for the robustness experiments: retransmit
+// queue totals summed over all WhatsUp agents, ack control traffic, and
+// the tracker's redundancy/latency reductions.
+struct ReliabilityStats {
+  std::size_t tracked = 0;      // news copies registered for ack
+  std::size_t retransmits = 0;  // copies resent on timeout
+  std::size_t acked = 0;        // entries cleared by an ack
+  std::size_t expired = 0;      // entries dropped after max_retries
+  std::size_t ack_messages = 0;  // kCtrl messages on the wire
+  std::uint64_t duplicates = 0;  // repeat receipts (multi-path/dup/retx)
+  std::uint64_t deliveries = 0;  // unique deliveries
+  double redundancy_ratio = 0.0;  // duplicates per unique delivery
+  double mean_latency = 0.0;      // cycles, publication -> unique delivery
+  // Mean delivery latency per scenario window, aligned with
+  // RunResult::windows (NaN-free: windows without deliveries read 0).
+  std::vector<double> window_latency;
 };
 
 struct RunResult {
@@ -124,6 +151,8 @@ struct RunResult {
   // and the per-cycle tracker digest series.
   std::vector<metrics::WindowScores> windows;
   std::vector<std::uint64_t> cycle_digests;
+
+  ReliabilityStats reliability;
 };
 
 // Adapter exposing workload ground truth as a sim::Opinions source.

@@ -37,6 +37,8 @@ void CfAgent::on_message(sim::Context& ctx, const net::Message& message) {
     case net::MsgType::kNews:
       handle_news(ctx, message.news());
       break;
+    default:
+      break;  // reliability-layer control traffic; CF runs without it
   }
 }
 

@@ -16,9 +16,14 @@ const net::Descriptor* View::find(NodeId node) const {
 }
 
 const net::Descriptor* View::oldest() const {
+  // Ties broken by smaller node id: with bare timestamp comparison the
+  // winner depended on insertion order, which eviction (gossip/hygiene.hpp)
+  // would have turned into a determinism hazard.
   const auto it = std::min_element(entries_.begin(), entries_.end(),
                                    [](const net::Descriptor& a, const net::Descriptor& b) {
-                                     return a.timestamp < b.timestamp;
+                                     return a.timestamp != b.timestamp
+                                                ? a.timestamp < b.timestamp
+                                                : a.node < b.node;
                                    });
   return it == entries_.end() ? nullptr : &*it;
 }

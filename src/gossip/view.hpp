@@ -29,7 +29,8 @@ class View {
   bool contains(NodeId node) const;
   const net::Descriptor* find(NodeId node) const;
 
-  // Entry with the smallest timestamp; nullptr when empty.
+  // Entry with the smallest timestamp, ties broken by smaller node id
+  // (deterministic under any insertion order); nullptr when empty.
   const net::Descriptor* oldest() const;
 
   // Inserts, or refreshes in place if the node is present and the new

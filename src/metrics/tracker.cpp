@@ -36,7 +36,9 @@ Tracker::Tracker(std::size_t n_users, std::size_t n_items)
       reached_(n_items, HybridSet(n_users)),
       liked_(n_items, HybridSet(n_users)),
       hops_(n_items),
-      dislike_hist_(n_items) {}
+      dislike_hist_(n_items),
+      duplicates_(n_items, 0),
+      publish_cycle_(n_items, kNoCycle) {}
 
 std::size_t Tracker::set_memory_bytes() const {
   std::size_t total = 0;
@@ -54,6 +56,19 @@ void Tracker::on_delivery(NodeId user, ItemIdx item, int hops, bool via_dislike,
                           int dislike_count) {
   if (item >= reached_.size() || user >= n_users_) return;
   reached_[item].set(user);
+  ++total_deliveries_;
+  if (engine_ != nullptr && publish_cycle_[item] != kNoCycle) {
+    const Cycle now = engine_->now();
+    const Cycle latency = std::max<Cycle>(now - publish_cycle_[item], 0);
+    ++latency_hist_[std::min<std::size_t>(static_cast<std::size_t>(latency),
+                                          kMaxLatencyBin)];
+    latency_sum_ += static_cast<std::uint64_t>(latency);
+    ++latency_count_;
+    const auto cycle = static_cast<std::size_t>(std::max<Cycle>(now, 0));
+    if (latency_by_cycle_.size() <= cycle) latency_by_cycle_.resize(cycle + 1, {0, 0});
+    latency_by_cycle_[cycle].first += static_cast<std::uint64_t>(latency);
+    ++latency_by_cycle_[cycle].second;
+  }
   if (via_dislike) {
     bump(hops_[item].infect_dislike, hops);
   } else {
@@ -119,6 +134,16 @@ std::uint64_t Tracker::digest() const {
     for (const std::uint32_t d : dislike_hist_[item]) mix(d);
   }
   return h;
+}
+
+void Tracker::on_duplicate(NodeId user, ItemIdx item) {
+  if (item >= duplicates_.size() || user >= n_users_) return;
+  ++duplicates_[item];
+  ++total_duplicates_;
+}
+
+void Tracker::set_publish_cycle(ItemIdx item, Cycle cycle) {
+  if (item < publish_cycle_.size()) publish_cycle_[item] = cycle;
 }
 
 void Tracker::track_node(NodeId node) { tracked_[node]; }

@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/hybrid_set.hpp"
@@ -45,6 +46,7 @@ class Tracker : public sim::DisseminationObserver {
   void on_opinion(NodeId user, ItemIdx item, bool liked) override;
   void on_forward(NodeId user, ItemIdx item, int hops, bool liked,
                   std::size_t n_targets) override;
+  void on_duplicate(NodeId user, ItemIdx item) override;
 
   std::size_t num_items() const { return reached_.size(); }
   std::size_t num_users() const { return n_users_; }
@@ -73,6 +75,47 @@ class Tracker : public sim::DisseminationObserver {
   void track_node(NodeId node);
   const std::vector<std::uint32_t>& liked_series(NodeId node) const;
 
+  // ---- Reliability metrics (robustness experiments) ----
+  //
+  // Redundancy: repeat receipts of an already-seen item (multi-path BEEP
+  // copies, network duplicates, retransmissions) reported by agents via
+  // on_duplicate. The redundancy ratio is duplicates per unique delivery —
+  // the bandwidth price of the dissemination's natural (and, with the
+  // reliability layer, deliberate) re-sending.
+  std::uint32_t duplicates(ItemIdx item) const {
+    return item < duplicates_.size() ? duplicates_[item] : 0;
+  }
+  std::uint64_t total_duplicates() const { return total_duplicates_; }
+  std::uint64_t total_deliveries() const { return total_deliveries_; }
+  double redundancy_ratio() const {
+    return total_deliveries_ == 0
+               ? 0.0
+               : static_cast<double>(total_duplicates_) /
+                     static_cast<double>(total_deliveries_);
+  }
+
+  // Delivery latency: cycles from an item's publication to each unique
+  // delivery. The runner declares publication cycles (from its calendar);
+  // deliveries of undeclared items are not latency-scored.
+  void set_publish_cycle(ItemIdx item, Cycle cycle);
+  // Histogram clipped at kMaxLatencyBin (last bin = "that or slower").
+  static constexpr std::size_t kMaxLatencyBin = 63;
+  const std::array<std::uint64_t, kMaxLatencyBin + 1>& latency_histogram() const {
+    return latency_hist_;
+  }
+  double mean_latency() const {
+    return latency_count_ == 0 ? 0.0
+                               : static_cast<double>(latency_sum_) /
+                                     static_cast<double>(latency_count_);
+  }
+  std::uint64_t latency_count() const { return latency_count_; }
+  // Per-delivery-cycle latency accumulators (sum, count), indexed by the
+  // cycle the delivery happened in — lets the runner reduce per-window
+  // mean latency aligned with its recall windows.
+  const std::vector<std::pair<std::uint64_t, std::uint32_t>>& latency_by_cycle() const {
+    return latency_by_cycle_;
+  }
+
   // FNV-1a fingerprint of the full measurement state (reached/liked sets,
   // hop histograms, dislike histograms): equal states yield equal
   // digests. Sampled once per cycle, a digest series pins the whole
@@ -87,6 +130,18 @@ class Tracker : public sim::DisseminationObserver {
   std::vector<HybridSet> liked_;
   std::vector<HopCounts> hops_;
   std::vector<std::array<std::uint32_t, kMaxDislikeBin + 1>> dislike_hist_;
+
+  // Reliability metrics. Deliberately NOT folded into digest(): the digest
+  // pins the measurement trajectory the determinism suite compares, and
+  // its value semantics predate the reliability layer.
+  std::vector<std::uint32_t> duplicates_;
+  std::uint64_t total_duplicates_ = 0;
+  std::uint64_t total_deliveries_ = 0;
+  std::vector<Cycle> publish_cycle_;
+  std::array<std::uint64_t, kMaxLatencyBin + 1> latency_hist_{};
+  std::uint64_t latency_sum_ = 0;
+  std::uint64_t latency_count_ = 0;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> latency_by_cycle_;
 
   // Deliveries and opinions arrive as consecutive callbacks for the same
   // (user, item); remember the delivery context to label the opinion.

@@ -12,6 +12,12 @@ Protocol protocol_of(MsgType type) {
       return Protocol::kWup;
     case MsgType::kNews:
       return Protocol::kBeep;
+    case MsgType::kAck:
+      return Protocol::kCtrl;
+    // The rejoin handshake is view maintenance: it rebuilds the RPS view.
+    case MsgType::kRejoinRequest:
+    case MsgType::kRejoinReply:
+      return Protocol::kRps;
   }
   return Protocol::kBeep;
 }
@@ -23,6 +29,9 @@ std::string to_string(MsgType type) {
     case MsgType::kWupRequest: return "wup-request";
     case MsgType::kWupReply: return "wup-reply";
     case MsgType::kNews: return "news";
+    case MsgType::kAck: return "ack";
+    case MsgType::kRejoinRequest: return "rejoin-request";
+    case MsgType::kRejoinReply: return "rejoin-reply";
   }
   return "unknown";
 }
@@ -32,6 +41,7 @@ std::string to_string(Protocol protocol) {
     case Protocol::kRps: return "rps";
     case Protocol::kWup: return "wup";
     case Protocol::kBeep: return "beep";
+    case Protocol::kCtrl: return "ctrl";
   }
   return "unknown";
 }

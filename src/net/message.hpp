@@ -20,14 +20,22 @@ enum class MsgType : std::uint8_t {
   kWupRequest,
   kWupReply,
   kNews,
+  // Reliability layer (opt-in; see sim/reliability.hpp): per-copy news
+  // acknowledgment, and the rejoin handshake recovered nodes use to
+  // rebuild their views instead of resurrecting pre-crash state.
+  kAck,
+  kRejoinRequest,
+  kRejoinReply,
 };
 
 // Protocol family, used for traffic accounting (Fig. 8b splits bandwidth
-// into view maintenance = RPS+WUP vs news dissemination = BEEP).
-enum class Protocol : std::uint8_t { kRps, kWup, kBeep };
+// into view maintenance = RPS+WUP vs news dissemination = BEEP; kCtrl is
+// the reliability layer's control overhead — acks — reported separately so
+// the recall-vs-traffic tradeoff can be re-scored under faults).
+enum class Protocol : std::uint8_t { kRps, kWup, kBeep, kCtrl };
 // Number of Protocol enumerators; sizes every per-protocol counter array
 // (net::Traffic, sim::Shard) so they cannot drift from the enum.
-inline constexpr std::size_t kNumProtocols = 3;
+inline constexpr std::size_t kNumProtocols = 4;
 
 Protocol protocol_of(MsgType type);
 std::string to_string(MsgType type);
@@ -94,6 +102,15 @@ struct NewsPayload {
   bool via_dislike = false;  // last forward was performed by a disliker
 };
 
+// Payload of a reliability-layer acknowledgment: the receiver confirms one
+// news copy back to its immediate forwarder, which clears the matching
+// (item, target) entry from the sender's retransmission queue. `hop`
+// echoes the acknowledged copy's hop count (the dedup-log key).
+struct AckPayload {
+  ItemId item = 0;
+  int hop = 0;
+};
+
 struct Message {
   NodeId from = kNoNode;
   NodeId to = kNoNode;
@@ -105,10 +122,11 @@ struct Message {
   // position, never on this field — kept for diagnostics and asserted in
   // tests/test_shard.cpp.
   std::uint32_t seq = 0;
-  std::variant<ViewPayload, NewsPayload> payload;
+  std::variant<ViewPayload, NewsPayload, AckPayload> payload;
 
   const ViewPayload& view() const { return std::get<ViewPayload>(payload); }
   const NewsPayload& news() const { return std::get<NewsPayload>(payload); }
+  const AckPayload& ack() const { return std::get<AckPayload>(payload); }
 };
 
 }  // namespace whatsup::net

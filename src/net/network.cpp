@@ -31,6 +31,34 @@ NetworkConfig NetworkConfig::planetlab() {
   return config;
 }
 
+NetworkConfig NetworkConfig::modelnet_faults() {
+  NetworkConfig config = modelnet();
+  // A cluster occasionally sees short congestion spikes on a link: rare
+  // bad episodes, quick exits, mild in-episode loss.
+  config.burst.p_enter = 0.02;
+  config.burst.p_exit = 0.5;
+  config.burst.loss_bad = 0.3;
+  config.duplicate_rate = 0.01;
+  config.reorder_rate = 0.05;
+  return config;
+}
+
+NetworkConfig NetworkConfig::planetlab_faults() {
+  NetworkConfig config = planetlab();
+  // The congested testbed: part of the measured 28% loss is attributed to
+  // long bursty episodes rather than i.i.d. drops, plus duplicated and
+  // straggler datagrams and hosts that silently die and come back.
+  config.loss_rate = 0.12;
+  config.burst.p_enter = 0.06;
+  config.burst.p_exit = 0.25;
+  config.burst.loss_bad = 0.6;
+  config.duplicate_rate = 0.02;
+  config.reorder_rate = 0.1;
+  config.crash_rate = 0.001;
+  config.crash_recovery = 8;
+  return config;
+}
+
 std::string describe(const NetworkConfig& config) {
   std::ostringstream os;
   os << "loss=" << config.loss_rate << " latency=" << config.latency << "+U[0,"
@@ -39,6 +67,22 @@ std::string describe(const NetworkConfig& config) {
   if (config.partitioned()) {
     os << " partition@" << config.partition_nodes << "(xloss="
        << config.partition_cross_loss << ")";
+  }
+  if (config.burst.enabled()) {
+    os << " burst(p=" << config.burst.p_enter << "/" << config.burst.p_exit
+       << " loss=" << config.burst.loss_good << "/" << config.burst.loss_bad << ")";
+  }
+  if (config.duplicate_rate > 0.0) os << " dup=" << config.duplicate_rate;
+  if (config.reorder_rate > 0.0) {
+    os << " reorder=" << config.reorder_rate << "+U[1," << config.reorder_window << "]";
+  }
+  if (config.crash_rate > 0.0) {
+    os << " crash=" << config.crash_rate;
+    if (config.crash_recovery > 0) {
+      os << "(recover@" << config.crash_recovery << ")";
+    } else {
+      os << "(stop)";
+    }
   }
   return os.str();
 }

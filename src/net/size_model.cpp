@@ -12,7 +12,9 @@ std::size_t SizeModel::bytes(const Message& m) const {
     case MsgType::kRpsRequest:
     case MsgType::kRpsReply:
     case MsgType::kWupRequest:
-    case MsgType::kWupReply: {
+    case MsgType::kWupReply:
+    case MsgType::kRejoinRequest:
+    case MsgType::kRejoinReply: {
       const ViewPayload& view = m.view();
       size += descriptor_bytes(view.sender);
       for (const Descriptor& d : view.view) size += descriptor_bytes(d);
@@ -28,6 +30,9 @@ std::size_t SizeModel::bytes(const Message& m) const {
       size += item_profile_entry * news.item_profile.size();
       break;
     }
+    case MsgType::kAck:
+      size += ack_body;
+      break;
   }
   return size;
 }

@@ -18,6 +18,7 @@ struct SizeModel {
   std::size_t news_base = 240;           // title + short description + link
   std::size_t news_meta = 16;            // creation timestamp + dislike counter + origin
   std::size_t item_profile_entry = 20;   // item hash(8) + timestamp(4) + score(8)
+  std::size_t ack_body = 12;             // item hash(8) + hop(4)
 
   std::size_t descriptor_bytes(const Descriptor& d) const;
   std::size_t bytes(const Message& m) const;

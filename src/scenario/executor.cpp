@@ -120,6 +120,16 @@ void Executor::refresh_network() {
     config.partition_nodes = active_partitions_.back().boundary;
     config.partition_cross_loss = active_partitions_.back().cross_loss;
   }
+  if (!active_bursts_.empty()) config.burst = active_bursts_.back().model;
+  if (!active_degrades_.empty()) {
+    // Latency/jitter degrade ADDITIVELY over the baseline (the degraded
+    // path still pays its usual delay); dup/reorder override when set.
+    const ActiveDegrade& d = active_degrades_.back();
+    config.latency = baseline_.latency + d.latency;
+    config.jitter = baseline_.jitter + d.jitter;
+    if (d.dup > 0.0) config.duplicate_rate = d.dup;
+    if (d.reorder > 0.0) config.reorder_rate = d.reorder;
+  }
   engine_->set_network(config);
 }
 
@@ -137,6 +147,8 @@ void Executor::begin_cycle(Cycle cycle) {
   };
   expire(active_losses_);
   expire(active_partitions_);
+  expire(active_bursts_);
+  expire(active_degrades_);
   if (changed) refresh_network();
   // 2. Due events in canonical (cycle, seq) order, each with its own
   // counter-based substream.
@@ -224,6 +236,27 @@ void Executor::apply(const Event& event, Rng& rng) {
               raw, 1, static_cast<long long>(honest_n_ > 1 ? honest_n_ - 1 : 1)));
           active_partitions_.push_back(ActivePartition{boundary, a.cross_loss, a.until});
           refresh_network();
+        } else if constexpr (std::is_same_v<T, BurstLoss>) {
+          net::BurstLossModel model;
+          model.p_enter = a.p_enter;
+          model.p_exit = a.p_exit;
+          model.loss_bad = a.loss;
+          active_bursts_.push_back(ActiveBurst{model, a.until});
+          refresh_network();
+        } else if constexpr (std::is_same_v<T, LinkDegrade>) {
+          active_degrades_.push_back(
+              ActiveDegrade{a.latency, a.jitter, a.dup, a.reorder, a.until});
+          refresh_network();
+        } else if constexpr (std::is_same_v<T, CrashRecovery>) {
+          std::vector<NodeId> pool;
+          for (const NodeId id : engine_->active_ids()) {
+            if (id < honest_n_) pool.push_back(id);
+          }
+          const Cycle recover_at =
+              a.down_for > 0 ? event.cycle + a.down_for : kNoCycle;
+          for (const NodeId id : pick(rng, pool, a.count)) {
+            engine_->crash(id, recover_at);
+          }
         } else if constexpr (std::is_same_v<T, Spammers> ||
                              std::is_same_v<T, FreeRiders>) {
           if (const auto it = adversaries_by_event_.find(event.seq);

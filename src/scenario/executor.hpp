@@ -100,8 +100,21 @@ class Executor {
     double cross_loss;
     Cycle until;
   };
+  struct ActiveBurst {
+    net::BurstLossModel model;
+    Cycle until;
+  };
+  struct ActiveDegrade {
+    Cycle latency;
+    Cycle jitter;
+    double dup;
+    double reorder;
+    Cycle until;
+  };
   std::vector<ActiveLoss> active_losses_;
   std::vector<ActivePartition> active_partitions_;
+  std::vector<ActiveBurst> active_bursts_;
+  std::vector<ActiveDegrade> active_degrades_;
 
   std::size_t next_event_ = 0;
   struct RunningChurn {

@@ -77,6 +77,12 @@ Cycle Timeline::horizon() const {
       last = std::max(last, loss->until + 1);
     } else if (const auto* part = std::get_if<Partition>(&event.action)) {
       last = std::max(last, part->until + 1);
+    } else if (const auto* burst = std::get_if<BurstLoss>(&event.action)) {
+      last = std::max(last, burst->until + 1);
+    } else if (const auto* degrade = std::get_if<LinkDegrade>(&event.action)) {
+      last = std::max(last, degrade->until + 1);
+    } else if (const auto* crash = std::get_if<CrashRecovery>(&event.action)) {
+      last = std::max(last, event.cycle + crash->down_for + 1);
     }
   }
   return last;
@@ -139,6 +145,12 @@ std::vector<metrics::Window> Timeline::windows(Cycle total_cycles) const {
       add(part->until, "");
     } else if (const auto* churn = std::get_if<ChurnProcess>(&event.action)) {
       add(churn->until + 1, "");
+    } else if (const auto* burst = std::get_if<BurstLoss>(&event.action)) {
+      add(burst->until, "");
+    } else if (const auto* degrade = std::get_if<LinkDegrade>(&event.action)) {
+      add(degrade->until, "");
+    } else if (const auto* crash = std::get_if<CrashRecovery>(&event.action)) {
+      if (crash->down_for > 0) add(event.cycle + crash->down_for, "");
     }
   }
   std::vector<metrics::Window> out;
@@ -170,6 +182,9 @@ std::string verb(const Action& action) {
         if constexpr (std::is_same_v<T, JoinClone>) return "join-clone";
         if constexpr (std::is_same_v<T, LossBurst>) return "loss";
         if constexpr (std::is_same_v<T, Partition>) return "partition";
+        if constexpr (std::is_same_v<T, BurstLoss>) return "burst";
+        if constexpr (std::is_same_v<T, LinkDegrade>) return "degrade";
+        if constexpr (std::is_same_v<T, CrashRecovery>) return "crash";
         if constexpr (std::is_same_v<T, Spammers>) return "spammers";
         if constexpr (std::is_same_v<T, FreeRiders>) return "freeriders";
       },
@@ -203,6 +218,19 @@ std::string to_spec_line(const Event& event) {
           os << ' ' << format_double(a.fraction);
           if (a.cross_loss != 1.0) os << " xloss " << format_double(a.cross_loss);
           os << " until " << a.until;
+        } else if constexpr (std::is_same_v<T, BurstLoss>) {
+          os << ' ' << format_double(a.p_enter) << ' ' << format_double(a.p_exit) << ' '
+             << format_double(a.loss) << " until " << a.until;
+        } else if constexpr (std::is_same_v<T, LinkDegrade>) {
+          // Canonical clause order; zero-valued clauses are omitted.
+          if (a.latency != 0) os << " latency " << a.latency;
+          if (a.jitter != 0) os << " jitter " << a.jitter;
+          if (a.dup != 0.0) os << " dup " << format_double(a.dup);
+          if (a.reorder != 0.0) os << " reorder " << format_double(a.reorder);
+          os << " until " << a.until;
+        } else if constexpr (std::is_same_v<T, CrashRecovery>) {
+          os << ' ' << a.count;
+          if (a.down_for > 0) os << " for " << a.down_for;
         } else if constexpr (std::is_same_v<T, Spammers>) {
           os << ' ' << a.count << " items " << a.items << " fanout " << a.fanout;
         } else if constexpr (std::is_same_v<T, FreeRiders>) {
@@ -362,6 +390,64 @@ Action parse_action(Line& line, const std::string& verb) {
     part.until = line.cycle();
     return part;
   }
+  if (verb == "burst") {
+    BurstLoss burst;
+    burst.p_enter = line.real();
+    burst.p_exit = line.real();
+    burst.loss = line.real();
+    if (burst.p_enter <= 0.0 || burst.p_enter > 1.0) {
+      line.fail("burst p_enter must be in (0, 1]");
+    }
+    if (burst.p_exit <= 0.0 || burst.p_exit > 1.0) {
+      line.fail("burst p_exit must be in (0, 1]");
+    }
+    if (burst.loss <= 0.0 || burst.loss > 1.0) line.fail("burst loss must be in (0, 1]");
+    line.expect("until");
+    burst.until = line.cycle();
+    return burst;
+  }
+  if (verb == "degrade") {
+    LinkDegrade degrade;
+    bool any = false;
+    if (line.accept("latency")) {
+      degrade.latency = line.cycle();
+      if (degrade.latency < 0) line.fail("degrade latency must be non-negative");
+      any = true;
+    }
+    if (line.accept("jitter")) {
+      degrade.jitter = line.cycle();
+      if (degrade.jitter < 0) line.fail("degrade jitter must be non-negative");
+      any = true;
+    }
+    if (line.accept("dup")) {
+      degrade.dup = line.real();
+      if (degrade.dup < 0.0 || degrade.dup > 1.0) {
+        line.fail("degrade dup must be in [0, 1]");
+      }
+      any = true;
+    }
+    if (line.accept("reorder")) {
+      degrade.reorder = line.real();
+      if (degrade.reorder < 0.0 || degrade.reorder > 1.0) {
+        line.fail("degrade reorder must be in [0, 1]");
+      }
+      any = true;
+    }
+    if (!any) line.fail("degrade needs at least one of latency/jitter/dup/reorder");
+    line.expect("until");
+    degrade.until = line.cycle();
+    return degrade;
+  }
+  if (verb == "crash") {
+    CrashRecovery crash;
+    crash.count = line.count();
+    if (crash.count == 0) line.fail("crash count must be positive");
+    if (line.accept("for")) {
+      crash.down_for = line.cycle();
+      if (crash.down_for <= 0) line.fail("crash 'for' must be positive");
+    }
+    return crash;
+  }
   if (verb == "spammers") {
     Spammers spam;
     spam.count = line.count();
@@ -413,6 +499,14 @@ Timeline parse(std::string_view text) {
     if (const auto* part = std::get_if<Partition>(&action);
         part != nullptr && part->until <= cycle) {
       line.fail("partition 'until' must follow the event cycle");
+    }
+    if (const auto* burst = std::get_if<BurstLoss>(&action);
+        burst != nullptr && burst->until <= cycle) {
+      line.fail("burst 'until' must follow the event cycle");
+    }
+    if (const auto* degrade = std::get_if<LinkDegrade>(&action);
+        degrade != nullptr && degrade->until <= cycle) {
+      line.fail("degrade 'until' must follow the event cycle");
     }
     timeline.at(cycle, std::move(action));
   }

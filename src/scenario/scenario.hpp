@@ -139,6 +139,41 @@ struct Partition {
   friend bool operator==(const Partition&, const Partition&) = default;
 };
 
+// Network episode: Gilbert–Elliott bursty loss for cycles [cycle, until).
+// Per-directed-link chains enter the bad state with probability `p_enter`
+// per cycle, leave with `p_exit`, and drop messages with probability
+// `loss` while bad (net::BurstLossModel). Restored at `until`.
+struct BurstLoss {
+  double p_enter = 0.05;
+  double p_exit = 0.3;
+  double loss = 0.5;
+  Cycle until = 0;
+  friend bool operator==(const BurstLoss&, const BurstLoss&) = default;
+};
+
+// Network episode: degraded link quality for cycles [cycle, until).
+// `latency` and `jitter` ADD to the baseline network's values; `dup` and
+// `reorder` OVERRIDE the baseline duplication/reorder probabilities when
+// non-zero. Restored at `until`.
+struct LinkDegrade {
+  Cycle latency = 0;
+  Cycle jitter = 0;
+  double dup = 0.0;
+  double reorder = 0.0;
+  Cycle until = 0;
+  friend bool operator==(const LinkDegrade&, const LinkDegrade&) = default;
+};
+
+// `count` uniformly chosen active honest nodes crash at the event cycle:
+// soft state is lost and in-flight messages to them are dropped. With
+// `down_for` > 0 each victim recovers (Agent::on_recover — rejoin
+// handshake) after that many cycles; 0 = crash-stop.
+struct CrashRecovery {
+  std::uint32_t count = 1;
+  Cycle down_for = 0;
+  friend bool operator==(const CrashRecovery&, const CrashRecovery&) = default;
+};
+
 // `count` spammer nodes activate at the event cycle. Each spammer injects
 // `items` spam items (appended to the workload, liked by nobody), one per
 // cycle, and keeps re-pushing them to `fanout` uniformly chosen active
@@ -159,7 +194,8 @@ struct FreeRiders {
 
 using Action = std::variant<LeaveWave, JoinWave, SetRange, ChurnProcess, FlashCrowd,
                             InterestDrift, InterestSwap, SwapPair, JoinClone, LossBurst,
-                            Partition, Spammers, FreeRiders>;
+                            Partition, BurstLoss, LinkDegrade, CrashRecovery, Spammers,
+                            FreeRiders>;
 
 // One scheduled event. `seq` is the canonical tie-break within a cycle:
 // events inserted (or written in the spec) earlier apply earlier.
@@ -236,6 +272,9 @@ class Timeline {
 //   at <cycle> join-clone <node> <user>
 //   at <cycle> loss <rate> until <cycle>
 //   at <cycle> partition <fraction> [xloss <rate>] until <cycle>
+//   at <cycle> burst <p_enter> <p_exit> <loss> until <cycle>
+//   at <cycle> degrade [latency <c>] [jitter <c>] [dup <p>] [reorder <p>] until <cycle>
+//   at <cycle> crash <count> [for <cycles>]
 //   at <cycle> spammers <count> items <n> fanout <f>
 //   at <cycle> freeriders <count>
 

@@ -15,10 +15,29 @@ namespace {
 constexpr std::uint64_t kEngineStreamTag = 0x656e67696e65ULL;  // "engine"
 constexpr std::uint64_t kNodeStreamTag = 0x6e6f646573ULL;      // "nodes"
 
+// Tag deriving the fault layer's stream space (burst chains, random
+// crashes) from the root seed — disjoint from the engine and node spaces.
+constexpr std::uint64_t kFaultStreamTag = 0x6661756c7473ULL;  // "faults"
+
 // Substream of a node's stream space reserved for the BOOTSTRAP phase.
 // Per-cycle streams use the cycle number as the substream; cycles are
 // small non-negative values, so this can never collide.
 constexpr std::uint64_t kBootstrapSubstream = 0xb007'5742'0000'0000ULL;
+
+// Substream of a node's stream space reserved for the reliability layer
+// (retransmission backoff jitter), OR-ed with the cycle number. Disjoint
+// from both the per-cycle streams and the bootstrap substream.
+constexpr std::uint64_t kReliabilitySubstream = 0x7e11'ab1e'0000'0000ULL;
+
+// Substream of the fault stream space for per-cycle random crash draws.
+// Burst chains use (link key, cycle) forks; their substream is always a
+// small cycle number, so this can never collide.
+constexpr std::uint64_t kCrashSubstream = 0xc4a5'4f4f'0000'0000ULL;
+
+std::uint64_t as_substream(Cycle cycle) {
+  return static_cast<std::uint64_t>(
+      static_cast<std::uint32_t>(static_cast<std::int64_t>(cycle)));
+}
 
 }  // namespace
 
@@ -35,6 +54,8 @@ DisseminationObserver* Context::observer() {
 NodeId Context::random_active_peer(NodeId excluding) {
   return engine_.draw_active_excluding(rng(), self_, excluding);
 }
+
+Rng Context::reliability_rng() { return engine_.reliability_rng(self_); }
 
 void Context::send(NodeId to, net::MsgType type, net::ViewPayload payload) {
   net::Message m;
@@ -53,6 +74,16 @@ void Context::send(NodeId to, net::MsgType type, net::NewsPayload payload) {
   m.type = type;
   m.sent_at = engine_.now();
   m.payload = std::move(payload);
+  send(std::move(m));
+}
+
+void Context::send(NodeId to, net::MsgType type, net::AckPayload payload) {
+  net::Message m;
+  m.from = self_;
+  m.to = to;
+  m.type = type;
+  m.sent_at = engine_.now();
+  m.payload = payload;
   send(std::move(m));
 }
 
@@ -78,6 +109,7 @@ Engine::Engine(Config config) : config_(config) {
   Rng root(config_.seed);
   rng_ = root.fork(kEngineStreamTag);
   stream_root_ = root.fork(kNodeStreamTag);
+  fault_root_ = root.fork(kFaultStreamTag);
   threads_ = config_.threads != 0
                  ? config_.threads
                  : std::max(1u, std::thread::hardware_concurrency());
@@ -89,6 +121,7 @@ Engine::~Engine() = default;
 NodeId Engine::add_agent(std::unique_ptr<Agent> agent) {
   agents_.push_back(std::move(agent));
   active_.push_back(true);
+  crashed_.push_back(false);
   const auto id = static_cast<NodeId>(agents_.size() - 1);
   ++num_active_;
   active_ids_.push_back(id);  // registration order is ascending
@@ -111,6 +144,7 @@ void Engine::bootstrap(std::size_t count, const AgentFactory& factory) {
   // only fills pre-sized slots, never grows containers.
   agents_.resize(n1);
   active_.resize(n1, true);
+  crashed_.resize(n1, false);
   node_rng_.resize(n1);
   node_rng_cycle_.resize(n1, kNoCycle);
   active_ids_.reserve(n1);
@@ -151,6 +185,9 @@ void Engine::parallel_for(std::size_t n, const std::function<void(std::size_t)>&
 void Engine::set_active(NodeId id, bool active) {
   assert(!in_phase_.load(std::memory_order_relaxed) &&
          "set_active must not be called from agent code");
+  // Churn machinery reactivating a crashed node clears the crash flag
+  // without the recovery hook (documented crash-oblivious reactivation).
+  if (active && id < crashed_.size()) crashed_[id] = false;
   if (active_.at(id) == active) return;
   active_[id] = active;
   // Activity flips are rare (churn events), so the ordered-insert cost is
@@ -194,6 +231,53 @@ NodeId Engine::draw_active_excluding(Rng& rng, NodeId a, NodeId b) const {
 
 NodeId Engine::random_active(NodeId excluding) { return draw_active(rng_, excluding); }
 
+void Engine::crash(NodeId id, Cycle recover_at) {
+  assert(!in_phase_.load(std::memory_order_relaxed) &&
+         "crash is a between-cycles, main-thread operation");
+  if (id >= agents_.size() || crashed_.at(id)) return;
+  if (active_.at(id)) set_active(id, false);
+  crashed_[id] = true;  // after set_active (which clears the flag on activate)
+  if (recover_at != kNoCycle) recoveries_.emplace_back(recover_at, id);
+}
+
+void Engine::recover(NodeId id) {
+  assert(!in_phase_.load(std::memory_order_relaxed) &&
+         "recover is a between-cycles, main-thread operation");
+  if (id >= agents_.size() || !crashed_.at(id)) return;
+  set_active(id, true);  // clears crashed_
+  Context ctx(*this, id);  // main-thread: rejoin sends commit directly
+  agents_[id]->on_recover(ctx);
+}
+
+void Engine::process_recoveries() {
+  // Collect due entries and apply them in ascending node order — a
+  // canonical order independent of how the crashes were scheduled.
+  std::vector<NodeId> due;
+  std::erase_if(recoveries_, [&](const std::pair<Cycle, NodeId>& r) {
+    if (r.first > now_) return false;
+    due.push_back(r.second);
+    return true;
+  });
+  if (due.empty()) return;
+  std::sort(due.begin(), due.end());
+  for (const NodeId id : due) recover(id);
+}
+
+void Engine::apply_random_crashes() {
+  const double p = config_.network.crash_rate;
+  // One counter-based stream per cycle; active nodes draw in ascending id
+  // order, so the victim set is a pure function of (seed, cycle, active set).
+  Rng rng = fault_root_.fork(as_substream(now_), kCrashSubstream);
+  std::vector<NodeId> victims;
+  for (const NodeId id : active_ids_) {
+    if (rng.bernoulli(p)) victims.push_back(id);
+  }
+  const Cycle delay = config_.network.crash_recovery;
+  for (const NodeId id : victims) {
+    crash(id, delay > 0 ? now_ + delay : kNoCycle);
+  }
+}
+
 Rng& Engine::node_rng(NodeId id) {
   // Per-cycle reseed discipline: the stream is a pure function of
   // (seed, node id, cycle), so a node's draws are independent of how much
@@ -206,13 +290,45 @@ Rng& Engine::node_rng(NodeId id) {
   return node_rng_[id];
 }
 
+Rng Engine::reliability_rng(NodeId id) const {
+  return stream_root_.fork(id, kReliabilitySubstream | as_substream(now_));
+}
+
 void Engine::set_network(const net::NetworkConfig& network) {
   config_.network = network;
+  // Chains restart in the good state when a later episode re-enables
+  // bursty loss (also reclaims the map between episodes).
+  if (!config_.network.burst.enabled()) link_state_.clear();
   if (!shards_.empty()) ensure_shards();  // grow mailbox rings if needed
 }
 
 std::size_t Engine::window() const {
-  return static_cast<std::size_t>(config_.network.latency + config_.network.jitter) + 2;
+  // Reordered messages take up to reorder_window extra cycles; the ring
+  // must cover the worst-case due offset or late messages would alias
+  // into earlier buckets.
+  const Cycle reorder =
+      config_.network.reorder_rate > 0.0
+          ? std::max<Cycle>(config_.network.reorder_window, 1)
+          : 0;
+  return static_cast<std::size_t>(config_.network.latency + config_.network.jitter +
+                                  reorder) +
+         2;
+}
+
+bool Engine::link_bad(NodeId from, NodeId to) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+  const auto [it, fresh] = link_state_.try_emplace(key, LinkState{now_, false});
+  LinkState& state = it->second;
+  // Lazy advance: one counter-based bernoulli per elapsed cycle, keyed
+  // (link, cycle) — the chain is a pure function of the seed and the
+  // link's first-use cycle, never of how many messages crossed it.
+  const net::BurstLossModel& burst = config_.network.burst;
+  while (state.cycle < now_) {
+    ++state.cycle;
+    Rng step = fault_root_.fork(key, as_substream(state.cycle));
+    state.bad = state.bad ? !step.bernoulli(burst.p_exit) : step.bernoulli(burst.p_enter);
+  }
+  return state.bad;
 }
 
 Shard& Engine::shard_for(NodeId node) {
@@ -277,11 +393,43 @@ void Engine::send(net::Message message) {
       return;
     }
   }
-  Cycle delay = config_.network.latency;
-  if (config_.network.jitter > 0) {
-    delay += static_cast<Cycle>(rng_.uniform_int(0, config_.network.jitter));
+  // Gilbert–Elliott bursty loss: the link's chain state picks the drop
+  // probability. Checked only while the burst model is enabled, so the
+  // engine stream's draw sequence — and every baseline trajectory — is
+  // untouched otherwise (same contract as the partition gate above).
+  if (config_.network.burst.enabled()) {
+    const bool bad = link_bad(message.from, message.to);
+    const double p = bad ? config_.network.burst.loss_bad : config_.network.burst.loss_good;
+    if (p > 0.0 && rng_.bernoulli(p)) {
+      drop(std::move(message));
+      return;
+    }
   }
-  delay = std::max<Cycle>(delay, 1);
+  const auto draw_delay = [&] {
+    Cycle delay = config_.network.latency;
+    if (config_.network.jitter > 0) {
+      delay += static_cast<Cycle>(rng_.uniform_int(0, config_.network.jitter));
+    }
+    return std::max<Cycle>(delay, 1);
+  };
+  Cycle delay = draw_delay();
+  // Reordering: a detoured message takes 1..reorder_window extra cycles,
+  // letting later sends overtake it.
+  if (config_.network.reorder_rate > 0.0 &&
+      rng_.bernoulli(config_.network.reorder_rate)) {
+    delay += static_cast<Cycle>(
+        rng_.uniform_int(1, std::max<Cycle>(config_.network.reorder_window, 1)));
+  }
+  // Duplication: the copy takes its own latency draw, so it may land
+  // before or after the original. Receivers are responsible for idempotent
+  // handling (SIR seen-state; the reliability layer's dedup log).
+  if (config_.network.duplicate_rate > 0.0 &&
+      rng_.bernoulli(config_.network.duplicate_rate)) {
+    net::Message copy = message;
+    traffic_.record_sent(protocol, config_.size_model.bytes(copy));
+    const Cycle copy_due = now_ + draw_delay();
+    shard_for(copy.to).bucket(copy_due).push_back(PendingMessage{copy_due, std::move(copy)});
+  }
   const Cycle due = now_ + delay;
   shard_for(message.to).bucket(due).push_back(PendingMessage{due, std::move(message)});
 }
@@ -407,6 +555,11 @@ void Engine::commit_phase() {
 }
 
 void Engine::run_cycle() {
+  // Fault-layer passes (no-ops when the knobs are off): scheduled
+  // recoveries first, so a node due back this cycle is exposed to this
+  // cycle's crash draws like any other active node.
+  if (!recoveries_.empty()) process_recoveries();
+  if (config_.network.crash_rate > 0.0) apply_random_crashes();
   ensure_shards();
   run_phase([this](Shard& shard) { deliver_shard(shard); });
   commit_phase();

@@ -34,6 +34,8 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -79,8 +81,15 @@ class Context {
   // frozen during a cycle).
   NodeId random_active_peer(NodeId excluding = kNoNode);
 
+  // This node's reserved reliability substream for the current cycle (a
+  // pure function of seed, node id and cycle, disjoint from the per-cycle
+  // protocol streams): retransmission backoff jitter draws from it so the
+  // reliability layer never perturbs protocol randomness.
+  Rng reliability_rng();
+
   void send(NodeId to, net::MsgType type, net::ViewPayload payload);
   void send(NodeId to, net::MsgType type, net::NewsPayload payload);
+  void send(NodeId to, net::MsgType type, net::AckPayload payload);
 
   // An empty descriptor vector for building a ViewPayload, drawn from this
   // shard's free-list pool when possible (capacity recycled from earlier
@@ -108,6 +117,10 @@ class Agent {
   virtual void on_message(Context& ctx, const net::Message& message) = 0;
   // Called when this node is the source of a new item (BEEP generate).
   virtual void publish(Context& ctx, ItemIdx index, ItemId id) = 0;
+  // Called when this node comes back from a crash (Engine::recover): the
+  // place to drop stale soft state and run a rejoin handshake. Default:
+  // resume with whatever state the agent held (crash-oblivious protocols).
+  virtual void on_recover(Context& ctx) { (void)ctx; }
 };
 
 class Engine : public ParallelExecutor {
@@ -165,6 +178,17 @@ class Engine : public ParallelExecutor {
   // between cycles (main thread), never from agent code.
   void set_active(NodeId id, bool active);
   bool is_active(NodeId id) const { return active_.at(id); }
+  // Crash-stop / crash-recovery node faults. crash() deactivates the node
+  // and marks it crashed; in-flight messages to it are lost, and a
+  // `recover_at` cycle (kNoCycle = crash-stop) schedules recover(), which
+  // reactivates the node and invokes Agent::on_recover so the agent can
+  // rebuild soft state via a rejoin instead of resurrecting it. Both are
+  // between-cycles, main-thread operations. A set_active(id, true) from
+  // churn machinery clears the crashed flag WITHOUT the recovery hook
+  // (crash-oblivious reactivation); any pending recovery becomes a no-op.
+  void crash(NodeId id, Cycle recover_at = kNoCycle);
+  void recover(NodeId id);
+  bool is_crashed(NodeId id) const { return id < crashed_.size() && crashed_[id]; }
   // O(1): maintained incrementally by add_agent/set_active.
   std::size_t num_active() const { return num_active_; }
   // Ascending ids of the currently active nodes (maintained incrementally).
@@ -178,6 +202,9 @@ class Engine : public ParallelExecutor {
   Cycle now() const { return now_; }
   // Engine-level stream for global decisions (loss, latency, schedules).
   Rng& rng() { return rng_; }
+  // Reserved per-node reliability substream for the current cycle (see
+  // Context::reliability_rng).
+  Rng reliability_rng(NodeId id) const;
   // The per-node stream for the current cycle (lazily reseeded).
   Rng& node_rng(NodeId id);
   net::Traffic& traffic() { return traffic_; }
@@ -227,11 +254,25 @@ class Engine : public ParallelExecutor {
   Config config_;
   Rng rng_;          // engine-level stream (global decisions)
   Rng stream_root_;  // pristine root for counter-based forks; never drawn
+  Rng fault_root_;   // pristine root for the fault layer's counter forks
   Cycle now_ = 0;
   std::vector<std::unique_ptr<Agent>> agents_;
   std::vector<bool> active_;
   std::size_t num_active_ = 0;
   std::vector<NodeId> active_ids_;  // ascending; mirrors active_
+  std::vector<bool> crashed_;       // crash-fault flag, distinct from churn
+  std::vector<std::pair<Cycle, NodeId>> recoveries_;  // scheduled recover()s
+
+  // Gilbert–Elliott per-link chain states, keyed (from << 32) | to and
+  // created lazily at a link's first use while bursty loss is enabled.
+  // Advancing a chain draws one counter-based bernoulli per elapsed cycle
+  // from fault_root_.fork(link, cycle), so the state sequence is a pure
+  // function of the seed — independent of traffic volume and thread count.
+  struct LinkState {
+    Cycle cycle = 0;
+    bool bad = false;
+  };
+  std::unordered_map<std::uint64_t, LinkState> link_state_;
 
   // Per-node per-cycle streams, reseeded lazily on first use in a cycle.
   std::vector<Rng> node_rng_;
@@ -248,6 +289,12 @@ class Engine : public ParallelExecutor {
   std::vector<CycleHook> hooks_;
 
   std::size_t window() const;
+  // Advances the (from, to) burst chain to the current cycle and returns
+  // whether the link is in the bad state.
+  bool link_bad(NodeId from, NodeId to);
+  // Per-cycle fault-layer passes (run_cycle start; no-ops when disabled).
+  void process_recoveries();
+  void apply_random_crashes();
   std::size_t shard_index(NodeId node) const { return node / shard_nodes_; }
   Shard& shard_for(NodeId node);
   // Sizes the shard vector and mailbox rings for the current node count

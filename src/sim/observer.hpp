@@ -28,11 +28,19 @@ class DisseminationObserver {
   // `n_targets` copies, `hops` hops away from the source.
   virtual void on_forward(NodeId user, ItemIdx item, int hops, bool liked,
                           std::size_t n_targets) = 0;
+  // A redundant receipt: `user` received a copy of an item it had already
+  // seen (multi-path BEEP copies, network-level duplicates, reliability
+  // retransmissions). Feeds the redundancy-ratio metric; default no-op so
+  // existing observers are unaffected.
+  virtual void on_duplicate(NodeId user, ItemIdx item) {
+    (void)user;
+    (void)item;
+  }
 };
 
 // One recorded observer callback.
 struct ObserverEvent {
-  enum class Kind : std::uint8_t { kDelivery, kOpinion, kForward };
+  enum class Kind : std::uint8_t { kDelivery, kOpinion, kForward, kDuplicate };
   Kind kind = Kind::kDelivery;
   NodeId user = kNoNode;
   ItemIdx item = kNoItem;
@@ -60,6 +68,9 @@ class BufferedObserver final : public DisseminationObserver {
     events_.push_back(
         {ObserverEvent::Kind::kForward, user, item, hops, liked, 0, n_targets});
   }
+  void on_duplicate(NodeId user, ItemIdx item) override {
+    events_.push_back({ObserverEvent::Kind::kDuplicate, user, item, 0, false, 0, 0});
+  }
 
   bool empty() const { return events_.empty(); }
   void clear() { events_.clear(); }
@@ -76,6 +87,9 @@ class BufferedObserver final : public DisseminationObserver {
           break;
         case ObserverEvent::Kind::kForward:
           target.on_forward(e.user, e.item, e.hops, e.flag, e.n_targets);
+          break;
+        case ObserverEvent::Kind::kDuplicate:
+          target.on_duplicate(e.user, e.item);
           break;
       }
     }

@@ -1,0 +1,114 @@
+#include "sim/reliability.hpp"
+
+#include <algorithm>
+
+namespace whatsup::sim {
+
+// ---- DedupLog -------------------------------------------------------------
+
+DedupLog::DedupLog(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+std::uint64_t DedupLog::key(ItemId item, int hop) {
+  // Item ids are 8-byte hashes already; mixing the hop in with a golden-
+  // ratio multiple keeps distinct (item, hop) pairs from colliding in
+  // practice.
+  return item ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(hop)) *
+                 0x9e3779b97f4a7c15ULL);
+}
+
+bool DedupLog::seen_or_insert(ItemId item, int hop) {
+  const std::uint64_t k = key(item, hop);
+  if (set_.count(k) != 0) return true;
+  if (order_.size() >= capacity_) {
+    set_.erase(order_.front());
+    order_.pop_front();
+  }
+  set_.insert(k);
+  order_.push_back(k);
+  return false;
+}
+
+void DedupLog::clear() {
+  set_.clear();
+  order_.clear();
+}
+
+// ---- RetransmitQueue ------------------------------------------------------
+
+RetransmitQueue::RetransmitQueue(ReliabilityConfig config) : config_(config) {
+  config_.ack_timeout = std::max<Cycle>(config_.ack_timeout, 1);
+  config_.max_timeout = std::max<Cycle>(config_.max_timeout, config_.ack_timeout);
+  config_.backoff = std::max(config_.backoff, 1.0);
+}
+
+void RetransmitQueue::track(Cycle now, NodeId to, const net::NewsPayload& news) {
+  ++stats_.tracked;
+  // A re-track of a still-pending (item, target) pair re-arms the entry
+  // (cannot happen through BEEP — SIR forwards each item once — but keeps
+  // the structure safe for direct use).
+  for (Entry& entry : entries_) {
+    if (entry.to == to && entry.item == news.id) {
+      entry.news = news;
+      entry.timeout = config_.ack_timeout;
+      entry.due = now + entry.timeout;
+      entry.retries_left = config_.max_retries;
+      return;
+    }
+  }
+  if (config_.queue_limit > 0 && entries_.size() >= config_.queue_limit) {
+    entries_.erase(entries_.begin());  // oldest first
+    ++stats_.overflowed;
+  }
+  Entry entry;
+  entry.to = to;
+  entry.item = news.id;
+  entry.news = news;
+  entry.timeout = config_.ack_timeout;
+  entry.due = now + entry.timeout;
+  entry.retries_left = config_.max_retries;
+  entries_.push_back(std::move(entry));
+}
+
+bool RetransmitQueue::ack(NodeId from, ItemId item) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const Entry& e) { return e.to == from && e.item == item; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  ++stats_.acked;
+  return true;
+}
+
+std::size_t RetransmitQueue::drop_target(NodeId to) {
+  return std::erase_if(entries_, [to](const Entry& e) { return e.to == to; });
+}
+
+std::vector<RetransmitQueue::Due> RetransmitQueue::collect_due(
+    Cycle now, Rng& rng, std::vector<NodeId>* expired_targets) {
+  std::vector<Due> due;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->due > now) {
+      ++it;
+      continue;
+    }
+    if (it->retries_left <= 0) {
+      ++stats_.expired;
+      if (expired_targets != nullptr) expired_targets->push_back(it->to);
+      it = entries_.erase(it);
+      continue;
+    }
+    --it->retries_left;
+    ++stats_.retransmits;
+    due.push_back(Due{it->to, it->news});
+    // Exponential backoff with a ±0/+1 cycle desynchronisation jitter from
+    // the reserved reliability substream.
+    const double backed = static_cast<double>(it->timeout) * config_.backoff;
+    it->timeout = std::min<Cycle>(static_cast<Cycle>(backed), config_.max_timeout);
+    it->due = now + it->timeout + static_cast<Cycle>(rng.index(2));
+    ++it;
+  }
+  return due;
+}
+
+void RetransmitQueue::clear() { entries_.clear(); }
+
+}  // namespace whatsup::sim

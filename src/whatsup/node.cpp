@@ -13,7 +13,10 @@ WhatsUpAgent::WhatsUpAgent(NodeId self, WhatsUpConfig config, const sim::Opinion
       rps_(self, static_cast<std::size_t>(config.params.rps_view_size),
            config.params.rps_period),
       wup_(self, static_cast<std::size_t>(config.params.effective_wup_view_size()),
-           config.metric, config.params.wup_period) {}
+           config.metric, config.params.wup_period),
+      retx_(config.reliability),
+      dedup_(config.reliability.dedup_capacity),
+      hygiene_(config.hygiene) {}
 
 void WhatsUpAgent::bootstrap_rps(std::vector<net::Descriptor> seed) {
   rps_.bootstrap(std::move(seed));
@@ -27,9 +30,32 @@ const Profile& WhatsUpAgent::disclosed(Cycle now) {
   return obfuscation_cache_.get(profile_, config_.obfuscation, self_, now);
 }
 
+void WhatsUpAgent::pump_retransmissions(sim::Context& ctx) {
+  if (retx_.pending() == 0) return;
+  Rng rel = ctx.reliability_rng();
+  std::vector<NodeId> expired;
+  for (sim::RetransmitQueue::Due& due : retx_.collect_due(ctx.now(), rel, &expired)) {
+    ctx.send(due.to, net::MsgType::kNews, std::move(due.news));
+  }
+  // Retry exhaustion is the failure signal feeding view hygiene: enough of
+  // them evicts the peer from BOTH views and drops its remaining entries.
+  for (const NodeId failed : expired) {
+    if (hygiene_.report_failure(failed)) {
+      rps_.view().remove(failed);
+      wup_.view().remove(failed);
+      retx_.drop_target(failed);
+    }
+  }
+}
+
 void WhatsUpAgent::on_cycle(sim::Context& ctx) {
   // Profile window (§II-E): drop opinions on items older than the window.
   profile_.purge_older_than(ctx.now() - config_.params.profile_window);
+  if (hygiene_.enabled()) {
+    hygiene_.evict_stale(rps_.view(), ctx.now());
+    hygiene_.evict_stale(wup_.view(), ctx.now());
+  }
+  if (config_.reliability.enabled) pump_retransmissions(ctx);
   if (config_.obfuscation.enabled()) {
     const Profile& snapshot = disclosed(ctx.now());
     rps_.step(ctx, snapshot);
@@ -41,6 +67,10 @@ void WhatsUpAgent::on_cycle(sim::Context& ctx) {
 }
 
 void WhatsUpAgent::on_message(sim::Context& ctx, const net::Message& message) {
+  // Any message is evidence of life for its sender.
+  if (hygiene_.enabled() && message.from != kNoNode && message.from != self_) {
+    hygiene_.absolve(message.from);
+  }
   switch (message.type) {
     case net::MsgType::kRpsRequest:
       if (config_.obfuscation.enabled()) {
@@ -64,14 +94,79 @@ void WhatsUpAgent::on_message(sim::Context& ctx, const net::Message& message) {
       wup_.on_reply(ctx, message.view(), profile_, rps_.view());
       break;
     case net::MsgType::kNews:
-      handle_news(ctx, message.news());
+      handle_news(ctx, message.from, message.news());
       break;
+    case net::MsgType::kAck:
+      retx_.ack(message.from, message.ack().item);
+      break;
+    case net::MsgType::kRejoinRequest:
+      handle_rejoin_request(ctx, message.view());
+      break;
+    case net::MsgType::kRejoinReply: {
+      // Rebuild the RPS view from the contact's descriptor plus its view;
+      // WUP re-clusters from there over the following cycles.
+      std::vector<net::Descriptor> seeds = message.view().view;
+      seeds.push_back(message.view().sender);
+      rps_.bootstrap(std::move(seeds));
+      break;
+    }
   }
 }
 
-void WhatsUpAgent::handle_news(sim::Context& ctx, net::NewsPayload news) {
-  // SIR: an already-received item is simply dropped (§III).
-  if (!seen_.insert(news.id).second) return;
+void WhatsUpAgent::handle_rejoin_request(sim::Context& ctx,
+                                         const net::ViewPayload& payload) {
+  if (payload.sender.node == kNoNode || payload.sender.node == self_) return;
+  // Hand the joiner our full RPS view plus our own fresh descriptor
+  // (rejoin is a cold path: the deep-copy make_descriptor is fine).
+  net::ViewPayload reply;
+  reply.sender = net::make_descriptor(
+      self_, ctx.now(),
+      config_.obfuscation.enabled() ? disclosed(ctx.now()) : profile_);
+  reply.view = ctx.acquire_descriptor_buffer();
+  for (const net::Descriptor& d : rps_.view().entries()) reply.view.push_back(d);
+  ctx.send(payload.sender.node, net::MsgType::kRejoinReply, std::move(reply));
+  // Absorb the joiner so gossip re-spreads its descriptor quickly.
+  std::vector<net::Descriptor> joiner;
+  joiner.push_back(payload.sender);
+  rps_.bootstrap(std::move(joiner));
+}
+
+void WhatsUpAgent::on_recover(sim::Context& ctx) {
+  // Views, pending retransmissions and the dedup log are soft state and
+  // died with the process; the profile and SIR set model durable storage.
+  rps_.view().clear();
+  wup_.view().clear();
+  retx_.clear();
+  dedup_.clear();
+  hygiene_.clear();
+  const NodeId contact = ctx.random_active_peer();
+  if (contact == kNoNode) return;
+  net::ViewPayload hello;
+  hello.sender = net::make_descriptor(
+      self_, ctx.now(),
+      config_.obfuscation.enabled() ? disclosed(ctx.now()) : profile_);
+  ctx.send(contact, net::MsgType::kRejoinRequest, std::move(hello));
+}
+
+void WhatsUpAgent::handle_news(sim::Context& ctx, NodeId from, net::NewsPayload news) {
+  if (config_.reliability.enabled) {
+    // Ack EVERY receipt, including repeats: a lost ack provokes a
+    // retransmission, and re-acking the repeat is what recovers it.
+    if (from != kNoNode && from != self_) {
+      ctx.send(from, net::MsgType::kAck, net::AckPayload{news.id, news.hops});
+    }
+    // Classify exact-copy repeats (retransmissions, network duplicates)
+    // with bounded memory; multi-path copies land under fresh keys.
+    dedup_.seen_or_insert(news.id, news.hops);
+  }
+  // SIR: an already-received item is dropped (§III) — but counted, so the
+  // redundancy ratio (duplicate vs unique deliveries) is observable.
+  if (!seen_.insert(news.id).second) {
+    if (sim::DisseminationObserver* obs = ctx.observer(); obs != nullptr) {
+      obs->on_duplicate(self_, news.index);
+    }
+    return;
+  }
 
   const bool liked = opinions_->likes(self_, news.index);
   if (sim::DisseminationObserver* obs = ctx.observer(); obs != nullptr) {
@@ -105,6 +200,7 @@ void WhatsUpAgent::forward(sim::Context& ctx, bool liked, net::NewsPayload news)
   news.via_dislike = !liked;
   for (NodeId target : plan.targets) {
     ctx.send(target, net::MsgType::kNews, news);
+    if (config_.reliability.enabled) retx_.track(ctx.now(), target, news);
   }
 }
 

@@ -11,10 +11,12 @@
 
 #include "beep/beep.hpp"
 #include "gossip/clustering_protocol.hpp"
+#include "gossip/hygiene.hpp"
 #include "gossip/rps.hpp"
 #include "profile/obfuscation.hpp"
 #include "sim/engine.hpp"
 #include "sim/opinions.hpp"
+#include "sim/reliability.hpp"
 #include "whatsup/params.hpp"
 
 namespace whatsup {
@@ -27,6 +29,10 @@ struct WhatsUpConfig {
   // Profile obfuscation (§VII): when enabled, gossiped descriptors carry a
   // randomized-response snapshot; local decisions keep the true profile.
   ObfuscationConfig obfuscation;
+  // Opt-in ack/retransmit layer for BEEP forwards (sim/reliability.hpp).
+  sim::ReliabilityConfig reliability;
+  // Opt-in failure-aware view hygiene (gossip/hygiene.hpp).
+  gossip::ViewHygieneConfig hygiene;
 
   beep::BeepConfig beep_config() const {
     return beep::BeepConfig{params.f_like,  params.f_dislike,    params.beep_ttl,
@@ -42,6 +48,10 @@ class WhatsUpAgent : public sim::Agent {
   void on_cycle(sim::Context& ctx) override;
   void on_message(sim::Context& ctx, const net::Message& message) override;
   void publish(sim::Context& ctx, ItemIdx index, ItemId id) override;
+  // Crash recovery: drop soft state (views, retransmission queue, dedup
+  // log) and rebuild via a rejoin handshake; the profile and SIR state
+  // model durable storage and survive.
+  void on_recover(sim::Context& ctx) override;
 
   // Seed the views directly (bootstrap server stand-in at deployment
   // start; also used to wire deterministic topologies in tests).
@@ -61,10 +71,17 @@ class WhatsUpAgent : public sim::Agent {
   const WhatsUpConfig& config() const { return config_; }
   double avg_wup_similarity() const { return wup_.avg_similarity(profile_); }
   bool has_seen(ItemId id) const { return seen_.count(id) != 0; }
+  const sim::RetransmitQueue& retransmit_queue() const { return retx_; }
+  const sim::DedupLog& dedup_log() const { return dedup_; }
+  const gossip::ViewHygiene& hygiene() const { return hygiene_; }
 
  private:
-  void handle_news(sim::Context& ctx, net::NewsPayload news);
+  void handle_news(sim::Context& ctx, NodeId from, net::NewsPayload news);
   void forward(sim::Context& ctx, bool liked, net::NewsPayload news);
+  void handle_rejoin_request(sim::Context& ctx, const net::ViewPayload& payload);
+  // Resend due retransmissions; evict peers whose retries exhausted the
+  // hygiene suspicion limit.
+  void pump_retransmissions(sim::Context& ctx);
 
   // Disclosed-profile accessor: the cached obfuscated snapshot when
   // obfuscation is on, the true profile otherwise.
@@ -77,6 +94,9 @@ class WhatsUpAgent : public sim::Agent {
   gossip::Rps rps_;
   gossip::ClusteringProtocol wup_;
   std::unordered_set<ItemId> seen_;  // SIR "removed" state
+  sim::RetransmitQueue retx_;        // reliability layer (opt-in)
+  sim::DedupLog dedup_;
+  gossip::ViewHygiene hygiene_;      // failure-aware view hygiene (opt-in)
   // Rebuilds the disclosed snapshot only when the profile version or the
   // obfuscation epoch changes (perf only; see docs/perf.md).
   ObfuscatedProfileCache obfuscation_cache_;

@@ -160,6 +160,24 @@ TEST(Determinism, ChurnIdenticalAcrossThreadCounts) {
   expect_identical_across_threads(network, /*churn=*/true);
 }
 
+// Fault interactions: a regional partition with partial cross-loss,
+// Gilbert–Elliott bursty links, jitter, duplication and reordering all
+// active at once. Every fault draw comes from the engine stream in
+// canonical commit order or from counter-based per-link chains, so the
+// combined trajectory must stay a pure function of the seed.
+TEST(Determinism, PartitionBurstJitterInteractionIdenticalAcrossThreadCounts) {
+  net::NetworkConfig network;
+  network.partition_nodes = 25;  // splits the 60-node population
+  network.partition_cross_loss = 0.6;
+  network.burst.p_enter = 0.1;
+  network.burst.p_exit = 0.3;
+  network.burst.loss_bad = 0.5;
+  network.jitter = 2;
+  network.duplicate_rate = 0.05;
+  network.reorder_rate = 0.1;
+  expect_identical_across_threads(network, /*churn=*/true);
+}
+
 TEST(Determinism, RunProtocolIdenticalAcrossThreadCounts) {
   Rng rng(7);
   data::SurveyConfig sc;
@@ -300,6 +318,80 @@ TEST(Determinism, ScenarioRunIdenticalAcrossThreadsAndShardWidths) {
       EXPECT_EQ(base.windows[w].scores.precision, result.windows[w].scores.precision);
       EXPECT_EQ(base.windows[w].scores.recall, result.windows[w].scores.recall);
     }
+  }
+}
+
+// The full hostile-network stack at once — scenario-driven bursty loss,
+// degraded links (latency/jitter/duplication/reordering), a crash wave
+// with scheduled recoveries, rotating churn, plus random crash-recovery
+// faults and the ack/retransmit + view-hygiene machinery — must still be
+// bit-identical per cycle across worker-thread counts AND shard widths
+// (the acceptance grid: threads ∈ {1, 4} × two widths). Retransmission
+// jitter comes from the reserved per-node reliability substream and crash
+// draws from the fault stream, so none of it can perturb commit order.
+TEST(Determinism, FaultReliabilityScenarioIdenticalAcrossThreadsAndShardWidths) {
+  constexpr const char* kSpec =
+      "name hostile\n"
+      "at 2 burst 0.15 0.25 0.5 until 26\n"
+      "at 4 degrade latency 1 jitter 2 dup 0.05 reorder 0.1 until 24\n"
+      "at 8 churn 6 every 4 until 22\n"
+      "at 10 partition 0.5 xloss 0.7 until 16\n"
+      "at 12 crash 5 for 6\n"
+      "at 18 crash 3\n";
+  Rng rng(37);
+  data::SurveyConfig sc;
+  sc.base_users = 60;
+  sc.base_items = 70;
+  sc.replication = 2;
+  const data::Workload workload = data::make_survey(sc, rng);
+  analysis::RunConfig config;
+  config.approach = analysis::Approach::kWhatsUp;
+  config.fanout = 6;
+  config.seed = 43;
+  config.network.jitter = 1;
+  config.network.crash_rate = 0.002;  // random crash-recovery faults
+  config.network.crash_recovery = 5;
+  config.reliability.enabled = true;
+  config.reliability.ack_timeout = 2;
+  config.view_hygiene.max_age = 15;
+  config.view_hygiene.suspicion_limit = 2;
+  config.scenario = scenario::parse(kSpec);
+  config.collect_cycle_digests = true;
+
+  config.threads = 1;
+  config.shard_nodes = 16;
+  const analysis::RunResult base = analysis::run_protocol(workload, config);
+  ASSERT_EQ(base.cycle_digests.size(),
+            static_cast<std::size_t>(config.total_cycles()));
+  EXPECT_GT(base.news_messages, 0u);
+  // The reliability layer must actually have engaged, or the grid below
+  // never exercises the retransmission path.
+  EXPECT_GT(base.reliability.tracked, 0u);
+  EXPECT_GT(base.reliability.ack_messages, 0u);
+  const struct {
+    unsigned threads;
+    std::size_t shard_nodes;
+  } grid[] = {{1, 64}, {4, 16}, {4, 64}, {2, 0 /* engine default */}};
+  for (const auto& point : grid) {
+    config.threads = point.threads;
+    config.shard_nodes = point.shard_nodes;
+    const analysis::RunResult result = analysis::run_protocol(workload, config);
+    SCOPED_TRACE(testing::Message() << "threads=" << point.threads
+                                    << " shard_nodes=" << point.shard_nodes);
+    // The per-cycle digest series pins the whole measured trajectory.
+    EXPECT_EQ(base.cycle_digests, result.cycle_digests);
+    EXPECT_EQ(base.news_messages, result.news_messages);
+    EXPECT_EQ(base.gossip_messages, result.gossip_messages);
+    EXPECT_EQ(base.kbps_total, result.kbps_total);
+    EXPECT_EQ(base.scores.f1, result.scores.f1);
+    // Reliability accounting is part of the deterministic state too.
+    EXPECT_EQ(base.reliability.tracked, result.reliability.tracked);
+    EXPECT_EQ(base.reliability.retransmits, result.reliability.retransmits);
+    EXPECT_EQ(base.reliability.acked, result.reliability.acked);
+    EXPECT_EQ(base.reliability.expired, result.reliability.expired);
+    EXPECT_EQ(base.reliability.ack_messages, result.reliability.ack_messages);
+    EXPECT_EQ(base.reliability.duplicates, result.reliability.duplicates);
+    EXPECT_EQ(base.reliability.deliveries, result.reliability.deliveries);
   }
 }
 

@@ -57,6 +57,9 @@ at 22 swap-pair 4 9
 at 24 join-clone 59 17
 at 26 loss 0.3 until 32
 at 28 partition 0.5 xloss 0.75 until 34
+at 29 burst 0.05 0.3 0.5 until 36
+at 29 degrade latency 1 jitter 2 dup 0.02 reorder 0.1 until 35
+at 30 crash 4 for 6
 at 30 spammers 2 items 3 fanout 6
 at 32 freeriders 2
 )";
@@ -64,7 +67,7 @@ at 32 freeriders 2
 TEST(ScenarioSpec, ParseFormatRoundTrip) {
   const scenario::Timeline parsed = scenario::parse(kFullSpec);
   EXPECT_EQ(parsed.name, "full-demo");
-  ASSERT_EQ(parsed.events().size(), 14u);
+  ASSERT_EQ(parsed.events().size(), 17u);
   const std::string canonical = scenario::format(parsed);
   const scenario::Timeline reparsed = scenario::parse(canonical);
   EXPECT_EQ(parsed, reparsed);
@@ -113,6 +116,12 @@ TEST(ScenarioSpec, ErrorsNameTheLine) {
   EXPECT_THROW(scenario::parse("at 5 loss 0.2 until 4\n"), std::invalid_argument);
   EXPECT_THROW(scenario::parse("at 5 leave 3 7\n"), std::invalid_argument);
   EXPECT_THROW(scenario::parse("at 5 partition 1.5 until 9\n"), std::invalid_argument);
+  EXPECT_THROW(scenario::parse("at 5 burst 0 0.3 0.5 until 9\n"), std::invalid_argument);
+  EXPECT_THROW(scenario::parse("at 5 burst 0.1 0.3 0.5 until 5\n"), std::invalid_argument);
+  EXPECT_THROW(scenario::parse("at 5 degrade until 9\n"), std::invalid_argument);
+  EXPECT_THROW(scenario::parse("at 5 degrade dup 1.5 until 9\n"), std::invalid_argument);
+  EXPECT_THROW(scenario::parse("at 5 crash 0\n"), std::invalid_argument);
+  EXPECT_THROW(scenario::parse("at 5 crash 3 for 0\n"), std::invalid_argument);
   // Out-of-range integers fail loudly instead of wrapping silently.
   EXPECT_THROW(scenario::parse("at 5 leave 4294967296\n"), std::invalid_argument);
   EXPECT_THROW(scenario::parse("at 4294967296 leave 3\n"), std::invalid_argument);
@@ -126,7 +135,7 @@ TEST(ScenarioSpec, ErrorsNameTheLine) {
 
 TEST(ScenarioSpec, HorizonAndPopulations) {
   const scenario::Timeline timeline = scenario::parse(kFullSpec);
-  EXPECT_EQ(timeline.horizon(), 35);  // partition until 34
+  EXPECT_EQ(timeline.horizon(), 37);  // burst until 36 / crash 30 for 6
   EXPECT_EQ(timeline.num_spammers(), 2u);
   EXPECT_EQ(timeline.num_free_riders(), 2u);
   EXPECT_EQ(timeline.num_adversaries(), 4u);

@@ -76,6 +76,23 @@ TEST(View, OldestFindsMinTimestamp) {
   EXPECT_EQ(view.oldest()->node, 2u);
 }
 
+TEST(View, OldestBreaksTimestampTiesByNodeId) {
+  // Equal timestamps must resolve to the smallest node id regardless of
+  // insertion order — with the old bare-timestamp comparison the winner
+  // depended on which entry happened to sit first, which view-eviction
+  // machinery (gossip/hygiene.hpp) would have turned into nondeterminism.
+  View a(5);
+  a.insert_or_refresh(desc(9, 3));
+  a.insert_or_refresh(desc(2, 3));
+  a.insert_or_refresh(desc(5, 8));
+  View b(5);
+  b.insert_or_refresh(desc(2, 3));
+  b.insert_or_refresh(desc(5, 8));
+  b.insert_or_refresh(desc(9, 3));
+  EXPECT_EQ(a.oldest()->node, 2u);
+  EXPECT_EQ(b.oldest()->node, 2u);
+}
+
 TEST(View, RemoveErasesEntry) {
   View view(5);
   view.insert_or_refresh(desc(1, 1));
