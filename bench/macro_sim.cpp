@@ -13,11 +13,16 @@
 // asserts this); only the wall clock changes.
 //
 // Every row also reports memory counters read from /proc/self/status:
-//   peak_rss_mb          VmHWM — the process-wide peak resident set (MiB)
-//   peak_bytes_per_node  VmHWM / nodes
-// VmHWM is a high-water mark for the whole process, so it attributes
-// correctly when one configuration dominates the run (the CI 100k smoke
-// job runs exactly one row); across a full sweep the largest row sets it.
+//   peak_rss_mb          VmHWM — peak resident set during THIS row (MiB)
+//   peak_bytes_per_node  peak_rss_mb / nodes
+//   mem_isolated         1 when the row's peak was isolated from earlier
+//                        rows, 0 when it may carry an older high-water mark
+// VmHWM is a process-lifetime high-water mark, so a sweep would otherwise
+// attribute the largest earlier row to every later one (small fault-sweep
+// rows used to inherit the 10k-node peak). Each row therefore resets the
+// kernel's high-water mark first (writing "5" to /proc/self/clear_refs);
+// where that interface is unavailable, the row re-runs once in a forked
+// child and reports the child's own VmHWM.
 //
 // Flags (parsed before Google Benchmark's own):
 //   --nodes=N     additionally register BM_WhatsUpSim_Custom at N nodes
@@ -27,6 +32,10 @@
 //                 large-node rows do not degenerate into an allocator
 //                 benchmark — see BM_WhatsUpSim_10000n_50c)
 //   --cycles=N    publication cycles for the custom row (default: 50)
+//   --warmup=N    warmup cycles for the custom row (default: 5)
+//   --drain=N     drain cycles for the custom row (default: 15) — the
+//                 million-node CI smoke row shrinks warmup/drain so the
+//                 run fits the job budget on one core
 //   --scenario=F  .scn event timeline applied to the custom row (implies
 //                 the custom row at 500 nodes when --nodes is not given);
 //                 see src/scenario/ and scenarios/
@@ -35,8 +44,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <thread>
+
+#ifdef __unix__
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 #include "analysis/runner.hpp"
 #include "dataset/survey.hpp"
@@ -63,6 +78,48 @@ std::size_t proc_status_kib(const char* key) {
   return value;
 }
 
+// Resets the kernel's peak-RSS high-water mark to the CURRENT resident set
+// (echo 5 > /proc/self/clear_refs), so the next VmHWM read reflects this
+// row, not whichever earlier row in the sweep was largest.
+bool reset_peak_rss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return std::fclose(f) == 0 && ok;
+}
+
+// Fallback isolation when clear_refs is unavailable: run `body` once in a
+// forked child and return the child's own VmHWM (KiB); 0 on failure.
+std::size_t forked_peak_kib(const std::function<void()>& body) {
+#ifdef __unix__
+  int fds[2];
+  if (pipe(fds) != 0) return 0;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return 0;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    body();
+    const std::size_t kib = proc_status_kib("VmHWM");
+    (void)!write(fds[1], &kib, sizeof(kib));
+    _exit(0);
+  }
+  close(fds[1]);
+  std::size_t kib = 0;
+  if (read(fds[0], &kib, sizeof(kib)) != static_cast<ssize_t>(sizeof(kib))) kib = 0;
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return kib;
+#else
+  (void)body;
+  return 0;
+#endif
+}
+
 data::Workload macro_workload(std::size_t users, std::size_t items) {
   Rng rng(11);
   data::SurveyConfig config;
@@ -76,15 +133,16 @@ void run_macro(benchmark::State& state, std::size_t users, std::size_t items,
                Cycle publish_cycles, unsigned threads,
                const scenario::Timeline* timeline = nullptr,
                const net::NetworkConfig* network = nullptr,
-               bool reliability = false) {
+               bool reliability = false, Cycle warmup_cycles = 5,
+               Cycle drain_cycles = 15) {
   const data::Workload workload = macro_workload(users, items);
   analysis::RunConfig config;
   config.approach = analysis::Approach::kWhatsUp;
   config.fanout = 8;
   config.seed = 3;
-  config.warmup_cycles = 5;
+  config.warmup_cycles = warmup_cycles;
   config.publish_cycles = publish_cycles;
-  config.drain_cycles = 15;
+  config.drain_cycles = drain_cycles;
   config.measure_margin = 13;
   config.threads = threads;
   if (timeline != nullptr) {
@@ -98,6 +156,8 @@ void run_macro(benchmark::State& state, std::size_t users, std::size_t items,
     config.view_hygiene.suspicion_limit = 2;
   }
   const auto total = static_cast<std::size_t>(config.total_cycles());
+  // Isolate this row's memory counters from whatever ran before it.
+  const bool reset_ok = reset_peak_rss();
   for (auto _ : state) {
     const analysis::RunResult result = analysis::run_protocol(workload, config);
     benchmark::DoNotOptimize(result.scores.f1);
@@ -106,7 +166,21 @@ void run_macro(benchmark::State& state, std::size_t users, std::size_t items,
   state.counters["nodes"] = static_cast<double>(workload.num_users());
   state.counters["cycles"] = static_cast<double>(total);
   state.counters["threads"] = static_cast<double>(threads);
-  const double peak_kib = static_cast<double>(proc_status_kib("VmHWM"));
+  double peak_kib = static_cast<double>(proc_status_kib("VmHWM"));
+  bool isolated = reset_ok;
+  if (!reset_ok) {
+    // clear_refs unavailable: re-run once in a forked child and report the
+    // child's own high-water mark.
+    const std::size_t child_kib = forked_peak_kib([&] {
+      const analysis::RunResult result = analysis::run_protocol(workload, config);
+      benchmark::DoNotOptimize(result.scores.f1);
+    });
+    if (child_kib != 0) {
+      peak_kib = static_cast<double>(child_kib);
+      isolated = true;
+    }
+  }
+  state.counters["mem_isolated"] = isolated ? 1.0 : 0.0;
   state.counters["peak_rss_mb"] = peak_kib / 1024.0;
   state.counters["peak_bytes_per_node"] =
       peak_kib * 1024.0 / static_cast<double>(workload.num_users());
@@ -155,6 +229,8 @@ unsigned g_custom_threads = 0;  // 0 = hardware concurrency
 std::size_t g_custom_nodes = 0;
 std::size_t g_custom_items = 0;  // 0 = nodes/20 (capped-item default)
 Cycle g_custom_cycles = 0;       // 0 = 50 publication cycles
+Cycle g_custom_warmup = -1;      // <0 = default 5
+Cycle g_custom_drain = -1;       // <0 = default 15
 std::string g_custom_scenario;   // .scn path; empty = plain run
 
 void BM_WhatsUpSim_Custom(benchmark::State& state) {
@@ -165,12 +241,16 @@ void BM_WhatsUpSim_Custom(benchmark::State& state) {
                                 ? g_custom_items
                                 : std::max<std::size_t>(g_custom_nodes / 20, 50);
   const Cycle publish = g_custom_cycles != 0 ? g_custom_cycles : 50;
+  const Cycle warmup = g_custom_warmup >= 0 ? g_custom_warmup : 5;
+  const Cycle drain = g_custom_drain >= 0 ? g_custom_drain : 15;
   if (!g_custom_scenario.empty()) {
     const scenario::Timeline timeline = scenario::parse_file(g_custom_scenario);
-    run_macro(state, g_custom_nodes, items, publish, threads, &timeline);
+    run_macro(state, g_custom_nodes, items, publish, threads, &timeline,
+              nullptr, false, warmup, drain);
     return;
   }
-  run_macro(state, g_custom_nodes, items, publish, threads);
+  run_macro(state, g_custom_nodes, items, publish, threads, nullptr, nullptr,
+            false, warmup, drain);
 }
 
 // Consumes --nodes=/--threads=/--items=/--cycles= (also "--flag value"
@@ -201,6 +281,10 @@ void parse_local_flags(int& argc, char** argv) {
       g_custom_items = static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
     } else if (match("cycles", value)) {
       g_custom_cycles = static_cast<Cycle>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (match("warmup", value)) {
+      g_custom_warmup = static_cast<Cycle>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (match("drain", value)) {
+      g_custom_drain = static_cast<Cycle>(std::strtol(value.c_str(), nullptr, 10));
     } else if (match("scenario", value)) {
       g_custom_scenario = value;
     } else {

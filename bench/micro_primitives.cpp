@@ -79,7 +79,7 @@ void run_wup_scoring(benchmark::State& state, bool use_memo) {
     net::Descriptor& churned = candidates[rng.index(kCandidates)];
     Profile fresh = churned.profile_ref();
     fresh.set(rng.index(4 * size) + 1, 0, rng.bernoulli(0.5) ? 1.0 : 0.0);
-    churned.profile = std::make_shared<const Profile>(std::move(fresh));
+    churned.profile = ProfileHandle::snapshot(fresh);
     double total = 0.0;
     for (const net::Descriptor& d : candidates) {
       total += use_memo
@@ -197,6 +197,40 @@ void BM_DescriptorSnapshotCache(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DescriptorSnapshotCache);
+
+// ---- Compact profile codec (profile/compact.hpp) --------------------------
+//
+// The storage layer under every descriptor: varint-delta encode of a
+// profile into an interned record, and decode-on-demand into thread-local
+// SoA scratch. The scratch ring caches by version, so the *_Materialize
+// row alternates two generations to defeat the cache and pay the decode.
+void BM_CompactEncode(benchmark::State& state) {
+  Rng rng(8);
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const Profile profile = random_profile(rng, size, 4 * size);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompactProfile::encode(profile));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompactEncode)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CompactMaterialize(benchmark::State& state) {
+  Rng rng(8);
+  const auto size = static_cast<std::size_t>(state.range(0));
+  // More generations than scratch slots: every materialize decodes.
+  std::vector<ProfileHandle> handles;
+  for (int i = 0; i < 6; ++i) {
+    handles.push_back(ProfileHandle::snapshot(random_profile(rng, size, 4 * size)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(handles[i % handles.size()].materialize().size());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompactMaterialize)->Arg(16)->Arg(64)->Arg(256);
 
 // ---- News payload replication (BEEP fan-out, §III) ------------------------
 //

@@ -14,6 +14,10 @@
 #   SCENARIO      .scn spec forwarded to macro_sim's custom row
 #                 (--scenario; adds a BM_WhatsUpSim_Custom row at 500
 #                 nodes under the timeline — see scenarios/)
+#   ALLOW_DEBUG   set to 1 to run against a non-Release build tree anyway
+#                 (the JSON gets "build_type" in context either way; a
+#                 Debug tree is refused by default so a slow baseline can
+#                 never silently land in BENCH_micro.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,6 +26,7 @@ OUT=${1:-BENCH_micro.json}
 MICRO_FILTER=${MICRO_FILTER:-.}
 MACRO_FILTER=${MACRO_FILTER:-.}
 MIN_TIME=${MIN_TIME:-0.5}
+ALLOW_DEBUG=${ALLOW_DEBUG:-0}
 
 for bin in micro_primitives macro_sim; do
   if [[ ! -x "$BUILD_DIR/$bin" ]]; then
@@ -29,6 +34,22 @@ for bin in micro_primitives macro_sim; do
     exit 1
   fi
 done
+
+# CMake stamps the configured build type into the tree (see CMakeLists.txt).
+BUILD_TYPE=unknown
+if [[ -f "$BUILD_DIR/whatsup_build_type.txt" ]]; then
+  BUILD_TYPE=$(<"$BUILD_DIR/whatsup_build_type.txt")
+fi
+if [[ "$BUILD_TYPE" != "Release" && "$ALLOW_DEBUG" != "1" ]]; then
+  echo "error: $BUILD_DIR is a '$BUILD_TYPE' tree, not Release — perf numbers" >&2
+  echo "       from it are not comparable. Reconfigure with" >&2
+  echo "       'cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release -DWHATSUP_BENCH=ON'" >&2
+  echo "       or set ALLOW_DEBUG=1 to record anyway (tagged in the JSON)." >&2
+  exit 1
+fi
+if [[ "$BUILD_TYPE" != "Release" ]]; then
+  echo "warning: recording from a '$BUILD_TYPE' tree (ALLOW_DEBUG=1)" >&2
+fi
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -42,22 +63,24 @@ trap 'rm -rf "$tmp"' EXIT
   --benchmark_filter="$MACRO_FILTER" \
   --benchmark_out="$tmp/macro.json" --benchmark_out_format=json
 
-python3 - "$tmp/micro.json" "$tmp/macro.json" "$OUT" <<'EOF'
+python3 - "$tmp/micro.json" "$tmp/macro.json" "$OUT" "$BUILD_TYPE" <<'EOF'
 import json
 import sys
 
-micro_path, macro_path, out_path = sys.argv[1:4]
+micro_path, macro_path, out_path, build_type = sys.argv[1:5]
 with open(micro_path) as f:
     merged = json.load(f)
 with open(macro_path) as f:
     macro = json.load(f)
 merged["benchmarks"].extend(macro["benchmarks"])
+merged.setdefault("context", {})["build_type"] = build_type
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
 
-# Surface the memory counters of the macro rows (VmHWM is a process-wide
-# high-water mark: within one sweep the largest row sets it).
+# Surface the memory counters of the macro rows. Each row resets the
+# process high-water mark before running (mem_isolated=1), so the numbers
+# are per-row peaks, not the sweep-wide maximum.
 for b in macro["benchmarks"]:
     if "peak_rss_mb" in b:
         print(

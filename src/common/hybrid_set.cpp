@@ -3,18 +3,27 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/varint.hpp"
+
 namespace whatsup {
 
 void HybridSet::resize(std::size_t n_bits) {
   n_bits_ = n_bits;
   promote_at_ = threshold_for(n_bits);
   dense_ = false;
+  frozen_ = false;
+  frozen_count_ = 0;
   sparse_.clear();
   bits_ = DynBitset();
+  packed_ = SmallVector<std::uint8_t, 8>();
 }
 
 void HybridSet::set(std::size_t i) {
   assert(i < n_bits_);
+  if (frozen_) {
+    if (test(i)) return;
+    thaw();
+  }
   if (dense_) {
     bits_.set(i);
     return;
@@ -36,8 +45,91 @@ void HybridSet::promote() {
   dense_ = true;
 }
 
+template <typename Fn>
+void HybridSet::scan_frozen(Fn&& fn) const {
+  const std::uint8_t* p = packed_.data();
+  std::size_t value = 0;
+  for (std::uint32_t j = 0; j < frozen_count_; ++j) {
+    value += varint_read(p);
+    if (!fn(value)) return;
+  }
+}
+
+bool HybridSet::freeze() {
+  if (frozen_) return true;
+  const std::size_t k = count();
+  if (k == 0) return false;
+  // Heap bytes of the current representation; an inline sparse set has
+  // nothing to reclaim.
+  const std::size_t current_heap =
+      dense_ ? (n_bits_ + 7) / 8
+             : (sparse_.capacity() > 8 ? sparse_.capacity() * sizeof(std::uint32_t)
+                                       : 0);
+  if (current_heap == 0) return false;
+  // Dry pass: encoded size of the ascending member deltas (first delta is
+  // against 0, so the encoding is just consecutive differences).
+  std::size_t encoded = 0;
+  std::size_t prev = 0;
+  for_each_set([&](std::size_t v) {
+    encoded += varint_size(v - prev);
+    prev = v;
+  });
+  const std::size_t frozen_heap = encoded > 8 ? encoded : 0;
+  if (frozen_heap >= current_heap) return false;
+  SmallVector<std::uint8_t, 8> packed;
+  packed.reserve(encoded);
+  prev = 0;
+  for_each_set([&](std::size_t v) {
+    varint_append(packed, v - prev);
+    prev = v;
+  });
+  packed_ = std::move(packed);
+  frozen_count_ = static_cast<std::uint32_t>(k);
+  frozen_ = true;
+  dense_ = false;
+  sparse_ = SmallVector<std::uint32_t, 8>();
+  bits_ = DynBitset();
+  return true;
+}
+
+void HybridSet::thaw() {
+  if (!frozen_) return;
+  const SmallVector<std::uint8_t, 8> packed = std::move(packed_);
+  const std::uint32_t k = frozen_count_;
+  frozen_ = false;
+  frozen_count_ = 0;
+  packed_ = SmallVector<std::uint8_t, 8>();
+  const std::uint8_t* p = packed.data();
+  std::size_t value = 0;
+  if (k > promote_at_) {
+    bits_.resize(n_bits_);
+    dense_ = true;
+    for (std::uint32_t j = 0; j < k; ++j) {
+      value += varint_read(p);
+      bits_.set(value);
+    }
+  } else {
+    sparse_.reserve(k);
+    for (std::uint32_t j = 0; j < k; ++j) {
+      value += varint_read(p);
+      sparse_.push_back(static_cast<std::uint32_t>(value));
+    }
+  }
+}
+
 bool HybridSet::test(std::size_t i) const {
   assert(i < n_bits_);
+  if (frozen_) {
+    bool found = false;
+    scan_frozen([&](std::size_t v) {
+      if (v >= i) {
+        found = v == i;
+        return false;
+      }
+      return true;
+    });
+    return found;
+  }
   if (dense_) return bits_.test(i);
   return std::binary_search(sparse_.begin(), sparse_.end(),
                             static_cast<std::uint32_t>(i));
@@ -49,10 +141,23 @@ void HybridSet::clear() {
     dense_ = false;
     bits_ = DynBitset();
   }
+  if (frozen_) {
+    frozen_ = false;
+    frozen_count_ = 0;
+    packed_ = SmallVector<std::uint8_t, 8>();
+  }
 }
 
 std::size_t HybridSet::intersect_count(const DynBitset& other) const {
   assert(other.size() == n_bits_);
+  if (frozen_) {
+    std::size_t total = 0;
+    scan_frozen([&](std::size_t v) {
+      total += other.test(v) ? 1 : 0;
+      return true;
+    });
+    return total;
+  }
   if (dense_) return bits_.intersect_count(other);
   std::size_t total = 0;
   for (const std::uint32_t v : sparse_) total += other.test(v) ? 1 : 0;
@@ -60,6 +165,13 @@ std::size_t HybridSet::intersect_count(const DynBitset& other) const {
 }
 
 void HybridSet::for_each_set(const std::function<void(std::size_t)>& fn) const {
+  if (frozen_) {
+    scan_frozen([&](std::size_t v) {
+      fn(v);
+      return true;
+    });
+    return;
+  }
   if (dense_) {
     bits_.for_each_set(fn);
     return;
@@ -69,6 +181,14 @@ void HybridSet::for_each_set(const std::function<void(std::size_t)>& fn) const {
 
 void HybridSet::for_each_set_in(std::size_t lo, std::size_t hi,
                                 const std::function<void(std::size_t)>& fn) const {
+  if (frozen_) {
+    scan_frozen([&](std::size_t v) {
+      if (v >= hi) return false;
+      if (v >= lo) fn(v);
+      return true;
+    });
+    return;
+  }
   if (dense_) {
     bits_.for_each_set_in(lo, hi, fn);
     return;
@@ -92,11 +212,22 @@ bool HybridSet::operator==(const HybridSet& other) const {
 DynBitset HybridSet::to_bitset() const {
   if (dense_) return bits_;
   DynBitset out(n_bits_);
+  if (frozen_) {
+    scan_frozen([&](std::size_t v) {
+      out.set(v);
+      return true;
+    });
+    return out;
+  }
   for (const std::uint32_t v : sparse_) out.set(v);
   return out;
 }
 
 std::size_t HybridSet::memory_bytes() const {
+  if (frozen_) {
+    return sizeof(HybridSet) +
+           (packed_.capacity() > 8 ? packed_.capacity() : 0);
+  }
   if (dense_) return sizeof(HybridSet) + (n_bits_ + 7) / 8;
   return sizeof(HybridSet) +
          (sparse_.capacity() > 8 ? sparse_.capacity() * sizeof(std::uint32_t) : 0);

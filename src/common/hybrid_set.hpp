@@ -1,4 +1,4 @@
-// Hybrid sparse→dense membership set over a fixed universe [0, n).
+// Hybrid sparse→dense→frozen membership set over a fixed universe [0, n).
 //
 // A per-item reached/liked set in a 100k-node run is usually tiny (most
 // items reach a bounded neighborhood) but a dense DynBitset charges n/8
@@ -10,9 +10,18 @@
 // threshold is a pure function of the universe size, so the representation
 // — and every observable — is deterministic for a given insert history.
 //
+// A third, read-optimized representation backs the tracker's compaction
+// mode: `freeze()` re-encodes the members as a sorted varint delta block
+// (common/varint.hpp) once an item's spread window closes. Freezing is
+// adopted only when the block is strictly smaller than the current heap
+// footprint (a fully-reached dense set stays a bitset), and a write to a
+// frozen set transparently thaws it first, so late deliveries remain
+// correct. Reads decode the block on the fly — O(members) instead of
+// O(1)/O(log k), acceptable for post-settlement queries.
+//
 // The read surface mirrors the DynBitset subset the metrics layer uses
 // (test/count/any/for_each_set/intersect_count), and iteration is always
-// in ascending order in BOTH representations, so digests and reductions
+// in ascending order in ALL representations, so digests and reductions
 // built on it cannot tell the representations apart.
 #pragma once
 
@@ -37,7 +46,9 @@ class HybridSet {
 
   void set(std::size_t i);
   bool test(std::size_t i) const;
-  std::size_t count() const { return dense_ ? bits_.count() : sparse_.size(); }
+  std::size_t count() const {
+    return frozen_ ? frozen_count_ : (dense_ ? bits_.count() : sparse_.size());
+  }
   bool any() const { return count() != 0; }
   void clear();
 
@@ -45,10 +56,11 @@ class HybridSet {
   // truth stays DynBitset).
   std::size_t intersect_count(const DynBitset& other) const;
 
-  // Ascending in both representations.
+  // Ascending in all representations.
   void for_each_set(const std::function<void(std::size_t)>& fn) const;
   // Members in [lo, hi), ascending; sparse pays O(log k + members in
-  // range), dense pays a word-aligned scan of the range.
+  // range), dense pays a word-aligned scan of the range, frozen decodes
+  // from the block start and stops at hi.
   void for_each_set_in(std::size_t lo, std::size_t hi,
                        const std::function<void(std::size_t)>& fn) const;
 
@@ -58,13 +70,26 @@ class HybridSet {
   // Dense materialization (interop with DynBitset-based post-analysis).
   DynBitset to_bitset() const;
 
+  // Re-encodes the members as a sorted varint delta block when that is
+  // strictly smaller than the current heap footprint. Returns whether the
+  // set is frozen on exit. Contents (and thus digests) are unchanged —
+  // only the storage and the read cost change.
+  bool freeze();
+  // Restores the sparse/dense representation (chosen by member count, same
+  // rule as insertion-time promotion). Writes call this implicitly.
+  void thaw();
+
   // Observability for tests and memory accounting.
   bool is_dense() const { return dense_; }
+  bool is_frozen() const { return frozen_; }
   std::size_t promote_threshold() const { return promote_at_; }
   std::size_t memory_bytes() const;
 
  private:
   void promote();
+  // Decodes the frozen block in ascending order; Fn returns false to stop.
+  template <typename Fn>
+  void scan_frozen(Fn&& fn) const;
 
   // Promote when the sorted-u32 storage would outgrow the bitset:
   // 4·k bytes vs n/8 bytes ⇒ k > n/32 (min 16 keeps tiny universes
@@ -77,8 +102,11 @@ class HybridSet {
   std::size_t n_bits_ = 0;
   std::size_t promote_at_ = 16;
   bool dense_ = false;
-  SmallVector<std::uint32_t, 8> sparse_;  // sorted, unique; empty when dense
+  bool frozen_ = false;
+  std::uint32_t frozen_count_ = 0;
+  SmallVector<std::uint32_t, 8> sparse_;  // sorted, unique; empty when dense/frozen
   DynBitset bits_;                        // empty until promotion
+  SmallVector<std::uint8_t, 8> packed_;   // varint delta block when frozen
 };
 
 }  // namespace whatsup

@@ -1,0 +1,48 @@
+// Flat sorted id set with small-buffer storage.
+//
+// A drop-in for the places that used std::unordered_set<Id> purely as a
+// membership filter (the SIR "seen" state per agent). A hash set costs a
+// bucket array plus one heap node per element (~60+ bytes each); a sorted
+// SmallVector stores the ids contiguously, inline below N elements, and
+// binary-searches membership. Inserts pay O(k) tail moves, which is cheap
+// at the few-hundred-items-per-node scale the simulations run at and
+// irrelevant next to the per-node memory budget at a million nodes.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/small_vector.hpp"
+
+namespace whatsup {
+
+template <typename T, std::size_t N>
+class SortedIdSet {
+ public:
+  // Returns true when `value` was newly inserted.
+  bool insert(T value) {
+    auto* begin = values_.begin();
+    auto* pos = std::lower_bound(begin, values_.end(), value);
+    if (pos != values_.end() && *pos == value) return false;
+    values_.insert(static_cast<std::size_t>(pos - begin), value);
+    return true;
+  }
+
+  bool contains(T value) const {
+    return std::binary_search(values_.begin(), values_.end(), value);
+  }
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  void clear() { values_.clear(); }
+
+  std::size_t memory_bytes() const {
+    return sizeof(SortedIdSet) +
+           (values_.capacity() > N ? values_.capacity() * sizeof(T) : 0);
+  }
+
+ private:
+  SmallVector<T, N> values_;  // sorted, unique
+};
+
+}  // namespace whatsup

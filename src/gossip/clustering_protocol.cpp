@@ -64,7 +64,7 @@ double ClusteringProtocol::avg_similarity(const Profile& own_profile) const {
   if (view_.empty()) return 0.0;
   double total = 0.0;
   for (const net::Descriptor& d : view_.entries()) {
-    total += memo_.score(metric_, own_profile, d.node, d.profile_ref());
+    total += memo_.score(metric_, own_profile, d.node, d.profile);
   }
   return total / static_cast<double>(view_.size());
 }

@@ -99,10 +99,12 @@ void View::assign_closest(std::vector<net::Descriptor> candidates, const Profile
   std::vector<std::pair<double, std::size_t>> scored;
   scored.reserve(candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i) {
+    // The memo path keys on the snapshot header (no decode on a hit); the
+    // memo-less path materializes the compact snapshot into scratch.
     const double s =
         memo != nullptr
             ? memo->score(metric, own_profile, candidates[i].node,
-                          candidates[i].profile_ref())
+                          candidates[i].profile)
             : similarity(metric, own_profile, candidates[i].profile_ref());
     scored.emplace_back(s, i);
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <type_traits>
 
 namespace whatsup::metrics {
 
@@ -38,7 +39,9 @@ Tracker::Tracker(std::size_t n_users, std::size_t n_items)
       hops_(n_items),
       dislike_hist_(n_items),
       duplicates_(n_items, 0),
-      publish_cycle_(n_items, kNoCycle) {}
+      publish_cycle_(n_items, kNoCycle),
+      last_touch_(n_items, kNoCycle),
+      settled_(n_items, false) {}
 
 std::size_t Tracker::set_memory_bytes() const {
   std::size_t total = 0;
@@ -50,11 +53,68 @@ std::size_t Tracker::set_memory_bytes() const {
 void Tracker::attach(sim::Engine& engine) {
   engine_ = &engine;
   engine.set_observer(this);
+  // Compaction rides the engine's cycle hooks. Freezing never changes
+  // contents, so a duplicate registration (attach called twice) is merely
+  // an idempotent second pass.
+  engine.add_cycle_hook(
+      [this](sim::Engine&, Cycle now) { compact_settled(now); });
+}
+
+void Tracker::set_compaction(bool enabled, Cycle settle_cycles) {
+  compaction_enabled_ = enabled;
+  settle_cycles_ = settle_cycles;
+}
+
+void Tracker::touch(ItemIdx item) {
+  if (item >= last_touch_.size()) return;
+  last_touch_[item] = engine_ != nullptr ? engine_->now() : Cycle{0};
+  settled_[item] = false;
+}
+
+void Tracker::compact_settled(Cycle now) {
+  if (!compaction_enabled_) return;
+  for (std::size_t item = 0; item < reached_.size(); ++item) {
+    if (settled_[item] || last_touch_[item] == kNoCycle ||
+        now - last_touch_[item] < settle_cycles_) {
+      continue;
+    }
+    reached_[item].freeze();
+    liked_[item].freeze();
+    settled_[item] = true;
+  }
+}
+
+std::size_t Tracker::frozen_sets() const {
+  std::size_t n = 0;
+  for (const HybridSet& s : reached_) n += s.is_frozen() ? 1 : 0;
+  for (const HybridSet& s : liked_) n += s.is_frozen() ? 1 : 0;
+  return n;
+}
+
+std::size_t Tracker::resident_bytes() const {
+  std::size_t total = sizeof(Tracker) + set_memory_bytes();
+  const auto vec_heap = [](const auto& v) {
+    return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  for (const HopCounts& hc : hops_) {
+    total += sizeof(HopCounts) + vec_heap(hc.forward_like) +
+             vec_heap(hc.infect_like) + vec_heap(hc.forward_dislike) +
+             vec_heap(hc.infect_dislike);
+  }
+  total += vec_heap(dislike_hist_) + vec_heap(duplicates_) +
+           vec_heap(publish_cycle_) + vec_heap(latency_by_cycle_) +
+           vec_heap(last_touch_) + settled_.capacity() / 8;
+  for (const auto& [node, series] : tracked_) {
+    (void)node;
+    total += sizeof(std::uint32_t) + vec_heap(series);
+  }
+  return total;
 }
 
 void Tracker::on_delivery(NodeId user, ItemIdx item, int hops, bool via_dislike,
                           int dislike_count) {
   if (item >= reached_.size() || user >= n_users_) return;
+  touch(item);
   reached_[item].set(user);
   ++total_deliveries_;
   if (engine_ != nullptr && publish_cycle_[item] != kNoCycle) {
@@ -92,6 +152,7 @@ void Tracker::on_opinion(NodeId user, ItemIdx item, bool liked) {
     }
   }
   if (item >= liked_.size() || user >= n_users_) return;
+  touch(item);
   liked_[item].set(user);
   if (user == last_delivery_user_ && item == last_delivery_item_) {
     const auto bin = static_cast<std::size_t>(
@@ -138,6 +199,7 @@ std::uint64_t Tracker::digest() const {
 
 void Tracker::on_duplicate(NodeId user, ItemIdx item) {
   if (item >= duplicates_.size() || user >= n_users_) return;
+  touch(item);
   ++duplicates_[item];
   ++total_duplicates_;
 }

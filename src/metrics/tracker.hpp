@@ -37,8 +37,30 @@ class Tracker : public sim::DisseminationObserver {
   Tracker(std::size_t n_users, std::size_t n_items);
 
   // Registers as the engine's observer and binds the clock used by the
-  // per-cycle series.
+  // per-cycle series. Also registers the compaction cycle hook (see
+  // set_compaction); the tracker must outlive the engine's run.
   void attach(sim::Engine& engine);
+
+  // Compact tracker mode (on by default): once an item has gone
+  // `settle_cycles` without a delivery/opinion/duplicate, its reached and
+  // liked sets are frozen into sorted varint delta blocks
+  // (HybridSet::freeze — adopted only when strictly smaller). Purely a
+  // storage change: digests are computed from the same ascending member
+  // iteration, and a late delivery transparently thaws the set, so
+  // fixed-seed trajectories are bit-identical with compaction on or off.
+  void set_compaction(bool enabled, Cycle settle_cycles = kDefaultSettleCycles);
+  static constexpr Cycle kDefaultSettleCycles = 16;
+  // Runs one compaction pass at cycle `now` (the attach hook calls this
+  // every cycle; exposed for tests).
+  void compact_settled(Cycle now);
+  // Number of currently frozen reached/liked sets (observability).
+  std::size_t frozen_sets() const;
+
+  // Full resident footprint of the tracker's measurement state: the
+  // reached/liked sets in their current representation plus every
+  // histogram, series, and bookkeeping vector. The scale-smoke memory
+  // counters report this (bench/macro_sim.cpp).
+  std::size_t resident_bytes() const;
 
   // sim::DisseminationObserver
   void on_delivery(NodeId user, ItemIdx item, int hops, bool via_dislike,
@@ -151,6 +173,17 @@ class Tracker : public sim::DisseminationObserver {
 
   sim::Engine* engine_ = nullptr;
   std::unordered_map<NodeId, std::vector<std::uint32_t>> tracked_;
+
+  // Compaction state: last cycle each item was touched (delivery, opinion
+  // or duplicate) and whether a freeze has already been attempted since.
+  // Touches are recorded on the main thread in canonical commit order and
+  // the pass runs in a cycle hook, so freezing is a deterministic function
+  // of the trajectory.
+  bool compaction_enabled_ = true;
+  Cycle settle_cycles_ = kDefaultSettleCycles;
+  std::vector<Cycle> last_touch_;
+  std::vector<bool> settled_;
+  void touch(ItemIdx item);
 };
 
 }  // namespace whatsup::metrics

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "profile/compact.hpp"
 #include "profile/item_profile.hpp"
 #include "profile/profile.hpp"
 
@@ -43,33 +44,31 @@ std::string to_string(Protocol protocol);
 
 // A view entry as shipped on the wire: node address/id, the time the owner
 // generated the entry, and a snapshot of the owner's profile (§II).
-// Snapshots are immutable, so views and messages share them by pointer —
-// gossip exchanges copy a pointer, not the profile contents.
+// Snapshots are immutable compact records interned process-wide
+// (profile/compact.hpp), so views and messages carry a 16-byte handle —
+// gossip exchanges copy a refcount, never the profile contents.
 struct Descriptor {
   NodeId node = kNoNode;
   Cycle timestamp = kNoCycle;
-  std::shared_ptr<const Profile> profile;
+  ProfileHandle profile;
 
-  const Profile& profile_ref() const {
-    static const Profile kEmpty;
-    return profile != nullptr ? *profile : kEmpty;
-  }
+  // Decoded SoA view of the snapshot (thread-local scratch; see
+  // ProfileHandle::materialize for the lifetime contract). Size-only
+  // consumers (the wire-size model) should read profile.size() instead.
+  const Profile& profile_ref() const { return profile.materialize(); }
 };
 
-// Deep-copies `profile` into a fresh snapshot. Hot paths should prefer a
-// ProfileSnapshotCache (profile/snapshot.hpp), which reuses one immutable
-// snapshot until the profile's version changes; this helper is for tests,
-// bootstrap wiring, and other cold paths. The norm cache is warmed so the
-// snapshot can be shared across shard workers (see snapshot.cpp).
+// Snapshots `profile`'s current contents into an interned compact record.
+// Hot paths should prefer a ProfileSnapshotCache (profile/snapshot.hpp),
+// which skips the intern-table lock while the profile's version is
+// unchanged; this helper is for tests, bootstrap wiring, and other cold
+// paths.
 inline Descriptor make_descriptor(NodeId node, Cycle timestamp, const Profile& profile) {
-  auto snapshot = std::make_shared<const Profile>(profile);
-  snapshot->norm();
-  return Descriptor{node, timestamp, std::move(snapshot)};
+  return Descriptor{node, timestamp, ProfileHandle::snapshot(profile)};
 }
 
-// Wraps an already-materialized snapshot without copying.
-inline Descriptor make_descriptor(NodeId node, Cycle timestamp,
-                                  std::shared_ptr<const Profile> snapshot) {
+// Wraps an already-interned snapshot without re-encoding.
+inline Descriptor make_descriptor(NodeId node, Cycle timestamp, ProfileHandle snapshot) {
   return Descriptor{node, timestamp, std::move(snapshot)};
 }
 

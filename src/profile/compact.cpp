@@ -1,0 +1,225 @@
+#include "profile/compact.hpp"
+
+#include <bit>
+#include <vector>
+#include <cstring>
+
+#include "common/varint.hpp"
+
+namespace whatsup {
+
+namespace {
+
+// Scratch staging for the sign-extended timestamp lanes (stack for the
+// common small profile, heap spill only for window-sized ones).
+using WideArray = SmallVector<std::uint64_t, Profile::kInlineEntries * 2>;
+
+bool all_binary(std::span<const double> scores) {
+  for (const double s : scores) {
+    if (s != 0.0 && s != 1.0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ProfileHandle CompactProfile::encode(const Profile& profile) {
+  auto* record = new CompactProfile();  // refs_ starts at 1: the handle's
+  const std::size_t n = profile.size();
+  record->version_ = profile.version();
+  record->norm_ = profile.norm();
+  record->count_ = static_cast<std::uint32_t>(n);
+  record->liked_ = static_cast<std::uint32_t>(profile.liked_count());
+
+  const std::span<const ItemId> ids = profile.ids();
+  const std::span<const Cycle> timestamps = profile.timestamps();
+  const std::span<const double> scores = profile.scores();
+  const bool binary = all_binary(scores);
+  record->flags_ = binary ? kBinaryScores : 0;
+
+  WideArray wide;
+  wide.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    wide[i] = static_cast<std::uint64_t>(static_cast<std::int64_t>(timestamps[i]));
+  }
+
+  SmallVector<std::uint8_t, kInlineBytes>& out = record->bytes_;
+  const std::size_t score_bytes = binary ? (n + 7) / 8 : n * sizeof(double);
+  out.reserve(delta_encoded_size(ids.data(), n) +
+              delta_encoded_size(wide.data(), n) + score_bytes);
+  delta_encode(out, ids.data(), n);
+  delta_encode(out, wide.data(), n);
+  if (binary) {
+    for (std::size_t base = 0; base < n; base += 8) {
+      std::uint8_t mask = 0;
+      for (std::size_t bit = 0; bit < 8 && base + bit < n; ++bit) {
+        if (scores[base + bit] == 1.0) mask |= static_cast<std::uint8_t>(1u << bit);
+      }
+      out.push_back(mask);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto word = std::bit_cast<std::uint64_t>(scores[i]);
+      for (std::size_t b = 0; b < sizeof(double); ++b) {
+        out.push_back(static_cast<std::uint8_t>(word >> (8 * b)));
+      }
+    }
+  }
+  return ProfileHandle::adopt(record);
+}
+
+void CompactProfile::decode_into(Profile& out) const {
+  const std::size_t n = count_;
+  out.ids_.resize(n);
+  out.timestamps_.resize(n);
+  out.scores_.resize(n);
+  const std::uint8_t* p = bytes_.data();
+  delta_decode(p, out.ids_.data(), n);
+  WideArray wide;
+  wide.resize(n);
+  delta_decode(p, wide.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.timestamps_[i] = static_cast<Cycle>(static_cast<std::int64_t>(wide[i]));
+  }
+  if ((flags_ & kBinaryScores) != 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out.scores_[i] = (p[i / 8] >> (i % 8)) & 1u ? 1.0 : 0.0;
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t word = 0;
+      std::memcpy(&word, p + i * sizeof(double), sizeof(double));
+      out.scores_[i] = std::bit_cast<double>(word);
+    }
+  }
+  out.liked_ = liked_;
+  out.version_ = version_;
+  out.cached_norm_ = norm_;
+  out.norm_dirty_ = false;
+}
+
+namespace {
+
+const Profile& static_empty_profile() {
+  static const Profile kEmpty;
+  return kEmpty;
+}
+
+// Per-thread decode scratch: a direct-mapped cache of SoA Profiles keyed
+// by the record version. The working set is every snapshot generation a
+// scoring sweep touches — NOT the ~50 candidates of one merge, but every
+// generation still alive in some view across the whole deployment, since
+// scoring sweeps revisit shared candidates node after node. A handful of
+// slots measures a ~0% hit rate and puts varint decode at the top of the
+// profile (~35% of the 500 n × 200 c row, 11M decodes); 8 K slots bring
+// that row within ~3% of the pre-compaction throughput (one decode per
+// generation per thread, amortized). Versions come from one global
+// counter (dense), so version & (slots-1) distributes uniformly. The
+// cost is a fixed ~4 MB per scoring thread — invisible at million-node
+// scale (+4 B/node single-threaded), where decode volume is dominated by
+// bootstrap, not per-cycle re-scoring, and hit rate matters less.
+constexpr std::size_t kScratchSlots = 8192;
+static_assert((kScratchSlots & (kScratchSlots - 1)) == 0,
+              "direct-mapped index needs a power-of-two slot count");
+
+struct ScratchSlot {
+  std::uint64_t version = 0;  // 0 = vacant (empty profiles never enter)
+  Profile profile;
+};
+
+const Profile& materialize_scratch(const CompactProfile& record) {
+  thread_local std::vector<ScratchSlot> slots(kScratchSlots);
+  ScratchSlot& slot = slots[record.version() & (kScratchSlots - 1)];
+  if (slot.version != record.version()) {
+    record.decode_into(slot.profile);
+    slot.version = record.version();
+  }
+  return slot.profile;
+}
+
+}  // namespace
+
+const Profile& ProfileHandle::materialize() const {
+  if (record_ == nullptr || record_->size() == 0) return static_empty_profile();
+  return materialize_scratch(*record_);
+}
+
+ProfileHandle ProfileHandle::snapshot(const Profile& profile) {
+  if (profile.version() == 0) return empty_profile_handle();
+  return SnapshotIntern::instance().intern(profile);
+}
+
+const ProfileHandle& empty_profile_handle() {
+  static const ProfileHandle kEmpty = CompactProfile::encode(Profile{});
+  return kEmpty;
+}
+
+SnapshotIntern& SnapshotIntern::instance() {
+  static SnapshotIntern intern;
+  return intern;
+}
+
+void SnapshotIntern::sweep_shard(Shard& shard) {
+  for (auto it = shard.map.begin(); it != shard.map.end();) {
+    // ref_count() == 1 means the table holds the only reference: no
+    // descriptor anywhere still ships this generation (see the revive-race
+    // note on SnapshotIntern::Shard).
+    if (it->second->ref_count() == 1) {
+      it->second->release();
+      it = shard.map.erase(it);
+      ++shard.purged;
+    } else {
+      ++it;
+    }
+  }
+  shard.sweep_at = shard.map.size() < 32 ? 64 : shard.map.size() * 2;
+}
+
+ProfileHandle SnapshotIntern::intern(const Profile& profile) {
+  const std::uint64_t version = profile.version();
+  Shard& shard = shards_[version % kShardCount];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (auto it = shard.map.find(version); it != shard.map.end()) {
+    ++shard.reused;
+    it->second->retain();
+    return ProfileHandle::adopt(it->second);
+  }
+  ProfileHandle handle = CompactProfile::encode(profile);
+  handle.record()->retain();  // the table's own reference
+  shard.map.emplace(version, handle.record());
+  ++shard.interned;
+  if (shard.map.size() >= shard.sweep_at) sweep_shard(shard);
+  return handle;
+}
+
+void SnapshotIntern::advance_epoch() {
+  const std::uint64_t epoch = epoch_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shards_[epoch % kShardCount];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  sweep_shard(shard);
+}
+
+void SnapshotIntern::purge_dead() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    sweep_shard(shard);
+  }
+}
+
+SnapshotIntern::Stats SnapshotIntern::stats() const {
+  Stats stats;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.entries += shard.map.size();
+    for (const auto& [version, record] : shard.map) {
+      (void)version;
+      if (record->ref_count() > 1) ++stats.live;
+    }
+    stats.interned += shard.interned;
+    stats.reused += shard.reused;
+    stats.purged += shard.purged;
+  }
+  return stats;
+}
+
+}  // namespace whatsup

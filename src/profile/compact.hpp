@@ -1,0 +1,234 @@
+// Compact interned profile snapshots — the storage layer behind every
+// net::Descriptor.
+//
+// A descriptor used to carry a deep `shared_ptr<const Profile>` snapshot:
+// ~230 bytes of SoA storage per copy (plus heap spill past 8 entries),
+// duplicated across every view and in-flight message that referenced the
+// same profile generation. At a million nodes the fan-out of those copies
+// is the dominant resident cost. This header replaces them with three
+// pieces:
+//
+//  * `CompactProfile` — an immutable, losslessly delta-encoded profile
+//    record: varint zigzag deltas for the (ascending, dense) item ids and
+//    the timestamps, and a 1-bit-per-entry mask for binary score vectors
+//    (user profiles are all 0/1; real-valued item-profile scores fall back
+//    to raw 8-byte doubles). The header keeps the source profile's
+//    `version()`, its cached `norm()` and `liked_count()`, so decoding
+//    reproduces a Profile that is bit-indistinguishable from a copy of the
+//    source — which is what keeps fixed-seed digest trajectories identical
+//    under this storage change.
+//  * `ProfileHandle` — the pointer-sized value views and messages actually
+//    hold (an intrusive refcount on the record, so the handle is 8 bytes
+//    where a shared_ptr would be 16 — at ~190 descriptors per node across
+//    views and in-flight gossip that halves a visible slice of the
+//    million-node budget). `materialize()` decodes on demand into a
+//    thread-local direct-mapped cache of SoA scratch Profiles keyed by
+//    version, so the similarity kernels run on exactly the flat arrays
+//    they were built for (the AVX-512 hot path is untouched). The
+//    returned reference stays valid until the same thread materializes
+//    another generation — callers hold at most one at a time.
+//  * `SnapshotIntern` — a global version-keyed weak intern table: every
+//    descriptor generation is encoded once and shared by all holders
+//    process-wide. Dead generations (no descriptor left) are purged
+//    epoch-wise: the engine advances the epoch each cycle, sweeping one
+//    shard of the table, and inserts amortize a sweep so the table stays
+//    bounded even without an engine.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "common/small_vector.hpp"
+#include "profile/profile.hpp"
+
+namespace whatsup {
+
+class ProfileHandle;
+
+class CompactProfile {
+ public:
+  // Encodes an immutable record of `profile`'s current contents and
+  // returns the (sole) owning handle. The norm cache is warmed (and
+  // captured) here, so decoded copies can be shared across shard workers
+  // without racing on the lazy norm.
+  static ProfileHandle encode(const Profile& profile);
+
+  // Restores the exact source contents (ids/timestamps/scores, version,
+  // liked count, cached norm) into `out`.
+  void decode_into(Profile& out) const;
+
+  std::size_t size() const { return count_; }
+  std::uint64_t version() const { return version_; }
+  double norm() const { return norm_; }
+  std::size_t liked_count() const { return liked_; }
+
+  // Encoded payload bytes (observability; excludes the record header).
+  std::size_t encoded_bytes() const { return bytes_.size(); }
+  // Full resident cost of this record: header + any heap spill.
+  std::size_t resident_bytes() const {
+    return sizeof(CompactProfile) +
+           (bytes_.capacity() > kInlineBytes ? bytes_.capacity() : 0);
+  }
+
+ private:
+  friend class ProfileHandle;
+  friend class SnapshotIntern;
+
+  static constexpr std::size_t kInlineBytes = 24;
+  static constexpr std::uint8_t kBinaryScores = 1;  // flags bit
+
+  // Intrusive reference count: one count per live ProfileHandle, plus one
+  // held by the intern table while the record is interned. Atomic because
+  // descriptors holding the same record are copied and dropped from
+  // concurrent shard workers (exactly the sharing shared_ptr gave us,
+  // without the second control-block pointer in every descriptor).
+  void retain() const { refs_.fetch_add(1, std::memory_order_relaxed); }
+  void release() const {
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
+  std::uint32_t ref_count() const { return refs_.load(std::memory_order_acquire); }
+
+  mutable std::atomic<std::uint32_t> refs_{1};
+  std::uint64_t version_ = 0;
+  double norm_ = 0.0;
+  std::uint32_t count_ = 0;
+  std::uint32_t liked_ = 0;
+  std::uint8_t flags_ = 0;
+  // Layout: [id deltas][timestamp deltas][score mask | raw doubles].
+  SmallVector<std::uint8_t, kInlineBytes> bytes_;
+};
+
+class ProfileHandle {
+ public:
+  ProfileHandle() = default;
+  // Bootstrap descriptors ship bare addresses: a null handle means "no
+  // snapshot", which view refresh treats differently from an empty profile.
+  ProfileHandle(std::nullptr_t) {}
+
+  ProfileHandle(const ProfileHandle& other) : record_(other.record_) {
+    if (record_ != nullptr) record_->retain();
+  }
+  ProfileHandle(ProfileHandle&& other) noexcept : record_(other.record_) {
+    other.record_ = nullptr;
+  }
+  ProfileHandle& operator=(const ProfileHandle& other) {
+    ProfileHandle copy(other);
+    std::swap(record_, copy.record_);
+    return *this;
+  }
+  ProfileHandle& operator=(ProfileHandle&& other) noexcept {
+    std::swap(record_, other.record_);
+    return *this;
+  }
+  ~ProfileHandle() {
+    if (record_ != nullptr) record_->release();
+  }
+
+  // Takes ownership of one reference to `record` (no retain).
+  static ProfileHandle adopt(const CompactProfile* record) {
+    ProfileHandle handle;
+    handle.record_ = record;
+    return handle;
+  }
+
+  // Interned snapshot of `profile`'s current contents (the replacement for
+  // make_shared<const Profile>(profile) everywhere descriptors are built).
+  static ProfileHandle snapshot(const Profile& profile);
+
+  // Decodes into thread-local SoA scratch (a direct-mapped cache keyed
+  // by version). Null and empty handles return a shared static empty
+  // Profile. The reference is invalidated by the thread's next
+  // materialize() — hold at most one at a time.
+  const Profile& materialize() const;
+
+  // Header reads that do NOT decode — the wire-size model and the memo key
+  // off these.
+  std::size_t size() const { return record_ ? record_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  std::uint64_t version() const { return record_ ? record_->version() : 0; }
+
+  const CompactProfile* record() const { return record_; }
+  const CompactProfile* operator->() const { return record_; }
+  long use_count() const { return record_ != nullptr ? record_->ref_count() : 0; }
+
+  explicit operator bool() const { return record_ != nullptr; }
+  bool operator==(std::nullptr_t) const { return record_ == nullptr; }
+  bool operator==(const ProfileHandle& other) const = default;
+
+ private:
+  const CompactProfile* record_ = nullptr;
+};
+
+static_assert(sizeof(ProfileHandle) == sizeof(void*),
+              "descriptors are meant to carry a pointer-sized handle");
+
+// Shared handle for empty profiles (version 0): non-null — an explicitly
+// empty snapshot is distinct from a bootstrap descriptor with no snapshot.
+const ProfileHandle& empty_profile_handle();
+
+class SnapshotIntern {
+ public:
+  static SnapshotIntern& instance();
+
+  // Returns a handle on the process-wide record for `profile`'s current
+  // version, encoding it on first sight. Version equality implies content
+  // equality (profile.hpp), so the record is shareable by construction.
+  // Thread-safe.
+  ProfileHandle intern(const Profile& profile);
+
+  // Epoch purge: sweeps ONE shard of the table, dropping entries whose
+  // record has no holder beyond the table's own reference. The engine
+  // calls this once per cycle, so dead snapshot generations are reclaimed
+  // within kShardCount cycles of their last holder vanishing, at O(shard)
+  // cost per cycle.
+  void advance_epoch();
+
+  // Full sweep of every shard (tests and shutdown hygiene).
+  void purge_dead();
+
+  struct Stats {
+    std::size_t entries = 0;   // table entries, live or dead
+    std::size_t live = 0;      // entries with a live record
+    std::uint64_t interned = 0;  // records encoded
+    std::uint64_t reused = 0;    // intern hits on a live record
+    std::uint64_t purged = 0;    // dead entries swept
+  };
+  Stats stats() const;
+
+ private:
+  SnapshotIntern() = default;
+
+  // Versions are drawn from one global counter, so version % kShardCount
+  // round-robins the shards.
+  static constexpr std::size_t kShardCount = 64;
+
+  // The table owns one reference per entry; an entry whose record has
+  // ref_count() == 1 has no outside holder left and is swept. A version
+  // cannot gain a new holder except through intern() (which takes the
+  // shard mutex) or by copying an existing handle (none exist at count 1),
+  // so the sweep's release-and-erase under the mutex cannot race a revive.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, const CompactProfile*> map;
+    // Inserts amortize a sweep once the map doubles past the last swept
+    // size, bounding dead-entry growth even without an engine epoch.
+    std::size_t sweep_at = 64;
+    std::uint64_t interned = 0;
+    std::uint64_t reused = 0;
+    std::uint64_t purged = 0;
+  };
+
+  // Drops every table-only entry of `shard` (caller holds shard.mu).
+  static void sweep_shard(Shard& shard);
+
+  Shard shards_[kShardCount];
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace whatsup

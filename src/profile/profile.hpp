@@ -116,6 +116,11 @@ class Profile {
   bool has_entries_older_than(Cycle cutoff) const;
 
  private:
+  // The lossless codec (profile/compact.hpp) restores contents, version,
+  // liked count and the cached norm directly, so a decoded profile is
+  // bit-indistinguishable from a copy of the encoded one.
+  friend class CompactProfile;
+
   // Sorted by id; profiles stay small (bounded by the profile window), so
   // flat sorted arrays beat node-based maps on both speed and memory.
   using IdArray = SmallVector<ItemId, kInlineEntries>;

@@ -1,70 +1,99 @@
-// Version-keyed caches around immutable profile snapshots — the memory
+// Version-keyed caches around interned profile snapshots — the memory
 // half of the gossip hot path.
 //
-// Descriptors ship profiles as shared, immutable `shared_ptr<const
-// Profile>` snapshots (net::Descriptor). The seed implementation deep-
+// Descriptors ship profiles as interned compact records behind a 16-byte
+// `ProfileHandle` (profile/compact.hpp). The seed implementation deep-
 // copied the sender's profile into a fresh snapshot for EVERY outgoing
 // gossip message, and rescored every candidate descriptor from scratch on
 // EVERY view merge. Both are redundant while the underlying profiles are
 // unchanged, which `Profile::version()` detects exactly: equal versions
 // imply equal contents (see profile.hpp).
 //
-//  * `ProfileSnapshotCache` re-materializes a node's outgoing snapshot
-//    only when its profile version changed; all empty profiles share one
-//    static snapshot.
-//  * `SimilarityMemo` memoizes similarity(metric, subject, candidate) per
-//    candidate node, keyed by (candidate node, candidate profile version,
-//    subject profile version, metric). Scores are recomputed only for
-//    descriptors whose profile (or whose subject) actually changed, and
-//    memoized values are bit-equal to fresh ones because similarity() is a
-//    pure function of the two profiles.
+//  * `ProfileSnapshotCache` re-interns a node's outgoing snapshot only
+//    when its profile version changed, skipping the intern-table lock on
+//    the (overwhelmingly common) unchanged path; all empty profiles share
+//    one static handle.
+//  * `SimilarityMemo` memoizes similarity(metric, subject, candidate) in a
+//    fixed-capacity open-addressed table keyed by (candidate node, metric)
+//    and guarded by (subject version, candidate version). A collision or
+//    eviction only ever costs a recompute: memoized values are bit-equal
+//    to fresh ones because similarity() is a pure function of the two
+//    profiles, so the table size is a perf knob, never a correctness one.
+//    The flat table replaces the seed's per-node unordered_map, which grew
+//    one heap node per peer ever scored (~30 KB/node at 100k nodes) — the
+//    single largest per-node cost on the road to million-node runs.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
 #include "common/ids.hpp"
+#include "profile/compact.hpp"
 #include "profile/similarity.hpp"
 
 namespace whatsup {
 
-// Shared snapshot of the empty profile (descriptors with no payload).
-const std::shared_ptr<const Profile>& empty_profile_snapshot();
-
 class ProfileSnapshotCache {
  public:
-  // Returns an immutable snapshot with the same contents as `profile`,
-  // reusing the previous snapshot while the version is unchanged.
-  std::shared_ptr<const Profile> get(const Profile& profile);
+  // Returns an interned snapshot with the same contents as `profile`,
+  // reusing the previous handle while the version is unchanged.
+  ProfileHandle get(const Profile& profile);
 
  private:
-  std::shared_ptr<const Profile> snapshot_;
+  ProfileHandle handle_;
   std::uint64_t version_ = 0;
 };
 
 class SimilarityMemo {
  public:
+  // `slots` is rounded up to a power of two (min 8). The default covers a
+  // WUP view (~20 stable peers) plus some churn of merge candidates at
+  // 0.75 KB per node; collisions beyond that only cost recomputes, and at
+  // the macro scale the smaller footprint beats the extra hit rate.
+  explicit SimilarityMemo(std::size_t slots = kDefaultSlots);
+
   // Memoized similarity(metric, subject, candidate); `node` is the owner
   // of `candidate` (the descriptor's node id, unique within one merge).
+  // The handle overload keys on the snapshot header and decodes only on a
+  // memo miss.
   double score(Metric metric, const Profile& subject, NodeId node,
                const Profile& candidate);
+  double score(Metric metric, const Profile& subject, NodeId node,
+               const ProfileHandle& candidate);
 
-  void clear() { entries_.clear(); }
-  std::size_t size() const { return entries_.size(); }
+  void clear();
+  std::size_t size() const;  // occupied slots
+  std::size_t slot_count() const { return mask_ + 1; }
+  std::size_t resident_bytes() const {
+    return sizeof(SimilarityMemo) +
+           (slots_ != nullptr ? (mask_ + 1) * sizeof(Entry) : 0);
+  }
+
+  static constexpr std::size_t kDefaultSlots = 32;
 
  private:
   struct Entry {
-    std::uint64_t subject_version = 0;
-    std::uint64_t candidate_version = 0;
+    NodeId node = kNoNode;
     Metric metric = Metric::kWup;
+    std::uint64_t candidate_version = 0;
     double value = 0.0;
   };
 
-  // One entry per peer node; bounded by the peers a node ever scores. The
-  // cap is a safety valve for very large deployments.
-  static constexpr std::size_t kMaxEntries = 1 << 14;
-  std::unordered_map<NodeId, Entry> entries_;
+  // Linear probe window: long enough to ride out clustering in a small
+  // power-of-two table, short enough to stay in two cache lines.
+  static constexpr std::size_t kProbe = 4;
+
+  template <typename Candidate>
+  double score_impl(Metric metric, const Profile& subject, NodeId node,
+                    std::uint64_t candidate_version, const Candidate& candidate);
+
+  void reset_entries();
+
+  // ~0 marks "no subject yet": real versions come from a counter and empty
+  // profiles report 0, so the sentinel cannot collide.
+  std::uint64_t subject_version_ = ~std::uint64_t{0};
+  std::size_t mask_ = 0;
+  std::unique_ptr<Entry[]> slots_;  // allocated on first score()
 };
 
 }  // namespace whatsup

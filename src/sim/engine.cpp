@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <thread>
+#include <variant>
 
+#include "profile/compact.hpp"
 #include "sim/shard.hpp"
 
 namespace whatsup::sim {
@@ -450,6 +452,10 @@ void Engine::deliver_shard(Shard& shard) {
   // circulate and steady-state cycles never reallocate message storage.
   shard.delivery_batch.clear();
   shard.delivery_batch.swap(due);
+  // The swap just emptied the bucket; drop post-burst capacity overhang so
+  // a storm cycle doesn't pin storm-sized storage in every ring bucket for
+  // the rest of the run (see trim_spare_capacity).
+  trim_spare_capacity(due, shard.delivery_batch.size());
   // Group by receiving node (ascending), keeping the canonical commit
   // order within each node. Nodes then shuffle THEIR OWN batch with their
   // per-cycle stream: delivery order per node is a pure function of the
@@ -496,7 +502,9 @@ void Engine::deliver_shard(Shard& shard) {
       shard.descriptor_pool.recycle(std::move(view->view));
     }
   }
+  const std::size_t delivered = shard.delivery_batch.size();
   shard.delivery_batch.clear();
+  trim_spare_capacity(shard.delivery_batch, delivered);
 }
 
 Engine::PoolStats Engine::descriptor_pool_stats() const {
@@ -507,6 +515,30 @@ Engine::PoolStats Engine::descriptor_pool_stats() const {
     total.fresh += s.fresh;
     total.recycled += s.recycled;
     total.available += shard->descriptor_pool.available();
+  }
+  return total;
+}
+
+Engine::MemoryStats Engine::memory_stats() const {
+  MemoryStats total;
+  const auto payload_heap = [](const net::Message& m) -> std::size_t {
+    if (const auto* view = std::get_if<net::ViewPayload>(&m.payload)) {
+      return view->view.capacity() * sizeof(net::Descriptor);
+    }
+    return 0;
+  };
+  for (const auto& shard : shards_) {
+    for (const auto& bucket : shard->mailbox) {
+      total.mailbox_bytes += bucket.capacity() * sizeof(PendingMessage);
+      for (const PendingMessage& pending : bucket) {
+        total.payload_bytes += payload_heap(pending.message);
+      }
+    }
+    total.outbox_bytes += shard->outbox.capacity() * sizeof(net::Message);
+    for (const net::Message& m : shard->outbox) total.payload_bytes += payload_heap(m);
+    total.pool_bytes += shard->descriptor_pool.memory_bytes();
+    total.scratch_bytes +=
+        shard->delivery_batch.capacity() * sizeof(PendingMessage);
   }
   return total;
 }
@@ -550,7 +582,9 @@ void Engine::commit_phase() {
       }
     }
     for (net::Message& m : shard.outbox) send(std::move(m));
+    const std::size_t sent = shard.outbox.size();
     shard.outbox.clear();
+    trim_spare_capacity(shard.outbox, sent);
   }
 }
 
@@ -566,6 +600,10 @@ void Engine::run_cycle() {
   run_phase([this](Shard& shard) { activate_shard(shard); });
   commit_phase();
   for (const CycleHook& hook : hooks_) hook(*this, now_);
+  // Epoch purge of the global snapshot intern table: one shard per cycle,
+  // between phases (no workers are running), so dead profile generations
+  // are reclaimed incrementally instead of accumulating for the whole run.
+  SnapshotIntern::instance().advance_epoch();
   ++now_;
 }
 

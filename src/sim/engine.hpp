@@ -226,6 +226,23 @@ class Engine : public ParallelExecutor {
   };
   PoolStats descriptor_pool_stats() const;
 
+  // Resident footprint of the engine's message machinery, aggregated over
+  // shards (observability for the memory-diet work; docs/perf.md "Memory
+  // map"). Capacities, not sizes: this is what the process actually holds
+  // across cycles, including recycled-but-retained buffers.
+  struct MemoryStats {
+    std::size_t mailbox_bytes = 0;   // ring buckets (envelope capacity)
+    std::size_t payload_bytes = 0;   // descriptor vectors inside queued messages
+    std::size_t outbox_bytes = 0;    // per-shard outbox capacity
+    std::size_t pool_bytes = 0;      // descriptor-pool free-list capacity
+    std::size_t scratch_bytes = 0;   // delivery-batch scratch capacity
+    std::size_t total() const {
+      return mailbox_bytes + payload_bytes + outbox_bytes + pool_bytes +
+             scratch_bytes;
+    }
+  };
+  MemoryStats memory_stats() const;
+
   // Commits a message immediately: traffic accounting, loss and latency
   // draws (engine stream), then routing into the destination shard's
   // mailbox. Main-thread entry point (tests, drivers); agent sends go

@@ -25,8 +25,10 @@
 // fixed-seed trajectory — is bit-identical across `threads` settings.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
+#include <cassert>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -84,7 +86,12 @@ class DescriptorBufferPool {
 
   void recycle(std::vector<net::Descriptor>&& buf) {
     buf.clear();  // release descriptor snapshots now, keep the capacity
-    if (buf.capacity() == 0 || free_.size() >= kMaxBuffers) return;
+    // Oversized buffers (rejoin replies, storm-grown views) would pin their
+    // burst capacity in the free list forever; let the allocator have them.
+    if (buf.capacity() == 0 || buf.capacity() > kMaxRetainedCapacity ||
+        free_.size() >= kMaxBuffers) {
+      return;
+    }
     free_.push_back(std::move(buf));
     ++stats_.recycled;
   }
@@ -92,13 +99,44 @@ class DescriptorBufferPool {
   const Stats& stats() const { return stats_; }
   std::size_t available() const { return free_.size(); }
 
+  // Retained free-list capacity in bytes (memory observability).
+  std::size_t memory_bytes() const {
+    std::size_t total = free_.capacity() * sizeof(std::vector<net::Descriptor>);
+    for (const auto& buf : free_) total += buf.capacity() * sizeof(net::Descriptor);
+    return total;
+  }
+
  private:
-  // Bounds pool memory per shard; beyond this, buffers fall back to the
-  // allocator exactly as before the pool existed.
+  // Bounds pool memory per shard; beyond these, buffers fall back to the
+  // allocator exactly as before the pool existed. Gossip views top out at
+  // `view_size` (20 by default) descriptors plus the sender, so 64 leaves
+  // generous headroom for configured-up views without retaining burst
+  // allocations.
   static constexpr std::size_t kMaxBuffers = 256;
+  static constexpr std::size_t kMaxRetainedCapacity = 64;
   std::vector<std::vector<net::Descriptor>> free_;
   Stats stats_;
 };
+
+// Releases the spare capacity of an empty staging vector once it dwarfs
+// the traffic it actually carried. Mailbox buckets, delivery scratch and
+// outboxes all converge to the largest burst they ever saw (capacities
+// circulate and never shrink), so after a news storm EVERY bucket of the
+// ring pins storm-sized storage for the rest of the run — the dominant
+// engine-side term of peak bytes/node at the million-node scale. The
+// reserve keeps half again the last fill, so ordinary cycle-to-cycle
+// growth never reallocates and only a >3x overhang (a genuine burst
+// receding) is returned to the allocator. Capacity management never
+// touches message content or order, so fixed-seed trajectories are
+// unchanged.
+template <typename T>
+inline void trim_spare_capacity(std::vector<T>& v, std::size_t last_fill) {
+  assert(v.empty() && "trim discards elements; call only on drained vectors");
+  const std::size_t keep = std::max<std::size_t>(64, last_fill + last_fill / 2);
+  if (v.capacity() <= 2 * keep) return;
+  std::vector<T>().swap(v);
+  v.reserve(keep);
+}
 
 struct Shard {
   Shard(NodeId begin, NodeId end, std::size_t window)

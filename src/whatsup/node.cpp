@@ -13,10 +13,27 @@ WhatsUpAgent::WhatsUpAgent(NodeId self, WhatsUpConfig config, const sim::Opinion
       rps_(self, static_cast<std::size_t>(config.params.rps_view_size),
            config.params.rps_period),
       wup_(self, static_cast<std::size_t>(config.params.effective_wup_view_size()),
-           config.metric, config.params.wup_period),
-      retx_(config.reliability),
-      dedup_(config.reliability.dedup_capacity),
-      hygiene_(config.hygiene) {}
+           config.metric, config.params.wup_period) {
+  if (config_.reliability.enabled || config_.hygiene.enabled() ||
+      config_.obfuscation.enabled()) {
+    opt_in_ = std::make_unique<OptInState>(config_);
+  }
+}
+
+const sim::RetransmitQueue& WhatsUpAgent::retransmit_queue() const {
+  static const sim::RetransmitQueue kEmpty{};
+  return opt_in_ != nullptr ? opt_in_->retx : kEmpty;
+}
+
+const sim::DedupLog& WhatsUpAgent::dedup_log() const {
+  static const sim::DedupLog kEmpty{};
+  return opt_in_ != nullptr ? opt_in_->dedup : kEmpty;
+}
+
+const gossip::ViewHygiene& WhatsUpAgent::hygiene() const {
+  static const gossip::ViewHygiene kEmpty{};
+  return opt_in_ != nullptr ? opt_in_->hygiene : kEmpty;
+}
 
 void WhatsUpAgent::bootstrap_rps(std::vector<net::Descriptor> seed) {
   rps_.bootstrap(std::move(seed));
@@ -27,23 +44,25 @@ void WhatsUpAgent::bootstrap_wup(std::vector<net::Descriptor> seed) {
 }
 
 const Profile& WhatsUpAgent::disclosed(Cycle now) {
-  return obfuscation_cache_.get(profile_, config_.obfuscation, self_, now);
+  // Only reachable behind config_.obfuscation.enabled(), so opt_in_ exists.
+  return opt_in_->obfuscation_cache.get(profile_, config_.obfuscation, self_, now);
 }
 
 void WhatsUpAgent::pump_retransmissions(sim::Context& ctx) {
-  if (retx_.pending() == 0) return;
+  sim::RetransmitQueue& retx = opt_in_->retx;
+  if (retx.pending() == 0) return;
   Rng rel = ctx.reliability_rng();
   std::vector<NodeId> expired;
-  for (sim::RetransmitQueue::Due& due : retx_.collect_due(ctx.now(), rel, &expired)) {
+  for (sim::RetransmitQueue::Due& due : retx.collect_due(ctx.now(), rel, &expired)) {
     ctx.send(due.to, net::MsgType::kNews, std::move(due.news));
   }
   // Retry exhaustion is the failure signal feeding view hygiene: enough of
   // them evicts the peer from BOTH views and drops its remaining entries.
   for (const NodeId failed : expired) {
-    if (hygiene_.report_failure(failed)) {
+    if (opt_in_->hygiene.report_failure(failed)) {
       rps_.view().remove(failed);
       wup_.view().remove(failed);
-      retx_.drop_target(failed);
+      retx.drop_target(failed);
     }
   }
 }
@@ -51,9 +70,9 @@ void WhatsUpAgent::pump_retransmissions(sim::Context& ctx) {
 void WhatsUpAgent::on_cycle(sim::Context& ctx) {
   // Profile window (§II-E): drop opinions on items older than the window.
   profile_.purge_older_than(ctx.now() - config_.params.profile_window);
-  if (hygiene_.enabled()) {
-    hygiene_.evict_stale(rps_.view(), ctx.now());
-    hygiene_.evict_stale(wup_.view(), ctx.now());
+  if (hygiene_on()) {
+    opt_in_->hygiene.evict_stale(rps_.view(), ctx.now());
+    opt_in_->hygiene.evict_stale(wup_.view(), ctx.now());
   }
   if (config_.reliability.enabled) pump_retransmissions(ctx);
   if (config_.obfuscation.enabled()) {
@@ -68,8 +87,8 @@ void WhatsUpAgent::on_cycle(sim::Context& ctx) {
 
 void WhatsUpAgent::on_message(sim::Context& ctx, const net::Message& message) {
   // Any message is evidence of life for its sender.
-  if (hygiene_.enabled() && message.from != kNoNode && message.from != self_) {
-    hygiene_.absolve(message.from);
+  if (hygiene_on() && message.from != kNoNode && message.from != self_) {
+    opt_in_->hygiene.absolve(message.from);
   }
   switch (message.type) {
     case net::MsgType::kRpsRequest:
@@ -97,7 +116,10 @@ void WhatsUpAgent::on_message(sim::Context& ctx, const net::Message& message) {
       handle_news(ctx, message.from, message.news());
       break;
     case net::MsgType::kAck:
-      retx_.ack(message.from, message.ack().item);
+      // An ack can reach a node that never tracks sends (mixed configs);
+      // with no reliability state it is a no-op, exactly as the empty
+      // queue made it before the state went lazy.
+      if (opt_in_ != nullptr) opt_in_->retx.ack(message.from, message.ack().item);
       break;
     case net::MsgType::kRejoinRequest:
       handle_rejoin_request(ctx, message.view());
@@ -136,9 +158,11 @@ void WhatsUpAgent::on_recover(sim::Context& ctx) {
   // died with the process; the profile and SIR set model durable storage.
   rps_.view().clear();
   wup_.view().clear();
-  retx_.clear();
-  dedup_.clear();
-  hygiene_.clear();
+  if (opt_in_ != nullptr) {
+    opt_in_->retx.clear();
+    opt_in_->dedup.clear();
+    opt_in_->hygiene.clear();
+  }
   const NodeId contact = ctx.random_active_peer();
   if (contact == kNoNode) return;
   net::ViewPayload hello;
@@ -157,11 +181,11 @@ void WhatsUpAgent::handle_news(sim::Context& ctx, NodeId from, net::NewsPayload 
     }
     // Classify exact-copy repeats (retransmissions, network duplicates)
     // with bounded memory; multi-path copies land under fresh keys.
-    dedup_.seen_or_insert(news.id, news.hops);
+    opt_in_->dedup.seen_or_insert(news.id, news.hops);
   }
   // SIR: an already-received item is dropped (§III) — but counted, so the
   // redundancy ratio (duplicate vs unique deliveries) is observable.
-  if (!seen_.insert(news.id).second) {
+  if (!seen_.insert(news.id)) {
     if (sim::DisseminationObserver* obs = ctx.observer(); obs != nullptr) {
       obs->on_duplicate(self_, news.index);
     }
@@ -200,12 +224,12 @@ void WhatsUpAgent::forward(sim::Context& ctx, bool liked, net::NewsPayload news)
   news.via_dislike = !liked;
   for (NodeId target : plan.targets) {
     ctx.send(target, net::MsgType::kNews, news);
-    if (config_.reliability.enabled) retx_.track(ctx.now(), target, news);
+    if (config_.reliability.enabled) opt_in_->retx.track(ctx.now(), target, news);
   }
 }
 
 void WhatsUpAgent::publish(sim::Context& ctx, ItemIdx index, ItemId id) {
-  if (!seen_.insert(id).second) return;
+  if (!seen_.insert(id)) return;
   // generateNewsItem (Alg. 1 lines 12-17): like the item, then initialise
   // its item profile from the full user profile.
   profile_.set(id, ctx.now(), 1.0);

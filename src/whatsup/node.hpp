@@ -7,9 +7,9 @@
 #pragma once
 
 #include <memory>
-#include <unordered_set>
 
 #include "beep/beep.hpp"
+#include "common/sorted_set.hpp"
 #include "gossip/clustering_protocol.hpp"
 #include "gossip/hygiene.hpp"
 #include "gossip/rps.hpp"
@@ -70,10 +70,12 @@ class WhatsUpAgent : public sim::Agent {
   const gossip::View& wup_view() const { return wup_.view(); }
   const WhatsUpConfig& config() const { return config_; }
   double avg_wup_similarity() const { return wup_.avg_similarity(profile_); }
-  bool has_seen(ItemId id) const { return seen_.count(id) != 0; }
-  const sim::RetransmitQueue& retransmit_queue() const { return retx_; }
-  const sim::DedupLog& dedup_log() const { return dedup_; }
-  const gossip::ViewHygiene& hygiene() const { return hygiene_; }
+  bool has_seen(ItemId id) const { return seen_.contains(id); }
+  // When the corresponding feature is off these return empty statics (the
+  // per-agent state only exists when some opt-in feature is configured).
+  const sim::RetransmitQueue& retransmit_queue() const;
+  const sim::DedupLog& dedup_log() const;
+  const gossip::ViewHygiene& hygiene() const;
 
  private:
   void handle_news(sim::Context& ctx, NodeId from, net::NewsPayload news);
@@ -87,19 +89,36 @@ class WhatsUpAgent : public sim::Agent {
   // obfuscation is on, the true profile otherwise.
   const Profile& disclosed(Cycle now);
 
+  // State for the opt-in layers (reliability, view hygiene, obfuscation),
+  // allocated only when at least one of them is configured on. The
+  // baseline protocol never touches any of it, and at the million-node
+  // scale the inline members (~600 B/agent: retransmit queue, dedup log,
+  // hygiene table, cached obfuscated Profile) were a significant slice of
+  // the per-node footprint in runs that enable none of them.
+  struct OptInState {
+    explicit OptInState(const WhatsUpConfig& config)
+        : retx(config.reliability),
+          dedup(config.reliability.dedup_capacity),
+          hygiene(config.hygiene) {}
+
+    sim::RetransmitQueue retx;     // reliability layer
+    sim::DedupLog dedup;           // duplicate classification (reliability)
+    gossip::ViewHygiene hygiene;   // failure-aware view hygiene
+    // Rebuilds the disclosed snapshot only when the profile version or the
+    // obfuscation epoch changes (perf only; see docs/perf.md).
+    ObfuscatedProfileCache obfuscation_cache;
+  };
+
+  bool hygiene_on() const { return opt_in_ != nullptr && opt_in_->hygiene.enabled(); }
+
   NodeId self_;
   WhatsUpConfig config_;
   const sim::Opinions* opinions_;
   Profile profile_;  // the user profile P~ (binary scores)
   gossip::Rps rps_;
   gossip::ClusteringProtocol wup_;
-  std::unordered_set<ItemId> seen_;  // SIR "removed" state
-  sim::RetransmitQueue retx_;        // reliability layer (opt-in)
-  sim::DedupLog dedup_;
-  gossip::ViewHygiene hygiene_;      // failure-aware view hygiene (opt-in)
-  // Rebuilds the disclosed snapshot only when the profile version or the
-  // obfuscation epoch changes (perf only; see docs/perf.md).
-  ObfuscatedProfileCache obfuscation_cache_;
+  SortedIdSet<ItemId, 4> seen_;  // SIR "removed" state (flat sorted, inline)
+  std::unique_ptr<OptInState> opt_in_;  // null when every opt-in layer is off
 };
 
 }  // namespace whatsup

@@ -1,0 +1,417 @@
+// Property tests for the compact-profile storage layer: the varint/delta
+// codec underneath it, bit-exact encode/decode round trips, the
+// thread-local materialize scratch ring, and the global snapshot intern
+// table (refcounts, reuse, epoch purge, cross-thread isolation).
+//
+// The contract that everything else in this PR leans on: a Profile decoded
+// from its CompactProfile is indistinguishable — contents, version, cached
+// norm, liked count — from a plain copy of the original. Anything less and
+// fixed-seed digest trajectories would drift.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/varint.hpp"
+#include "profile/compact.hpp"
+#include "profile/profile.hpp"
+
+namespace whatsup {
+namespace {
+
+// ---- varint / delta codec -------------------------------------------------
+
+std::vector<std::uint8_t> delta_bytes(const std::vector<std::uint64_t>& values) {
+  std::vector<std::uint8_t> out;
+  delta_encode(out, values.data(), values.size());
+  return out;
+}
+
+std::vector<std::uint64_t> delta_back(const std::vector<std::uint8_t>& bytes,
+                                      std::size_t n) {
+  std::vector<std::uint64_t> out(n);
+  const std::uint8_t* p = bytes.data();
+  delta_decode(p, out.data(), n);
+  EXPECT_EQ(p, bytes.data() + bytes.size());
+  return out;
+}
+
+TEST(VarintCodec, SingleValueRoundTrip) {
+  const std::uint64_t probes[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  (1ull << 32) - 1,
+                                  1ull << 32,
+                                  (1ull << 63),
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : probes) {
+    std::vector<std::uint8_t> buf;
+    varint_append(buf, v);
+    EXPECT_EQ(buf.size(), varint_size(v));
+    const std::uint8_t* p = buf.data();
+    EXPECT_EQ(varint_read(p), v);
+    EXPECT_EQ(p, buf.data() + buf.size());
+  }
+}
+
+TEST(VarintCodec, ZigzagIsAnInvolutionOnBoundaries) {
+  const std::int64_t probes[] = {0, 1, -1, 63, -64,
+                                 std::numeric_limits<std::int64_t>::max(),
+                                 std::numeric_limits<std::int64_t>::min()};
+  for (const std::int64_t v : probes) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+  // Small magnitudes must stay small after mapping (that's the point).
+  EXPECT_LE(zigzag_encode(-3), 8u);
+  EXPECT_LE(zigzag_encode(3), 8u);
+}
+
+TEST(DeltaCodec, AscendingSequences) {
+  Rng rng(100);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint64_t> values;
+    std::uint64_t cur = rng.index(1000);
+    const std::size_t n = rng.index(64);
+    for (std::size_t i = 0; i < n; ++i) {
+      cur += rng.index(5000);
+      values.push_back(cur);
+    }
+    const auto bytes = delta_bytes(values);
+    EXPECT_EQ(bytes.size(), delta_encoded_size(values.data(), values.size()));
+    EXPECT_EQ(delta_back(bytes, values.size()), values);
+  }
+}
+
+TEST(DeltaCodec, NonAscendingAndDuplicateAdjacent) {
+  // The codec is mod-2^64 arithmetic, so it must be lossless for ARBITRARY
+  // sequences — descending runs, repeats, zig-zags.
+  Rng rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint64_t> values;
+    const std::size_t n = rng.index(64);
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (rng.index(3)) {
+        case 0:
+          values.push_back(rng.next_u64());
+          break;
+        case 1:  // duplicate-adjacent
+          values.push_back(values.empty() ? 7 : values.back());
+          break;
+        case 2:  // strictly below the previous value
+          values.push_back(values.empty() ? 0 : values.back() - rng.index(100) - 1);
+          break;
+      }
+    }
+    EXPECT_EQ(delta_back(delta_bytes(values), values.size()), values);
+  }
+}
+
+TEST(DeltaCodec, BoundaryValues) {
+  const std::vector<std::uint64_t> values = {
+      std::numeric_limits<std::uint64_t>::max(),
+      0,
+      std::numeric_limits<std::uint64_t>::max(),
+      1ull << 63,
+      (1ull << 63) - 1,
+      0,
+      0};
+  EXPECT_EQ(delta_back(delta_bytes(values), values.size()), values);
+}
+
+TEST(DeltaCodec, EmptySequence) {
+  const std::vector<std::uint64_t> empty;
+  EXPECT_EQ(delta_encoded_size(empty.data(), 0), 0u);
+  EXPECT_TRUE(delta_bytes(empty).empty());
+}
+
+// ---- CompactProfile round trips -------------------------------------------
+
+Profile random_profile(Rng& rng, std::size_t entries, ItemId universe,
+                       bool binary_scores) {
+  Profile p;
+  for (std::size_t i = 0; i < entries; ++i) {
+    const double score = binary_scores ? (rng.bernoulli(0.5) ? 1.0 : 0.0)
+                                       : rng.uniform();
+    p.set(rng.index(universe) + 1, static_cast<Cycle>(rng.index(50)), score);
+  }
+  return p;
+}
+
+void expect_bit_identical(const Profile& original, const Profile& decoded) {
+  ASSERT_EQ(decoded, original);
+  EXPECT_EQ(decoded.version(), original.version());
+  EXPECT_EQ(decoded.liked_count(), original.liked_count());
+  EXPECT_EQ(decoded.norm(), original.norm());  // bit-equal, not approximate
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(decoded.entry(i).id, original.entry(i).id);
+    EXPECT_EQ(decoded.entry(i).timestamp, original.entry(i).timestamp);
+    EXPECT_EQ(decoded.entry(i).score, original.entry(i).score);
+  }
+}
+
+TEST(CompactProfile, RoundTripIsBitIdenticalToCopy) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const bool binary = rng.bernoulli(0.5);
+    const Profile p = random_profile(rng, rng.index(60), 200, binary);
+    const auto compact = CompactProfile::encode(p);
+    Profile decoded;
+    compact->decode_into(decoded);
+    expect_bit_identical(p, decoded);
+    // Header-only reads agree without decoding.
+    EXPECT_EQ(compact->size(), p.size());
+    EXPECT_EQ(compact->version(), p.version());
+    EXPECT_EQ(compact->liked_count(), p.liked_count());
+    EXPECT_EQ(compact->norm(), p.norm());
+  }
+}
+
+TEST(CompactProfile, BinaryScoresPackToBitmask) {
+  // All-binary scores encode as one bit each; real-valued scores fall back
+  // to raw 8-byte doubles. The binary form must be ~8x smaller on scores.
+  Rng rng(8);
+  Profile binary, real;
+  for (int i = 1; i <= 64; ++i) {
+    binary.set(i, 0, i % 2 == 0 ? 1.0 : 0.0);
+    real.set(i, 0, 0.25 + i * 1e-3);
+  }
+  const auto cb = CompactProfile::encode(binary);
+  const auto cr = CompactProfile::encode(real);
+  EXPECT_LT(cb->encoded_bytes() + 64 * 7, cr->encoded_bytes());
+  Profile db, dr;
+  cb->decode_into(db);
+  cr->decode_into(dr);
+  expect_bit_identical(binary, db);
+  expect_bit_identical(real, dr);
+}
+
+TEST(CompactProfile, NonFiniteAndNegativeScoresSurvive) {
+  Profile p;
+  p.set(1, 0, -0.0);
+  p.set(2, 0, std::numeric_limits<double>::infinity());
+  p.set(3, 0, std::numeric_limits<double>::denorm_min());
+  Profile decoded;
+  CompactProfile::encode(p)->decode_into(decoded);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded.entry(i).score),
+              std::bit_cast<std::uint64_t>(p.entry(i).score));
+  }
+}
+
+TEST(CompactProfile, NegativeTimestampsSurvive) {
+  Profile p;
+  p.set(5, -3, 1.0);
+  p.set(9, 40, 0.0);
+  Profile decoded;
+  CompactProfile::encode(p)->decode_into(decoded);
+  expect_bit_identical(p, decoded);
+}
+
+// ---- ProfileHandle + scratch ring -----------------------------------------
+
+TEST(ProfileHandle, NullVersusEmptyAreDistinct) {
+  const ProfileHandle null_handle;
+  EXPECT_TRUE(null_handle == nullptr);
+  EXPECT_FALSE(static_cast<bool>(null_handle));
+  const ProfileHandle& empty = empty_profile_handle();
+  EXPECT_FALSE(empty == nullptr);
+  EXPECT_TRUE(static_cast<bool>(empty));
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.version(), 0u);
+  EXPECT_TRUE(empty.materialize().empty());
+}
+
+TEST(ProfileHandle, HandleIsOnePointerWide) {
+  // The intrusive refcount lives in the record, so a descriptor pays one
+  // pointer per handle (a shared_ptr would pay two).
+  EXPECT_EQ(sizeof(ProfileHandle), sizeof(void*));
+}
+
+TEST(ProfileHandle, ScratchCacheSurvivesInterleavedMaterializes) {
+  // Many live versions hammered in random order: whether a materialize()
+  // hits the thread-local decode cache or decodes fresh (including
+  // direct-mapped slot collisions), the returned reference must always
+  // match the snapshot taken.
+  Rng rng(31);
+  std::vector<Profile> originals;
+  std::vector<ProfileHandle> handles;
+  for (int i = 0; i < 7; ++i) {
+    originals.push_back(random_profile(rng, 12, 80, false));
+    handles.push_back(ProfileHandle::snapshot(originals.back()));
+  }
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t k = rng.index(handles.size());
+    const Profile& view = handles[k].materialize();
+    expect_bit_identical(originals[k], view);
+  }
+}
+
+TEST(ProfileHandle, SnapshotIsImmutableUnderSourceMutation) {
+  Profile p;
+  p.set(1, 0, 1.0);
+  const ProfileHandle h = ProfileHandle::snapshot(p);
+  const Profile before = p;
+  p.set(2, 0, 1.0);
+  p.set(3, 5, 0.0);
+  expect_bit_identical(before, h.materialize());
+}
+
+// ---- SnapshotIntern -------------------------------------------------------
+
+TEST(SnapshotIntern, SameVersionSharesOneRecord) {
+  Profile p;
+  p.set(1, 0, 1.0);
+  const ProfileHandle a = ProfileHandle::snapshot(p);
+  const ProfileHandle b = ProfileHandle::snapshot(p);
+  EXPECT_EQ(a.record(), b.record());
+  EXPECT_GE(a.use_count(), 2);
+  p.set(2, 0, 1.0);  // content change → new version → new record
+  const ProfileHandle c = ProfileHandle::snapshot(p);
+  EXPECT_NE(c.record(), a.record());
+}
+
+TEST(SnapshotIntern, PurgeDropsDeadEntriesKeepsLive) {
+  auto& intern = SnapshotIntern::instance();
+  Profile keep, drop;
+  keep.set(1, 0, 1.0);
+  drop.set(2, 0, 1.0);
+  ProfileHandle live = ProfileHandle::snapshot(keep);
+  {
+    const ProfileHandle dead = ProfileHandle::snapshot(drop);
+    EXPECT_TRUE(static_cast<bool>(dead));
+  }  // `drop`'s record now has zero strong refs; only the weak entry remains
+  intern.purge_dead();
+  const auto stats = intern.stats();
+  EXPECT_EQ(stats.entries, stats.live);
+  // The live version must still intern to the SAME record after a purge.
+  const ProfileHandle again = ProfileHandle::snapshot(keep);
+  EXPECT_EQ(again.record(), live.record());
+  // The dead version re-interns to a fresh record (old one really was freed).
+  const ProfileHandle fresh = ProfileHandle::snapshot(drop);
+  EXPECT_TRUE(static_cast<bool>(fresh));
+}
+
+TEST(SnapshotIntern, EpochAdvanceEventuallySweepsEveryShard) {
+  auto& intern = SnapshotIntern::instance();
+  // Create dead entries across many shards (versions are sequential, so
+  // consecutive snapshots round-robin the shard index).
+  for (int i = 0; i < 256; ++i) {
+    Profile p;
+    p.set(static_cast<ItemId>(i + 1), 0, 1.0);
+    const ProfileHandle h = ProfileHandle::snapshot(p);
+  }
+  // One epoch advance sweeps one shard; a full lap covers all of them.
+  for (int i = 0; i < 64; ++i) intern.advance_epoch();
+  const auto stats = intern.stats();
+  EXPECT_EQ(stats.entries, stats.live);
+  EXPECT_GT(stats.purged, 0u);
+}
+
+TEST(SnapshotIntern, ThreadedInternAndMaterializeStayIsolated) {
+  // Exercised under TSan in CI: concurrent snapshot/materialize across
+  // threads must neither race nor bleed scratch state between threads.
+  constexpr int kThreads = 4;
+  constexpr int kProfiles = 16;
+  constexpr int kRounds = 200;
+  std::vector<Profile> profiles;
+  Rng seed_rng(77);
+  for (int i = 0; i < kProfiles; ++i) {
+    profiles.push_back(random_profile(seed_rng, 10, 64, false));
+  }
+  std::vector<ProfileHandle> handles;
+  for (const Profile& p : profiles) handles.push_back(ProfileHandle::snapshot(p));
+
+  std::vector<std::thread> workers;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      for (int round = 0; round < kRounds; ++round) {
+        const std::size_t k = rng.index(kProfiles);
+        // Interning the same version from many threads must converge on the
+        // shared record.
+        const ProfileHandle h = ProfileHandle::snapshot(profiles[k]);
+        if (h.record() != handles[k].record()) ++failures[t];
+        const Profile& view = h.materialize();
+        if (!(view == profiles[k])) ++failures[t];
+        if (view.version() != profiles[k].version()) ++failures[t];
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << "thread " << t;
+}
+
+TEST(SnapshotIntern, ThreadedSweepRacesInternCopyDrop) {
+  // The hostile schedule for the intrusive refcount: worker threads churn
+  // handles (intern, copy, drop — each drop may leave the table's reference
+  // as the last one) while a sweeper thread continuously purges. TSan runs
+  // this in CI; single-threaded it still pins the invariant that a record
+  // can never be reclaimed while an outside handle holds it.
+  constexpr int kThreads = 4;
+  constexpr int kProfiles = 8;
+  constexpr int kRounds = 300;
+  std::vector<Profile> profiles;
+  Rng seed_rng(78);
+  for (int i = 0; i < kProfiles; ++i) {
+    profiles.push_back(random_profile(seed_rng, 10, 64, false));
+  }
+
+  auto& intern = SnapshotIntern::instance();
+  std::atomic<bool> stop{false};
+  std::thread sweeper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      intern.advance_epoch();
+      intern.purge_dead();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(2000 + t);
+      for (int round = 0; round < kRounds; ++round) {
+        const std::size_t k = rng.index(kProfiles);
+        ProfileHandle h = ProfileHandle::snapshot(profiles[k]);
+        ProfileHandle copy = h;        // retain
+        ProfileHandle moved = std::move(h);  // steal
+        h = copy;                      // re-retain through assignment
+        // A sweep may have dropped the table entry between our intern and
+        // now; the record we hold must stay valid and intact regardless.
+        if (!(copy.materialize() == profiles[k])) ++failures[t];
+        if (moved.record() != copy.record()) ++failures[t];
+      }  // all three handles drop here — possibly the last references
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  sweeper.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << "thread " << t;
+  intern.purge_dead();
+  const auto stats = intern.stats();
+  EXPECT_EQ(stats.entries, stats.live);
+}
+
+TEST(SnapshotIntern, ResidentBytesTracksEncodedPayload) {
+  Profile small, large;
+  small.set(1, 0, 1.0);
+  for (int i = 1; i <= 300; ++i) large.set(i * 7, i, 0.5 + i * 1e-4);
+  const auto cs = CompactProfile::encode(small);
+  const auto cl = CompactProfile::encode(large);
+  EXPECT_GE(cs->resident_bytes(), sizeof(CompactProfile));
+  EXPECT_GT(cl->resident_bytes(), cl->encoded_bytes());
+  EXPECT_GT(cl->encoded_bytes(), cs->encoded_bytes());
+}
+
+}  // namespace
+}  // namespace whatsup

@@ -140,6 +140,112 @@ TEST(HybridSet, EqualityIsContentBasedAcrossRepresentations) {
   EXPECT_FALSE(a == c);  // different universe
 }
 
+TEST(HybridSet, FreezeKeepsEveryObservableIdentical) {
+  Rng rng(53);
+  for (const bool dense : {false, true}) {
+    HybridSet s(2048);  // threshold 64
+    const int inserts = dense ? 400 : 40;
+    for (int i = 0; i < inserts; ++i) s.set(rng.index(2048));
+    ASSERT_EQ(s.is_dense(), dense);
+    const HybridSet reference = s;
+    const std::vector<std::size_t> before = members_of(s);
+    const bool froze = s.freeze();
+    EXPECT_EQ(s.is_frozen(), froze);
+    // Whether or not the freeze was adopted (it is only adopted when the
+    // block is strictly smaller), contents must be unchanged.
+    EXPECT_EQ(s, reference);
+    EXPECT_EQ(members_of(s), before);
+    EXPECT_EQ(s.count(), before.size());
+    for (const std::size_t v : before) EXPECT_TRUE(s.test(v));
+    EXPECT_FALSE(s.test(2047) && before.empty());
+    std::vector<std::size_t> ranged;
+    s.for_each_set_in(100, 1500, [&ranged](std::size_t i) { ranged.push_back(i); });
+    std::vector<std::size_t> want;
+    for (const std::size_t v : before) {
+      if (v >= 100 && v < 1500) want.push_back(v);
+    }
+    EXPECT_EQ(ranged, want);
+  }
+}
+
+TEST(HybridSet, FreezeShrinksSpilledSparseSets) {
+  // A sparse set that spilled its inline buffer (k > 8, 4 bytes/member)
+  // freezes into ~1-2 bytes/member for clustered ids.
+  HybridSet s(100000);
+  for (std::size_t i = 0; i < 500; ++i) s.set(1000 + i * 3);  // small deltas
+  ASSERT_FALSE(s.is_dense());
+  const std::size_t before_bytes = s.memory_bytes();
+  ASSERT_TRUE(s.freeze());
+  EXPECT_TRUE(s.is_frozen());
+  EXPECT_LT(s.memory_bytes(), before_bytes);
+  EXPECT_EQ(s.count(), 500u);
+}
+
+TEST(HybridSet, FreezeSkipsInlineAndEmptySets) {
+  HybridSet empty(1024);
+  EXPECT_FALSE(empty.freeze());  // nothing to gain
+  HybridSet inline_small(1024);
+  for (std::size_t i = 0; i < 4; ++i) inline_small.set(i * 10);
+  EXPECT_FALSE(inline_small.freeze());  // inline storage has no heap to shed
+  EXPECT_EQ(inline_small.count(), 4u);
+}
+
+TEST(HybridSet, WritesThawFrozenSetsCorrectly) {
+  // A late delivery after the settle window must transparently thaw.
+  HybridSet s(4096);
+  for (std::size_t i = 0; i < 60; ++i) s.set(i * 60);
+  ASSERT_TRUE(s.freeze());
+  s.set(11);  // new member → thaw → insert
+  EXPECT_FALSE(s.is_frozen());
+  EXPECT_TRUE(s.test(11));
+  EXPECT_EQ(s.count(), 61u);
+  // Setting an EXISTING member of a frozen set stays frozen (no-op write).
+  ASSERT_TRUE(s.freeze());
+  s.set(60);
+  EXPECT_TRUE(s.is_frozen());
+  EXPECT_EQ(s.count(), 61u);
+}
+
+TEST(HybridSet, ThawRestoresRepresentationByCount) {
+  // Below the promote threshold → sparse; above → dense. Same rule as
+  // insertion-time promotion, so a freeze/thaw cycle is invisible.
+  HybridSet sparse(4096);  // threshold 128
+  for (std::size_t i = 0; i < 60; ++i) sparse.set(i * 60);
+  ASSERT_TRUE(sparse.freeze());
+  sparse.thaw();
+  EXPECT_FALSE(sparse.is_dense());
+  EXPECT_EQ(sparse.count(), 60u);
+
+  HybridSet dense(4096);
+  Rng rng(59);
+  for (int i = 0; i < 600; ++i) dense.set(rng.index(4096));
+  ASSERT_TRUE(dense.is_dense());
+  const HybridSet reference = dense;
+  if (dense.freeze()) {
+    dense.thaw();
+    EXPECT_TRUE(dense.is_dense());
+    EXPECT_EQ(dense, reference);
+  }
+}
+
+TEST(HybridSet, FrozenEqualityAndIntersectAcrossRepresentations) {
+  Rng rng(61);
+  HybridSet a(2048), b(2048);
+  std::vector<std::size_t> values;
+  for (int i = 0; i < 50; ++i) values.push_back(rng.index(2048));
+  for (const std::size_t v : values) {
+    a.set(v);
+    b.set(v);
+  }
+  ASSERT_TRUE(a.freeze());
+  EXPECT_EQ(a, b);  // frozen vs sparse
+  EXPECT_EQ(b, a);
+  DynBitset interest(2048);
+  for (int i = 0; i < 300; ++i) interest.set(rng.index(2048));
+  EXPECT_EQ(a.intersect_count(interest), b.intersect_count(interest));
+  EXPECT_EQ(a.to_bitset(), b.to_bitset());
+}
+
 TEST(HybridSet, PromotionIndependentOfInsertionOrder) {
   Rng rng(47);
   std::vector<std::size_t> values;

@@ -141,20 +141,21 @@ TEST(SnapshotCache, ReusesSnapshotUntilVersionChanges) {
   p.set(1, 0, 1.0);
   const auto s1 = cache.get(p);
   const auto s2 = cache.get(p);
-  EXPECT_EQ(s1.get(), s2.get());  // shared, not re-copied
-  EXPECT_EQ(*s1, p);
+  EXPECT_EQ(s1.record(), s2.record());  // shared, not re-encoded
+  EXPECT_EQ(s1.materialize(), p);
   p.set(2, 0, 0.0);
   const auto s3 = cache.get(p);
-  EXPECT_NE(s3.get(), s1.get());
-  EXPECT_EQ(*s3, p);
-  EXPECT_EQ(*s1, (([] { Profile q; q.set(1, 0, 1.0); return q; })()));  // immutable
+  EXPECT_NE(s3.record(), s1.record());
+  EXPECT_EQ(s3.materialize(), p);
+  EXPECT_EQ(s1.materialize(),
+            (([] { Profile q; q.set(1, 0, 1.0); return q; })()));  // immutable
 }
 
 TEST(SnapshotCache, EmptyProfilesShareOneSnapshot) {
   ProfileSnapshotCache cache_a, cache_b;
   const Profile empty_a, empty_b;
-  EXPECT_EQ(cache_a.get(empty_a).get(), cache_b.get(empty_b).get());
-  EXPECT_EQ(cache_a.get(empty_a).get(), empty_profile_snapshot().get());
+  EXPECT_EQ(cache_a.get(empty_a).record(), cache_b.get(empty_b).record());
+  EXPECT_EQ(cache_a.get(empty_a).record(), empty_profile_handle().record());
 }
 
 TEST(SimilarityMemo, MatchesDirectSimilarityThroughMutations) {

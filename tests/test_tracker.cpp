@@ -164,6 +164,96 @@ TEST(HopCounts, AccumulateResizesAndWeights) {
   EXPECT_EQ(a.max_hop(), 3u);
 }
 
+TEST(Tracker, CompactionFreezesOnlyAfterSettleWindow) {
+  Tracker tracker(100000, 2);
+  // Spill both items' sets past the inline buffer so freezing can shrink.
+  for (NodeId u = 0; u < 40; ++u) {
+    tracker.on_delivery(u * 50, 0, 1, false, 0);  // touched at cycle 0
+    tracker.on_delivery(u * 50, 1, 1, false, 0);
+  }
+  const std::uint64_t digest_before = tracker.digest();
+  tracker.compact_settled(Tracker::kDefaultSettleCycles - 1);
+  EXPECT_EQ(tracker.frozen_sets(), 0u) << "inside the settle window";
+  tracker.compact_settled(Tracker::kDefaultSettleCycles);
+  EXPECT_GT(tracker.frozen_sets(), 0u) << "window elapsed for both items";
+  EXPECT_EQ(tracker.digest(), digest_before) << "freezing is storage-only";
+  EXPECT_EQ(tracker.reached(0).count(), 40u);
+}
+
+TEST(Tracker, CompactionDisabledNeverFreezes) {
+  Tracker tracker(100000, 1);
+  tracker.set_compaction(false);
+  for (NodeId u = 0; u < 40; ++u) tracker.on_delivery(u * 50, 0, 1, false, 0);
+  tracker.compact_settled(1000);
+  EXPECT_EQ(tracker.frozen_sets(), 0u);
+}
+
+TEST(Tracker, LateDeliveryThawsAndStaysCorrect) {
+  Tracker tracker(100000, 1);
+  for (NodeId u = 0; u < 40; ++u) tracker.on_delivery(u * 50, 0, 1, false, 0);
+  tracker.compact_settled(1000);
+  ASSERT_GT(tracker.frozen_sets(), 0u);
+  const std::uint64_t frozen_digest = tracker.digest();
+  // A straggler copy arrives after the window closed: the set must thaw,
+  // record it, and become freezable again after a fresh window.
+  tracker.on_delivery(12345, 0, 6, false, 0);
+  EXPECT_TRUE(tracker.reached(0).test(12345));
+  EXPECT_EQ(tracker.reached(0).count(), 41u);
+  EXPECT_NE(tracker.digest(), frozen_digest) << "new member must change state";
+  tracker.compact_settled(1000 + 2 * Tracker::kDefaultSettleCycles);
+  EXPECT_GT(tracker.frozen_sets(), 0u);
+  EXPECT_TRUE(tracker.reached(0).test(12345));
+}
+
+TEST(Tracker, DigestIdenticalWithCompactionOnAndOff) {
+  // Same event stream, compaction interleaved vs never: every intermediate
+  // digest must agree. This is the storage-only contract the determinism
+  // suite relies on.
+  const auto feed = [](Tracker& t, bool compact) {
+    std::vector<std::uint64_t> digests;
+    for (int burst = 0; burst < 4; ++burst) {
+      for (NodeId u = 0; u < 30; ++u) {
+        const NodeId user = u * 97 + burst;
+        t.on_delivery(user, burst % 2, 1 + burst, burst % 2 == 1, 0);
+        t.on_opinion(user, burst % 2, u % 3 == 0);
+        if (u % 7 == 0) t.on_duplicate(user, burst % 2);
+      }
+      if (compact) t.compact_settled(1000 * (burst + 1));
+      digests.push_back(t.digest());
+    }
+    return digests;
+  };
+  Tracker with(100000, 2), without(100000, 2);
+  without.set_compaction(false);
+  EXPECT_EQ(feed(with, true), feed(without, false));
+  EXPECT_GT(with.frozen_sets(), 0u) << "the compacted run really froze sets";
+  EXPECT_EQ(without.frozen_sets(), 0u);
+}
+
+TEST(Tracker, ResidentBytesPinsTheAccounting) {
+  Tracker tracker(100000, 3);
+  const std::size_t empty_bytes = tracker.resident_bytes();
+  EXPECT_GE(empty_bytes, sizeof(Tracker));
+  // Spill item 0's reached set and hop histograms.
+  for (NodeId u = 0; u < 64; ++u) tracker.on_delivery(u * 100, 0, 3, false, 0);
+  const std::size_t grown = tracker.resident_bytes();
+  EXPECT_GT(grown, empty_bytes);
+  // The growth must cover at least the set spill reported by the sets
+  // themselves plus the hop histogram heap.
+  EXPECT_GE(grown, sizeof(Tracker) + tracker.set_memory_bytes());
+  // Freezing shrinks the resident accounting (that's its whole point), and
+  // resident_bytes must follow the representation change.
+  tracker.compact_settled(1000);
+  ASSERT_GT(tracker.frozen_sets(), 0u);
+  EXPECT_LT(tracker.resident_bytes(), grown);
+  // Tracked-node series are charged too.
+  tracker.track_node(5);
+  Tracker probe(10, 1);
+  const std::size_t before_series = probe.resident_bytes();
+  probe.track_node(7);
+  EXPECT_GE(probe.resident_bytes(), before_series);
+}
+
 TEST(Tracker, AttachRegistersAsEngineObserver) {
   sim::Engine engine({1, {}, {}});
   Tracker tracker(4, 2);
