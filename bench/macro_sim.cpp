@@ -39,6 +39,11 @@
 //   --scenario=F  .scn event timeline applied to the custom row (implies
 //                 the custom row at 500 nodes when --nodes is not given);
 //                 see src/scenario/ and scenarios/
+//   --partitions=P  run the custom row distributed: fork P lockstep worker
+//                 processes over a socketpair mesh (bench/
+//                 partition_launcher.hpp), each owning one node fragment.
+//                 Reports simulated cycles/s of the whole partitioned run;
+//                 memory counters then cover only fragment 0's process.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -55,6 +60,7 @@
 
 #include "analysis/runner.hpp"
 #include "dataset/survey.hpp"
+#include "partition_launcher.hpp"
 #include "scenario/scenario.hpp"
 
 namespace whatsup {
@@ -134,7 +140,7 @@ void run_macro(benchmark::State& state, std::size_t users, std::size_t items,
                const scenario::Timeline* timeline = nullptr,
                const net::NetworkConfig* network = nullptr,
                bool reliability = false, Cycle warmup_cycles = 5,
-               Cycle drain_cycles = 15) {
+               Cycle drain_cycles = 15, std::size_t partitions = 1) {
   const data::Workload workload = macro_workload(users, items);
   analysis::RunConfig config;
   config.approach = analysis::Approach::kWhatsUp;
@@ -158,6 +164,35 @@ void run_macro(benchmark::State& state, std::size_t users, std::size_t items,
   const auto total = static_cast<std::size_t>(config.total_cycles());
   // Isolate this row's memory counters from whatever ran before it.
   const bool reset_ok = reset_peak_rss();
+  if (partitions > 1) {
+    // Distributed row: each iteration forks partitions-1 workers over a
+    // socketpair mesh and runs one node fragment per process (the bench
+    // process doubles as fragment 0). fork() is safe here: run_protocol's
+    // thread pool is joined before each iteration returns, so no threads
+    // are live at fork time. Memory counters below cover only fragment 0.
+    config.collect_cycle_digests = true;  // workers ship digest series back
+    for (auto _ : state) {
+      const std::vector<std::uint64_t> digests = bench::run_partitioned(
+          partitions, [&](sim::Transport& transport) {
+            analysis::RunConfig worker_config = config;
+            worker_config.partitions = static_cast<int>(partitions);
+            worker_config.transport = &transport;
+            return analysis::run_protocol(workload, worker_config).cycle_digests;
+          });
+      benchmark::DoNotOptimize(digests.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * total));
+    state.counters["nodes"] = static_cast<double>(workload.num_users());
+    state.counters["cycles"] = static_cast<double>(total);
+    state.counters["threads"] = static_cast<double>(threads);
+    state.counters["partitions"] = static_cast<double>(partitions);
+    state.counters["mem_isolated"] = reset_ok ? 1.0 : 0.0;
+    const double peak_kib = static_cast<double>(proc_status_kib("VmHWM"));
+    state.counters["peak_rss_mb"] = peak_kib / 1024.0;
+    state.counters["peak_bytes_per_node"] =
+        peak_kib * 1024.0 / static_cast<double>(workload.num_users());
+    return;
+  }
   for (auto _ : state) {
     const analysis::RunResult result = analysis::run_protocol(workload, config);
     benchmark::DoNotOptimize(result.scores.f1);
@@ -231,6 +266,7 @@ std::size_t g_custom_items = 0;  // 0 = nodes/20 (capped-item default)
 Cycle g_custom_cycles = 0;       // 0 = 50 publication cycles
 Cycle g_custom_warmup = -1;      // <0 = default 5
 Cycle g_custom_drain = -1;       // <0 = default 15
+std::size_t g_custom_partitions = 1;  // worker processes; 1 = in-process
 std::string g_custom_scenario;   // .scn path; empty = plain run
 
 void BM_WhatsUpSim_Custom(benchmark::State& state) {
@@ -246,11 +282,11 @@ void BM_WhatsUpSim_Custom(benchmark::State& state) {
   if (!g_custom_scenario.empty()) {
     const scenario::Timeline timeline = scenario::parse_file(g_custom_scenario);
     run_macro(state, g_custom_nodes, items, publish, threads, &timeline,
-              nullptr, false, warmup, drain);
+              nullptr, false, warmup, drain, g_custom_partitions);
     return;
   }
   run_macro(state, g_custom_nodes, items, publish, threads, nullptr, nullptr,
-            false, warmup, drain);
+            false, warmup, drain, g_custom_partitions);
 }
 
 // Consumes --nodes=/--threads=/--items=/--cycles= (also "--flag value"
@@ -285,6 +321,9 @@ void parse_local_flags(int& argc, char** argv) {
       g_custom_warmup = static_cast<Cycle>(std::strtol(value.c_str(), nullptr, 10));
     } else if (match("drain", value)) {
       g_custom_drain = static_cast<Cycle>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (match("partitions", value)) {
+      g_custom_partitions = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10)));
     } else if (match("scenario", value)) {
       g_custom_scenario = value;
     } else {
@@ -292,8 +331,11 @@ void parse_local_flags(int& argc, char** argv) {
     }
   }
   argc = out;
-  // A scenario implies the custom row; default it to the baseline scale.
-  if (!g_custom_scenario.empty() && g_custom_nodes == 0) g_custom_nodes = 500;
+  // A scenario or a partitioned run implies the custom row; default it to
+  // the baseline scale.
+  if ((!g_custom_scenario.empty() || g_custom_partitions > 1) && g_custom_nodes == 0) {
+    g_custom_nodes = 500;
+  }
 }
 
 }  // namespace

@@ -5,12 +5,18 @@
 //
 //   bench_scenario_sim --scenario scenarios/kitchen_sink.scn [--scale 0.5]
 //       [--workload survey] [--seed N] [--fanout F] [--threads T]
-//       [--shard-nodes W]
+//       [--shard-nodes W] [--partitions P]
 //
 // The run is extended so the timeline's horizon always fits inside the
 // publication+drain phases. Fixed-seed output is bit-identical for any
 // --threads / --shard-nodes (the determinism suite pins this); the
 // fingerprint line makes that easy to eyeball across invocations.
+//
+// --partitions P > 1 forks P lockstep worker processes over a socketpair
+// mesh (bench/partition_launcher.hpp), each running one node fragment;
+// per-window tables are skipped (workers hold partial metrics) but the
+// trajectory fingerprint line is printed in the exact single-process
+// format — the distributed-smoke CI job diffs the two.
 #include <algorithm>
 #include <iostream>
 
@@ -18,7 +24,27 @@
 #include "analysis/runner.hpp"
 #include "common/flags.hpp"
 #include "common/table.hpp"
+#include "partition_launcher.hpp"
 #include "scenario/scenario.hpp"
+
+namespace {
+
+// FNV-1a over the per-cycle tracker digests: one number that pins the
+// whole measured trajectory (equal across --threads / --shard-nodes /
+// --partitions).
+void print_fingerprint(const std::vector<std::uint64_t>& cycle_digests) {
+  std::uint64_t fingerprint = 0xcbf29ce484222325ULL;
+  for (const std::uint64_t digest : cycle_digests) {
+    for (int byte = 0; byte < 8; ++byte) {
+      fingerprint ^= (digest >> (8 * byte)) & 0xff;
+      fingerprint *= 0x100000001b3ULL;
+    }
+  }
+  std::cout << "Trajectory fingerprint: " << std::hex << fingerprint << std::dec
+            << " over " << cycle_digests.size() << " cycles\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace whatsup;
@@ -34,6 +60,8 @@ int main(int argc, char** argv) {
       flags.get_int("threads", 1, "engine worker threads (0 = hardware concurrency)"));
   const auto shard_nodes = static_cast<std::size_t>(
       flags.get_int("shard-nodes", 0, "nodes per shard (0 = engine default)"));
+  const auto partitions = static_cast<std::size_t>(flags.get_int(
+      "partitions", 1, "worker processes (socket transport); 1 = in-process"));
   if (flags.maybe_print_help(std::cout)) return 0;
   if (spec_path.empty()) {
     std::cerr << "error: --scenario <file.scn> is required (see scenarios/)\n";
@@ -74,7 +102,26 @@ int main(int argc, char** argv) {
                           std::to_string(timeline.num_spam_items()) + " spam items)"
                     : std::string())
             << "; " << config.total_cycles() << " cycles, threads=" << threads
+            << (partitions > 1 ? ", partitions=" + std::to_string(partitions)
+                               : std::string())
             << "\n\n";
+
+  if (partitions > 1) {
+    // Distributed mode: fork one worker per fragment, sum the partial
+    // per-cycle digests, and print the fingerprint in the single-process
+    // format. Score tables are skipped — each worker holds only its own
+    // fragment's metrics.
+    std::cout.flush();  // children inherit the stream buffer
+    const std::vector<std::uint64_t> digests = bench::run_partitioned(
+        partitions, [&](sim::Transport& transport) {
+          analysis::RunConfig worker_config = config;
+          worker_config.partitions = static_cast<int>(partitions);
+          worker_config.transport = &transport;
+          return analysis::run_protocol(workload, worker_config).cycle_digests;
+        });
+    print_fingerprint(digests);
+    return 0;
+  }
 
   const analysis::RunResult result = analysis::run_protocol(workload, config);
 
@@ -96,16 +143,6 @@ int main(int argc, char** argv) {
             << result.gossip_messages << " gossip messages ("
             << fixed(result.msgs_per_user, 1) << " msgs/user)\n";
 
-  // FNV-1a over the per-cycle tracker digests: one number that pins the
-  // whole measured trajectory (equal across --threads / --shard-nodes).
-  std::uint64_t fingerprint = 0xcbf29ce484222325ULL;
-  for (const std::uint64_t digest : result.cycle_digests) {
-    for (int byte = 0; byte < 8; ++byte) {
-      fingerprint ^= (digest >> (8 * byte)) & 0xff;
-      fingerprint *= 0x100000001b3ULL;
-    }
-  }
-  std::cout << "Trajectory fingerprint: " << std::hex << fingerprint << std::dec
-            << " over " << result.cycle_digests.size() << " cycles\n";
+  print_fingerprint(result.cycle_digests);
   return 0;
 }

@@ -143,7 +143,13 @@ RunResult run_protocol(const data::Workload& base_workload, const RunConfig& con
   engine_config.network = config.network;
   engine_config.threads = config.threads;
   engine_config.shard_nodes = config.shard_nodes;
+  engine_config.transport = config.transport;
   sim::Engine engine(engine_config);
+  // Fragment mode: this process runs one lockstep worker of a partitioned
+  // run (sim/transport.hpp). The whole setup below executes identically on
+  // every worker — same workload copy, same schedule, same scenario — and
+  // the engine partitions agent execution by ownership.
+  const bool fragmented = engine.fragments() > 1;
 
   // Scenario wiring: prepare() rewrites the publication schedule (flash
   // crowds) and appends spam items BEFORE the calendar is built and the
@@ -275,6 +281,19 @@ RunResult run_protocol(const data::Workload& base_workload, const RunConfig& con
   const Cycle measure_from = config.warmup_cycles + config.measure_margin;
   for (const data::NewsSpec& spec : workload.news) {
     if (spec.publish_at >= measure_from) result.measured.push_back(spec.index);
+  }
+  if (fragmented) {
+    // Partial results only: this worker's tracker saw just the owned
+    // nodes' events, and the full collection passes below dereference
+    // every agent (outer slots are null here). The per-cycle digests are
+    // the payload — commutative partials that sum (mod 2^64) across
+    // workers to the single-process series — plus partial traffic for
+    // observability.
+    result.cycle_digests = std::move(cycle_digests);
+    result.news_messages = engine.traffic().messages(net::Protocol::kBeep);
+    result.gossip_messages = engine.traffic().messages(net::Protocol::kRps) +
+                             engine.traffic().messages(net::Protocol::kWup);
+    return result;
   }
   result.reached = tracker.reached_sets();
   // Score reduction fans out over the engine's worker pool (fixed chunk

@@ -19,6 +19,7 @@
 #include "scenario/scenario.hpp"
 #include "sim/opinions.hpp"
 #include "sim/reliability.hpp"
+#include "sim/transport.hpp"
 #include "whatsup/params.hpp"
 
 namespace whatsup::analysis {
@@ -91,6 +92,19 @@ struct RunConfig {
   // Record metrics::Tracker::digest() after every cycle into
   // RunResult::cycle_digests (the determinism suite's trajectory pin).
   bool collect_cycle_digests = false;
+
+  // Fragment partitioning (sim/transport.hpp). `partitions` is the
+  // launcher-level knob (how many lockstep worker processes/threads to
+  // run; 1 = the classic single-process engine); each worker passes its
+  // own connected Transport here. With a multi-fragment transport the run
+  // executes only the owned node fragment, and RunResult carries this
+  // worker's PARTIAL per-cycle digests (summing all workers' series mod
+  // 2^64 yields the single-process series — Tracker::digest is
+  // commutative) plus partial traffic; the agent-dereferencing collection
+  // passes (scores, overlay, per-user reductions) are skipped. The
+  // transport is not owned and must outlive the run.
+  int partitions = 1;
+  sim::Transport* transport = nullptr;
 
   Cycle total_cycles() const { return warmup_cycles + publish_cycles + drain_cycles; }
 

@@ -173,26 +173,48 @@ void Tracker::on_forward(NodeId user, ItemIdx item, int hops, bool liked,
 }
 
 std::uint64_t Tracker::digest() const {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  const auto mix = [&h](std::uint64_t value) {
-    h ^= value;
-    h *= 0x100000001b3ULL;
+  // COMMUTATIVE digest: an unordered sum (mod 2^64, from 0) of one
+  // well-mixed hash per FACT — set memberships weighted 1, histogram bins
+  // weighted by their (integral) count. Every fact is attributed to the
+  // acting user, whose owner fragment is the only worker that records it,
+  // so summing the fragments' partial digests reproduces the
+  // single-process digest exactly — the invariant the partition-count
+  // determinism suite and the distributed-smoke fingerprint diff pin.
+  // (Deliberately no basis offset and no size/ordering terms: a basis
+  // would be added once per fragment, and worker-local histogram lengths
+  // differ even when the nonzero bins agree.)
+  const auto mix64 = [](std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
   };
-  const auto mix_double = [&mix](double value) {
-    mix(std::bit_cast<std::uint64_t>(value));
+  const auto fact = [&mix64](std::uint64_t tag, std::uint64_t item,
+                             std::uint64_t key) {
+    return mix64(mix64(mix64(tag) ^ item) ^ key);
   };
+  std::uint64_t h = 0;
   for (std::size_t item = 0; item < reached_.size(); ++item) {
-    mix(item);
-    reached_[item].for_each_set([&mix](std::size_t user) { mix(user + 1); });
-    mix(0xa11ce);
-    liked_[item].for_each_set([&mix](std::size_t user) { mix(user + 1); });
+    reached_[item].for_each_set(
+        [&](std::size_t user) { h += fact(1, item, user); });
+    liked_[item].for_each_set(
+        [&](std::size_t user) { h += fact(2, item, user); });
     const HopCounts& hc = hops_[item];
+    std::uint64_t which = 0;
     for (const auto* hist : {&hc.forward_like, &hc.infect_like, &hc.forward_dislike,
                              &hc.infect_dislike}) {
-      mix(hist->size());
-      for (const double x : *hist) mix_double(x);
+      for (std::size_t bin = 0; bin < hist->size(); ++bin) {
+        // Bins count whole events (bump adds 1.0), so the count is an
+        // exact integer multiplicity.
+        const auto count = static_cast<std::uint64_t>((*hist)[bin]);
+        if (count != 0) h += fact(3, item, (which << 32) | bin) * count;
+      }
+      ++which;
     }
-    for (const std::uint32_t d : dislike_hist_[item]) mix(d);
+    for (std::size_t bin = 0; bin < dislike_hist_[item].size(); ++bin) {
+      const std::uint64_t d = dislike_hist_[item][bin];
+      if (d != 0) h += fact(4, item, bin) * d;
+    }
   }
   return h;
 }

@@ -138,12 +138,17 @@ class Tracker : public sim::DisseminationObserver {
     return latency_by_cycle_;
   }
 
-  // FNV-1a fingerprint of the full measurement state (reached/liked sets,
-  // hop histograms, dislike histograms): equal states yield equal
-  // digests. Sampled once per cycle, a digest series pins the whole
-  // trajectory — any divergence in what was measured, or when, changes
-  // some cycle's state — which is the determinism contract the sharded
-  // scheduler is tested against (tests/test_determinism.cpp).
+  // Fingerprint of the full measurement state (reached/liked sets, hop
+  // histograms, dislike histograms): equal states yield equal digests.
+  // Sampled once per cycle, a digest series pins the whole trajectory —
+  // any divergence in what was measured, or when, changes some cycle's
+  // state — which is the determinism contract the sharded scheduler is
+  // tested against (tests/test_determinism.cpp). The digest is a
+  // COMMUTATIVE sum of per-fact hashes, so in fragment mode the workers'
+  // partial digests (each tracker sees only its own nodes' events) sum
+  // mod 2^64 to the single-process digest — the property the
+  // partition-count invariance suite and the distributed-smoke CI
+  // fingerprint diff rely on.
   std::uint64_t digest() const;
 
  private:

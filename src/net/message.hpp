@@ -90,12 +90,16 @@ struct ViewPayload {
 // profile into it (Alg. 1) clone it only while it is still shared with
 // other in-flight copies. SizeModel keeps charging the LOGICAL wire size
 // of the full profile per message (profile/item_profile.hpp).
+//
+// Field order is packed (8-byte members first), which together with the
+// pointer-sized ItemProfileRef keeps the payload at 40 bytes — level with
+// ViewPayload, so news messages no longer set the variant's size floor.
 struct NewsPayload {
   ItemId id = 0;
+  ItemProfileRef item_profile;
   ItemIdx index = kNoItem;
   Cycle created = 0;
   NodeId origin = kNoNode;
-  ItemProfileRef item_profile;
   int dislikes = 0;     // d_I, §II-A
   int hops = 0;         // path length from the source
   bool via_dislike = false;  // last forward was performed by a disliker
@@ -110,22 +114,37 @@ struct AckPayload {
   int hop = 0;
 };
 
+// The envelope. Header fields are ordered to pack into 16 bytes; with the
+// 40-byte payload alternatives the whole envelope is 64 bytes (it was 88
+// before the field reordering, the pointer-sized ItemProfileRef and the
+// 16-bit seq). Envelopes dominate the mailbox-ring storm peak at the
+// million-node scale (docs/perf.md "Memory map"), so the static_asserts
+// below pin the budget.
 struct Message {
   NodeId from = kNoNode;
   NodeId to = kNoNode;
-  MsgType type = MsgType::kNews;
   Cycle sent_at = 0;
   // Position within the sender's turn (stamped by sim::Context::send;
   // main-thread Engine::send leaves it 0). Purely a label for the
   // canonical (cycle, phase, sender, seq) order — commits rely on outbox
   // position, never on this field — kept for diagnostics and asserted in
-  // tests/test_shard.cpp.
-  std::uint32_t seq = 0;
+  // tests/test_shard.cpp. 16 bits: a turn sends a handful of messages
+  // (fLIKE fan-out plus gossip replies), nowhere near 65k.
+  std::uint16_t seq = 0;
+  MsgType type = MsgType::kNews;
   std::variant<ViewPayload, NewsPayload, AckPayload> payload;
 
   const ViewPayload& view() const { return std::get<ViewPayload>(payload); }
   const NewsPayload& news() const { return std::get<NewsPayload>(payload); }
   const AckPayload& ack() const { return std::get<AckPayload>(payload); }
 };
+
+// Envelope budget (64-bit platforms): the packing above is load-bearing
+// for peak bytes/node, so regressions should fail the build, not show up
+// as a bench delta three PRs later.
+static_assert(sizeof(void*) != 8 || sizeof(Descriptor) == 16);
+static_assert(sizeof(void*) != 8 || sizeof(ViewPayload) == 40);
+static_assert(sizeof(void*) != 8 || sizeof(NewsPayload) == 40);
+static_assert(sizeof(void*) != 8 || sizeof(Message) <= 64);
 
 }  // namespace whatsup::net

@@ -16,31 +16,31 @@ const Profile& empty_profile() {
 }  // namespace
 
 const Profile& ItemProfileRef::get() const {
-  return profile_ != nullptr ? *profile_ : empty_profile();
+  return box_ != nullptr ? box_->profile : empty_profile();
 }
 
 std::size_t ItemProfileRef::size() const {
-  return profile_ != nullptr ? profile_->size() : 0;
+  return box_ != nullptr ? box_->profile.size() : 0;
 }
 
 ItemProfileRef& ItemProfileRef::operator=(Profile profile) {
-  if (profile.empty()) {
-    profile_.reset();
-    return *this;
-  }
-  profile_ = std::make_shared<Profile>(std::move(profile));
-  profile_->norm();  // warm before the ref can escape across threads
+  release();
+  if (profile.empty()) return *this;
+  box_ = new Box{.refs = 1, .profile = std::move(profile)};
+  box_->profile.norm();  // warm before the ref can escape across threads
   return *this;
 }
 
 Profile& ItemProfileRef::owned() {
-  if (profile_ == nullptr) {
-    profile_ = std::make_shared<Profile>();
-  } else if (profile_.use_count() > 1) {
+  if (box_ == nullptr) {
+    box_ = new Box{};
+  } else if (ref_count() > 1) {
     // Shared with in-flight payload copies: clone, leave them untouched.
-    profile_ = std::make_shared<Profile>(*profile_);
+    Box* clone = new Box{.refs = 1, .profile = box_->profile};
+    release();
+    box_ = clone;
   }
-  return *profile_;
+  return box_->profile;
 }
 
 void ItemProfileRef::fold_profile(const Profile& user) {
@@ -51,7 +51,7 @@ void ItemProfileRef::fold_profile(const Profile& user) {
 }
 
 void ItemProfileRef::purge_older_than(Cycle cutoff) {
-  if (profile_ == nullptr || !profile_->has_entries_older_than(cutoff)) {
+  if (box_ == nullptr || !box_->profile.has_entries_older_than(cutoff)) {
     return;  // nothing to drop: keep sharing, skip the clone
   }
   Profile& p = owned();

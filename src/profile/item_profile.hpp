@@ -4,10 +4,10 @@
 // The item profile is the fat part of a news payload: forwarding a liked
 // item replicates the payload fLIKE times, and holding the profile by
 // value used to deep-copy it once per target on every hop. An
-// ItemProfileRef instead shares one immutable `shared_ptr<const Profile>`
-// across all copies of a payload — a fan-out of fLIKE messages bumps a
-// refcount fLIKE times — and clones only when a holder actually mutates a
-// profile that is still shared (copy-on-write):
+// ItemProfileRef instead shares one immutable profile record across all
+// copies of a payload — a fan-out of fLIKE messages bumps a refcount
+// fLIKE times — and clones only when a holder actually mutates a profile
+// that is still shared (copy-on-write):
 //
 //  * a uniquely held profile is mutated in place (the common case when a
 //    receiver folds its user profile before re-forwarding a fresh clone);
@@ -15,20 +15,29 @@
 //    payload — including ones sitting in another shard's mailbox ring —
 //    never observe the mutation (tests/test_item_profile.cpp).
 //
+// The record is an intrusively refcounted box (refcount + Profile), so the
+// handle is a single pointer: 8 bytes where the former shared_ptr was 16.
+// Every in-flight news envelope carries one of these, so the second
+// control-block pointer was a visible slice of the mailbox-ring storm peak
+// (docs/perf.md "Memory map").
+//
 // Thread-safety contract: every mutator re-warms the lazily cached
 // Profile::norm() before returning, exactly like the Descriptor snapshot
 // caches (profile/snapshot.cpp), so a profile that escapes into messages
 // and is then scored concurrently by several shard workers (cosine /
-// overlap orientation reads norm()) never races on the norm memo.
+// overlap orientation reads norm()) never races on the norm memo. The
+// refcount itself is atomic because payload copies are dropped from
+// concurrent shard workers.
 //
 // Wire-size accounting is unaffected: SizeModel charges the LOGICAL size
 // of the item profile (entry count × bytes per entry), which sharing does
 // not change — a real deployment still serializes the full profile per
-// copy (Fig. 8b).
+// copy (Fig. 8b and net/wire.hpp do exactly that).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
-#include <memory>
+#include <cstdint>
 
 #include "common/ids.hpp"
 #include "profile/profile.hpp"
@@ -38,6 +47,27 @@ namespace whatsup {
 class ItemProfileRef {
  public:
   ItemProfileRef() = default;  // empty profile, no allocation
+
+  ItemProfileRef(const ItemProfileRef& other) : box_(other.box_) {
+    if (box_ != nullptr) box_->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  ItemProfileRef(ItemProfileRef&& other) noexcept : box_(other.box_) {
+    other.box_ = nullptr;
+  }
+  ItemProfileRef& operator=(const ItemProfileRef& other) {
+    ItemProfileRef copy(other);
+    Box* tmp = box_;
+    box_ = copy.box_;
+    copy.box_ = tmp;
+    return *this;
+  }
+  ItemProfileRef& operator=(ItemProfileRef&& other) noexcept {
+    Box* tmp = box_;
+    box_ = other.box_;
+    other.box_ = tmp;
+    return *this;
+  }
+  ~ItemProfileRef() { release(); }
 
   // Snapshots `profile` (deep copy, norm pre-warmed). Empty profiles
   // normalize to the null (allocation-free) representation.
@@ -65,19 +95,41 @@ class ItemProfileRef {
   void set(ItemId id, Cycle timestamp, double score);
 
   // Drops this holder's reference (other payload copies are unaffected).
-  void clear() { profile_.reset(); }
+  void clear() { release(); }
 
   // True while at least one other ItemProfileRef aliases the same profile
   // (observability hook for the CoW tests and benches).
-  bool shared() const { return profile_ != nullptr && profile_.use_count() > 1; }
-  long use_count() const { return profile_.use_count(); }
+  bool shared() const { return box_ != nullptr && ref_count() > 1; }
+  long use_count() const { return box_ != nullptr ? static_cast<long>(ref_count()) : 0; }
 
  private:
+  // Intrusive record: one refcount per live handle. The count is atomic
+  // because copies of the same payload are destroyed from concurrent shard
+  // workers (same discipline as profile/compact.hpp's CompactProfile).
+  struct Box {
+    std::atomic<std::uint32_t> refs{1};
+    Profile profile;
+  };
+
+  std::uint32_t ref_count() const {
+    return box_->refs.load(std::memory_order_acquire);
+  }
+  void release() {
+    if (box_ != nullptr &&
+        box_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete box_;
+    }
+    box_ = nullptr;
+  }
+
   // Materializes a uniquely owned profile to mutate: allocates when null,
   // clones when shared, otherwise returns the existing profile in place.
   Profile& owned();
 
-  std::shared_ptr<Profile> profile_;
+  Box* box_ = nullptr;
 };
+
+static_assert(sizeof(ItemProfileRef) == sizeof(void*),
+              "news envelopes are meant to carry a pointer-sized handle");
 
 }  // namespace whatsup

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <thread>
 #include <variant>
 
+#include "net/wire.hpp"
 #include "profile/compact.hpp"
 #include "sim/shard.hpp"
+#include "sim/transport.hpp"
 
 namespace whatsup::sim {
 
@@ -20,6 +23,14 @@ constexpr std::uint64_t kNodeStreamTag = 0x6e6f646573ULL;      // "nodes"
 // Tag deriving the fault layer's stream space (burst chains, random
 // crashes) from the root seed — disjoint from the engine and node spaces.
 constexpr std::uint64_t kFaultStreamTag = 0x6661756c7473ULL;  // "faults"
+
+// Tag deriving the per-message network-draw stream space: each routed
+// message forks (sender, counter·2³² | cycle) and draws its own loss,
+// latency, reorder and duplicate decisions from that private stream. This
+// is what makes the draw sequence a per-sender pure function of the seed —
+// a fragment that routes only its own senders' messages reproduces exactly
+// the draws the single-process engine would have made for them.
+constexpr std::uint64_t kNetStreamTag = 0x6e6574ULL;  // "net"
 
 // Substream of a node's stream space reserved for the BOOTSTRAP phase.
 // Per-cycle streams use the cycle number as the substream; cycles are
@@ -103,7 +114,10 @@ void Context::send(net::Message message) {
     // canonical (cycle, phase, sender, seq) order.
     shard_->outbox.push_back(std::move(message));
   } else {
-    engine_.send(std::move(message));
+    // Main-thread driver (publish, recovery rejoin): stage for the next
+    // run_cycle's flush slot, where every fragment commits in the same
+    // canonical sender order.
+    engine_.stage(std::move(message));
   }
 }
 
@@ -112,10 +126,18 @@ Engine::Engine(Config config) : config_(config) {
   rng_ = root.fork(kEngineStreamTag);
   stream_root_ = root.fork(kNodeStreamTag);
   fault_root_ = root.fork(kFaultStreamTag);
+  net_root_ = root.fork(kNetStreamTag);
   threads_ = config_.threads != 0
                  ? config_.threads
                  : std::max(1u, std::thread::hardware_concurrency());
   shard_nodes_ = config_.shard_nodes != 0 ? config_.shard_nodes : kDefaultShardNodes;
+  transport_ = config_.transport;
+  if (transport_ != nullptr) {
+    fragments_ = transport_->fragments();
+    fragment_ = transport_->fragment_id();
+    assert(fragments_ >= 1 && fragment_ < fragments_);
+  }
+  wire_out_.resize(fragments_);
 }
 
 Engine::~Engine() = default;
@@ -165,6 +187,10 @@ void Engine::bootstrap(std::size_t count, const AgentFactory& factory) {
                         : n1;
     for (std::size_t v = lo; v < hi; ++v) {
       const auto id = static_cast<NodeId>(v);
+      // Fragment mode: only materialize the nodes this worker owns. The
+      // registry slots of outer nodes stay null — they are addresses, not
+      // agents, on this worker (docs/architecture.md "Transport layer").
+      if (!owns(id)) continue;
       Rng rng = bootstrap_rng(id);
       agents_[v] = factory(id, rng);
       assert(agents_[v] != nullptr && "bootstrap factory must return an agent");
@@ -246,8 +272,9 @@ void Engine::recover(NodeId id) {
   assert(!in_phase_.load(std::memory_order_relaxed) &&
          "recover is a between-cycles, main-thread operation");
   if (id >= agents_.size() || !crashed_.at(id)) return;
-  set_active(id, true);  // clears crashed_
-  Context ctx(*this, id);  // main-thread: rejoin sends commit directly
+  set_active(id, true);  // clears crashed_ (identically on every fragment)
+  if (!owns(id) || agents_[id] == nullptr) return;  // acts only at its owner
+  Context ctx(*this, id);  // main-thread: rejoin sends are staged
   agents_[id]->on_recover(ctx);
 }
 
@@ -361,48 +388,74 @@ void Engine::ensure_shards() {
   for (auto& shard : shards_) shard->grow_window(w);
 }
 
-void Engine::send(net::Message message) {
-  // Agent code must send through Context::send (which buffers into the
-  // shard outbox); committing here from a worker would race on the engine
-  // stream and the destination mailbox.
-  assert(!in_phase_.load(std::memory_order_relaxed) &&
-         "Engine::send must not be called from agent code — use Context::send");
+Rng Engine::message_rng(NodeId from) {
+  if (from >= send_count_.size()) {
+    // Sends may precede agent registration (same contract as shard_for).
+    send_count_.resize(static_cast<std::size_t>(from) + 1, 0);
+    send_count_cycle_.resize(static_cast<std::size_t>(from) + 1, kNoCycle);
+  }
+  if (send_count_cycle_[from] != now_) {
+    send_count_[from] = 0;
+    send_count_cycle_[from] = now_;
+  }
+  const std::uint64_t substream =
+      (static_cast<std::uint64_t>(send_count_[from]++) << 32) | as_substream(now_);
+  return net_root_.fork(from, substream);
+}
+
+void Engine::route_message(net::Message message) {
   const net::Protocol protocol = net::protocol_of(message.type);
   traffic_.record_sent(protocol, config_.size_model.bytes(message));
+  // The message's private network-draw stream: keyed by sender, cycle and
+  // the sender's send counter, never by global draw order — so fragments
+  // routing disjoint sender sets make exactly the draws P=1 would.
+  Rng mrng = message_rng(message.from);
+  // Queues a survivor: owned destinations go to the local commit batch,
+  // outer ones are serialized for the owner fragment's barrier exchange.
+  const auto emit = [&](Cycle due, net::Message&& m) {
+    if (fragments_ == 1 || owns(m.to)) {
+      pending_local_.push_back(PendingMessage{due, std::move(m)});
+    } else {
+      net::encode_envelope(wire_out_[m.to % fragments_], due, m);
+    }
+  };
   // A dropped message — uniform loss or a partition cut — is recorded and
   // its payload buffer recycled (main thread, between phases — the
-  // destination shard's pool is quiescent).
+  // destination shard's pool is quiescent). Outer destinations skip the
+  // recycle: their shards live on another fragment.
   const auto drop = [&](net::Message&& m) {
     traffic_.record_dropped(protocol);
     if (auto* view = std::get_if<net::ViewPayload>(&m.payload)) {
-      shard_for(m.to).descriptor_pool.recycle(std::move(view->view));
+      if (fragments_ == 1 || owns(m.to)) {
+        shard_for(m.to).descriptor_pool.recycle(std::move(view->view));
+      }
     }
   };
-  if (config_.network.loss_rate > 0.0 && rng_.bernoulli(config_.network.loss_rate)) {
+  if (config_.network.loss_rate > 0.0 && mrng.bernoulli(config_.network.loss_rate)) {
     drop(std::move(message));
     return;
   }
   // Regional partition episode (scenario engine): cross-region messages
-  // are cut. Checked only while a partition is active, so the engine
+  // are cut. Checked only while a partition is active, so the message
   // stream's draw sequence — and every baseline trajectory — is untouched
   // otherwise.
   if (config_.network.partitioned() &&
       (message.from < config_.network.partition_nodes) !=
           (message.to < config_.network.partition_nodes)) {
     if (config_.network.partition_cross_loss >= 1.0 ||
-        rng_.bernoulli(config_.network.partition_cross_loss)) {
+        mrng.bernoulli(config_.network.partition_cross_loss)) {
       drop(std::move(message));
       return;
     }
   }
   // Gilbert–Elliott bursty loss: the link's chain state picks the drop
   // probability. Checked only while the burst model is enabled, so the
-  // engine stream's draw sequence — and every baseline trajectory — is
+  // message stream's draw sequence — and every baseline trajectory — is
   // untouched otherwise (same contract as the partition gate above).
   if (config_.network.burst.enabled()) {
     const bool bad = link_bad(message.from, message.to);
     const double p = bad ? config_.network.burst.loss_bad : config_.network.burst.loss_good;
-    if (p > 0.0 && rng_.bernoulli(p)) {
+    if (p > 0.0 && mrng.bernoulli(p)) {
       drop(std::move(message));
       return;
     }
@@ -410,7 +463,7 @@ void Engine::send(net::Message message) {
   const auto draw_delay = [&] {
     Cycle delay = config_.network.latency;
     if (config_.network.jitter > 0) {
-      delay += static_cast<Cycle>(rng_.uniform_int(0, config_.network.jitter));
+      delay += static_cast<Cycle>(mrng.uniform_int(0, config_.network.jitter));
     }
     return std::max<Cycle>(delay, 1);
   };
@@ -418,22 +471,97 @@ void Engine::send(net::Message message) {
   // Reordering: a detoured message takes 1..reorder_window extra cycles,
   // letting later sends overtake it.
   if (config_.network.reorder_rate > 0.0 &&
-      rng_.bernoulli(config_.network.reorder_rate)) {
+      mrng.bernoulli(config_.network.reorder_rate)) {
     delay += static_cast<Cycle>(
-        rng_.uniform_int(1, std::max<Cycle>(config_.network.reorder_window, 1)));
+        mrng.uniform_int(1, std::max<Cycle>(config_.network.reorder_window, 1)));
   }
   // Duplication: the copy takes its own latency draw, so it may land
   // before or after the original. Receivers are responsible for idempotent
   // handling (SIR seen-state; the reliability layer's dedup log).
   if (config_.network.duplicate_rate > 0.0 &&
-      rng_.bernoulli(config_.network.duplicate_rate)) {
+      mrng.bernoulli(config_.network.duplicate_rate)) {
     net::Message copy = message;
     traffic_.record_sent(protocol, config_.size_model.bytes(copy));
-    const Cycle copy_due = now_ + draw_delay();
-    shard_for(copy.to).bucket(copy_due).push_back(PendingMessage{copy_due, std::move(copy)});
+    emit(now_ + draw_delay(), std::move(copy));
   }
-  const Cycle due = now_ + delay;
-  shard_for(message.to).bucket(due).push_back(PendingMessage{due, std::move(message)});
+  emit(now_ + delay, std::move(message));
+}
+
+void Engine::finish_slot() {
+  if (fragments_ > 1) {
+    // Barrier: swap this slot's serialized batches with every peer and
+    // append the decoded envelopes (ascending fragment order) to the local
+    // batch. Decode failures are fatal — workers are lockstep replicas.
+    std::vector<std::vector<std::uint8_t>> frames = transport_->exchange(wire_out_);
+    for (auto& batch : wire_out_) batch.clear();
+    for (std::size_t f = 0; f < frames.size(); ++f) {
+      if (f == fragment_) continue;
+      net::WireReader reader(frames[f].data(), frames[f].size());
+      while (reader.ok() && reader.remaining() > 0) {
+        PendingMessage p;
+        if (!net::decode_envelope(reader, p.due, p.message)) {
+          throw std::runtime_error(
+              "sim::Engine: corrupt envelope batch from peer fragment");
+        }
+        pending_local_.push_back(std::move(p));
+      }
+    }
+  }
+  // Restore the canonical commit order: ascending sender, stable within a
+  // sender (all of one sender's messages come from exactly one batch, so
+  // stability preserves its outbox/seq order). The local batch is already
+  // sorted in the common single-fragment case — routing walks shards in
+  // ascending order — so the sort is usually skipped.
+  const auto by_sender = [](const PendingMessage& a, const PendingMessage& b) {
+    return a.message.from < b.message.from;
+  };
+  if (!std::is_sorted(pending_local_.begin(), pending_local_.end(), by_sender)) {
+    std::stable_sort(pending_local_.begin(), pending_local_.end(), by_sender);
+  }
+  for (PendingMessage& p : pending_local_) {
+    const Cycle due = p.due;
+    shard_for(p.message.to).bucket(due).push_back(std::move(p));
+  }
+  const std::size_t fill = pending_local_.size();
+  pending_local_.clear();
+  trim_spare_capacity(pending_local_, fill);
+}
+
+void Engine::stage(net::Message message) {
+  assert(!in_phase_.load(std::memory_order_relaxed) &&
+         "stage is a between-phases, main-thread operation");
+  staged_.push_back(std::move(message));
+}
+
+void Engine::flush_staged() {
+  // Single-fragment fast path: nothing staged, nothing to do. Fragment
+  // mode always runs the slot — the barrier exchange must happen on every
+  // worker even when only a peer staged messages.
+  if (staged_.empty() && fragments_ == 1) return;
+  assert(pending_local_.empty());
+  for (net::Message& m : staged_) route_message(std::move(m));
+  const std::size_t fill = staged_.size();
+  staged_.clear();
+  trim_spare_capacity(staged_, fill);
+  finish_slot();
+}
+
+void Engine::send(net::Message message) {
+  // Agent code must send through Context::send (which buffers into the
+  // shard outbox); committing here from a worker would race on the
+  // message counters and the destination mailbox.
+  assert(!in_phase_.load(std::memory_order_relaxed) &&
+         "Engine::send must not be called from agent code — use Context::send");
+  assert(pending_local_.empty());
+  route_message(std::move(message));
+  // Immediate commit of the locally owned result (tests and drivers rely
+  // on the message being in the mailbox right away). A remote destination
+  // stays serialized in wire_out_ and ships with the next barrier slot.
+  for (PendingMessage& p : pending_local_) {
+    const Cycle due = p.due;
+    shard_for(p.message.to).bucket(due).push_back(std::move(p));
+  }
+  pending_local_.clear();
 }
 
 void Engine::publish(NodeId source, ItemIdx index, ItemId id) {
@@ -441,7 +569,11 @@ void Engine::publish(NodeId source, ItemIdx index, ItemId id) {
   assert(!in_phase_.load(std::memory_order_relaxed) &&
          "publish is a between-cycles, main-thread operation");
   if (!active_[source]) return;
-  Context ctx(*this, source);  // main-thread: sends commit directly
+  // Fragment mode: every worker sees the same publication calendar, but
+  // only the source's owner runs the agent (its sends are staged and reach
+  // other fragments at the flush-slot barrier).
+  if (!owns(source) || agents_[source] == nullptr) return;
+  Context ctx(*this, source);  // main-thread: sends are staged
   agents_[source]->publish(ctx, index, id);
 }
 
@@ -474,8 +606,9 @@ void Engine::deliver_shard(Shard& shard) {
     std::size_t j = i;
     while (j < batch.size() && batch[j].message.to == to) ++j;
     // Offline — or never registered (sends may precede add_agent, as with
-    // the old global ring): messages lost.
-    if (to >= agents_.size() || !active_[to]) {
+    // the old global ring): messages lost. The null check also covers
+    // fragment mode defensively; outer nodes never enter local buckets.
+    if (to >= agents_.size() || !active_[to] || agents_[to] == nullptr) {
       i = j;
       continue;
     }
@@ -540,6 +673,10 @@ Engine::MemoryStats Engine::memory_stats() const {
     total.scratch_bytes +=
         shard->delivery_batch.capacity() * sizeof(PendingMessage);
   }
+  total.outbox_bytes += staged_.capacity() * sizeof(net::Message);
+  for (const net::Message& m : staged_) total.payload_bytes += payload_heap(m);
+  total.scratch_bytes += pending_local_.capacity() * sizeof(PendingMessage);
+  for (const auto& batch : wire_out_) total.scratch_bytes += batch.capacity();
   return total;
 }
 
@@ -548,6 +685,10 @@ void Engine::activate_shard(Shard& shard) {
       static_cast<NodeId>(std::min<std::size_t>(shard.end, agents_.size()));
   for (NodeId id = shard.begin; id < limit; ++id) {
     if (!active_[id]) continue;
+    // Fragment mode: agents added on every worker (add_agent keeps
+    // driver-held pointers valid everywhere) still act only at their
+    // owner; outer bootstrap slots are null.
+    if (!owns(id) || agents_[id] == nullptr) continue;
     Context ctx(*this, id, &shard);
     agents_[id]->on_cycle(ctx);
   }
@@ -581,11 +722,14 @@ void Engine::commit_phase() {
         shard.dropped[p] = 0;
       }
     }
-    for (net::Message& m : shard.outbox) send(std::move(m));
+    for (net::Message& m : shard.outbox) route_message(std::move(m));
     const std::size_t sent = shard.outbox.size();
     shard.outbox.clear();
     trim_spare_capacity(shard.outbox, sent);
   }
+  // Commit-slot barrier: exchange cross-fragment batches (fragment mode)
+  // and insert everything in canonical sender order.
+  finish_slot();
 }
 
 void Engine::run_cycle() {
@@ -595,6 +739,10 @@ void Engine::run_cycle() {
   if (!recoveries_.empty()) process_recoveries();
   if (config_.network.crash_rate > 0.0) apply_random_crashes();
   ensure_shards();
+  // Flush slot: main-thread sends staged since the last cycle (publish
+  // fan-out, rejoin handshakes) commit here in canonical sender order —
+  // the first of the cycle's three barrier slots in fragment mode.
+  flush_staged();
   run_phase([this](Shard& shard) { deliver_shard(shard); });
   commit_phase();
   run_phase([this](Shard& shard) { activate_shard(shard); });

@@ -21,9 +21,11 @@
 // activation interleaving). At the barrier after each phase the engine,
 // single-threaded, replays observer events in ascending shard order and
 // commits outboxes in the canonical (cycle, phase, sender, seq) order,
-// applying loss and latency from the engine-level stream. Fixed-seed
-// trajectories are therefore bit-identical for any worker-thread count;
-// see docs/architecture.md.
+// applying loss and latency from each message's private counter-based
+// stream (keyed by sender, cycle and the sender's send counter).
+// Fixed-seed trajectories are therefore bit-identical for any
+// worker-thread count — and, via the Transport seam (sim/transport.hpp),
+// for any fragment-partition count; see docs/architecture.md.
 //
 // Agents are protocol endpoints (WhatsUp node, gossip node, ...); the
 // engine knows nothing about protocols. Dissemination events are reported
@@ -50,14 +52,18 @@
 namespace whatsup::sim {
 
 class Engine;
+struct PendingMessage;
 struct Shard;
+class Transport;
 class WorkerPool;
 
 // Facade handed to agents: scoped send/rng/time/measurement access for one
 // agent. When constructed with a shard (by the scheduler), sends and
 // observer callbacks buffer into the shard; when constructed without one
-// (main-thread drivers: publish, cold-start wiring, tests), they commit
-// directly.
+// (main-thread drivers: publish, cold-start wiring, tests), observer
+// callbacks commit directly and sends are staged for the next run_cycle's
+// flush slot (same delivery cycles — now() is unchanged in between — but a
+// canonical, fragment-invariant commit order).
 class Context {
  public:
   Context(Engine& engine, NodeId self, Shard* shard = nullptr)
@@ -103,7 +109,7 @@ class Context {
   Engine& engine_;
   NodeId self_;
   Shard* shard_;
-  std::uint32_t next_seq_ = 0;  // per-turn send counter (canonical tie-break)
+  std::uint16_t next_seq_ = 0;  // per-turn send counter (canonical tie-break)
 };
 
 // Protocol endpoint living at one node.
@@ -137,6 +143,15 @@ class Engine : public ParallelExecutor {
     // per node, never per shard); the knob only trades scheduling
     // granularity against barrier overhead.
     std::size_t shard_nodes = 0;
+    // Cross-fragment message transport (sim/transport.hpp); NOT owned and
+    // must outlive the engine. nullptr (the default) behaves exactly like
+    // an InProcessTransport: one fragment, no serialization, today's
+    // mailbox rings. With a multi-fragment transport this engine becomes
+    // one lockstep worker owning the node ids congruent to
+    // transport->fragment_id() modulo transport->fragments(); the
+    // fixed-seed trajectory is invariant to the fragment count (see
+    // docs/architecture.md "Transport layer").
+    Transport* transport = nullptr;
   };
 
   // Small enough that a 500-node deployment still fans out over 8 workers;
@@ -172,6 +187,23 @@ class Engine : public ParallelExecutor {
   std::size_t num_nodes() const { return agents_.size(); }
   Agent& agent(NodeId id) { return *agents_.at(id); }
   const Agent& agent(NodeId id) const { return *agents_.at(id); }
+  // Fragment-safe access: nullptr when the node lives on another fragment
+  // (bootstrap materializes only owned agents). Single-fragment engines
+  // always return the agent.
+  Agent* agent_ptr(NodeId id) {
+    return id < agents_.size() ? agents_[id].get() : nullptr;
+  }
+  const Agent* agent_ptr(NodeId id) const {
+    return id < agents_.size() ? agents_[id].get() : nullptr;
+  }
+
+  // Fragment topology (1/0/true-for-everything without a multi-fragment
+  // transport). Ownership is round-robin: owner(v) = v % fragments().
+  std::size_t fragments() const { return fragments_; }
+  std::size_t fragment() const { return fragment_; }
+  bool owns(NodeId id) const {
+    return fragments_ == 1 || id % fragments_ == fragment_;
+  }
 
   // Inactive nodes are skipped by on_cycle and lose incoming messages
   // (models nodes that have not joined yet / have left). Must be called
@@ -243,12 +275,22 @@ class Engine : public ParallelExecutor {
   };
   MemoryStats memory_stats() const;
 
-  // Commits a message immediately: traffic accounting, loss and latency
-  // draws (engine stream), then routing into the destination shard's
-  // mailbox. Main-thread entry point (tests, drivers); agent sends go
-  // through Context::send, which buffers into the shard outbox during
-  // parallel phases and commits here at the barrier.
+  // Commits a message immediately: traffic accounting, then the message's
+  // private network-draw stream (loss, latency, ...) and routing into the
+  // destination shard's mailbox. Main-thread entry point (tests, drivers).
+  // Agent sends go through Context::send instead, which buffers into the
+  // shard outbox during parallel phases (committed at the barrier) and
+  // stages on main-thread contexts (committed at the next run_cycle's
+  // flush slot — same due cycles, since now() is unchanged in between).
+  // In fragment mode a remote-destination send is serialized and shipped
+  // at the next barrier exchange.
   void send(net::Message message);
+
+  // Defers a main-thread send to the next run_cycle's flush slot, where
+  // all workers commit staged messages in canonical sender order. This is
+  // what keeps driver-initiated sends (publish fan-out, rejoin handshakes)
+  // partition-count invariant.
+  void stage(net::Message message);
 
   // Injects a new item at `source` during the current cycle.
   void publish(NodeId source, ItemIdx index, ItemId id);
@@ -272,6 +314,7 @@ class Engine : public ParallelExecutor {
   Rng rng_;          // engine-level stream (global decisions)
   Rng stream_root_;  // pristine root for counter-based forks; never drawn
   Rng fault_root_;   // pristine root for the fault layer's counter forks
+  Rng net_root_;     // pristine root for per-message network-draw forks
   Cycle now_ = 0;
   std::vector<std::unique_ptr<Agent>> agents_;
   std::vector<bool> active_;
@@ -301,6 +344,30 @@ class Engine : public ParallelExecutor {
   std::unique_ptr<WorkerPool> pool_;
   std::atomic<bool> in_phase_{false};
 
+  // Fragment partitioning (sim/transport.hpp). Every worker runs the full
+  // control plane (scenario events, crash draws, calendar) in lockstep;
+  // only agent execution and mailbox storage are partitioned by ownership.
+  Transport* transport_ = nullptr;  // not owned; nullptr = single fragment
+  std::size_t fragments_ = 1;
+  std::size_t fragment_ = 0;
+
+  // Deferred main-thread sends (publish fan-out, rejoin handshakes),
+  // committed at the next run_cycle's flush slot in canonical sender order.
+  std::vector<net::Message> staged_;
+  // Commit-slot scratch: locally owned routed messages, sorted by sender
+  // and merged with the peers' exchanged batches before bucket insertion.
+  std::vector<PendingMessage> pending_local_;
+  // Serialized envelope batches per destination fragment (fragment mode).
+  std::vector<std::vector<std::uint8_t>> wire_out_;
+
+  // Per-sender per-cycle send counters keying the per-message network-draw
+  // streams: fork(net_root_, sender, counter·2³² | cycle). A sender's
+  // messages are always routed at its owner in canonical order, so the
+  // counters — and hence every loss/latency draw — are pure functions of
+  // the seed and the trajectory, invariant to fragment count.
+  std::vector<std::uint32_t> send_count_;
+  std::vector<Cycle> send_count_cycle_;
+
   net::Traffic traffic_;
   DisseminationObserver* observer_ = nullptr;
   std::vector<CycleHook> hooks_;
@@ -323,6 +390,19 @@ class Engine : public ParallelExecutor {
   void commit_phase();
   void deliver_shard(Shard& shard);
   void activate_shard(Shard& shard);
+  // The message's private network-draw stream (see send_count_ above).
+  Rng message_rng(NodeId from);
+  // Applies the network model to one message (traffic, loss, latency,
+  // reorder, duplicate) and queues the survivors: locally owned
+  // destinations into pending_local_, remote ones serialized into
+  // wire_out_. Part of a commit slot — finish_slot() must follow.
+  void route_message(net::Message message);
+  // Closes a commit slot: barrier-exchanges wire_out_ (fragment mode),
+  // decodes the peers' batches, restores canonical ascending-sender order
+  // and inserts everything into the destination mailbox rings.
+  void finish_slot();
+  // The run_cycle flush slot committing staged main-thread sends.
+  void flush_staged();
 };
 
 }  // namespace whatsup::sim

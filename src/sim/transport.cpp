@@ -1,0 +1,165 @@
+#include "sim/transport.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "net/wire.hpp"
+
+namespace whatsup::sim {
+
+namespace {
+
+[[noreturn]] void die(const std::string& what) {
+  throw std::runtime_error("SocketTransport: " + what);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    die("fcntl(O_NONBLOCK) failed: " + std::string(std::strerror(errno)));
+  }
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(std::size_t fragment_id,
+                                 std::vector<int> peer_fds)
+    : fragment_(fragment_id), fds_(std::move(peer_fds)), inbuf_(fds_.size()) {
+  if (fragment_ >= fds_.size()) die("fragment_id out of range");
+  for (std::size_t f = 0; f < fds_.size(); ++f) {
+    if (f == fragment_) continue;
+    if (fds_[f] < 0) die("missing peer fd");
+    set_nonblocking(fds_[f]);
+  }
+}
+
+SocketTransport::~SocketTransport() {
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> SocketTransport::exchange(
+    const std::vector<std::vector<std::uint8_t>>& out) {
+  const std::size_t n = fds_.size();
+  if (out.size() != n) die("batch count does not match fragment count");
+  std::vector<std::vector<std::uint8_t>> in(n);
+
+  // Frame every outgoing batch up front (empty batches still ship an empty
+  // frame — the frame is the barrier token).
+  std::vector<std::vector<std::uint8_t>> wbuf(n);
+  std::vector<std::size_t> woff(n, 0);
+  std::vector<bool> got(n, false);
+  std::size_t pending_writes = 0;
+  std::size_t pending_reads = 0;
+  for (std::size_t f = 0; f < n; ++f) {
+    if (f == fragment_) continue;
+    net::frame_append(wbuf[f], std::span<const std::uint8_t>(out[f]));
+    ++pending_writes;
+    ++pending_reads;
+    // A fast peer may already have shipped this slot's frame.
+    std::size_t off = 0;
+    std::span<const std::uint8_t> payload;
+    const auto status =
+        net::frame_extract(inbuf_[f].data(), inbuf_[f].size(), off, payload);
+    if (status == net::FrameStatus::kCorrupt) die("corrupt frame from peer");
+    if (status == net::FrameStatus::kOk) {
+      in[f].assign(payload.begin(), payload.end());
+      inbuf_[f].erase(inbuf_[f].begin(),
+                      inbuf_[f].begin() + static_cast<std::ptrdiff_t>(off));
+      got[f] = true;
+      --pending_reads;
+    }
+  }
+
+  std::vector<pollfd> pfds;
+  pfds.reserve(n);
+  std::uint8_t chunk[1 << 16];
+  while (pending_writes > 0 || pending_reads > 0) {
+    pfds.clear();
+    for (std::size_t f = 0; f < n; ++f) {
+      if (f == fragment_) continue;
+      short events = 0;
+      if (woff[f] < wbuf[f].size()) events |= POLLOUT;
+      if (!got[f]) events |= POLLIN;
+      if (events == 0) continue;
+      pfds.push_back(pollfd{fds_[f], events, 0});
+    }
+    if (::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), -1) < 0) {
+      if (errno == EINTR) continue;
+      die("poll failed: " + std::string(std::strerror(errno)));
+    }
+    for (const pollfd& p : pfds) {
+      // Recover the fragment index for this fd.
+      std::size_t f = 0;
+      while (f < n && fds_[f] != p.fd) ++f;
+      if ((p.revents & (POLLOUT | POLLERR | POLLHUP)) != 0 &&
+          woff[f] < wbuf[f].size()) {
+        // MSG_NOSIGNAL: a dead peer must surface as EPIPE (-> exception),
+        // not a process-wide SIGPIPE.
+        const ssize_t written = ::send(p.fd, wbuf[f].data() + woff[f],
+                                       wbuf[f].size() - woff[f], MSG_NOSIGNAL);
+        if (written < 0) {
+          if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+            die("write failed: " + std::string(std::strerror(errno)));
+          }
+        } else {
+          woff[f] += static_cast<std::size_t>(written);
+          if (woff[f] == wbuf[f].size()) --pending_writes;
+        }
+      }
+      if ((p.revents & (POLLIN | POLLERR | POLLHUP)) != 0 && !got[f]) {
+        const ssize_t got_bytes = ::read(p.fd, chunk, sizeof(chunk));
+        if (got_bytes < 0) {
+          if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+            die("read failed: " + std::string(std::strerror(errno)));
+          }
+          continue;
+        }
+        if (got_bytes == 0) die("peer closed the connection mid-run");
+        inbuf_[f].insert(inbuf_[f].end(), chunk, chunk + got_bytes);
+        std::size_t off = 0;
+        std::span<const std::uint8_t> payload;
+        const auto status =
+            net::frame_extract(inbuf_[f].data(), inbuf_[f].size(), off, payload);
+        if (status == net::FrameStatus::kCorrupt) {
+          die("corrupt frame from peer");
+        }
+        if (status == net::FrameStatus::kOk) {
+          in[f].assign(payload.begin(), payload.end());
+          inbuf_[f].erase(inbuf_[f].begin(),
+                          inbuf_[f].begin() + static_cast<std::ptrdiff_t>(off));
+          got[f] = true;
+          --pending_reads;
+        }
+      }
+    }
+  }
+  return in;
+}
+
+std::vector<std::vector<int>> socketpair_mesh(std::size_t n) {
+  std::vector<std::vector<int>> mesh(n, std::vector<int>(n, -1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      int pair[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, pair) != 0) {
+        throw std::runtime_error("socketpair failed: " +
+                                 std::string(std::strerror(errno)));
+      }
+      mesh[i][j] = pair[0];
+      mesh[j][i] = pair[1];
+    }
+  }
+  return mesh;
+}
+
+}  // namespace whatsup::sim

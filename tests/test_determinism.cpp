@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "analysis/runner.hpp"
@@ -16,6 +17,7 @@
 #include "metrics/tracker.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/engine.hpp"
+#include "sim/transport.hpp"
 #include "whatsup/node.hpp"
 
 namespace whatsup {
@@ -392,6 +394,108 @@ TEST(Determinism, FaultReliabilityScenarioIdenticalAcrossThreadsAndShardWidths) 
     EXPECT_EQ(base.reliability.ack_messages, result.reliability.ack_messages);
     EXPECT_EQ(base.reliability.duplicates, result.reliability.duplicates);
     EXPECT_EQ(base.reliability.deliveries, result.reliability.deliveries);
+  }
+}
+
+// Fragment partitioning (sim/transport.hpp) must be invisible in the
+// trajectory: running the SAME deployment as P lockstep workers — each
+// owning the round-robin node fragment v % P, exchanging serialized
+// envelopes over a socket mesh at commit-slot barriers — yields per-cycle
+// partial Tracker digests that SUM (mod 2^64, the digest is commutative)
+// to the single-process series, for any partition count × worker-thread
+// count × shard width. Traffic totals sum the same way (each message is
+// routed exactly once, by its sender's owner). The grid includes loss,
+// jitter, bursty links, duplication, reordering, churn and a spammer so
+// the sender-side network draws and the adversary path are all exercised
+// across the fragment seam.
+TEST(Determinism, PartitionCountInvariance) {
+  constexpr const char* kSpec =
+      "name partition-invariance\n"
+      "at 6 spammers 1 items 2 fanout 6\n"
+      "at 8 churn 6 every 5 until 20\n"
+      "at 12 drift 2\n";
+  Rng rng(47);
+  data::SurveyConfig sc;
+  sc.base_users = 60;
+  sc.base_items = 70;
+  sc.replication = 2;
+  const data::Workload workload = data::make_survey(sc, rng);
+  analysis::RunConfig base_config;
+  base_config.approach = analysis::Approach::kWhatsUp;
+  base_config.fanout = 6;
+  base_config.seed = 53;
+  base_config.network.loss_rate = 0.04;
+  base_config.network.jitter = 1;
+  base_config.network.duplicate_rate = 0.03;
+  base_config.network.reorder_rate = 0.05;
+  base_config.network.burst.p_enter = 0.05;
+  base_config.network.burst.p_exit = 0.3;
+  base_config.network.burst.loss_bad = 0.4;
+  base_config.scenario = scenario::parse(kSpec);
+  base_config.collect_cycle_digests = true;
+
+  struct Partial {
+    std::vector<std::uint64_t> digests;
+    std::size_t news = 0;
+    std::size_t gossip = 0;
+  };
+  // Runs the deployment as `partitions` lockstep workers (threads stand in
+  // for the launcher's processes; the transport contract is identical) and
+  // reduces the partial digest series by summation.
+  const auto run_partitioned = [&](std::size_t partitions, unsigned threads,
+                                   std::size_t shard_nodes) {
+    analysis::RunConfig config = base_config;
+    config.threads = threads;
+    config.shard_nodes = shard_nodes;
+    if (partitions <= 1) {
+      const analysis::RunResult r = analysis::run_protocol(workload, config);
+      return Partial{r.cycle_digests, r.news_messages, r.gossip_messages};
+    }
+    config.partitions = static_cast<int>(partitions);
+    std::vector<std::vector<int>> mesh = sim::socketpair_mesh(partitions);
+    std::vector<Partial> partials(partitions);
+    std::vector<std::thread> workers;
+    for (std::size_t w = 0; w < partitions; ++w) {
+      workers.emplace_back([&, w] {
+        sim::SocketTransport transport(w, std::move(mesh[w]));
+        analysis::RunConfig worker_config = config;
+        worker_config.transport = &transport;
+        const analysis::RunResult r = analysis::run_protocol(workload, worker_config);
+        partials[w] = Partial{r.cycle_digests, r.news_messages, r.gossip_messages};
+      });
+    }
+    for (std::thread& t : workers) t.join();
+    Partial sum = std::move(partials[0]);
+    for (std::size_t w = 1; w < partitions; ++w) {
+      EXPECT_EQ(partials[w].digests.size(), sum.digests.size());
+      for (std::size_t c = 0; c < sum.digests.size(); ++c) {
+        sum.digests[c] += partials[w].digests[c];
+      }
+      sum.news += partials[w].news;
+      sum.gossip += partials[w].gossip;
+    }
+    return sum;
+  };
+
+  const Partial base = run_partitioned(1, 1, 16);
+  ASSERT_EQ(base.digests.size(),
+            static_cast<std::size_t>(base_config.total_cycles()));
+  EXPECT_GT(base.news, 0u);
+  const struct {
+    std::size_t partitions;
+    unsigned threads;
+    std::size_t shard_nodes;
+  } grid[] = {{1, 4, 64},  {1, 1, 0},  {2, 1, 0},  {2, 4, 64},
+              {4, 1, 64},  {4, 4, 0},  {2, 1, 64}, {4, 1, 0}};
+  for (const auto& point : grid) {
+    SCOPED_TRACE(testing::Message()
+                 << "partitions=" << point.partitions << " threads=" << point.threads
+                 << " shard_nodes=" << point.shard_nodes);
+    const Partial other =
+        run_partitioned(point.partitions, point.threads, point.shard_nodes);
+    EXPECT_EQ(base.digests, other.digests);
+    EXPECT_EQ(base.news, other.news);
+    EXPECT_EQ(base.gossip, other.gossip);
   }
 }
 

@@ -1,0 +1,438 @@
+// Wire-codec contract (net/wire.hpp): every payload kind round-trips
+// bit-exactly through the fragment-exchange byte format, truncated input
+// is rejected (never read past the buffer, never fabricate a message),
+// and the frame layer detects corruption. The socket transport and the
+// distributed-smoke CI job both stand on these properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/wire.hpp"
+#include "profile/compact.hpp"
+#include "profile/profile.hpp"
+
+namespace whatsup::net {
+namespace {
+
+Profile binary_profile() {
+  Profile p;
+  p.set(3, 5, 1.0);
+  p.set(17, 6, 0.0);
+  p.set(90000, 7, 1.0);
+  p.set(90001, -2, 1.0);  // negative timestamp (pre-warmup relative clock)
+  return p;
+}
+
+Profile real_profile() {
+  Profile p;
+  p.set(1, 4, 0.25);
+  p.set(2, 4, 1.0);  // mixed: one binary-looking score among reals
+  p.set(1000000007ULL, 9, 0.6180339887498949);
+  return p;
+}
+
+// Nine entries: forces a second bit-mask byte on the binary path.
+Profile wide_binary_profile() {
+  Profile p;
+  for (ItemId id = 0; id < 9; ++id) p.set(id * 7 + 1, static_cast<Cycle>(id), id % 2 ? 1.0 : 0.0);
+  return p;
+}
+
+Profile roundtrip_profile(const Profile& in) {
+  std::vector<std::uint8_t> buf;
+  encode_profile(buf, in);
+  WireReader r(buf.data(), buf.size());
+  Profile out;
+  EXPECT_TRUE(decode_profile(r, out));
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+  return out;
+}
+
+TEST(Wire, ProfileRoundTripBinaryRealWideEmpty) {
+  EXPECT_EQ(roundtrip_profile(binary_profile()), binary_profile());
+  EXPECT_EQ(roundtrip_profile(real_profile()), real_profile());
+  EXPECT_EQ(roundtrip_profile(wide_binary_profile()), wide_binary_profile());
+  EXPECT_EQ(roundtrip_profile(Profile{}), Profile{});
+}
+
+TEST(Wire, ProfileScoresRoundTripToTheBit) {
+  // Doubles ship as raw bit patterns; the similarity kernels' last-ulp
+  // behavior depends on exact equality, not approximate.
+  Profile p;
+  p.set(1, 0, 0.1);  // not representable exactly in binary
+  p.set(2, 0, 1.0 / 3.0);
+  const Profile out = roundtrip_profile(p);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.scores()[0], 0.1);
+  EXPECT_EQ(out.scores()[1], 1.0 / 3.0);
+}
+
+TEST(Wire, DescriptorRoundTripNullAndSnapshot) {
+  // Bootstrap descriptor: address only, no snapshot.
+  {
+    std::vector<std::uint8_t> buf;
+    encode_descriptor(buf, Descriptor{42, -1, ProfileHandle()});
+    WireReader r(buf.data(), buf.size());
+    Descriptor out;
+    ASSERT_TRUE(decode_descriptor(r, out));
+    EXPECT_EQ(out.node, 42u);
+    EXPECT_EQ(out.timestamp, -1);
+    EXPECT_TRUE(out.profile == nullptr);
+  }
+  // Snapshot descriptor: contents round-trip; the receiver re-interns
+  // locally (content identity, not the sender's handle).
+  {
+    const Profile p = binary_profile();
+    std::vector<std::uint8_t> buf;
+    encode_descriptor(buf, make_descriptor(7, 12, p));
+    WireReader r(buf.data(), buf.size());
+    Descriptor out;
+    ASSERT_TRUE(decode_descriptor(r, out));
+    EXPECT_EQ(out.node, 7u);
+    EXPECT_EQ(out.timestamp, 12);
+    ASSERT_FALSE(out.profile == nullptr);
+    EXPECT_EQ(out.profile_ref(), p);
+  }
+  // Empty-but-present snapshot stays distinct from the null handle.
+  {
+    std::vector<std::uint8_t> buf;
+    encode_descriptor(buf, make_descriptor(9, 3, Profile{}));
+    WireReader r(buf.data(), buf.size());
+    Descriptor out;
+    ASSERT_TRUE(decode_descriptor(r, out));
+    ASSERT_FALSE(out.profile == nullptr);
+    EXPECT_EQ(out.profile.size(), 0u);
+  }
+}
+
+Message roundtrip_message(const Message& in) {
+  std::vector<std::uint8_t> buf;
+  encode_message(buf, in);
+  WireReader r(buf.data(), buf.size());
+  Message out;
+  EXPECT_TRUE(decode_message(r, out));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(out.from, in.from);
+  EXPECT_EQ(out.to, in.to);
+  EXPECT_EQ(out.sent_at, in.sent_at);
+  EXPECT_EQ(out.seq, in.seq);
+  EXPECT_EQ(out.type, in.type);
+  EXPECT_EQ(out.payload.index(), in.payload.index());
+  return out;
+}
+
+Message view_message(MsgType type) {
+  Message m;
+  m.from = 3;
+  m.to = 11;
+  m.sent_at = 21;
+  m.seq = 2;
+  m.type = type;
+  ViewPayload v;
+  v.sender = make_descriptor(3, 21, binary_profile());
+  v.view.push_back(Descriptor{8, -1, ProfileHandle()});
+  v.view.push_back(make_descriptor(15, 20, real_profile()));
+  v.view.push_back(make_descriptor(2, 19, Profile{}));
+  m.payload = std::move(v);
+  return m;
+}
+
+void expect_view_equal(const ViewPayload& a, const ViewPayload& b) {
+  EXPECT_EQ(a.sender.node, b.sender.node);
+  EXPECT_EQ(a.sender.timestamp, b.sender.timestamp);
+  ASSERT_EQ(a.view.size(), b.view.size());
+  for (std::size_t i = 0; i < a.view.size(); ++i) {
+    EXPECT_EQ(a.view[i].node, b.view[i].node);
+    EXPECT_EQ(a.view[i].timestamp, b.view[i].timestamp);
+    EXPECT_EQ(a.view[i].profile == nullptr, b.view[i].profile == nullptr);
+    if (a.view[i].profile != nullptr) {
+      EXPECT_EQ(a.view[i].profile_ref(), b.view[i].profile_ref());
+    }
+  }
+}
+
+// Every gossip message kind — RPS/WUP request/reply and the rejoin
+// handshake — carries a ViewPayload; each round-trips with its type tag.
+TEST(Wire, ViewMessageRoundTripAllGossipTypes) {
+  for (MsgType type : {MsgType::kRpsRequest, MsgType::kRpsReply,
+                       MsgType::kWupRequest, MsgType::kWupReply,
+                       MsgType::kRejoinRequest, MsgType::kRejoinReply}) {
+    const Message in = view_message(type);
+    const Message out = roundtrip_message(in);
+    expect_view_equal(out.view(), in.view());
+  }
+}
+
+TEST(Wire, NewsMessageRoundTrip) {
+  Message m;
+  m.from = 5;
+  m.to = 6;
+  m.sent_at = 30;
+  m.seq = 7;
+  m.type = MsgType::kNews;
+  NewsPayload n;
+  n.id = 0xdeadbeefcafeULL;
+  n.index = 12;
+  n.created = 28;
+  n.origin = 2;
+  n.dislikes = 3;
+  n.hops = 4;
+  n.via_dislike = true;
+  n.item_profile = real_profile();
+  m.payload = std::move(n);
+  const Message out = roundtrip_message(m);
+  const NewsPayload& r = out.news();
+  EXPECT_EQ(r.id, 0xdeadbeefcafeULL);
+  EXPECT_EQ(r.index, 12u);
+  EXPECT_EQ(r.created, 28);
+  EXPECT_EQ(r.origin, 2u);
+  EXPECT_EQ(r.dislikes, 3);
+  EXPECT_EQ(r.hops, 4);
+  EXPECT_TRUE(r.via_dislike);
+  EXPECT_EQ(r.item_profile.get(), real_profile());
+}
+
+TEST(Wire, NewsMessageRoundTripEmptyItemProfile) {
+  // A fresh publication's item profile can be empty; the decoded handle
+  // must stay the allocation-free null representation.
+  Message m;
+  m.type = MsgType::kNews;
+  m.from = 1;
+  m.to = 2;
+  NewsPayload n;
+  n.id = 99;
+  n.index = 0;
+  m.payload = std::move(n);
+  const Message out = roundtrip_message(m);
+  EXPECT_TRUE(out.news().item_profile.empty());
+  EXPECT_FALSE(out.news().via_dislike);
+}
+
+TEST(Wire, AckMessageRoundTrip) {
+  Message m;
+  m.from = 9;
+  m.to = 4;
+  m.sent_at = 15;
+  m.seq = 1;
+  m.type = MsgType::kAck;
+  m.payload = AckPayload{0x123456789ULL, 6};
+  const Message out = roundtrip_message(m);
+  EXPECT_EQ(out.ack().item, 0x123456789ULL);
+  EXPECT_EQ(out.ack().hop, 6);
+}
+
+TEST(Wire, EnvelopeRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  const Message in = view_message(MsgType::kRpsRequest);
+  encode_envelope(buf, 37, in);
+  encode_envelope(buf, 38, in);  // batches are plain concatenations
+  WireReader r(buf.data(), buf.size());
+  Cycle due = 0;
+  Message out;
+  ASSERT_TRUE(decode_envelope(r, due, out));
+  EXPECT_EQ(due, 37);
+  ASSERT_TRUE(decode_envelope(r, due, out));
+  EXPECT_EQ(due, 38);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+// The core safety property: EVERY strict prefix of a valid encoding is
+// rejected. The bounded reader parks instead of reading past the end, so
+// no truncation can fabricate a message or crash the decoder.
+TEST(Wire, TruncatedMessagesAreRejectedAtEveryLength) {
+  std::vector<Message> corpus;
+  corpus.push_back(view_message(MsgType::kWupReply));
+  {
+    Message m;
+    m.type = MsgType::kNews;
+    m.from = 1;
+    m.to = 2;
+    NewsPayload n;
+    n.id = 7;
+    n.index = 3;
+    n.item_profile = wide_binary_profile();
+    m.payload = std::move(n);
+    corpus.push_back(std::move(m));
+  }
+  {
+    Message m;
+    m.type = MsgType::kAck;
+    m.payload = AckPayload{5, 1};
+    corpus.push_back(std::move(m));
+  }
+  for (const Message& m : corpus) {
+    std::vector<std::uint8_t> buf;
+    encode_message(buf, m);
+    for (std::size_t len = 0; len < buf.size(); ++len) {
+      WireReader r(buf.data(), len);
+      Message out;
+      EXPECT_FALSE(decode_message(r, out)) << "prefix length " << len;
+    }
+  }
+}
+
+TEST(Wire, CorruptFieldsAreRejected) {
+  // Out-of-range message type.
+  {
+    std::vector<std::uint8_t> buf;
+    encode_message(buf, view_message(MsgType::kRpsRequest));
+    // Header layout: from, to, sent_at, seq (single-byte varints here),
+    // then the type byte at offset 4.
+    buf[4] = 0xff;
+    WireReader r(buf.data(), buf.size());
+    Message out;
+    EXPECT_FALSE(decode_message(r, out));
+  }
+  // Out-of-range payload index (offset 5).
+  {
+    std::vector<std::uint8_t> buf;
+    encode_message(buf, view_message(MsgType::kRpsRequest));
+    buf[5] = 3;
+    WireReader r(buf.data(), buf.size());
+    Message out;
+    EXPECT_FALSE(decode_message(r, out));
+  }
+  // Duplicate profile ids (zero delta after the first entry).
+  {
+    std::vector<std::uint8_t> buf;
+    wire_varint(buf, 2);  // count
+    wire_varint(buf, 5);  // first id
+    wire_varint(buf, 0);  // delta 0 => duplicate id
+    WireReader r(buf.data(), buf.size());
+    Profile out;
+    EXPECT_FALSE(decode_profile(r, out));
+  }
+  // Entry count beyond the sanity cap must be rejected before any
+  // allocation is attempted.
+  {
+    std::vector<std::uint8_t> buf;
+    wire_varint(buf, kMaxWireProfileEntries + 1);
+    WireReader r(buf.data(), buf.size());
+    Profile out;
+    EXPECT_FALSE(decode_profile(r, out));
+  }
+  // Unknown score-flags byte.
+  {
+    std::vector<std::uint8_t> buf;
+    wire_varint(buf, 1);   // count
+    wire_varint(buf, 3);   // id
+    wire_zigzag(buf, 0);   // timestamp
+    wire_u8(buf, 7);       // flags: only 0/1 defined
+    wire_u8(buf, 0);
+    WireReader r(buf.data(), buf.size());
+    Profile out;
+    EXPECT_FALSE(decode_profile(r, out));
+  }
+  // Over-long varint (continuation bits past 64 bits of payload).
+  {
+    std::vector<std::uint8_t> buf(10, 0xff);
+    buf.push_back(0x01);
+    WireReader r(buf.data(), buf.size());
+    (void)r.read_varint();
+    EXPECT_FALSE(r.ok());
+  }
+}
+
+TEST(Wire, FrameRoundTripAndStreaming) {
+  const std::vector<std::uint8_t> a{1, 2, 3, 4, 5};
+  const std::vector<std::uint8_t> b{};  // empty frame = barrier token
+  const std::vector<std::uint8_t> c(1000, 0xab);
+  std::vector<std::uint8_t> stream;
+  frame_append(stream, a);
+  frame_append(stream, b);
+  frame_append(stream, c);
+
+  std::size_t offset = 0;
+  std::span<const std::uint8_t> payload;
+  ASSERT_EQ(frame_extract(stream.data(), stream.size(), offset, payload),
+            FrameStatus::kOk);
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), a.begin(), a.end()));
+  ASSERT_EQ(frame_extract(stream.data(), stream.size(), offset, payload),
+            FrameStatus::kOk);
+  EXPECT_TRUE(payload.empty());
+  ASSERT_EQ(frame_extract(stream.data(), stream.size(), offset, payload),
+            FrameStatus::kOk);
+  EXPECT_EQ(payload.size(), c.size());
+  EXPECT_EQ(frame_extract(stream.data(), stream.size(), offset, payload),
+            FrameStatus::kNeedMore);
+  EXPECT_EQ(offset, stream.size());
+}
+
+TEST(Wire, PartialFramesNeedMore) {
+  std::vector<std::uint8_t> stream;
+  frame_append(stream, std::vector<std::uint8_t>{9, 8, 7});
+  // Every strict prefix of the stream is "need more", never corrupt and
+  // never a phantom frame.
+  for (std::size_t len = 0; len < stream.size(); ++len) {
+    std::size_t offset = 0;
+    std::span<const std::uint8_t> payload;
+    EXPECT_EQ(frame_extract(stream.data(), len, offset, payload),
+              FrameStatus::kNeedMore)
+        << "prefix length " << len;
+    EXPECT_EQ(offset, 0u);
+  }
+}
+
+TEST(Wire, CorruptFramesAreDetected) {
+  // Flipped payload byte: checksum mismatch.
+  {
+    std::vector<std::uint8_t> stream;
+    frame_append(stream, std::vector<std::uint8_t>{1, 2, 3, 4});
+    stream[8] ^= 0x01;  // first payload byte
+    std::size_t offset = 0;
+    std::span<const std::uint8_t> payload;
+    EXPECT_EQ(frame_extract(stream.data(), stream.size(), offset, payload),
+              FrameStatus::kCorrupt);
+  }
+  // Flipped checksum byte.
+  {
+    std::vector<std::uint8_t> stream;
+    frame_append(stream, std::vector<std::uint8_t>{1, 2, 3, 4});
+    stream[4] ^= 0x01;
+    std::size_t offset = 0;
+    std::span<const std::uint8_t> payload;
+    EXPECT_EQ(frame_extract(stream.data(), stream.size(), offset, payload),
+              FrameStatus::kCorrupt);
+  }
+  // Absurd length prefix: rejected before waiting for gigabytes.
+  {
+    std::vector<std::uint8_t> stream(8, 0xff);
+    std::size_t offset = 0;
+    std::span<const std::uint8_t> payload;
+    EXPECT_EQ(frame_extract(stream.data(), stream.size(), offset, payload),
+              FrameStatus::kCorrupt);
+  }
+}
+
+// An encoded envelope survives the frame layer byte-exactly — the full
+// path a cross-fragment message takes (encode -> frame -> socket ->
+// extract -> decode).
+TEST(Wire, EnvelopeThroughFrameLayer) {
+  std::vector<std::uint8_t> batch;
+  const Message in = view_message(MsgType::kWupRequest);
+  encode_envelope(batch, 41, in);
+  std::vector<std::uint8_t> stream;
+  frame_append(stream, batch);
+
+  std::size_t offset = 0;
+  std::span<const std::uint8_t> payload;
+  ASSERT_EQ(frame_extract(stream.data(), stream.size(), offset, payload),
+            FrameStatus::kOk);
+  WireReader r(payload);
+  Cycle due = 0;
+  Message out;
+  ASSERT_TRUE(decode_envelope(r, due, out));
+  EXPECT_EQ(due, 41);
+  EXPECT_EQ(out.type, MsgType::kWupRequest);
+  expect_view_equal(out.view(), in.view());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+}  // namespace
+}  // namespace whatsup::net
