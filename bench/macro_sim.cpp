@@ -36,6 +36,9 @@
 //   --drain=N     drain cycles for the custom row (default: 15) — the
 //                 million-node CI smoke row shrinks warmup/drain so the
 //                 run fits the job budget on one core
+//   --spread=K    stagger each cycle's publication burst over the next K
+//                 cycles (RunConfig::publish_spread) — de-synchronizes the
+//                 storm that otherwise sets the peak-RSS envelope
 //   --scenario=F  .scn event timeline applied to the custom row (implies
 //                 the custom row at 500 nodes when --nodes is not given);
 //                 see src/scenario/ and scenarios/
@@ -56,6 +59,9 @@
 #ifdef __unix__
 #include <sys/wait.h>
 #include <unistd.h>
+#endif
+#ifdef __GLIBC__
+#include <malloc.h>
 #endif
 
 #include "analysis/runner.hpp"
@@ -88,6 +94,12 @@ std::size_t proc_status_kib(const char* key) {
 // (echo 5 > /proc/self/clear_refs), so the next VmHWM read reflects this
 // row, not whichever earlier row in the sweep was largest.
 bool reset_peak_rss() {
+  // Return freed-but-retained allocator pages to the kernel first: the
+  // reset pins the high-water mark to the CURRENT resident set, and an
+  // earlier row's drained heap would otherwise become this row's floor.
+#ifdef __GLIBC__
+  malloc_trim(0);
+#endif
   std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
   if (f == nullptr) return false;
   const bool ok = std::fputs("5", f) >= 0;
@@ -140,7 +152,8 @@ void run_macro(benchmark::State& state, std::size_t users, std::size_t items,
                const scenario::Timeline* timeline = nullptr,
                const net::NetworkConfig* network = nullptr,
                bool reliability = false, Cycle warmup_cycles = 5,
-               Cycle drain_cycles = 15, std::size_t partitions = 1) {
+               Cycle drain_cycles = 15, std::size_t partitions = 1,
+               Cycle publish_spread = 0) {
   const data::Workload workload = macro_workload(users, items);
   analysis::RunConfig config;
   config.approach = analysis::Approach::kWhatsUp;
@@ -150,6 +163,7 @@ void run_macro(benchmark::State& state, std::size_t users, std::size_t items,
   config.publish_cycles = publish_cycles;
   config.drain_cycles = drain_cycles;
   config.measure_margin = 13;
+  config.publish_spread = publish_spread;
   config.threads = threads;
   if (timeline != nullptr) {
     config.scenario = *timeline;
@@ -260,12 +274,25 @@ void BM_WhatsUpSim_10000n_50c(benchmark::State& state) {
   run_macro(state, 10000, 500, 30, static_cast<unsigned>(state.range(0)));
 }
 
+// Storm-spread variant of the sharded row: the same calendar staggered
+// over 8 cycles per burst. Tracks what de-synchronizing the publication
+// storm buys in peak RSS (the gate watches peak_bytes_per_node; scores
+// differ from the dense row — it is a different schedule — but stay
+// deterministic for the fixed seed).
+void BM_WhatsUpSim_10000n_50c_Spread8(benchmark::State& state) {
+  run_macro(state, 10000, 500, 30, static_cast<unsigned>(state.range(0)),
+            /*timeline=*/nullptr, /*network=*/nullptr, /*reliability=*/false,
+            /*warmup_cycles=*/5, /*drain_cycles=*/15, /*partitions=*/1,
+            /*publish_spread=*/8);
+}
+
 unsigned g_custom_threads = 0;  // 0 = hardware concurrency
 std::size_t g_custom_nodes = 0;
 std::size_t g_custom_items = 0;  // 0 = nodes/20 (capped-item default)
 Cycle g_custom_cycles = 0;       // 0 = 50 publication cycles
 Cycle g_custom_warmup = -1;      // <0 = default 5
 Cycle g_custom_drain = -1;       // <0 = default 15
+Cycle g_custom_spread = 0;       // publication-storm spreading window
 std::size_t g_custom_partitions = 1;  // worker processes; 1 = in-process
 std::string g_custom_scenario;   // .scn path; empty = plain run
 
@@ -282,11 +309,12 @@ void BM_WhatsUpSim_Custom(benchmark::State& state) {
   if (!g_custom_scenario.empty()) {
     const scenario::Timeline timeline = scenario::parse_file(g_custom_scenario);
     run_macro(state, g_custom_nodes, items, publish, threads, &timeline,
-              nullptr, false, warmup, drain, g_custom_partitions);
+              nullptr, false, warmup, drain, g_custom_partitions,
+              g_custom_spread);
     return;
   }
   run_macro(state, g_custom_nodes, items, publish, threads, nullptr, nullptr,
-            false, warmup, drain, g_custom_partitions);
+            false, warmup, drain, g_custom_partitions, g_custom_spread);
 }
 
 // Consumes --nodes=/--threads=/--items=/--cycles= (also "--flag value"
@@ -321,6 +349,8 @@ void parse_local_flags(int& argc, char** argv) {
       g_custom_warmup = static_cast<Cycle>(std::strtol(value.c_str(), nullptr, 10));
     } else if (match("drain", value)) {
       g_custom_drain = static_cast<Cycle>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (match("spread", value)) {
+      g_custom_spread = static_cast<Cycle>(std::strtol(value.c_str(), nullptr, 10));
     } else if (match("partitions", value)) {
       g_custom_partitions = std::max<std::size_t>(
           1, static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10)));
@@ -352,7 +382,9 @@ int main(int argc, char** argv) {
         benchmark::RegisterBenchmark("BM_WhatsUpSim_1000n_200c",
                                      whatsup::BM_WhatsUpSim_1000n_200c),
         benchmark::RegisterBenchmark("BM_WhatsUpSim_10000n_50c",
-                                     whatsup::BM_WhatsUpSim_10000n_50c)}) {
+                                     whatsup::BM_WhatsUpSim_10000n_50c),
+        benchmark::RegisterBenchmark("BM_WhatsUpSim_10000n_50c_Spread8",
+                                     whatsup::BM_WhatsUpSim_10000n_50c_Spread8)}) {
     // UseRealTime: cycles/s must reflect the wall clock, not the calling
     // thread's CPU time (which sleeps at phase barriers while the pool
     // works).

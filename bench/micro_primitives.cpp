@@ -79,7 +79,7 @@ void run_wup_scoring(benchmark::State& state, bool use_memo) {
     net::Descriptor& churned = candidates[rng.index(kCandidates)];
     Profile fresh = churned.profile_ref();
     fresh.set(rng.index(4 * size) + 1, 0, rng.bernoulli(0.5) ? 1.0 : 0.0);
-    churned.profile = ProfileHandle::snapshot(fresh);
+    churned = net::make_descriptor(churned.node, churned.timestamp(), fresh);
     double total = 0.0;
     for (const net::Descriptor& d : candidates) {
       total += use_memo

@@ -14,10 +14,12 @@
 #   SCENARIO      .scn spec forwarded to macro_sim's custom row
 #                 (--scenario; adds a BM_WhatsUpSim_Custom row at 500
 #                 nodes under the timeline — see scenarios/)
-#   ALLOW_DEBUG   set to 1 to run against a non-Release build tree anyway
-#                 (the JSON gets "build_type" in context either way; a
-#                 Debug tree is refused by default so a slow baseline can
-#                 never silently land in BENCH_micro.json)
+#   ALLOW_DEBUG   set to 1 to record from a non-Release build tree and/or a
+#                 non-release benchmark LIBRARY anyway (the JSON keeps both
+#                 stamps in context: "build_type" for the tree and the
+#                 library's own "library_build_type"). Both are refused by
+#                 default so a slow baseline can never silently land in
+#                 BENCH_micro.json.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -58,6 +60,27 @@ trap 'rm -rf "$tmp"' EXIT
   --benchmark_filter="$MICRO_FILTER" \
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_out="$tmp/micro.json" --benchmark_out_format=json
+
+# The benchmark library stamps its own build flavor into the JSON context
+# (library_build_type). A debug-assert library — e.g. Debian's package,
+# which CMake falls back to when the source build can't be fetched — skews
+# kernel timings even under a Release tree, so refuse it like a Debug tree.
+LIB_BUILD_TYPE=$(python3 -c "
+import json, sys
+print(json.load(open(sys.argv[1])).get('context', {}).get('library_build_type', 'unknown'))
+" "$tmp/micro.json")
+if [[ "$LIB_BUILD_TYPE" != "release" && "$ALLOW_DEBUG" != "1" ]]; then
+  echo "error: the benchmark library reports library_build_type='$LIB_BUILD_TYPE'," >&2
+  echo "       not 'release' — its timings are not comparable. Reconfigure with" >&2
+  echo "       network access so CMake builds the library from source matching" >&2
+  echo "       the tree, or set ALLOW_DEBUG=1 to record anyway (tagged in the" >&2
+  echo "       JSON)." >&2
+  exit 1
+fi
+if [[ "$LIB_BUILD_TYPE" != "release" ]]; then
+  echo "warning: benchmark library_build_type='$LIB_BUILD_TYPE' (ALLOW_DEBUG=1)" >&2
+fi
+
 "$BUILD_DIR/macro_sim" \
   ${SCENARIO:+--scenario="$SCENARIO"} \
   --benchmark_filter="$MACRO_FILTER" \

@@ -1,6 +1,8 @@
 #include "analysis/runner.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -133,10 +135,15 @@ RunResult run_protocol(const data::Workload& base_workload, const RunConfig& con
   data::Workload workload = base_workload;  // local copy: we draw a schedule
   Rng rng(config.seed);
 
-  // Publication schedule: uniform over the publication phase.
+  // Publication schedule: uniform over the publication phase, optionally
+  // de-synchronized (items of one burst staggered over the next
+  // publish_spread cycles; late stragglers publish into the drain tail).
+  // Computed identically on every fragment worker — pure function of the
+  // calendar, no extra RNG draws.
   const Cycle first_pub = config.warmup_cycles;
   const Cycle last_pub = config.warmup_cycles + config.publish_cycles - 1;
   workload.schedule_publications(first_pub, last_pub, rng);
+  workload.spread_publication_storms(config.publish_spread);
 
   sim::Engine::Config engine_config;
   engine_config.seed = rng.next_u64();
@@ -274,6 +281,20 @@ RunResult run_protocol(const data::Workload& base_workload, const RunConfig& con
       }
     }
     engine.run_cycle();
+  }
+
+  // Per-layer footprint attribution for the perf docs' "Memory map"
+  // (capacity accounting, not RSS — see Engine::memory_stats).
+  if (std::getenv("WHATSUP_MEM_STATS") != nullptr) {
+    const sim::Engine::MemoryStats m = engine.memory_stats();
+    std::fprintf(stderr,
+                 "[mem_stats] mailbox=%zu payload=%zu outbox=%zu pool=%zu "
+                 "scratch=%zu arena=%zu materialize_slots=%zu "
+                 "materialize_bytes_per_thread=%zu total=%zu\n",
+                 m.mailbox_bytes, m.payload_bytes, m.outbox_bytes,
+                 m.pool_bytes, m.scratch_bytes, m.arena_bytes,
+                 m.materialize_slots, m.materialize_bytes_per_thread,
+                 m.total());
   }
 
   // ---- Collect results ----

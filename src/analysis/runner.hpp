@@ -55,6 +55,11 @@ struct RunConfig {
   Cycle warmup_cycles = 5;    // gossip-only cycles before the first item
   Cycle publish_cycles = 50;  // length of the publication phase
   Cycle drain_cycles = 12;    // tail for in-flight items
+  // Publication-storm spreading window (cycles): > 1 staggers each cycle's
+  // publication burst over the next `publish_spread` cycles after the
+  // calendar is drawn (Workload::spread_publication_storms), flattening the
+  // synchronized-burst RSS peak. 0/1 = the classic dense calendar.
+  Cycle publish_spread = 0;
   // Items published before warmup_cycles + measure_margin are excluded
   // from the user metrics (profiles start empty; the paper measures
   // steady state).

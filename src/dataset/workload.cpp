@@ -4,6 +4,7 @@
 #include <cassert>
 #include <numeric>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "common/hash.hpp"
 
@@ -47,6 +48,19 @@ void Workload::schedule_publications(Cycle first, Cycle last, Rng& rng) {
   for (std::size_t rank = 0; rank < order.size(); ++rank) {
     const double t = static_cast<double>(rank) / static_cast<double>(order.size());
     news[order[rank]].publish_at = first + static_cast<Cycle>(t * span);
+  }
+}
+
+void Workload::spread_publication_storms(Cycle window) {
+  if (window <= 1) return;
+  // Count of already-reassigned items per original burst cycle: the i-th
+  // item (in ascending index order) of the burst at cycle c lands on
+  // c + (i % window). Unscheduled items (publish_at == kNoCycle) stay put.
+  std::unordered_map<Cycle, Cycle> seen;
+  for (NewsSpec& spec : news) {
+    if (spec.publish_at == kNoCycle) continue;
+    const Cycle i = seen[spec.publish_at]++;
+    spec.publish_at += i % window;
   }
 }
 

@@ -64,6 +64,17 @@ class Workload {
   // shuffled first so topics interleave), sources untouched.
   void schedule_publications(Cycle first, Cycle last, Rng& rng);
 
+  // Publication-storm spreading: staggers each cycle's publication burst
+  // over the next `window` cycles — the i-th item of a cycle's burst moves
+  // to publish_at + (i % window). A dense calendar (many items per cycle)
+  // otherwise makes every source snapshot, encode, and fan out item
+  // profiles in the SAME cycle, and that synchronized burst — not the
+  // steady state — sets the peak-RSS envelope. Item order within a burst is
+  // calendar order (ascending index), so the result is a pure function of
+  // the already-assigned calendar: deterministic, identical across thread
+  // counts and partitionings. No-op for window <= 1.
+  void spread_publication_storms(Cycle window);
+
   // Appends `count` externally-injected items that NO user likes and that
   // the publication calendar never schedules (publish_at stays kNoCycle,
   // so they are excluded from every measured-item pass). The scenario

@@ -16,7 +16,7 @@ void ClusteringProtocol::bootstrap(std::vector<net::Descriptor> seed) {
 net::ViewPayload ClusteringProtocol::make_payload(sim::Context& ctx,
                                                   const Profile& own_profile) const {
   net::ViewPayload payload;
-  payload.sender = net::Descriptor{self_, ctx.now(), snapshot_cache_.get(own_profile)};
+  payload.sender = net::Descriptor{self_, snapshot_cache_.stamp(ctx.now(), own_profile)};
   // The ENTIRE view (§II), copied into a pooled buffer recycled from
   // earlier delivered messages.
   payload.view = ctx.acquire_descriptor_buffer();
@@ -64,7 +64,7 @@ double ClusteringProtocol::avg_similarity(const Profile& own_profile) const {
   if (view_.empty()) return 0.0;
   double total = 0.0;
   for (const net::Descriptor& d : view_.entries()) {
-    total += memo_.score(metric_, own_profile, d.node, d.profile);
+    total += memo_.score(metric_, own_profile, d.node, d.stamp());
   }
   return total / static_cast<double>(view_.size());
 }

@@ -31,8 +31,8 @@ std::size_t ViewHygiene::evict_stale(View& view, Cycle now) {
   // that gossip briefly abandoned never empties and strands the node.
   const net::Descriptor* freshest = nullptr;
   for (const net::Descriptor& d : view.entries()) {
-    if (freshest == nullptr || d.timestamp > freshest->timestamp ||
-        (d.timestamp == freshest->timestamp && d.node < freshest->node)) {
+    if (freshest == nullptr || d.timestamp() > freshest->timestamp() ||
+        (d.timestamp() == freshest->timestamp() && d.node < freshest->node)) {
       freshest = &d;
     }
   }
@@ -41,7 +41,7 @@ std::size_t ViewHygiene::evict_stale(View& view, Cycle now) {
   // Collect ids first: View::remove invalidates entry iteration.
   std::vector<NodeId> stale;
   for (const net::Descriptor& d : view.entries()) {
-    if (d.timestamp < cutoff && d.node != keep) stale.push_back(d.node);
+    if (d.timestamp() < cutoff && d.node != keep) stale.push_back(d.node);
   }
   for (const NodeId node : stale) {
     view.remove(node);

@@ -13,7 +13,9 @@ void Rps::bootstrap(std::vector<net::Descriptor> seed) {
 }
 
 net::Descriptor Rps::self_descriptor(Cycle now, const Profile& own_profile) const {
-  return net::Descriptor{self_, now, snapshot_cache_.get(own_profile)};
+  // The cache reuses one stamp record while (version, cycle) is unchanged,
+  // so repeated sends within a cycle share the arena entry.
+  return net::Descriptor{self_, snapshot_cache_.stamp(now, own_profile)};
 }
 
 net::ViewPayload Rps::make_payload(sim::Context& ctx, const Profile& own_profile) {

@@ -21,8 +21,8 @@ const net::Descriptor* View::oldest() const {
   // would have turned into a determinism hazard.
   const auto it = std::min_element(entries_.begin(), entries_.end(),
                                    [](const net::Descriptor& a, const net::Descriptor& b) {
-                                     return a.timestamp != b.timestamp
-                                                ? a.timestamp < b.timestamp
+                                     return a.timestamp() != b.timestamp()
+                                                ? a.timestamp() < b.timestamp()
                                                 : a.node < b.node;
                                    });
   return it == entries_.end() ? nullptr : &*it;
@@ -33,12 +33,13 @@ void View::insert_or_refresh(net::Descriptor descriptor) {
       entries_.begin(), entries_.end(),
       [&descriptor](const net::Descriptor& d) { return d.node == descriptor.node; });
   if (it != entries_.end()) {
-    if (descriptor.timestamp >= it->timestamp) {
+    if (descriptor.timestamp() >= it->timestamp()) {
       // A refresh may legitimately carry no snapshot (bootstrap entries
       // ship bare addresses). Keep the newer timestamp but never downgrade
       // an entry that already has profile contents to a null snapshot.
-      if (descriptor.profile == nullptr && it->profile != nullptr) {
-        descriptor.profile = std::move(it->profile);
+      if (!descriptor.has_profile() && it->has_profile()) {
+        descriptor = net::Descriptor{descriptor.node, descriptor.timestamp(),
+                                     it->profile()};
       }
       *it = std::move(descriptor);
     }
@@ -104,7 +105,7 @@ void View::assign_closest(std::vector<net::Descriptor> candidates, const Profile
     const double s =
         memo != nullptr
             ? memo->score(metric, own_profile, candidates[i].node,
-                          candidates[i].profile)
+                          candidates[i].stamp())
             : similarity(metric, own_profile, candidates[i].profile_ref());
     scored.emplace_back(s, i);
   }
@@ -139,7 +140,7 @@ std::vector<net::Descriptor> merge_candidates(std::span<const net::Descriptor> b
   auto absorb = [&](const net::Descriptor& d) {
     if (d.node == self || d.node == kNoNode) return;
     const auto it = best.find(d.node);
-    if (it == best.end() || d.timestamp > it->second.timestamp) best[d.node] = d;
+    if (it == best.end() || d.timestamp() > it->second.timestamp()) best[d.node] = d;
   };
   for (const net::Descriptor& d : base) absorb(d);
   for (const net::Descriptor& d : incoming) absorb(d);

@@ -43,33 +43,53 @@ std::string to_string(MsgType type);
 std::string to_string(Protocol protocol);
 
 // A view entry as shipped on the wire: node address/id, the time the owner
-// generated the entry, and a snapshot of the owner's profile (§II).
-// Snapshots are immutable compact records interned process-wide
-// (profile/compact.hpp), so views and messages carry a 16-byte handle —
-// gossip exchanges copy a refcount, never the profile contents.
+// generated the entry, and a snapshot of the owner's profile (§II). Packed
+// to 8 bytes: the node id plus a 4-byte DescriptorRef — either an inline
+// timestamp (profile-less bootstrap entries) or an index into the snapshot
+// arena's stamp-record pool, where the timestamp lives next to the blob
+// reference and is SHARED by every copy of the generation
+// (profile/compact.hpp). Gossip exchanges copy a refcount, never the
+// profile contents.
 struct Descriptor {
   NodeId node = kNoNode;
-  Cycle timestamp = kNoCycle;
-  ProfileHandle profile;
 
+  Descriptor() = default;
+  Descriptor(NodeId n, DescriptorRef ref) : node(n), entry_(std::move(ref)) {}
+  Descriptor(NodeId n, Cycle timestamp, const ProfileHandle& profile)
+      : node(n), entry_(DescriptorRef::make(timestamp, profile)) {}
+  Descriptor(NodeId n, Cycle timestamp, std::nullptr_t)
+      : node(n), entry_(DescriptorRef::make(timestamp, ProfileHandle())) {}
+
+  Cycle timestamp() const { return entry_.timestamp(); }
+  bool has_profile() const { return entry_.has_profile(); }
+  // Snapshot header reads that do NOT decode — the wire-size model and the
+  // similarity memo key off these.
+  std::size_t profile_size() const { return entry_.profile_size(); }
+  std::uint64_t profile_version() const { return entry_.profile_version(); }
+  // Retained handle on the snapshot (cold paths; null if !has_profile()).
+  ProfileHandle profile() const { return entry_.profile(); }
   // Decoded SoA view of the snapshot (thread-local scratch; see
-  // ProfileHandle::materialize for the lifetime contract). Size-only
-  // consumers (the wire-size model) should read profile.size() instead.
-  const Profile& profile_ref() const { return profile.materialize(); }
+  // ProfileHandle::materialize for the lifetime contract).
+  const Profile& profile_ref() const { return entry_.materialize(); }
+  // The shared (timestamp, snapshot) generation record itself — the memo
+  // overload and caches key off it without touching refcounts.
+  const DescriptorRef& stamp() const { return entry_; }
+
+ private:
+  DescriptorRef entry_;
 };
 
 // Snapshots `profile`'s current contents into an interned compact record.
 // Hot paths should prefer a ProfileSnapshotCache (profile/snapshot.hpp),
-// which skips the intern-table lock while the profile's version is
-// unchanged; this helper is for tests, bootstrap wiring, and other cold
-// paths.
+// which reuses the stamp record while (version, timestamp) is unchanged;
+// this helper is for tests, bootstrap wiring, and other cold paths.
 inline Descriptor make_descriptor(NodeId node, Cycle timestamp, const Profile& profile) {
   return Descriptor{node, timestamp, ProfileHandle::snapshot(profile)};
 }
 
 // Wraps an already-interned snapshot without re-encoding.
 inline Descriptor make_descriptor(NodeId node, Cycle timestamp, ProfileHandle snapshot) {
-  return Descriptor{node, timestamp, std::move(snapshot)};
+  return Descriptor{node, timestamp, snapshot};
 }
 
 // Payload of RPS/WUP gossip: the sender's own fresh descriptor plus the
@@ -91,18 +111,23 @@ struct ViewPayload {
 // other in-flight copies. SizeModel keeps charging the LOGICAL wire size
 // of the full profile per message (profile/item_profile.hpp).
 //
-// Field order is packed (8-byte members first), which together with the
-// pointer-sized ItemProfileRef keeps the payload at 40 bytes — level with
-// ViewPayload, so news messages no longer set the variant's size floor.
+// Field order is packed (8-byte members first) and the measurement tail is
+// narrowed to its actual ranges, which keeps the payload at 32 bytes —
+// level with ViewPayload since the 8-byte descriptor packing, so news
+// messages no longer set the variant's size floor. The narrow fields are
+// safe by protocol structure: `dislikes` is TTL-bounded (BEEP drops a copy
+// at d_I >= ttl — beep.cpp; the TTL sweep tops out at 8) and `hops` grows
+// at most once per cycle, so a run would need >32k cycles to overflow it
+// (the wire decoder rejects out-of-range values rather than truncating).
 struct NewsPayload {
   ItemId id = 0;
   ItemProfileRef item_profile;
   ItemIdx index = kNoItem;
   Cycle created = 0;
   NodeId origin = kNoNode;
-  int dislikes = 0;     // d_I, §II-A
-  int hops = 0;         // path length from the source
-  bool via_dislike = false;  // last forward was performed by a disliker
+  std::int16_t hops = 0;       // path length from the source
+  std::int8_t dislikes = 0;    // d_I, §II-A (TTL-bounded)
+  bool via_dislike = false;    // last forward was performed by a disliker
 };
 
 // Payload of a reliability-layer acknowledgment: the receiver confirms one
@@ -115,11 +140,11 @@ struct AckPayload {
 };
 
 // The envelope. Header fields are ordered to pack into 16 bytes; with the
-// 40-byte payload alternatives the whole envelope is 64 bytes (it was 88
-// before the field reordering, the pointer-sized ItemProfileRef and the
-// 16-bit seq). Envelopes dominate the mailbox-ring storm peak at the
-// million-node scale (docs/perf.md "Memory map"), so the static_asserts
-// below pin the budget.
+// 32-byte payload alternatives the whole envelope is 56 bytes (88 before
+// the PR 8 field reordering, 64 before the 8-byte descriptor packing and
+// the NewsPayload tail narrowing). Envelopes dominate the mailbox-ring
+// storm peak at the million-node scale (docs/perf.md "Memory map"), so the
+// static_asserts below pin the budget.
 struct Message {
   NodeId from = kNoNode;
   NodeId to = kNoNode;
@@ -142,9 +167,10 @@ struct Message {
 // Envelope budget (64-bit platforms): the packing above is load-bearing
 // for peak bytes/node, so regressions should fail the build, not show up
 // as a bench delta three PRs later.
-static_assert(sizeof(void*) != 8 || sizeof(Descriptor) == 16);
-static_assert(sizeof(void*) != 8 || sizeof(ViewPayload) == 40);
-static_assert(sizeof(void*) != 8 || sizeof(NewsPayload) == 40);
-static_assert(sizeof(void*) != 8 || sizeof(Message) <= 64);
+static_assert(sizeof(Descriptor) == 8,
+              "packed descriptor: u32 node id + u32 arena ref");
+static_assert(sizeof(void*) != 8 || sizeof(ViewPayload) == 32);
+static_assert(sizeof(void*) != 8 || sizeof(NewsPayload) == 32);
+static_assert(sizeof(void*) != 8 || sizeof(Message) <= 56);
 
 }  // namespace whatsup::net

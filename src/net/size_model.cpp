@@ -6,7 +6,7 @@ std::size_t SizeModel::descriptor_bytes(const Descriptor& d) const {
   // Logical wire size: a real deployment serializes the full profile per
   // descriptor, so the charge reads the entry count off the compact record
   // header — storage compression never changes accounted bandwidth.
-  return descriptor_base + profile_entry * d.profile.size();
+  return descriptor_base + profile_entry * d.profile_size();
 }
 
 std::size_t SizeModel::bytes(const Message& m) const {

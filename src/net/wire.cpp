@@ -128,13 +128,13 @@ bool decode_profile(WireReader& r, Profile& out) {
 
 void encode_descriptor(std::vector<std::uint8_t>& out, const Descriptor& d) {
   wire_varint(out, d.node);
-  wire_zigzag(out, d.timestamp);
-  if (d.profile == nullptr) {
+  wire_zigzag(out, d.timestamp());
+  if (!d.has_profile()) {
     wire_u8(out, 0);  // bootstrap descriptor: address only, no snapshot
     return;
   }
   wire_u8(out, 1);
-  encode_profile(out, d.profile.materialize());
+  encode_profile(out, d.profile_ref());
 }
 
 bool decode_descriptor(WireReader& r, Descriptor& out) {
@@ -145,17 +145,20 @@ bool decode_descriptor(WireReader& r, Descriptor& out) {
       timestamp > INT32_MAX || flag > 1) {
     return false;
   }
-  out.node = static_cast<NodeId>(node);
-  out.timestamp = static_cast<Cycle>(timestamp);
+  const NodeId n = static_cast<NodeId>(node);
+  const Cycle ts = static_cast<Cycle>(timestamp);
   if (flag == 0) {
-    out.profile = ProfileHandle();
+    out = Descriptor{n, ts, nullptr};
     return true;
   }
   Profile p;
   if (!decode_profile(r, p)) return false;
-  // Re-intern locally: snapshots are identified by CONTENT here, never by
-  // the sender's process-local version stamps.
-  out.profile = p.empty() ? empty_profile_handle() : CompactProfile::encode(p);
+  // Re-intern locally BY CONTENT, never by the sender's process-local
+  // version stamps: identical snapshot bytes arriving through different
+  // sockets collapse onto one arena record.
+  out = Descriptor{n, ts,
+                   p.empty() ? empty_profile_handle()
+                             : SnapshotArena::instance().intern_by_content(p)};
   return true;
 }
 
@@ -200,16 +203,16 @@ bool decode_news_payload(WireReader& r, NewsPayload& out) {
   const std::int64_t hops = r.read_zigzag();
   const std::uint8_t via = r.read_u8();
   if (!r.ok() || index > UINT32_MAX || created < INT32_MIN ||
-      created > INT32_MAX || origin > UINT32_MAX || dislikes < INT32_MIN ||
-      dislikes > INT32_MAX || hops < INT32_MIN || hops > INT32_MAX ||
+      created > INT32_MAX || origin > UINT32_MAX || dislikes < INT8_MIN ||
+      dislikes > INT8_MAX || hops < INT16_MIN || hops > INT16_MAX ||
       via > 1) {
     return false;
   }
   out.index = static_cast<ItemIdx>(index);
   out.created = static_cast<Cycle>(created);
   out.origin = static_cast<NodeId>(origin);
-  out.dislikes = static_cast<int>(dislikes);
-  out.hops = static_cast<int>(hops);
+  out.dislikes = static_cast<std::int8_t>(dislikes);
+  out.hops = static_cast<std::int16_t>(hops);
   out.via_dislike = via != 0;
   Profile p;
   if (!decode_profile(r, p)) return false;

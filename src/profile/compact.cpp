@@ -1,8 +1,8 @@
 #include "profile/compact.hpp"
 
 #include <bit>
-#include <vector>
 #include <cstring>
+#include <vector>
 
 #include "common/varint.hpp"
 
@@ -21,21 +21,29 @@ bool all_binary(std::span<const double> scores) {
   return true;
 }
 
+std::uint64_t fnv1a64(std::uint64_t h, const std::uint8_t* bytes,
+                      std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 0x00000100000001B3ull;
+  }
+  return h;
+}
+
 }  // namespace
 
-ProfileHandle CompactProfile::encode(const Profile& profile) {
-  auto* record = new CompactProfile();  // refs_ starts at 1: the handle's
+void CompactProfile::init_from(const Profile& profile) {
   const std::size_t n = profile.size();
-  record->version_ = profile.version();
-  record->norm_ = profile.norm();
-  record->count_ = static_cast<std::uint32_t>(n);
-  record->liked_ = static_cast<std::uint32_t>(profile.liked_count());
+  version_ = profile.version();
+  norm_ = profile.norm();
+  count_ = static_cast<std::uint32_t>(n);
+  liked_ = static_cast<std::uint32_t>(profile.liked_count());
 
   const std::span<const ItemId> ids = profile.ids();
   const std::span<const Cycle> timestamps = profile.timestamps();
   const std::span<const double> scores = profile.scores();
   const bool binary = all_binary(scores);
-  record->flags_ = binary ? kBinaryScores : 0;
+  flags_ = binary ? kBinaryScores : 0;
 
   WideArray wide;
   wide.resize(n);
@@ -43,7 +51,7 @@ ProfileHandle CompactProfile::encode(const Profile& profile) {
     wide[i] = static_cast<std::uint64_t>(static_cast<std::int64_t>(timestamps[i]));
   }
 
-  SmallVector<std::uint8_t, kInlineBytes>& out = record->bytes_;
+  SmallVector<std::uint8_t, kInlineBytes>& out = bytes_;
   const std::size_t score_bytes = binary ? (n + 7) / 8 : n * sizeof(double);
   out.reserve(delta_encoded_size(ids.data(), n) +
               delta_encoded_size(wide.data(), n) + score_bytes);
@@ -65,7 +73,10 @@ ProfileHandle CompactProfile::encode(const Profile& profile) {
       }
     }
   }
-  return ProfileHandle::adopt(record);
+}
+
+ProfileHandle CompactProfile::encode(const Profile& profile) {
+  return SnapshotArena::instance().encode_detached(profile);
 }
 
 void CompactProfile::decode_into(Profile& out) const {
@@ -98,74 +109,110 @@ void CompactProfile::decode_into(Profile& out) const {
   out.norm_dirty_ = false;
 }
 
-namespace {
-
-const Profile& static_empty_profile() {
-  static const Profile kEmpty;
-  return kEmpty;
+// The decode scratch itself lives in compact.hpp (detail::scratch_lookup):
+// a per-thread direct-mapped cache of SoA Profiles keyed by the record
+// version. The working set is every snapshot generation a scoring sweep
+// touches — NOT the ~50 candidates of one merge, but every generation
+// still alive in some view across the whole deployment, since scoring
+// sweeps revisit shared candidates node after node. A handful of slots
+// measures a ~0% hit rate and puts varint decode at the top of the profile
+// (~35% of the 500 n × 200 c row, 11M decodes). The slot count is a
+// process-wide knob: the engine derives it from the node count, because
+// the live-generation working set scales with the deployment — the former
+// fixed 8 K slots (~4 MB/thread) priced every small threaded row at the
+// million-node ceiling.
+void set_materialize_scratch_slots(std::size_t slots) {
+  slots = std::bit_ceil(slots);
+  if (slots < kMinMaterializeScratchSlots) slots = kMinMaterializeScratchSlots;
+  if (slots > kMaxMaterializeScratchSlots) slots = kMaxMaterializeScratchSlots;
+  detail::g_scratch_slots.store(slots, std::memory_order_relaxed);
 }
 
-// Per-thread decode scratch: a direct-mapped cache of SoA Profiles keyed
-// by the record version. The working set is every snapshot generation a
-// scoring sweep touches — NOT the ~50 candidates of one merge, but every
-// generation still alive in some view across the whole deployment, since
-// scoring sweeps revisit shared candidates node after node. A handful of
-// slots measures a ~0% hit rate and puts varint decode at the top of the
-// profile (~35% of the 500 n × 200 c row, 11M decodes); 8 K slots bring
-// that row within ~3% of the pre-compaction throughput (one decode per
-// generation per thread, amortized). Versions come from one global
-// counter (dense), so version & (slots-1) distributes uniformly. The
-// cost is a fixed ~4 MB per scoring thread — invisible at million-node
-// scale (+4 B/node single-threaded), where decode volume is dominated by
-// bootstrap, not per-cycle re-scoring, and hit rate matters less.
-constexpr std::size_t kScratchSlots = 8192;
-static_assert((kScratchSlots & (kScratchSlots - 1)) == 0,
-              "direct-mapped index needs a power-of-two slot count");
-
-struct ScratchSlot {
-  std::uint64_t version = 0;  // 0 = vacant (empty profiles never enter)
-  Profile profile;
-};
-
-const Profile& materialize_scratch(const CompactProfile& record) {
-  thread_local std::vector<ScratchSlot> slots(kScratchSlots);
-  ScratchSlot& slot = slots[record.version() & (kScratchSlots - 1)];
-  if (slot.version != record.version()) {
-    record.decode_into(slot.profile);
-    slot.version = record.version();
-  }
-  return slot.profile;
+std::size_t materialize_scratch_slots() {
+  return detail::g_scratch_slots.load(std::memory_order_relaxed);
 }
 
-}  // namespace
-
-const Profile& ProfileHandle::materialize() const {
-  if (record_ == nullptr || record_->size() == 0) return static_empty_profile();
-  return materialize_scratch(*record_);
+std::size_t materialize_scratch_bytes_per_thread() {
+  return materialize_scratch_slots() * sizeof(detail::ScratchSlot);
 }
 
 ProfileHandle ProfileHandle::snapshot(const Profile& profile) {
   if (profile.version() == 0) return empty_profile_handle();
-  return SnapshotIntern::instance().intern(profile);
+  return SnapshotArena::instance().intern(profile);
 }
 
 const ProfileHandle& empty_profile_handle() {
-  static const ProfileHandle kEmpty = CompactProfile::encode(Profile{});
+  static const ProfileHandle kEmpty =
+      SnapshotArena::instance().encode_detached(Profile{});
   return kEmpty;
 }
 
-SnapshotIntern& SnapshotIntern::instance() {
-  static SnapshotIntern intern;
-  return intern;
+// ---- DescriptorRef --------------------------------------------------------
+
+DescriptorRef DescriptorRef::make(Cycle timestamp,
+                                  const ProfileHandle& profile) {
+  DescriptorRef ref;
+  if (profile == nullptr) {
+    if (timestamp == kNoCycle) return ref;  // null ref ≡ {kNoCycle, none}
+    const auto wide = static_cast<std::int64_t>(timestamp);
+    if (wide >= kInlineMin && wide <= kInlineMax) {
+      ref.bits_ = kInlineTag |
+                  (static_cast<std::uint32_t>(timestamp) & ~kInlineTag);
+      return ref;
+    }
+  }
+  ref.bits_ = SnapshotArena::instance().make_stamp(timestamp, profile);
+  return ref;
 }
 
-void SnapshotIntern::sweep_shard(Shard& shard) {
+// ---- SnapshotArena --------------------------------------------------------
+
+ArenaIndex SnapshotArena::encode_blob(const Profile& profile) {
+  const ArenaIndex slot = blob_pool_.allocate();
+  CompactProfile* record = blob_pool_.get(slot);
+  record->slot_ = slot;
+  record->init_from(profile);
+  return slot;
+}
+
+void SnapshotArena::free_blob(const CompactProfile* record) {
+  blob_pool_.free(record->slot_);
+}
+
+void SnapshotArena::free_stamp(ArenaIndex index, StampRecord* rec) {
+  if (rec->blob != kNullArenaIndex) blob_pool_.get(rec->blob)->release();
+  stamp_pool_.free(index);
+}
+
+ArenaIndex SnapshotArena::make_stamp(Cycle timestamp,
+                                     const ProfileHandle& profile) {
+  const ArenaIndex index = stamp_pool_.allocate();
+  StampRecord* rec = stamp_pool_.get(index);
+  rec->timestamp = timestamp;
+  rec->blob = profile.slot();
+  rec->size = 0;
+  rec->version = 0;
+  if (rec->blob != kNullArenaIndex) {
+    const CompactProfile* blob = blob_pool_.get(rec->blob);
+    blob->retain();  // the record's own blob reference
+    rec->size = static_cast<std::uint32_t>(blob->size());
+    rec->version = blob->version();
+  }
+  return index;
+}
+
+ProfileHandle SnapshotArena::encode_detached(const Profile& profile) {
+  return ProfileHandle::adopt(encode_blob(profile));
+}
+
+void SnapshotArena::sweep_shard(Shard& shard) {
   for (auto it = shard.map.begin(); it != shard.map.end();) {
+    const CompactProfile* record = blob_pool_.get(it->second);
     // ref_count() == 1 means the table holds the only reference: no
     // descriptor anywhere still ships this generation (see the revive-race
-    // note on SnapshotIntern::Shard).
-    if (it->second->ref_count() == 1) {
-      it->second->release();
+    // note on SnapshotArena::Shard).
+    if (record->ref_count() == 1) {
+      record->release();
       it = shard.map.erase(it);
       ++shard.purged;
     } else {
@@ -175,50 +222,102 @@ void SnapshotIntern::sweep_shard(Shard& shard) {
   shard.sweep_at = shard.map.size() < 32 ? 64 : shard.map.size() * 2;
 }
 
-ProfileHandle SnapshotIntern::intern(const Profile& profile) {
+ProfileHandle SnapshotArena::intern(const Profile& profile) {
   const std::uint64_t version = profile.version();
-  Shard& shard = shards_[version % kShardCount];
+  Shard& shard = version_shards_[version % kShardCount];
   std::lock_guard<std::mutex> lock(shard.mu);
   if (auto it = shard.map.find(version); it != shard.map.end()) {
     ++shard.reused;
-    it->second->retain();
+    const CompactProfile* record = blob_pool_.get(it->second);
+    record->retain();
     return ProfileHandle::adopt(it->second);
   }
-  ProfileHandle handle = CompactProfile::encode(profile);
-  handle.record()->retain();  // the table's own reference
-  shard.map.emplace(version, handle.record());
+  const ArenaIndex slot = encode_blob(profile);
+  blob_pool_.get(slot)->retain();  // the table's own reference
+  shard.map.emplace(version, slot);
   ++shard.interned;
   if (shard.map.size() >= shard.sweep_at) sweep_shard(shard);
-  return handle;
+  return ProfileHandle::adopt(slot);
 }
 
-void SnapshotIntern::advance_epoch() {
-  const std::uint64_t epoch = epoch_.fetch_add(1, std::memory_order_relaxed);
-  Shard& shard = shards_[epoch % kShardCount];
+ProfileHandle SnapshotArena::intern_by_content(const Profile& profile) {
+  if (profile.version() == 0) return empty_profile_handle();
+  // Encode first: the content key is the canonical encoded record, so a
+  // hash hit can be verified byte-for-byte before sharing.
+  ProfileHandle fresh = encode_detached(profile);
+  const CompactProfile* record = fresh.record();
+  std::uint64_t key = 0xCBF29CE484222325ull;
+  const std::uint32_t header[3] = {record->count_, record->liked_,
+                                   record->flags_};
+  key = fnv1a64(key, reinterpret_cast<const std::uint8_t*>(header),
+                sizeof(header));
+  key = fnv1a64(key, record->bytes_.data(), record->bytes_.size());
+
+  Shard& shard = content_shards_[key % kShardCount];
   std::lock_guard<std::mutex> lock(shard.mu);
-  sweep_shard(shard);
+  if (auto it = shard.map.find(key); it != shard.map.end()) {
+    const CompactProfile* existing = blob_pool_.get(it->second);
+    if (existing->count_ == record->count_ &&
+        existing->liked_ == record->liked_ &&
+        existing->flags_ == record->flags_ &&
+        existing->bytes_ == record->bytes_) {
+      ++shard.reused;
+      existing->retain();
+      return ProfileHandle::adopt(it->second);  // `fresh` frees on return
+    }
+    // 64-bit hash collision with different contents: fall through and keep
+    // the fresh record un-interned (correct, merely unshared).
+    return fresh;
+  }
+  record->retain();  // the table's own reference
+  shard.map.emplace(key, fresh.slot());
+  ++shard.interned;
+  if (shard.map.size() >= shard.sweep_at) sweep_shard(shard);
+  return fresh;
 }
 
-void SnapshotIntern::purge_dead() {
-  for (Shard& shard : shards_) {
+void SnapshotArena::advance_epoch() {
+  const std::uint64_t epoch = epoch_.fetch_add(1, std::memory_order_relaxed);
+  {
+    Shard& shard = version_shards_[epoch % kShardCount];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    sweep_shard(shard);
+  }
+  {
+    Shard& shard = content_shards_[epoch % kShardCount];
     std::lock_guard<std::mutex> lock(shard.mu);
     sweep_shard(shard);
   }
 }
 
-SnapshotIntern::Stats SnapshotIntern::stats() const {
-  Stats stats;
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    stats.entries += shard.map.size();
-    for (const auto& [version, record] : shard.map) {
-      (void)version;
-      if (record->ref_count() > 1) ++stats.live;
+void SnapshotArena::purge_dead() {
+  for (Shard* shards : {version_shards_, content_shards_}) {
+    for (std::size_t i = 0; i < kShardCount; ++i) {
+      Shard& shard = shards[i];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      sweep_shard(shard);
     }
-    stats.interned += shard.interned;
-    stats.reused += shard.reused;
-    stats.purged += shard.purged;
   }
+}
+
+SnapshotArena::Stats SnapshotArena::stats() const {
+  Stats stats;
+  for (const Shard* shards : {version_shards_, content_shards_}) {
+    for (std::size_t i = 0; i < kShardCount; ++i) {
+      const Shard& shard = shards[i];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      stats.entries += shard.map.size();
+      for (const auto& [key, slot] : shard.map) {
+        (void)key;
+        if (blob_pool_.get(slot)->ref_count() > 1) ++stats.live;
+      }
+      stats.interned += shard.interned;
+      stats.reused += shard.reused;
+      stats.purged += shard.purged;
+    }
+  }
+  stats.blobs = blob_pool_.stats();
+  stats.stamps = stamp_pool_.stats();
   return stats;
 }
 

@@ -1,12 +1,14 @@
-// Compact interned profile snapshots — the storage layer behind every
-// net::Descriptor.
+// Compact profile snapshots in a per-run slab arena — the storage layer
+// behind every net::Descriptor.
 //
 // A descriptor used to carry a deep `shared_ptr<const Profile>` snapshot:
 // ~230 bytes of SoA storage per copy (plus heap spill past 8 entries),
 // duplicated across every view and in-flight message that referenced the
-// same profile generation. At a million nodes the fan-out of those copies
-// is the dominant resident cost. This header replaces them with three
-// pieces:
+// same profile generation. PR 7 replaced that with interned delta-encoded
+// records behind pointer-sized intrusive handles; this header finishes the
+// diet by moving the records into chunked slab storage addressed by a
+// 32-bit index, so the handles themselves shrink pointer → u32 and a whole
+// descriptor packs into 8 bytes (net/message.hpp). Pieces:
 //
 //  * `CompactProfile` — an immutable, losslessly delta-encoded profile
 //    record: varint zigzag deltas for the (ascending, dense) item ids and
@@ -16,32 +18,43 @@
 //    `version()`, its cached `norm()` and `liked_count()`, so decoding
 //    reproduces a Profile that is bit-indistinguishable from a copy of the
 //    source — which is what keeps fixed-seed digest trajectories identical
-//    under this storage change.
-//  * `ProfileHandle` — the pointer-sized value views and messages actually
-//    hold (an intrusive refcount on the record, so the handle is 8 bytes
-//    where a shared_ptr would be 16 — at ~190 descriptors per node across
-//    views and in-flight gossip that halves a visible slice of the
-//    million-node budget). `materialize()` decodes on demand into a
-//    thread-local direct-mapped cache of SoA scratch Profiles keyed by
-//    version, so the similarity kernels run on exactly the flat arrays
-//    they were built for (the AVX-512 hot path is untouched). The
-//    returned reference stays valid until the same thread materializes
-//    another generation — callers hold at most one at a time.
-//  * `SnapshotIntern` — a global version-keyed weak intern table: every
-//    descriptor generation is encoded once and shared by all holders
-//    process-wide. Dead generations (no descriptor left) are purged
-//    epoch-wise: the engine advances the epoch each cycle, sweeping one
-//    shard of the table, and inserts amortize a sweep so the table stays
-//    bounded even without an engine.
+//    under this storage change. Records live in arena slabs, never on the
+//    general heap (only oversized encoded payloads spill).
+//  * `ProfileHandle` — the 4-byte value caches and cold paths hold (an
+//    intrusive refcount on the slab record, addressed by arena index).
+//    `materialize()` decodes on demand into a thread-local direct-mapped
+//    cache of SoA scratch Profiles keyed by version, so the similarity
+//    kernels run on exactly the flat arrays they were built for (the
+//    AVX-512 hot path is untouched). The returned reference stays valid
+//    until the same thread materializes another generation — callers hold
+//    at most one at a time. The scratch cache is sized by the engine from
+//    the node count (set_materialize_scratch_slots below).
+//  * `DescriptorRef` — the tagged 4-byte payload of a packed descriptor:
+//    either an index into the arena's stamp-record pool (a tiny refcounted
+//    {timestamp, profile} pair shared by every copy of one descriptor
+//    generation), or — for profile-less bootstrap descriptors — the
+//    timestamp itself stored inline, costing no arena record at all.
+//  * `SnapshotArena` — the process-wide slab arena: chunked pools with
+//    per-chunk freelists (empty chunks are retired and their slabs freed —
+//    the "compaction" step), a version-keyed intern table so every local
+//    generation is encoded once, and a content-keyed intern table so the
+//    wire codec re-interns identical snapshots arriving repeatedly from
+//    other fragments. Dead interned generations are purged epoch-wise: the
+//    engine advances the epoch each cycle, sweeping one shard of each
+//    table, and inserts amortize a sweep so the tables stay bounded even
+//    without an engine. Un-interned records and stamp records free
+//    immediately when their last holder drops.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <utility>
 #include <mutex>
+#include <new>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/ids.hpp"
 #include "common/small_vector.hpp"
@@ -50,13 +63,18 @@
 namespace whatsup {
 
 class ProfileHandle;
+class SnapshotArena;
+
+// Slab addresses: 32-bit indices into a SnapshotArena pool. The top of the
+// index space is reserved so DescriptorRef can tag non-index payloads.
+using ArenaIndex = std::uint32_t;
+inline constexpr ArenaIndex kNullArenaIndex = 0xFFFFFFFFu;
 
 class CompactProfile {
  public:
-  // Encodes an immutable record of `profile`'s current contents and
-  // returns the (sole) owning handle. The norm cache is warmed (and
-  // captured) here, so decoded copies can be shared across shard workers
-  // without racing on the lazy norm.
+  // Encodes an immutable DETACHED record of `profile`'s current contents
+  // (no intern-table entry; freed when the last handle drops). Hot paths
+  // intern via ProfileHandle::snapshot / SnapshotArena instead.
   static ProfileHandle encode(const Profile& profile);
 
   // Restores the exact source contents (ids/timestamps/scores, version,
@@ -70,7 +88,7 @@ class CompactProfile {
 
   // Encoded payload bytes (observability; excludes the record header).
   std::size_t encoded_bytes() const { return bytes_.size(); }
-  // Full resident cost of this record: header + any heap spill.
+  // Full resident cost of this record: slab slot + any heap spill.
   std::size_t resident_bytes() const {
     return sizeof(CompactProfile) +
            (bytes_.capacity() > kInlineBytes ? bytes_.capacity() : 0);
@@ -78,23 +96,33 @@ class CompactProfile {
 
  private:
   friend class ProfileHandle;
-  friend class SnapshotIntern;
+  friend class DescriptorRef;
+  friend class SnapshotArena;
+  template <typename Record>
+  friend class SlabPool;
 
   static constexpr std::size_t kInlineBytes = 24;
   static constexpr std::uint8_t kBinaryScores = 1;  // flags bit
 
-  // Intrusive reference count: one count per live ProfileHandle, plus one
-  // held by the intern table while the record is interned. Atomic because
-  // descriptors holding the same record are copied and dropped from
-  // concurrent shard workers (exactly the sharing shared_ptr gave us,
-  // without the second control-block pointer in every descriptor).
+  CompactProfile() = default;
+  ~CompactProfile() = default;
+
+  // Fills this (freshly constructed) record from `profile`. The norm cache
+  // is warmed (and captured) here, so decoded copies can be shared across
+  // shard workers without racing on the lazy norm.
+  void init_from(const Profile& profile);
+
+  // Intrusive reference count: one count per live ProfileHandle (plus one
+  // per stamp record referencing this blob, plus one held by an intern
+  // table while the record is interned). Atomic because descriptors
+  // holding the same record are copied and dropped from concurrent shard
+  // workers. The release slow path returns the slot to the arena.
   void retain() const { refs_.fetch_add(1, std::memory_order_relaxed); }
-  void release() const {
-    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
-  }
+  void release() const;
   std::uint32_t ref_count() const { return refs_.load(std::memory_order_acquire); }
 
   mutable std::atomic<std::uint32_t> refs_{1};
+  ArenaIndex slot_ = kNullArenaIndex;  // own index (release → freelist)
   std::uint64_t version_ = 0;
   double norm_ = 0.0;
   std::uint32_t count_ = 0;
@@ -104,6 +132,169 @@ class CompactProfile {
   SmallVector<std::uint8_t, kInlineBytes> bytes_;
 };
 
+// A descriptor generation: the timestamp its owner stamped at emission plus
+// the profile snapshot it shipped. Every copy of the descriptor (views,
+// in-flight messages, merge buffers) shares one record by refcount, so the
+// per-copy cost is the 4-byte index, not the record. The snapshot's header
+// fields the hot paths poll — version (similarity-memo key) and entry
+// count (wire-size model) — are denormalized into the record at creation
+// (both immutable on the blob), so a memo probe or size query costs one
+// slab lookup instead of chasing stamp → blob across chunks.
+struct StampRecord {
+  mutable std::atomic<std::uint32_t> refs{1};
+  Cycle timestamp = kNoCycle;
+  ArenaIndex blob = kNullArenaIndex;  // kNullArenaIndex: bare address, no snapshot
+  std::uint32_t size = 0;             // blob entry count (0 when no blob)
+  std::uint64_t version = 0;          // blob generation (0 when no blob)
+};
+
+// Chunked slab pool: records live in fixed-size chunks addressed by a
+// 32-bit index (chunk number · slot), with a per-chunk freelist. Lookups
+// are lock-free (an atomic chunk-pointer table); allocate/free take the
+// pool mutex. A chunk whose records all died is RETIRED — its slab is
+// freed and its slots leave the freelist — and lazily revived (fresh slab)
+// if the pool grows again: epoch purge thereby compacts the arena instead
+// of only recycling slots.
+template <typename Record>
+class SlabPool {
+ public:
+  static constexpr std::uint32_t kChunkShift = 12;
+  static constexpr std::uint32_t kChunkSlots = 1u << kChunkShift;
+  // 32768 chunks × 4096 slots = 2^27 addressable records, far below the
+  // 2^31 ceiling DescriptorRef's tag bit imposes on indices.
+  static constexpr std::uint32_t kMaxChunks = 1u << 15;
+
+  SlabPool() : chunks_(new std::atomic<Slot*>[kMaxChunks]) {
+    for (std::uint32_t c = 0; c < kMaxChunks; ++c) {
+      chunks_[c].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+  ~SlabPool() {
+    for (std::uint32_t c = 0; c < kMaxChunks; ++c) {
+      delete[] chunks_[c].load(std::memory_order_relaxed);
+    }
+  }
+
+  // Lock-free: callers hold a reference on the record (directly or through
+  // a handle), which pins the chunk (live > 0 chunks are never retired).
+  Record* get(ArenaIndex index) const {
+    Slot* chunk = chunks_[index >> kChunkShift].load(std::memory_order_acquire);
+    return chunk[index & (kChunkSlots - 1)].record();
+  }
+
+  // Allocates a slot and default-constructs a Record in it.
+  ArenaIndex allocate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!free_chunks_.empty()) {
+      const std::uint32_t c = free_chunks_.back();
+      Slot* chunk = chunks_[c].load(std::memory_order_relaxed);
+      if (chunk == nullptr || meta_[c].free_head == kNullArenaIndex) {
+        free_chunks_.pop_back();  // stale entry (retired or drained chunk)
+        continue;
+      }
+      const ArenaIndex index = meta_[c].free_head;
+      Slot& slot = chunk[index & (kChunkSlots - 1)];
+      meta_[c].free_head = slot.next_free();
+      ++meta_[c].live;
+      ++live_;
+      new (slot.storage) Record();
+      return index;
+    }
+    return allocate_in_new_chunk();
+  }
+
+  // Destroys the record and recycles the slot; retires fully-dead chunks
+  // (keeping the newest chunk warm against alloc/free oscillation).
+  void free(ArenaIndex index) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint32_t c = index >> kChunkShift;
+    Slot* chunk = chunks_[c].load(std::memory_order_relaxed);
+    Slot& slot = chunk[index & (kChunkSlots - 1)];
+    slot.record()->~Record();
+    slot.next_free() = meta_[c].free_head;
+    meta_[c].free_head = index;
+    --meta_[c].live;
+    --live_;
+    if (meta_[c].live == 0 && c != newest_chunk_) {
+      chunks_[c].store(nullptr, std::memory_order_release);
+      delete[] chunk;
+      meta_[c].free_head = kNullArenaIndex;
+      ++retired_;
+    } else if (slot.next_free() == kNullArenaIndex) {
+      free_chunks_.push_back(c);  // chunk re-entered the freelist
+    }
+  }
+
+  struct Stats {
+    std::size_t live = 0;           // constructed records
+    std::size_t chunks = 0;         // slabs currently allocated
+    std::size_t retired = 0;        // slabs freed by compaction (lifetime)
+    std::size_t resident_bytes = 0; // slab storage held right now
+  };
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats s;
+    s.live = live_;
+    s.retired = retired_;
+    for (std::uint32_t c = 0; c < meta_.size(); ++c) {
+      if (chunks_[c].load(std::memory_order_relaxed) != nullptr) ++s.chunks;
+    }
+    s.resident_bytes = s.chunks * kChunkSlots * sizeof(Slot);
+    return s;
+  }
+
+ private:
+  struct Slot {
+    alignas(Record) unsigned char storage[sizeof(Record)];
+    Record* record() { return std::launder(reinterpret_cast<Record*>(storage)); }
+    // Vacant slots overlay the freelist link on the record storage.
+    std::uint32_t& next_free() {
+      return *reinterpret_cast<std::uint32_t*>(storage);
+    }
+  };
+  static_assert(sizeof(Record) >= sizeof(std::uint32_t));
+
+  struct ChunkMeta {
+    std::uint32_t live = 0;
+    ArenaIndex free_head = kNullArenaIndex;
+  };
+
+  // Caller holds mu_. Revives a retired chunk or appends a new one.
+  ArenaIndex allocate_in_new_chunk() {
+    std::uint32_t c = 0;
+    while (c < meta_.size() &&
+           chunks_[c].load(std::memory_order_relaxed) != nullptr) {
+      ++c;
+    }
+    if (c == meta_.size()) meta_.emplace_back();
+    Slot* chunk = new Slot[kChunkSlots];
+    const ArenaIndex base = c << kChunkShift;
+    for (std::uint32_t i = 1; i < kChunkSlots - 1; ++i) {
+      chunk[i].next_free() = base + i + 1;
+    }
+    chunk[kChunkSlots - 1].next_free() = kNullArenaIndex;
+    meta_[c].free_head = base + 1;  // slot 0 is handed out below
+    meta_[c].live = 1;
+    ++live_;
+    chunks_[c].store(chunk, std::memory_order_release);
+    newest_chunk_ = c;
+    free_chunks_.push_back(c);
+    new (chunk[0].storage) Record();
+    return base;
+  }
+
+  mutable std::mutex mu_;
+  std::unique_ptr<std::atomic<Slot*>[]> chunks_;
+  std::vector<ChunkMeta> meta_;
+  // Chunk ids that may hold free slots (lazily pruned stack).
+  std::vector<std::uint32_t> free_chunks_;
+  std::uint32_t newest_chunk_ = 0;
+  std::size_t live_ = 0;
+  std::size_t retired_ = 0;
+};
+
 class ProfileHandle {
  public:
   ProfileHandle() = default;
@@ -111,29 +302,25 @@ class ProfileHandle {
   // snapshot", which view refresh treats differently from an empty profile.
   ProfileHandle(std::nullptr_t) {}
 
-  ProfileHandle(const ProfileHandle& other) : record_(other.record_) {
-    if (record_ != nullptr) record_->retain();
-  }
-  ProfileHandle(ProfileHandle&& other) noexcept : record_(other.record_) {
-    other.record_ = nullptr;
+  ProfileHandle(const ProfileHandle& other);
+  ProfileHandle(ProfileHandle&& other) noexcept : slot_(other.slot_) {
+    other.slot_ = kNullArenaIndex;
   }
   ProfileHandle& operator=(const ProfileHandle& other) {
     ProfileHandle copy(other);
-    std::swap(record_, copy.record_);
+    std::swap(slot_, copy.slot_);
     return *this;
   }
   ProfileHandle& operator=(ProfileHandle&& other) noexcept {
-    std::swap(record_, other.record_);
+    std::swap(slot_, other.slot_);
     return *this;
   }
-  ~ProfileHandle() {
-    if (record_ != nullptr) record_->release();
-  }
+  ~ProfileHandle();
 
-  // Takes ownership of one reference to `record` (no retain).
-  static ProfileHandle adopt(const CompactProfile* record) {
+  // Takes ownership of one reference to the record at `slot` (no retain).
+  static ProfileHandle adopt(ArenaIndex slot) {
     ProfileHandle handle;
-    handle.record_ = record;
+    handle.slot_ = slot;
     return handle;
   }
 
@@ -149,32 +336,106 @@ class ProfileHandle {
 
   // Header reads that do NOT decode — the wire-size model and the memo key
   // off these.
-  std::size_t size() const { return record_ ? record_->size() : 0; }
+  std::size_t size() const;
   bool empty() const { return size() == 0; }
-  std::uint64_t version() const { return record_ ? record_->version() : 0; }
+  std::uint64_t version() const;
 
-  const CompactProfile* record() const { return record_; }
-  const CompactProfile* operator->() const { return record_; }
-  long use_count() const { return record_ != nullptr ? record_->ref_count() : 0; }
+  ArenaIndex slot() const { return slot_; }
+  const CompactProfile* record() const;
+  const CompactProfile* operator->() const { return record(); }
+  long use_count() const;
 
-  explicit operator bool() const { return record_ != nullptr; }
-  bool operator==(std::nullptr_t) const { return record_ == nullptr; }
+  explicit operator bool() const { return slot_ != kNullArenaIndex; }
+  bool operator==(std::nullptr_t) const { return slot_ == kNullArenaIndex; }
   bool operator==(const ProfileHandle& other) const = default;
 
  private:
-  const CompactProfile* record_ = nullptr;
+  ArenaIndex slot_ = kNullArenaIndex;
 };
 
-static_assert(sizeof(ProfileHandle) == sizeof(void*),
-              "descriptors are meant to carry a pointer-sized handle");
+static_assert(sizeof(ProfileHandle) == 4,
+              "handles are meant to be arena indices, not pointers");
 
 // Shared handle for empty profiles (version 0): non-null — an explicitly
 // empty snapshot is distinct from a bootstrap descriptor with no snapshot.
 const ProfileHandle& empty_profile_handle();
 
-class SnapshotIntern {
+// The 4-byte payload of a packed net::Descriptor: (timestamp, snapshot) of
+// one descriptor generation. Three encodings in one u32:
+//
+//   bits_ == kNullBits          — null: no record, timestamp() == kNoCycle.
+//   bit 31 set                  — profile-less descriptor with the 31-bit
+//                                 timestamp stored INLINE (bootstrap seeds
+//                                 cost no arena record at all).
+//   otherwise                   — index of an arena StampRecord, shared by
+//                                 refcount with every copy of the
+//                                 generation.
+class DescriptorRef {
  public:
-  static SnapshotIntern& instance();
+  DescriptorRef() = default;
+  DescriptorRef(std::nullptr_t) {}
+
+  DescriptorRef(const DescriptorRef& other);
+  DescriptorRef(DescriptorRef&& other) noexcept : bits_(other.bits_) {
+    other.bits_ = kNullBits;
+  }
+  DescriptorRef& operator=(const DescriptorRef& other) {
+    DescriptorRef copy(other);
+    std::swap(bits_, copy.bits_);
+    return *this;
+  }
+  DescriptorRef& operator=(DescriptorRef&& other) noexcept {
+    std::swap(bits_, other.bits_);
+    return *this;
+  }
+  ~DescriptorRef();
+
+  // One generation: the emission timestamp plus the (possibly null)
+  // snapshot. Profile-less refs with an inline-representable timestamp
+  // allocate nothing.
+  static DescriptorRef make(Cycle timestamp, const ProfileHandle& profile);
+
+  Cycle timestamp() const;
+  bool has_profile() const;
+  std::uint64_t profile_version() const;
+  std::size_t profile_size() const;
+  // Retained handle on the snapshot (cold paths); null when !has_profile().
+  ProfileHandle profile() const;
+  // Decoded SoA view (thread-local scratch; see ProfileHandle::materialize
+  // for the lifetime contract). Null refs yield the shared empty Profile.
+  const Profile& materialize() const;
+
+  bool is_null() const { return bits_ == kNullBits; }
+
+ private:
+  friend class SnapshotArena;
+
+  static constexpr std::uint32_t kNullBits = 0x7FFFFFFFu;
+  static constexpr std::uint32_t kInlineTag = 0x80000000u;
+  // Inline-representable timestamps: 31-bit two's complement.
+  static constexpr std::int64_t kInlineMin = -(std::int64_t{1} << 30);
+  static constexpr std::int64_t kInlineMax = (std::int64_t{1} << 30) - 1;
+
+  bool is_inline() const { return (bits_ & kInlineTag) != 0; }
+  bool is_record() const { return !is_inline() && bits_ != kNullBits; }
+  Cycle inline_timestamp() const {
+    // Sign-extend the low 31 bits.
+    const auto low = static_cast<std::uint32_t>(bits_ & ~kInlineTag);
+    return static_cast<Cycle>((low ^ (1u << 30)) - (1u << 30));
+  }
+  const StampRecord* record() const;
+
+  std::uint32_t bits_ = kNullBits;
+};
+
+static_assert(sizeof(DescriptorRef) == 4);
+
+class SnapshotArena {
+ public:
+  // Inline (header-defined below): every descriptor copy/drop funnels
+  // through here, ~10^8 times per bench run, so the lookup must compile to
+  // a guard check + load, not a cross-TU call.
+  static SnapshotArena& instance();
 
   // Returns a handle on the process-wide record for `profile`'s current
   // version, encoding it on first sight. Version equality implies content
@@ -182,40 +443,79 @@ class SnapshotIntern {
   // Thread-safe.
   ProfileHandle intern(const Profile& profile);
 
-  // Epoch purge: sweeps ONE shard of the table, dropping entries whose
-  // record has no holder beyond the table's own reference. The engine
-  // calls this once per cycle, so dead snapshot generations are reclaimed
-  // within kShardCount cycles of their last holder vanishing, at O(shard)
-  // cost per cycle.
+  // Content-keyed intern for snapshots arriving over the wire: the
+  // sender's version stamps are process-local and meaningless here, so
+  // identical payloads re-arriving across fragment barriers must dedupe by
+  // CONTENT (encoded bytes + header) or every arrival would hold its own
+  // record. The returned record keeps the version of its first arrival —
+  // versions only key caches, never behavior. Thread-safe.
+  ProfileHandle intern_by_content(const Profile& profile);
+
+  // Detached record: no intern-table entry, freed when the last reference
+  // drops (tests, the empty-profile singleton).
+  ProfileHandle encode_detached(const Profile& profile);
+
+  // A stamp record for (timestamp, profile); retains the blob. Returns the
+  // new record's index with its initial reference owned by the caller.
+  ArenaIndex make_stamp(Cycle timestamp, const ProfileHandle& profile);
+
+  // Epoch purge: sweeps ONE shard of each intern table, dropping entries
+  // whose record has no holder beyond the table's own reference, and
+  // retiring slab chunks left empty. The engine calls this once per cycle,
+  // so dead snapshot generations are reclaimed within kShardCount cycles
+  // of their last holder vanishing, at O(shard) cost per cycle.
   void advance_epoch();
 
   // Full sweep of every shard (tests and shutdown hygiene).
   void purge_dead();
 
   struct Stats {
-    std::size_t entries = 0;   // table entries, live or dead
-    std::size_t live = 0;      // entries with a live record
-    std::uint64_t interned = 0;  // records encoded
-    std::uint64_t reused = 0;    // intern hits on a live record
-    std::uint64_t purged = 0;    // dead entries swept
+    std::size_t entries = 0;        // intern-table entries (both tables)
+    std::size_t live = 0;           // entries with a live outside holder
+    std::uint64_t interned = 0;     // records encoded via the tables
+    std::uint64_t reused = 0;       // intern hits on a live record
+    std::uint64_t purged = 0;       // dead entries swept
+    SlabPool<CompactProfile>::Stats blobs;
+    SlabPool<StampRecord>::Stats stamps;
   };
   Stats stats() const;
 
+  // ---- record plumbing (handles and inline accessors; not for callers) --
+  const CompactProfile* blob(ArenaIndex index) const {
+    return blob_pool_.get(index);
+  }
+  const StampRecord* stamp(ArenaIndex index) const {
+    return stamp_pool_.get(index);
+  }
+  void retain_stamp(ArenaIndex index) const {
+    stamp_pool_.get(index)->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Inline fast path: one decrement per descriptor drop. Only the last
+  // holder takes the out-of-line free (blob release + slot recycle).
+  void release_stamp(ArenaIndex index) {
+    StampRecord* rec = stamp_pool_.get(index);
+    if (rec->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      free_stamp(index, rec);
+    }
+  }
+  void free_blob(const CompactProfile* record);
+
  private:
-  SnapshotIntern() = default;
+  SnapshotArena() = default;
 
   // Versions are drawn from one global counter, so version % kShardCount
-  // round-robins the shards.
+  // round-robins the shards; content keys are hashes.
   static constexpr std::size_t kShardCount = 64;
 
-  // The table owns one reference per entry; an entry whose record has
+  // A table owns one reference per entry; an entry whose record has
   // ref_count() == 1 has no outside holder left and is swept. A version
-  // cannot gain a new holder except through intern() (which takes the
-  // shard mutex) or by copying an existing handle (none exist at count 1),
-  // so the sweep's release-and-erase under the mutex cannot race a revive.
+  // (or content key) cannot gain a new holder except through the interns
+  // (which take the shard mutex) or by copying an existing handle (none
+  // exist at count 1), so the sweep's release-and-erase under the mutex
+  // cannot race a revive.
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<std::uint64_t, const CompactProfile*> map;
+    std::unordered_map<std::uint64_t, ArenaIndex> map;
     // Inserts amortize a sweep once the map doubles past the last swept
     // size, bounding dead-entry growth even without an engine epoch.
     std::size_t sweep_at = 64;
@@ -224,11 +524,189 @@ class SnapshotIntern {
     std::uint64_t purged = 0;
   };
 
+  // Encodes a fresh blob record (pool slot + init); caller owns the ref.
+  ArenaIndex encode_blob(const Profile& profile);
   // Drops every table-only entry of `shard` (caller holds shard.mu).
-  static void sweep_shard(Shard& shard);
+  void sweep_shard(Shard& shard);
+  // release_stamp slow path: frees `rec` (whose count just hit zero).
+  void free_stamp(ArenaIndex index, StampRecord* rec);
 
-  Shard shards_[kShardCount];
+  SlabPool<CompactProfile> blob_pool_;
+  SlabPool<StampRecord> stamp_pool_;
+  Shard version_shards_[kShardCount];
+  Shard content_shards_[kShardCount];
   std::atomic<std::uint64_t> epoch_{0};
 };
+
+// ---- materialize scratch sizing -------------------------------------------
+//
+// The thread-local materialize cache is direct-mapped over `slots` entries
+// (~0.5 KB each). The engine derives the slot count from the node count —
+// the live-generation working set a scoring sweep touches scales with the
+// deployment, so a 500-node run no longer pays the 8 K-slot (≈4 MB/thread)
+// ceiling sized for million-node sweeps. Takes effect on each thread's
+// next materialize(); resizing clears that thread's cache (a perf-only
+// event: decode is deterministic).
+inline constexpr std::size_t kMinMaterializeScratchSlots = 1024;
+inline constexpr std::size_t kMaxMaterializeScratchSlots = 8192;
+void set_materialize_scratch_slots(std::size_t slots);
+std::size_t materialize_scratch_slots();
+// Resident bytes of one thread's scratch cache at the current slot count
+// (slot headers + inline Profile storage; decoded heap spill excluded).
+std::size_t materialize_scratch_bytes_per_thread();
+
+// ---- materialize scratch (header-inline: the similarity hot path) ---------
+//
+// Implementation detail of ProfileHandle::materialize / DescriptorRef::
+// materialize, placed in the header so the ~10^7-per-run probe sequence
+// (slot index, version compare, return) inlines into the scoring loops.
+// The out-of-line path is decode_into, which only runs on a scratch miss.
+namespace detail {
+
+// Process-wide slot-count knob (see set_materialize_scratch_slots).
+inline std::atomic<std::size_t> g_scratch_slots{kMaxMaterializeScratchSlots};
+
+struct ScratchSlot {
+  std::uint64_t version = 0;  // 0 = vacant (empty profiles never enter)
+  Profile profile;
+};
+
+// Shared static empty Profile: what null/empty snapshots materialize to.
+inline const Profile& static_empty_profile() {
+  static const Profile kEmpty;
+  return kEmpty;
+}
+
+inline std::vector<ScratchSlot>& scratch_slots() {
+  thread_local std::vector<ScratchSlot> slots;
+  const std::size_t want = g_scratch_slots.load(std::memory_order_relaxed);
+  if (slots.size() != want) [[unlikely]] {
+    slots.clear();
+    slots.resize(want);  // resize clears versions: a perf-only event
+  }
+  return slots;
+}
+
+// Direct-mapped probe keyed by snapshot version; `decode` fills the slot on
+// a miss. Versions come from one global counter (dense), so
+// version & (slots-1) distributes uniformly.
+template <typename DecodeFn>
+inline const Profile& scratch_lookup(std::uint64_t version, DecodeFn&& decode) {
+  std::vector<ScratchSlot>& slots = scratch_slots();
+  ScratchSlot& slot = slots[version & (slots.size() - 1)];
+  if (slot.version != version) [[unlikely]] {
+    decode(slot.profile);
+    slot.version = version;
+  }
+  return slot.profile;
+}
+
+}  // namespace detail
+
+// ---- inline definitions ---------------------------------------------------
+
+inline SnapshotArena& SnapshotArena::instance() {
+  // Deliberately leaked: static handles (empty_profile_handle, test
+  // fixtures) release through the arena at exit, so it must outlive every
+  // other static-duration object. Defined inline because every handle and
+  // descriptor refcount op routes through it — out-of-line this was ~10^8
+  // calls per bench run.
+  static SnapshotArena* arena = new SnapshotArena();
+  return *arena;
+}
+
+inline void CompactProfile::release() const {
+  if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    SnapshotArena::instance().free_blob(this);
+  }
+}
+
+inline ProfileHandle::ProfileHandle(const ProfileHandle& other)
+    : slot_(other.slot_) {
+  if (slot_ != kNullArenaIndex) record()->retain();
+}
+
+inline ProfileHandle::~ProfileHandle() {
+  if (slot_ != kNullArenaIndex) record()->release();
+}
+
+inline const CompactProfile* ProfileHandle::record() const {
+  return slot_ == kNullArenaIndex ? nullptr
+                                  : SnapshotArena::instance().blob(slot_);
+}
+
+inline std::size_t ProfileHandle::size() const {
+  return slot_ == kNullArenaIndex ? 0 : record()->size();
+}
+
+inline std::uint64_t ProfileHandle::version() const {
+  return slot_ == kNullArenaIndex ? 0 : record()->version();
+}
+
+inline long ProfileHandle::use_count() const {
+  return slot_ == kNullArenaIndex ? 0 : record()->ref_count();
+}
+
+inline DescriptorRef::DescriptorRef(const DescriptorRef& other)
+    : bits_(other.bits_) {
+  if (is_record()) SnapshotArena::instance().retain_stamp(bits_);
+}
+
+inline DescriptorRef::~DescriptorRef() {
+  if (is_record()) SnapshotArena::instance().release_stamp(bits_);
+}
+
+inline const StampRecord* DescriptorRef::record() const {
+  return SnapshotArena::instance().stamp(bits_);
+}
+
+inline Cycle DescriptorRef::timestamp() const {
+  if (is_inline()) return inline_timestamp();
+  if (bits_ == kNullBits) return kNoCycle;
+  return record()->timestamp;
+}
+
+inline bool DescriptorRef::has_profile() const {
+  return is_record() && record()->blob != kNullArenaIndex;
+}
+
+inline std::uint64_t DescriptorRef::profile_version() const {
+  if (!is_record()) return 0;
+  return record()->version;  // denormalized from the blob at make_stamp
+}
+
+inline std::size_t DescriptorRef::profile_size() const {
+  if (!is_record()) return 0;
+  return record()->size;  // denormalized from the blob at make_stamp
+}
+
+inline ProfileHandle DescriptorRef::profile() const {
+  if (!is_record()) return ProfileHandle();
+  const StampRecord* rec = record();
+  if (rec->blob == kNullArenaIndex) return ProfileHandle();
+  SnapshotArena::instance().blob(rec->blob)->retain();
+  return ProfileHandle::adopt(rec->blob);
+}
+
+inline const Profile& ProfileHandle::materialize() const {
+  if (slot_ == kNullArenaIndex) return detail::static_empty_profile();
+  const CompactProfile* rec = record();
+  if (rec->size() == 0) return detail::static_empty_profile();
+  return detail::scratch_lookup(rec->version(),
+                                [&](Profile& out) { rec->decode_into(out); });
+}
+
+inline const Profile& DescriptorRef::materialize() const {
+  if (!is_record()) return detail::static_empty_profile();
+  SnapshotArena& arena = SnapshotArena::instance();
+  const StampRecord* rec = arena.stamp(bits_);
+  // size/version are denormalized into the stamp record, so a scratch HIT
+  // never touches the blob pool — only a miss pays the second slab lookup
+  // (plus the decode it feeds).
+  if (rec->size == 0) return detail::static_empty_profile();
+  return detail::scratch_lookup(rec->version, [&](Profile& out) {
+    arena.blob(rec->blob)->decode_into(out);
+  });
+}
 
 }  // namespace whatsup

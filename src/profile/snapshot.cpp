@@ -14,6 +14,16 @@ ProfileHandle ProfileSnapshotCache::get(const Profile& profile) {
   return handle_;
 }
 
+DescriptorRef ProfileSnapshotCache::stamp(Cycle now, const Profile& profile) {
+  if (stamp_.is_null() || stamp_cycle_ != now ||
+      stamp_version_ != profile.version()) {
+    stamp_ = DescriptorRef::make(now, get(profile));
+    stamp_cycle_ = now;
+    stamp_version_ = profile.version();
+  }
+  return stamp_;
+}
+
 SimilarityMemo::SimilarityMemo(std::size_t slots) {
   mask_ = std::bit_ceil(slots < 8 ? std::size_t{8} : slots) - 1;
 }
@@ -62,7 +72,8 @@ double SimilarityMemo::score_impl(Metric metric, const Profile& subject,
     if (vacant == nullptr && entry.node == kNoNode) vacant = &entry;
   }
   double value;
-  if constexpr (std::is_same_v<Candidate, ProfileHandle>) {
+  if constexpr (std::is_same_v<Candidate, ProfileHandle> ||
+                std::is_same_v<Candidate, DescriptorRef>) {
     value = similarity(metric, subject, candidate.materialize());
   } else {
     value = similarity(metric, subject, candidate);
@@ -82,6 +93,11 @@ double SimilarityMemo::score(Metric metric, const Profile& subject, NodeId node,
 double SimilarityMemo::score(Metric metric, const Profile& subject, NodeId node,
                              const ProfileHandle& candidate) {
   return score_impl(metric, subject, node, candidate.version(), candidate);
+}
+
+double SimilarityMemo::score(Metric metric, const Profile& subject, NodeId node,
+                             const DescriptorRef& candidate) {
+  return score_impl(metric, subject, node, candidate.profile_version(), candidate);
 }
 
 }  // namespace whatsup

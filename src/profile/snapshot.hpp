@@ -39,9 +39,18 @@ class ProfileSnapshotCache {
   // reusing the previous handle while the version is unchanged.
   ProfileHandle get(const Profile& profile);
 
+  // The (timestamp, snapshot) stamp record for a self-descriptor emitted
+  // at `now`: reused while both the profile version and the cycle are
+  // unchanged, so a node sending several gossip messages in one cycle
+  // shares ONE arena record across all of them.
+  DescriptorRef stamp(Cycle now, const Profile& profile);
+
  private:
   ProfileHandle handle_;
   std::uint64_t version_ = 0;
+  DescriptorRef stamp_;
+  Cycle stamp_cycle_ = kNoCycle;
+  std::uint64_t stamp_version_ = ~std::uint64_t{0};
 };
 
 class SimilarityMemo {
@@ -54,12 +63,14 @@ class SimilarityMemo {
 
   // Memoized similarity(metric, subject, candidate); `node` is the owner
   // of `candidate` (the descriptor's node id, unique within one merge).
-  // The handle overload keys on the snapshot header and decodes only on a
-  // memo miss.
+  // The handle/stamp overloads key on the snapshot header and decode only
+  // on a memo miss.
   double score(Metric metric, const Profile& subject, NodeId node,
                const Profile& candidate);
   double score(Metric metric, const Profile& subject, NodeId node,
                const ProfileHandle& candidate);
+  double score(Metric metric, const Profile& subject, NodeId node,
+               const DescriptorRef& candidate);
 
   void clear();
   std::size_t size() const;  // occupied slots

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <stdexcept>
 #include <thread>
 #include <variant>
@@ -385,7 +386,29 @@ void Engine::ensure_shards() {
     shards_.push_back(std::make_unique<Shard>(
         begin, static_cast<NodeId>(begin + shard_nodes_), w));
   }
-  for (auto& shard : shards_) shard->grow_window(w);
+  for (auto& shard : shards_) shard->grow_window(w, now_);
+  // Size the thread-local materialize caches to the deployment. The cache
+  // is direct-mapped on the version counter, and versions advance with
+  // EVERY profile mutation process-wide, so live generations land on
+  // effectively random slots: what governs the hit rate is the load factor
+  // (live generations / slots), not raw coverage. Live generations run
+  // several × node count (stale view entries pin old generations for tens
+  // of cycles), so budget 16 slots per node — a small run stops paying the
+  // million-node ceiling (~4 MB/thread) while staying at a low enough load
+  // that conflict misses stay off the scoring profile. Monotonic in the
+  // node count, hence identical across thread counts and partitionings —
+  // and a pure cache size either way, so it could never affect results.
+  // WHATSUP_SCRATCH_SLOTS overrides for footprint/throughput experiments.
+  if (!agents_.empty()) {
+    std::size_t slots = 16 * agents_.size();
+    if (const char* env = std::getenv("WHATSUP_SCRATCH_SLOTS")) {
+      const long parsed = std::atol(env);
+      if (parsed > 0) slots = static_cast<std::size_t>(parsed);
+    }
+    set_materialize_scratch_slots(std::min<std::size_t>(
+        kMaxMaterializeScratchSlots,
+        std::max<std::size_t>(kMinMaterializeScratchSlots, slots)));
+  }
 }
 
 Rng Engine::message_rng(NodeId from) {
@@ -519,8 +542,7 @@ void Engine::finish_slot() {
     std::stable_sort(pending_local_.begin(), pending_local_.end(), by_sender);
   }
   for (PendingMessage& p : pending_local_) {
-    const Cycle due = p.due;
-    shard_for(p.message.to).bucket(due).push_back(std::move(p));
+    shard_for(p.message.to).bucket(p.due).push_back(std::move(p.message));
   }
   const std::size_t fill = pending_local_.size();
   pending_local_.clear();
@@ -558,8 +580,7 @@ void Engine::send(net::Message message) {
   // on the message being in the mailbox right away). A remote destination
   // stays serialized in wire_out_ and ships with the next barrier slot.
   for (PendingMessage& p : pending_local_) {
-    const Cycle due = p.due;
-    shard_for(p.message.to).bucket(due).push_back(std::move(p));
+    shard_for(p.message.to).bucket(p.due).push_back(std::move(p.message));
   }
   pending_local_.clear();
 }
@@ -594,17 +615,28 @@ void Engine::deliver_shard(Shard& shard) {
   // seed — independent of thread count AND shard width — while still
   // randomized against send-order artifacts (who sent first no longer
   // decides who wins an inbox-capacity slot or a view merge).
-  std::stable_sort(shard.delivery_batch.begin(), shard.delivery_batch.end(),
-                   [](const PendingMessage& a, const PendingMessage& b) {
-                     return a.message.to < b.message.to;
-                   });
-  const std::size_t capacity = config_.network.inbox_capacity;
+  //
+  // The grouping sorts a permutation, not the batch itself: std::sort on
+  // (to, index) pairs is in-place and reproduces stable_sort's order
+  // exactly, without the batch-sized merge buffer stable_sort allocates —
+  // which landed precisely on the storm-cycle RSS peak at the million-node
+  // scale (a delivery batch of N messages cost an extra 64·N transient
+  // bytes there).
   auto& batch = shard.delivery_batch;
-  for (std::size_t i = 0; i < batch.size();) {
-    assert(batch[i].due == now_);
-    const NodeId to = batch[i].message.to;
+  auto& order = shard.delivery_order;
+  order.resize(batch.size());
+  for (std::uint32_t n = 0; n < order.size(); ++n) order[n] = n;
+  std::sort(order.begin(), order.end(),
+            [&batch](std::uint32_t a, std::uint32_t b) {
+              const NodeId ta = batch[a].to;
+              const NodeId tb = batch[b].to;
+              return ta != tb ? ta < tb : a < b;
+            });
+  const std::size_t capacity = config_.network.inbox_capacity;
+  for (std::size_t i = 0; i < order.size();) {
+    const NodeId to = batch[order[i]].to;
     std::size_t j = i;
-    while (j < batch.size() && batch[j].message.to == to) ++j;
+    while (j < order.size() && batch[order[j]].to == to) ++j;
     // Offline — or never registered (sends may precede add_agent, as with
     // the old global ring): messages lost. The null check also covers
     // fragment mode defensively; outer nodes never enter local buckets.
@@ -614,15 +646,15 @@ void Engine::deliver_shard(Shard& shard) {
     }
     Rng& rng = node_rng(to);
     for (std::size_t k = j - i; k > 1; --k) {
-      std::swap(batch[i + k - 1], batch[i + rng.index(k)]);
+      std::swap(order[i + k - 1], order[i + rng.index(k)]);
     }
     Context ctx(*this, to, &shard);
     for (std::size_t m = i; m < j; ++m) {
       if (capacity > 0 && m - i >= capacity) {  // queue overflow
-        ++shard.dropped[static_cast<std::size_t>(net::protocol_of(batch[m].message.type))];
+        ++shard.dropped[static_cast<std::size_t>(net::protocol_of(batch[order[m]].type))];
         continue;
       }
-      agents_[to]->on_message(ctx, batch[m].message);
+      agents_[to]->on_message(ctx, batch[order[m]]);
     }
     i = j;
   }
@@ -630,14 +662,16 @@ void Engine::deliver_shard(Shard& shard) {
   // overflow-dropped, or addressed to an offline node alike — back into
   // this shard's pool. The recycle clears each vector, releasing its
   // descriptor snapshots at the same point the batch clear below used to.
-  for (PendingMessage& p : batch) {
-    if (auto* view = std::get_if<net::ViewPayload>(&p.message.payload)) {
+  for (net::Message& m : batch) {
+    if (auto* view = std::get_if<net::ViewPayload>(&m.payload)) {
       shard.descriptor_pool.recycle(std::move(view->view));
     }
   }
   const std::size_t delivered = shard.delivery_batch.size();
   shard.delivery_batch.clear();
   trim_spare_capacity(shard.delivery_batch, delivered);
+  shard.delivery_order.clear();
+  trim_spare_capacity(shard.delivery_order, delivered);
 }
 
 Engine::PoolStats Engine::descriptor_pool_stats() const {
@@ -662,21 +696,26 @@ Engine::MemoryStats Engine::memory_stats() const {
   };
   for (const auto& shard : shards_) {
     for (const auto& bucket : shard->mailbox) {
-      total.mailbox_bytes += bucket.capacity() * sizeof(PendingMessage);
-      for (const PendingMessage& pending : bucket) {
-        total.payload_bytes += payload_heap(pending.message);
+      total.mailbox_bytes += bucket.capacity() * sizeof(net::Message);
+      for (const net::Message& pending : bucket) {
+        total.payload_bytes += payload_heap(pending);
       }
     }
     total.outbox_bytes += shard->outbox.capacity() * sizeof(net::Message);
     for (const net::Message& m : shard->outbox) total.payload_bytes += payload_heap(m);
     total.pool_bytes += shard->descriptor_pool.memory_bytes();
     total.scratch_bytes +=
-        shard->delivery_batch.capacity() * sizeof(PendingMessage);
+        shard->delivery_batch.capacity() * sizeof(net::Message) +
+        shard->delivery_order.capacity() * sizeof(std::uint32_t);
   }
   total.outbox_bytes += staged_.capacity() * sizeof(net::Message);
   for (const net::Message& m : staged_) total.payload_bytes += payload_heap(m);
   total.scratch_bytes += pending_local_.capacity() * sizeof(PendingMessage);
   for (const auto& batch : wire_out_) total.scratch_bytes += batch.capacity();
+  const SnapshotArena::Stats arena = SnapshotArena::instance().stats();
+  total.arena_bytes = arena.blobs.resident_bytes + arena.stamps.resident_bytes;
+  total.materialize_slots = materialize_scratch_slots();
+  total.materialize_bytes_per_thread = materialize_scratch_bytes_per_thread();
   return total;
 }
 
@@ -748,10 +787,11 @@ void Engine::run_cycle() {
   run_phase([this](Shard& shard) { activate_shard(shard); });
   commit_phase();
   for (const CycleHook& hook : hooks_) hook(*this, now_);
-  // Epoch purge of the global snapshot intern table: one shard per cycle,
-  // between phases (no workers are running), so dead profile generations
-  // are reclaimed incrementally instead of accumulating for the whole run.
-  SnapshotIntern::instance().advance_epoch();
+  // Epoch purge of the global snapshot arena: one intern-table shard per
+  // cycle, between phases (no workers are running), so dead profile
+  // generations are reclaimed — and emptied slab chunks compacted away —
+  // incrementally instead of accumulating for the whole run.
+  SnapshotArena::instance().advance_epoch();
   ++now_;
 }
 

@@ -42,8 +42,12 @@
 
 namespace whatsup::sim {
 
-// A message queued for delivery, tagged with its absolute due cycle so the
-// ring can be re-bucketed when the latency window grows.
+// A routed message paired with its absolute due cycle — the STAGING shape
+// (pending_local_, wire envelopes). The mailbox ring itself stores bare
+// net::Message: the bucket index already encodes the due cycle (due %
+// window), so tagging every queued envelope would spend 8 bytes per
+// message (4 field + 4 padding) on information the ring position carries —
+// ~150 MB of the million-node storm peak.
 struct PendingMessage {
   Cycle due = 0;
   net::Message message;
@@ -146,7 +150,7 @@ struct Shard {
   NodeId end = 0;
 
   // mailbox[c % mailbox.size()] holds messages due at cycle c.
-  std::vector<std::vector<PendingMessage>> mailbox;
+  std::vector<std::vector<net::Message>> mailbox;
   std::vector<net::Message> outbox;
   BufferedObserver observer;
   // Inbox-overflow drops, indexed by net::Protocol.
@@ -154,26 +158,38 @@ struct Shard {
 
   // Scratch the due bucket is swapped with during delivery, reused so
   // steady-state cycles allocate nothing.
-  std::vector<PendingMessage> delivery_batch;
+  std::vector<net::Message> delivery_batch;
+  // Delivery grouping permutation over delivery_batch. Sorting 4-byte
+  // indices in place (std::sort on (to, index)) replaces the stable_sort
+  // of 56-byte Messages, whose merge buffer added a batch-sized transient
+  // allocation exactly at the storm-cycle RSS peak.
+  std::vector<std::uint32_t> delivery_order;
 
   // Recycles ViewPayload descriptor storage between this shard's agents
   // and the messages delivered to them (see class comment).
   DescriptorBufferPool descriptor_pool;
 
-  std::vector<PendingMessage>& bucket(Cycle cycle) {
+  std::vector<net::Message>& bucket(Cycle cycle) {
     return mailbox[static_cast<std::size_t>(cycle) % mailbox.size()];
   }
 
   // Grows the ring to `window` buckets, re-bucketing queued messages by
   // their absolute due cycle (needed when set_network raises latency or
-  // jitter after construction).
-  void grow_window(std::size_t window) {
+  // jitter after construction). The ring does not store due cycles, but
+  // they are recoverable: every queued message is due in [now, now +
+  // old_window) — the scheduling invariant that keeps bucket slots unique
+  // — so a bucket's index pins its due cycle exactly.
+  void grow_window(std::size_t window, Cycle now) {
     if (mailbox.size() >= window) return;
-    std::vector<std::vector<PendingMessage>> grown(window);
-    for (auto& old_bucket : mailbox) {
-      for (PendingMessage& p : old_bucket) {
-        grown[static_cast<std::size_t>(p.due) % window].push_back(std::move(p));
-      }
+    const std::size_t old_window = mailbox.size();
+    std::vector<std::vector<net::Message>> grown(window);
+    for (std::size_t b = 0; b < old_window; ++b) {
+      const std::size_t offset =
+          (b + old_window - static_cast<std::size_t>(now) % old_window) %
+          old_window;
+      const Cycle due = now + static_cast<Cycle>(offset);
+      auto& target = grown[static_cast<std::size_t>(due) % window];
+      for (net::Message& m : mailbox[b]) target.push_back(std::move(m));
     }
     mailbox = std::move(grown);
   }

@@ -230,10 +230,10 @@ TEST(ProfileHandle, NullVersusEmptyAreDistinct) {
   EXPECT_TRUE(empty.materialize().empty());
 }
 
-TEST(ProfileHandle, HandleIsOnePointerWide) {
-  // The intrusive refcount lives in the record, so a descriptor pays one
-  // pointer per handle (a shared_ptr would pay two).
-  EXPECT_EQ(sizeof(ProfileHandle), sizeof(void*));
+TEST(ProfileHandle, HandleIsFourBytesWide) {
+  // Records live in slab chunks addressed by a 32-bit arena index, so a
+  // handle is a u32 (PR 7's pointer handle was 8 bytes; a shared_ptr 16).
+  EXPECT_EQ(sizeof(ProfileHandle), 4u);
 }
 
 TEST(ProfileHandle, ScratchCacheSurvivesInterleavedMaterializes) {
@@ -265,9 +265,9 @@ TEST(ProfileHandle, SnapshotIsImmutableUnderSourceMutation) {
   expect_bit_identical(before, h.materialize());
 }
 
-// ---- SnapshotIntern -------------------------------------------------------
+// ---- SnapshotArena --------------------------------------------------------
 
-TEST(SnapshotIntern, SameVersionSharesOneRecord) {
+TEST(SnapshotArena, SameVersionSharesOneRecord) {
   Profile p;
   p.set(1, 0, 1.0);
   const ProfileHandle a = ProfileHandle::snapshot(p);
@@ -279,8 +279,8 @@ TEST(SnapshotIntern, SameVersionSharesOneRecord) {
   EXPECT_NE(c.record(), a.record());
 }
 
-TEST(SnapshotIntern, PurgeDropsDeadEntriesKeepsLive) {
-  auto& intern = SnapshotIntern::instance();
+TEST(SnapshotArena, PurgeDropsDeadEntriesKeepsLive) {
+  auto& intern = SnapshotArena::instance();
   Profile keep, drop;
   keep.set(1, 0, 1.0);
   drop.set(2, 0, 1.0);
@@ -300,8 +300,8 @@ TEST(SnapshotIntern, PurgeDropsDeadEntriesKeepsLive) {
   EXPECT_TRUE(static_cast<bool>(fresh));
 }
 
-TEST(SnapshotIntern, EpochAdvanceEventuallySweepsEveryShard) {
-  auto& intern = SnapshotIntern::instance();
+TEST(SnapshotArena, EpochAdvanceEventuallySweepsEveryShard) {
+  auto& intern = SnapshotArena::instance();
   // Create dead entries across many shards (versions are sequential, so
   // consecutive snapshots round-robin the shard index).
   for (int i = 0; i < 256; ++i) {
@@ -316,7 +316,7 @@ TEST(SnapshotIntern, EpochAdvanceEventuallySweepsEveryShard) {
   EXPECT_GT(stats.purged, 0u);
 }
 
-TEST(SnapshotIntern, ThreadedInternAndMaterializeStayIsolated) {
+TEST(SnapshotArena, ThreadedInternAndMaterializeStayIsolated) {
   // Exercised under TSan in CI: concurrent snapshot/materialize across
   // threads must neither race nor bleed scratch state between threads.
   constexpr int kThreads = 4;
@@ -351,7 +351,7 @@ TEST(SnapshotIntern, ThreadedInternAndMaterializeStayIsolated) {
   for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << "thread " << t;
 }
 
-TEST(SnapshotIntern, ThreadedSweepRacesInternCopyDrop) {
+TEST(SnapshotArena, ThreadedSweepRacesInternCopyDrop) {
   // The hostile schedule for the intrusive refcount: worker threads churn
   // handles (intern, copy, drop — each drop may leave the table's reference
   // as the last one) while a sweeper thread continuously purges. TSan runs
@@ -366,7 +366,7 @@ TEST(SnapshotIntern, ThreadedSweepRacesInternCopyDrop) {
     profiles.push_back(random_profile(seed_rng, 10, 64, false));
   }
 
-  auto& intern = SnapshotIntern::instance();
+  auto& intern = SnapshotArena::instance();
   std::atomic<bool> stop{false};
   std::thread sweeper([&] {
     while (!stop.load(std::memory_order_relaxed)) {
@@ -402,7 +402,7 @@ TEST(SnapshotIntern, ThreadedSweepRacesInternCopyDrop) {
   EXPECT_EQ(stats.entries, stats.live);
 }
 
-TEST(SnapshotIntern, ResidentBytesTracksEncodedPayload) {
+TEST(SnapshotArena, ResidentBytesTracksEncodedPayload) {
   Profile small, large;
   small.set(1, 0, 1.0);
   for (int i = 1; i <= 300; ++i) large.set(i * 7, i, 0.5 + i * 1e-4);
@@ -411,6 +411,207 @@ TEST(SnapshotIntern, ResidentBytesTracksEncodedPayload) {
   EXPECT_GE(cs->resident_bytes(), sizeof(CompactProfile));
   EXPECT_GT(cl->resident_bytes(), cl->encoded_bytes());
   EXPECT_GT(cl->encoded_bytes(), cs->encoded_bytes());
+}
+
+TEST(SnapshotArena, FreedSlotsAreRecycled) {
+  // Encode-drop in a loop: the blob pool must hand back freed indices
+  // instead of growing unboundedly (the detached records never touch the
+  // intern tables, so their lifetime is exactly the handle's).
+  Profile p;
+  p.set(1, 0, 1.0);
+  const auto before = SnapshotArena::instance().stats();
+  for (int i = 0; i < 3 * 4096; ++i) {
+    const ProfileHandle h = CompactProfile::encode(p);
+    EXPECT_TRUE(static_cast<bool>(h));
+  }
+  const auto after = SnapshotArena::instance().stats();
+  // 12k dead records cycled through; live count and slab storage must not
+  // have grown by more than one warm chunk's worth.
+  EXPECT_LE(after.blobs.live, before.blobs.live + 1);
+  EXPECT_LE(after.blobs.chunks, before.blobs.chunks + 1);
+}
+
+TEST(SnapshotArena, CompactionRetiresEmptyChunksKeepsLiveAddressable) {
+  // Fill several chunks, drop most records, keep a sparse survivor set.
+  // Chunk retirement (the compaction step) must free the emptied slabs
+  // while every surviving index still dereferences to intact contents.
+  Rng rng(91);
+  constexpr int kRecords = 3 * 4096;  // ~3 chunks of detached blobs
+  std::vector<Profile> originals;
+  std::vector<ProfileHandle> survivors;
+  {
+    std::vector<ProfileHandle> all;
+    all.reserve(kRecords);
+    for (int i = 0; i < kRecords; ++i) {
+      Profile p;
+      p.set(static_cast<ItemId>(i % 97 + 1), static_cast<Cycle>(i % 13), 1.0);
+      all.push_back(CompactProfile::encode(p));
+      // Survivors cluster in the FIRST chunk's index range, so the later
+      // chunks die whole and must actually be retired.
+      if (i < 2048 && i % 256 == 0) {
+        originals.push_back(p);
+        survivors.push_back(all.back());
+      }
+    }
+    // `all` drops here: every record except the survivors dies.
+  }
+  const auto stats = SnapshotArena::instance().stats();
+  EXPECT_GT(stats.blobs.retired, 0u);  // at least one slab was compacted away
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    Profile decoded;
+    survivors[i]->decode_into(decoded);
+    expect_bit_identical(originals[i], decoded);
+  }
+}
+
+TEST(SnapshotArena, ContentInternDedupesAcrossDistinctVersions) {
+  // The wire codec re-interns decoded snapshots BY CONTENT: two local
+  // profiles with identical contents but different process-local versions
+  // must collapse onto one arena record.
+  Profile a, b;
+  a.set(3, 1, 1.0);
+  a.set(9, 2, 0.0);
+  b.set(3, 1, 1.0);
+  b.set(9, 2, 0.0);
+  ASSERT_NE(a.version(), b.version());
+  auto& arena = SnapshotArena::instance();
+  const ProfileHandle ha = arena.intern_by_content(a);
+  const ProfileHandle hb = arena.intern_by_content(b);
+  EXPECT_EQ(ha.record(), hb.record());
+  // The shared record reproduces the shared contents (version keeps the
+  // first arrival's stamp — versions only key caches, never behavior).
+  Profile decoded;
+  ha->decode_into(decoded);
+  ASSERT_EQ(decoded, a);
+  EXPECT_EQ(decoded.norm(), a.norm());
+  EXPECT_EQ(decoded.liked_count(), a.liked_count());
+  // Different contents stay distinct.
+  Profile c;
+  c.set(3, 1, 1.0);
+  const ProfileHandle hc = arena.intern_by_content(c);
+  EXPECT_NE(hc.record(), ha.record());
+}
+
+TEST(SnapshotArena, ThreadedContentInternAndSweepConverge) {
+  // TSan companion for the content table: many threads decode "the same
+  // wire bytes" while a sweeper purges — all arrivals of one content must
+  // observe intact records, and dead contents must eventually be swept.
+  constexpr int kThreads = 4;
+  constexpr int kProfiles = 8;
+  constexpr int kRounds = 200;
+  std::vector<Profile> profiles;
+  Rng seed_rng(79);
+  for (int i = 0; i < kProfiles; ++i) {
+    profiles.push_back(random_profile(seed_rng, 10, 64, false));
+  }
+  auto& arena = SnapshotArena::instance();
+  std::atomic<bool> stop{false};
+  std::thread sweeper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      arena.advance_epoch();
+      arena.purge_dead();
+    }
+  });
+  std::vector<std::thread> workers;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(3000 + t);
+      for (int round = 0; round < kRounds; ++round) {
+        const std::size_t k = rng.index(kProfiles);
+        const ProfileHandle h = arena.intern_by_content(profiles[k]);
+        if (!(h.materialize() == profiles[k])) ++failures[t];
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  sweeper.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << "thread " << t;
+  arena.purge_dead();
+  const auto stats = arena.stats();
+  EXPECT_EQ(stats.entries, stats.live);
+}
+
+// ---- DescriptorRef --------------------------------------------------------
+
+TEST(DescriptorRef, NullAndInlineEncodingsCostNoArenaRecord) {
+  const auto before = SnapshotArena::instance().stats();
+  // Null: default-constructed ≡ (kNoCycle, no profile).
+  const DescriptorRef null_ref;
+  EXPECT_TRUE(null_ref.is_null());
+  EXPECT_EQ(null_ref.timestamp(), kNoCycle);
+  EXPECT_FALSE(null_ref.has_profile());
+  // Profile-less timestamps store inline — bootstrap's t=-1 in particular.
+  for (const Cycle t : {Cycle{-1}, Cycle{0}, Cycle{12345}, Cycle{-40000},
+                        Cycle{(1 << 30) - 1}, Cycle{-(1 << 30)}}) {
+    const DescriptorRef r = DescriptorRef::make(t, ProfileHandle());
+    EXPECT_FALSE(r.is_null());
+    EXPECT_EQ(r.timestamp(), t);
+    EXPECT_FALSE(r.has_profile());
+    EXPECT_EQ(r.profile_size(), 0u);
+    EXPECT_TRUE(r.profile() == nullptr);
+  }
+  const auto after = SnapshotArena::instance().stats();
+  EXPECT_EQ(after.stamps.live, before.stamps.live);
+}
+
+TEST(DescriptorRef, StampRecordsShareTimestampAndBlobByRefcount) {
+  Profile p;
+  p.set(4, 2, 1.0);
+  const ProfileHandle snapshot = ProfileHandle::snapshot(p);
+  const auto before = SnapshotArena::instance().stats();
+  {
+    const DescriptorRef a = DescriptorRef::make(17, snapshot);
+    const DescriptorRef b = a;  // copy: shares the record, bumps refs
+    DescriptorRef c;
+    c = b;
+    EXPECT_EQ(a.timestamp(), 17);
+    EXPECT_EQ(c.timestamp(), 17);
+    EXPECT_TRUE(c.has_profile());
+    EXPECT_EQ(c.profile_version(), p.version());
+    EXPECT_EQ(c.profile_size(), p.size());
+    expect_bit_identical(p, c.materialize());
+    const auto during = SnapshotArena::instance().stats();
+    EXPECT_EQ(during.stamps.live, before.stamps.live + 1);  // ONE record for 3 copies
+  }
+  // Last copy dropped: the stamp record frees immediately (no epoch wait).
+  const auto after = SnapshotArena::instance().stats();
+  EXPECT_EQ(after.stamps.live, before.stamps.live);
+  // The blob outlives the stamps through our snapshot handle.
+  expect_bit_identical(p, snapshot.materialize());
+}
+
+TEST(DescriptorRef, MoveTransfersOwnershipWithoutTouchingRefcount) {
+  Profile p;
+  p.set(1, 0, 1.0);
+  DescriptorRef a = DescriptorRef::make(5, ProfileHandle::snapshot(p));
+  const auto live_before = SnapshotArena::instance().stats().stamps.live;
+  DescriptorRef b = std::move(a);
+  EXPECT_TRUE(a.is_null());
+  EXPECT_EQ(b.timestamp(), 5);
+  EXPECT_EQ(SnapshotArena::instance().stats().stamps.live, live_before);
+}
+
+// ---- materialize scratch sizing -------------------------------------------
+
+TEST(MaterializeScratch, EngineHintResizesWithinBounds) {
+  const std::size_t restore = materialize_scratch_slots();
+  set_materialize_scratch_slots(64);  // below floor: clamped up
+  EXPECT_EQ(materialize_scratch_slots(), kMinMaterializeScratchSlots);
+  set_materialize_scratch_slots(1 << 20);  // above ceiling: clamped down
+  EXPECT_EQ(materialize_scratch_slots(), kMaxMaterializeScratchSlots);
+  set_materialize_scratch_slots(3000);  // rounded up to a power of two
+  EXPECT_EQ(materialize_scratch_slots(), 4096u);
+  EXPECT_GT(materialize_scratch_bytes_per_thread(), 0u);
+  // Resizing mid-run only clears the cache: materialize stays correct.
+  Rng rng(55);
+  const Profile p = random_profile(rng, 12, 80, false);
+  const ProfileHandle h = ProfileHandle::snapshot(p);
+  expect_bit_identical(p, h.materialize());
+  set_materialize_scratch_slots(kMinMaterializeScratchSlots);
+  expect_bit_identical(p, h.materialize());
+  set_materialize_scratch_slots(restore);
 }
 
 }  // namespace

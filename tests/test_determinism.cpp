@@ -477,25 +477,44 @@ TEST(Determinism, PartitionCountInvariance) {
     return sum;
   };
 
-  const Partial base = run_partitioned(1, 1, 16);
-  ASSERT_EQ(base.digests.size(),
-            static_cast<std::size_t>(base_config.total_cycles()));
-  EXPECT_GT(base.news, 0u);
-  const struct {
+  struct GridPoint {
     std::size_t partitions;
     unsigned threads;
     std::size_t shard_nodes;
-  } grid[] = {{1, 4, 64},  {1, 1, 0},  {2, 1, 0},  {2, 4, 64},
-              {4, 1, 64},  {4, 4, 0},  {2, 1, 64}, {4, 1, 0}};
-  for (const auto& point : grid) {
-    SCOPED_TRACE(testing::Message()
-                 << "partitions=" << point.partitions << " threads=" << point.threads
-                 << " shard_nodes=" << point.shard_nodes);
-    const Partial other =
-        run_partitioned(point.partitions, point.threads, point.shard_nodes);
-    EXPECT_EQ(base.digests, other.digests);
-    EXPECT_EQ(base.news, other.news);
-    EXPECT_EQ(base.gossip, other.gossip);
+  };
+  // The storm-spread calendar (publish_spread > 0) must satisfy the same
+  // invariance: spreading is a pure function of the already-drawn calendar
+  // (Workload::spread_publication_storms), so every worker derives the
+  // identical staggered schedule with zero extra RNG draws. A reduced grid
+  // re-checks the seam under the staggered calendar.
+  const std::vector<GridPoint> full_grid = {
+      {1, 4, 64}, {1, 1, 0}, {2, 1, 0},  {2, 4, 64},
+      {4, 1, 64}, {4, 4, 0}, {2, 1, 64}, {4, 1, 0}};
+  const std::vector<GridPoint> spread_grid = {{1, 4, 64}, {2, 1, 0}, {4, 4, 64}};
+  std::vector<std::uint64_t> dense_digests;
+  for (const Cycle spread : {Cycle{0}, Cycle{3}}) {
+    base_config.publish_spread = spread;
+    const Partial base = run_partitioned(1, 1, 16);
+    ASSERT_EQ(base.digests.size(),
+              static_cast<std::size_t>(base_config.total_cycles()));
+    EXPECT_GT(base.news, 0u);
+    if (spread == 0) {
+      dense_digests = base.digests;
+    } else {
+      // Spreading must actually move publications (not silently no-op).
+      EXPECT_NE(base.digests, dense_digests);
+    }
+    for (const GridPoint& point : spread == 0 ? full_grid : spread_grid) {
+      SCOPED_TRACE(testing::Message()
+                   << "spread=" << spread << " partitions=" << point.partitions
+                   << " threads=" << point.threads
+                   << " shard_nodes=" << point.shard_nodes);
+      const Partial other =
+          run_partitioned(point.partitions, point.threads, point.shard_nodes);
+      EXPECT_EQ(base.digests, other.digests);
+      EXPECT_EQ(base.news, other.news);
+      EXPECT_EQ(base.gossip, other.gossip);
+    }
   }
 }
 

@@ -52,7 +52,7 @@ TEST(Rps, DescriptorsGetFresher) {
   for (auto* agent : fx.agents) {
     for (const auto& d : agent->view().entries()) {
       ++total;
-      if (d.timestamp < 10) ++stale;
+      if (d.timestamp() < 10) ++stale;
     }
   }
   EXPECT_LT(static_cast<double>(stale) / static_cast<double>(total), 0.2);

@@ -48,20 +48,24 @@ TEST(WorkerPool, MoreThreadsThanItems) {
 
 TEST(Shard, GrowWindowRebucketsByAbsoluteDueCycle) {
   Shard shard(0, 16, /*window=*/4);
+  // The ring stores bare messages; sent_at doubles as a marker so the test
+  // can confirm each message landed in its own due bucket after the grow.
   const auto queue_at = [&shard](Cycle due) {
     net::Message m;
     m.to = 1;
-    m.sent_at = 0;
-    shard.bucket(due).push_back(PendingMessage{due, std::move(m)});
+    m.sent_at = due;
+    shard.bucket(due).push_back(std::move(m));
   };
   queue_at(2);
   queue_at(3);
   queue_at(5);  // shares bucket 1 (5 % 4) with due=1 slots
-  shard.grow_window(9);
+  // Dues {2, 3, 5} all sit in [now, now + window) for now = 2 — the
+  // scheduling invariant grow_window's due recovery relies on.
+  shard.grow_window(9, /*now=*/2);
   for (Cycle due : {2, 3, 5}) {
     const auto& bucket = shard.bucket(due);
     ASSERT_EQ(bucket.size(), 1u) << "due " << due;
-    EXPECT_EQ(bucket[0].due, due);
+    EXPECT_EQ(bucket[0].sent_at, due);
   }
 }
 

@@ -48,7 +48,7 @@ void expect_same_members(const View& view, const std::vector<net::Descriptor>& e
   ASSERT_EQ(view.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(view.entries()[i].node, expected[i].node) << "position " << i;
-    EXPECT_EQ(view.entries()[i].timestamp, expected[i].timestamp) << "position " << i;
+    EXPECT_EQ(view.entries()[i].timestamp(), expected[i].timestamp()) << "position " << i;
   }
 }
 

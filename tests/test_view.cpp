@@ -26,7 +26,7 @@ TEST(View, InsertAndLookup) {
   EXPECT_TRUE(view.contains(1));
   EXPECT_FALSE(view.contains(3));
   ASSERT_NE(view.find(2), nullptr);
-  EXPECT_EQ(view.find(2)->timestamp, 20);
+  EXPECT_EQ(view.find(2)->timestamp(), 20);
 }
 
 TEST(View, RefreshKeepsFreshest) {
@@ -34,10 +34,10 @@ TEST(View, RefreshKeepsFreshest) {
   view.insert_or_refresh(desc(1, 10, {7}));
   view.insert_or_refresh(desc(1, 5, {8}));  // stale: ignored
   EXPECT_EQ(view.size(), 1u);
-  EXPECT_EQ(view.find(1)->timestamp, 10);
+  EXPECT_EQ(view.find(1)->timestamp(), 10);
   EXPECT_TRUE(view.find(1)->profile_ref().contains(7));
   view.insert_or_refresh(desc(1, 30, {9}));  // fresher: replaces
-  EXPECT_EQ(view.find(1)->timestamp, 30);
+  EXPECT_EQ(view.find(1)->timestamp(), 30);
   EXPECT_TRUE(view.find(1)->profile_ref().contains(9));
 }
 
@@ -50,8 +50,8 @@ TEST(View, RefreshWithNullSnapshotKeepsKnownProfile) {
   view.insert_or_refresh(desc(1, 10, {7}));
   view.insert_or_refresh(net::Descriptor{1, 20, nullptr});  // fresher, bare
   ASSERT_NE(view.find(1), nullptr);
-  EXPECT_EQ(view.find(1)->timestamp, 20);          // timestamp refreshed
-  ASSERT_NE(view.find(1)->profile, nullptr);       // snapshot retained
+  EXPECT_EQ(view.find(1)->timestamp(), 20);          // timestamp refreshed
+  ASSERT_TRUE(view.find(1)->has_profile());        // snapshot retained
   EXPECT_TRUE(view.find(1)->profile_ref().contains(7));
   // A fresher descriptor WITH a snapshot still replaces normally.
   view.insert_or_refresh(desc(1, 30, {9}));
@@ -63,7 +63,7 @@ TEST(View, StaleNullSnapshotRefreshStillIgnored) {
   View view(5);
   view.insert_or_refresh(desc(1, 10, {7}));
   view.insert_or_refresh(net::Descriptor{1, 5, nullptr});  // stale: ignored
-  EXPECT_EQ(view.find(1)->timestamp, 10);
+  EXPECT_EQ(view.find(1)->timestamp(), 10);
   EXPECT_TRUE(view.find(1)->profile_ref().contains(7));
 }
 
@@ -169,7 +169,7 @@ TEST(MergeCandidates, DeduplicatesKeepingFreshest) {
   const auto merged = merge_candidates(base, incoming, /*self=*/99);
   EXPECT_EQ(merged.size(), 3u);
   for (const auto& d : merged) {
-    if (d.node == 1) EXPECT_EQ(d.timestamp, 9);
+    if (d.node == 1) EXPECT_EQ(d.timestamp(), 9);
   }
 }
 

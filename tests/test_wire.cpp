@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <utility>
 #include <vector>
@@ -82,8 +83,8 @@ TEST(Wire, DescriptorRoundTripNullAndSnapshot) {
     Descriptor out;
     ASSERT_TRUE(decode_descriptor(r, out));
     EXPECT_EQ(out.node, 42u);
-    EXPECT_EQ(out.timestamp, -1);
-    EXPECT_TRUE(out.profile == nullptr);
+    EXPECT_EQ(out.timestamp(), -1);
+    EXPECT_FALSE(out.has_profile());
   }
   // Snapshot descriptor: contents round-trip; the receiver re-interns
   // locally (content identity, not the sender's handle).
@@ -95,8 +96,8 @@ TEST(Wire, DescriptorRoundTripNullAndSnapshot) {
     Descriptor out;
     ASSERT_TRUE(decode_descriptor(r, out));
     EXPECT_EQ(out.node, 7u);
-    EXPECT_EQ(out.timestamp, 12);
-    ASSERT_FALSE(out.profile == nullptr);
+    EXPECT_EQ(out.timestamp(), 12);
+    ASSERT_TRUE(out.has_profile());
     EXPECT_EQ(out.profile_ref(), p);
   }
   // Empty-but-present snapshot stays distinct from the null handle.
@@ -106,8 +107,55 @@ TEST(Wire, DescriptorRoundTripNullAndSnapshot) {
     WireReader r(buf.data(), buf.size());
     Descriptor out;
     ASSERT_TRUE(decode_descriptor(r, out));
-    ASSERT_FALSE(out.profile == nullptr);
-    EXPECT_EQ(out.profile.size(), 0u);
+    ASSERT_TRUE(out.has_profile());
+    EXPECT_EQ(out.profile_size(), 0u);
+  }
+}
+
+TEST(Wire, PackedDescriptorCorpusRoundTrip) {
+  // The 8-byte packed descriptor (u32 node + u32 DescriptorRef) has three
+  // in-memory encodings — null, inline 31-bit timestamp (profile-less),
+  // and arena stamp record — and the wire format must be agnostic to which
+  // one the sender held: bytes carry (node, timestamp, profile contents),
+  // never arena indices. Sweep a corpus across every encoding and both
+  // inline-tag boundaries (±2^30).
+  static_assert(sizeof(Descriptor) == 8);
+  const Profile snap = binary_profile();
+  struct Case {
+    NodeId node;
+    Cycle ts;
+    bool with_profile;
+  };
+  const Case corpus[] = {
+      {0, 0, false},
+      {1, -1, false},
+      {5, kNoCycle, false},          // null ref: {kNoCycle, no snapshot}
+      {42, (1 << 30) - 1, false},    // inline max
+      {43, -(1 << 30), false},       // inline min
+      {44, 1 << 30, false},          // past inline range -> stamp record
+      {45, -(1 << 30) - 1, false},   // past inline range, negative
+      {46, std::numeric_limits<Cycle>::max(), false},
+      {7, 12, true},                 // snapshots always ride a stamp record
+      {8, -40000, true},
+      {9, (1 << 30) + 5, true},
+      {0xFFFFFFFEu, 77, true},
+  };
+  for (const Case& c : corpus) {
+    const Descriptor in =
+        c.with_profile ? make_descriptor(c.node, c.ts, snap)
+                       : Descriptor{c.node, c.ts, nullptr};
+    ASSERT_EQ(in.timestamp(), c.ts);  // packing itself must not clip
+    ASSERT_EQ(in.has_profile(), c.with_profile);
+    std::vector<std::uint8_t> buf;
+    encode_descriptor(buf, in);
+    WireReader r(buf.data(), buf.size());
+    Descriptor out;
+    ASSERT_TRUE(decode_descriptor(r, out));
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(out.node, c.node);
+    EXPECT_EQ(out.timestamp(), c.ts);
+    EXPECT_EQ(out.has_profile(), c.with_profile);
+    if (c.with_profile) EXPECT_EQ(out.profile_ref(), snap);
   }
 }
 
@@ -145,13 +193,13 @@ Message view_message(MsgType type) {
 
 void expect_view_equal(const ViewPayload& a, const ViewPayload& b) {
   EXPECT_EQ(a.sender.node, b.sender.node);
-  EXPECT_EQ(a.sender.timestamp, b.sender.timestamp);
+  EXPECT_EQ(a.sender.timestamp(), b.sender.timestamp());
   ASSERT_EQ(a.view.size(), b.view.size());
   for (std::size_t i = 0; i < a.view.size(); ++i) {
     EXPECT_EQ(a.view[i].node, b.view[i].node);
-    EXPECT_EQ(a.view[i].timestamp, b.view[i].timestamp);
-    EXPECT_EQ(a.view[i].profile == nullptr, b.view[i].profile == nullptr);
-    if (a.view[i].profile != nullptr) {
+    EXPECT_EQ(a.view[i].timestamp(), b.view[i].timestamp());
+    EXPECT_EQ(a.view[i].has_profile(), b.view[i].has_profile());
+    if (a.view[i].has_profile()) {
       EXPECT_EQ(a.view[i].profile_ref(), b.view[i].profile_ref());
     }
   }
