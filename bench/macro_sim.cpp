@@ -47,11 +47,19 @@
 //                 partition_launcher.hpp), each owning one node fragment.
 //                 Reports simulated cycles/s of the whole partitioned run;
 //                 memory counters then cover only fragment 0's process.
+//   --progress=N  heartbeat to stderr every N cycles (cycles/s, ETA, RSS)
+//   --stats-json=F  enable the obs stats registry for every row and write
+//                 the last-run per-cycle series + final snapshot to F
+//                 (in-process rows only; see src/obs/snapshot.hpp)
+//   --stats-every=N sampling period of the series (default 1 cycle)
+//   --trace=F     capture WUP_TRACE_SCOPE spans for the whole benchmark
+//                 run and write Chrome trace-event JSON to F
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <thread>
@@ -66,6 +74,9 @@
 
 #include "analysis/runner.hpp"
 #include "dataset/survey.hpp"
+#include "obs/registry.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
 #include "partition_launcher.hpp"
 #include "scenario/scenario.hpp"
 
@@ -138,6 +149,11 @@ std::size_t forked_peak_kib(const std::function<void()>& body) {
 #endif
 }
 
+Cycle g_progress = 0;            // --progress=N heartbeat period (0 = off)
+std::string g_stats_json;        // --stats-json=F (empty = stats off)
+Cycle g_stats_every = 1;         // --stats-every=N series sampling period
+std::string g_trace;             // --trace=F (empty = tracing off)
+
 data::Workload macro_workload(std::size_t users, std::size_t items) {
   Rng rng(11);
   data::SurveyConfig config;
@@ -175,6 +191,11 @@ void run_macro(benchmark::State& state, std::size_t users, std::size_t items,
     config.view_hygiene.max_age = 20;
     config.view_hygiene.suspicion_limit = 2;
   }
+  config.observability.progress_every = g_progress;
+  if (!g_stats_json.empty()) {
+    config.observability.enable_stats = true;
+    config.observability.stats_every = g_stats_every;
+  }
   const auto total = static_cast<std::size_t>(config.total_cycles());
   // Isolate this row's memory counters from whatever ran before it.
   const bool reset_ok = reset_peak_rss();
@@ -208,8 +229,17 @@ void run_macro(benchmark::State& state, std::size_t users, std::size_t items,
     return;
   }
   for (auto _ : state) {
+    // Fresh counters per run so the emitted series/final snapshot describe
+    // exactly one trajectory (cheap: memset over a few fixed-size lanes).
+    if (config.observability.enabled()) obs::Registry::instance().reset();
     const analysis::RunResult result = analysis::run_protocol(workload, config);
     benchmark::DoNotOptimize(result.scores.f1);
+    if (!g_stats_json.empty()) {
+      // Overwritten per run: with several rows the file reflects the last
+      // row executed (use --benchmark_filter to pick one).
+      std::ofstream out(g_stats_json);
+      obs::write_stats_json(out, result.stats_series, result.stats);
+    }
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * total));
   state.counters["nodes"] = static_cast<double>(workload.num_users());
@@ -356,6 +386,15 @@ void parse_local_flags(int& argc, char** argv) {
           1, static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10)));
     } else if (match("scenario", value)) {
       g_custom_scenario = value;
+    } else if (match("progress", value)) {
+      g_progress = static_cast<Cycle>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (match("stats-json", value)) {
+      g_stats_json = value;
+    } else if (match("stats-every", value)) {
+      g_stats_every = std::max<Cycle>(
+          1, static_cast<Cycle>(std::strtol(value.c_str(), nullptr, 10)));
+    } else if (match("trace", value)) {
+      g_trace = value;
     } else {
       argv[out++] = argv[i];
     }
@@ -407,7 +446,15 @@ int main(int argc, char** argv) {
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!whatsup::g_trace.empty()) whatsup::obs::trace_start();
   benchmark::RunSpecifiedBenchmarks();
+  if (!whatsup::g_trace.empty()) {
+    whatsup::obs::trace_stop();
+    std::ofstream out(whatsup::g_trace);
+    const std::size_t events = whatsup::obs::trace_write_json(out);
+    std::fprintf(stderr, "[trace] wrote %zu span(s) to %s\n", events,
+                 whatsup::g_trace.c_str());
+  }
   benchmark::Shutdown();
   return 0;
 }

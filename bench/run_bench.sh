@@ -86,17 +86,62 @@ fi
   --benchmark_filter="$MACRO_FILTER" \
   --benchmark_out="$tmp/macro.json" --benchmark_out_format=json
 
-python3 - "$tmp/micro.json" "$tmp/macro.json" "$OUT" "$BUILD_TYPE" <<'EOF'
+# One short instrumented run (src/obs/ registry) so every baseline carries
+# a protocol-level stats summary next to the timing rows: what the
+# simulation DID (messages delivered/routed, retransmits, scratch hit
+# rate), not just how fast it did it. Untimed — telemetry rides a separate
+# custom row and never touches the rows above.
+"$BUILD_DIR/macro_sim" --nodes=500 --items=30 --cycles=60 \
+  --benchmark_filter=BM_WhatsUpSim_Custom --benchmark_min_time=0.01 \
+  --stats-json="$tmp/stats.json" \
+  --benchmark_out="$tmp/stats_row.json" --benchmark_out_format=json >/dev/null
+
+python3 - "$tmp/micro.json" "$tmp/macro.json" "$OUT" "$BUILD_TYPE" \
+  "$ALLOW_DEBUG" "$LIB_BUILD_TYPE" "$tmp/stats.json" <<'EOF'
 import json
 import sys
 
-micro_path, macro_path, out_path, build_type = sys.argv[1:5]
+(micro_path, macro_path, out_path, build_type,
+ allow_debug, lib_build_type, stats_path) = sys.argv[1:8]
 with open(micro_path) as f:
     merged = json.load(f)
 with open(macro_path) as f:
     macro = json.load(f)
 merged["benchmarks"].extend(macro["benchmarks"])
-merged.setdefault("context", {})["build_type"] = build_type
+context = merged.setdefault("context", {})
+context["build_type"] = build_type
+# Make any guard bypass visible IN the committed artifact, not just on the
+# recording terminal: a baseline whose context reads allow_debug=true or a
+# non-release library_build_type is flagged at review time, which is how
+# the silently-Debug BENCH_micro.json of PRs past should have been caught.
+context["allow_debug"] = allow_debug == "1"
+context["library_build_type"] = lib_build_type
+
+# Attach the protocol stats summary (headline counters from the
+# instrumented run; the full per-cycle series stays out of the baseline).
+try:
+    with open(stats_path) as f:
+        final = json.load(f)["final"]["metrics"]
+    def scalar(name):
+        v = final.get(name, 0)
+        return v.get("count", 0) if isinstance(v, dict) else v
+    summary = {
+        name: scalar(name)
+        for name in (
+            "engine.cycles", "engine.deliver.messages", "engine.route.messages",
+            "engine.deliver.overflow_dropped", "relia.retransmits",
+            "relia.dedup.repeats", "profile.scratch.hits", "profile.scratch.misses",
+            "tracker.resident_bytes", "engine.mem.total_bytes",
+        )
+    }
+    hits, misses = summary["profile.scratch.hits"], summary["profile.scratch.misses"]
+    if hits + misses:
+        summary["profile.scratch.hit_rate"] = round(hits / (hits + misses), 4)
+    merged["stats_summary"] = summary
+    print("  stats_summary:", json.dumps(summary))
+except (OSError, KeyError, json.JSONDecodeError) as e:
+    print(f"  warning: no stats summary attached ({e})", file=sys.stderr)
+
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")

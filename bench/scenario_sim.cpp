@@ -5,7 +5,15 @@
 //
 //   bench_scenario_sim --scenario scenarios/kitchen_sink.scn [--scale 0.5]
 //       [--workload survey] [--seed N] [--fanout F] [--threads T]
-//       [--shard-nodes W] [--partitions P]
+//       [--shard-nodes W] [--partitions P] [--progress N]
+//       [--stats-json F] [--stats-every N] [--trace F]
+//
+// Telemetry (src/obs/): --stats-json enables the stats registry and writes
+// the per-cycle series plus the end-of-run snapshot; --trace captures
+// WUP_TRACE_SCOPE spans as Chrome trace-event JSON; --progress prints a
+// heartbeat to stderr. All three leave the trajectory fingerprint
+// bit-identical (the obs determinism contract; CI's telemetry-smoke job
+// diffs the fingerprints).
 //
 // The run is extended so the timeline's horizon always fits inside the
 // publication+drain phases. Fixed-seed output is bit-identical for any
@@ -18,12 +26,16 @@
 // trajectory fingerprint line is printed in the exact single-process
 // format — the distributed-smoke CI job diffs the two.
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 
 #include "analysis/experiments.hpp"
 #include "analysis/runner.hpp"
 #include "common/flags.hpp"
 #include "common/table.hpp"
+#include "obs/registry.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
 #include "partition_launcher.hpp"
 #include "scenario/scenario.hpp"
 
@@ -62,6 +74,14 @@ int main(int argc, char** argv) {
       flags.get_int("shard-nodes", 0, "nodes per shard (0 = engine default)"));
   const auto partitions = static_cast<std::size_t>(flags.get_int(
       "partitions", 1, "worker processes (socket transport); 1 = in-process"));
+  const auto progress = static_cast<Cycle>(
+      flags.get_int("progress", 0, "heartbeat to stderr every N cycles (0 = off)"));
+  const std::string stats_json = flags.get_string(
+      "stats-json", "", "write per-cycle stats series + final snapshot to FILE");
+  const auto stats_every = static_cast<Cycle>(flags.get_int(
+      "stats-every", 1, "stats series sampling period in cycles"));
+  const std::string trace_path = flags.get_string(
+      "trace", "", "write Chrome trace-event JSON of WUP_TRACE_SCOPE spans to FILE");
   if (flags.maybe_print_help(std::cout)) return 0;
   if (spec_path.empty()) {
     std::cerr << "error: --scenario <file.scn> is required (see scenarios/)\n";
@@ -88,6 +108,14 @@ int main(int argc, char** argv) {
   config.scenario = timeline;
   config.fit_scenario_horizon();  // make sure every event fires
 
+  config.observability.progress_every = progress;
+  if (!stats_json.empty()) {
+    config.observability.enable_stats = true;
+    config.observability.stats_every = std::max<Cycle>(stats_every, 1);
+  }
+  if (config.observability.enabled()) obs::Registry::instance().reset();
+  if (!trace_path.empty()) obs::trace_start();
+
   std::cout << "Scenario '" << timeline.name << "' (" << spec_path << "), "
             << timeline.events().size() << " events, horizon " << timeline.horizon()
             << ":\n";
@@ -110,7 +138,12 @@ int main(int argc, char** argv) {
     // Distributed mode: fork one worker per fragment, sum the partial
     // per-cycle digests, and print the fingerprint in the single-process
     // format. Score tables are skipped — each worker holds only its own
-    // fragment's metrics.
+    // fragment's metrics. Stats/trace files are skipped too: the spans and
+    // lanes live in the forked fragment processes, not here.
+    if (!stats_json.empty() || !trace_path.empty()) {
+      std::cerr << "note: --stats-json/--trace emit no files in partitioned "
+                   "mode (telemetry lives in the fragment processes)\n";
+    }
     std::cout.flush();  // children inherit the stream buffer
     const std::vector<std::uint64_t> digests = bench::run_partitioned(
         partitions, [&](sim::Transport& transport) {
@@ -124,6 +157,20 @@ int main(int argc, char** argv) {
   }
 
   const analysis::RunResult result = analysis::run_protocol(workload, config);
+
+  if (!trace_path.empty()) {
+    obs::trace_stop();
+    std::ofstream out(trace_path);
+    const std::size_t events = obs::trace_write_json(out);
+    std::cerr << "[trace] wrote " << events << " span(s) to " << trace_path
+              << '\n';
+  }
+  if (!stats_json.empty()) {
+    std::ofstream out(stats_json);
+    obs::write_stats_json(out, result.stats_series, result.stats);
+    std::cerr << "[stats] wrote " << result.stats_series.size()
+              << " sample(s) to " << stats_json << '\n';
+  }
 
   Table table({"Phase", "Cycles", "Items", "Precision", "Recall", "F1"});
   for (const metrics::WindowScores& ws : result.windows) {

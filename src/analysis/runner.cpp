@@ -260,6 +260,33 @@ RunResult run_protocol(const data::Workload& base_workload, const RunConfig& con
     });
   }
 
+  // Observability hooks (src/obs/): all run at the cycle barrier on the
+  // main thread and feed nothing back into the simulation, so fixed-seed
+  // trajectories are untouched (tests/test_obs.cpp pins this).
+  const obs::RunOptions& observability = config.observability;
+  if (observability.enabled()) obs::set_enabled(true);
+  std::shared_ptr<obs::Heartbeat> heartbeat;
+  if (observability.progress_every > 0 && engine.fragment() == 0) {
+    heartbeat = std::make_shared<obs::Heartbeat>(config.total_cycles(),
+                                                 observability.progress_every);
+    engine.add_cycle_hook(
+        [heartbeat](sim::Engine&, Cycle c) { heartbeat->tick(c); });
+  }
+  std::vector<obs::CycleSample> stats_series;
+  if (observability.stats_every > 0) {
+    const Cycle every = observability.stats_every;
+    engine.add_cycle_hook([&stats_series, every](sim::Engine&, Cycle c) {
+      if ((c + 1) % every != 0) return;
+      obs::CycleSample sample;
+      sample.cycle = c;
+      // Cumulative registry totals plus the arena's cheap counters; the
+      // expensive engine.memory_stats() walk stays end-of-run only.
+      sample.snapshot = obs::Snapshot::collect();
+      sample.snapshot.absorb_arena();
+      stats_series.push_back(std::move(sample));
+    });
+  }
+
   // Publication calendar (spam items carry publish_at == kNoCycle and are
   // injected by their spammers, never by the calendar).
   std::map<Cycle, std::vector<ItemIdx>> calendar;
@@ -284,17 +311,13 @@ RunResult run_protocol(const data::Workload& base_workload, const RunConfig& con
   }
 
   // Per-layer footprint attribution for the perf docs' "Memory map"
-  // (capacity accounting, not RSS — see Engine::memory_stats).
+  // (capacity accounting, not RSS — see Engine::memory_stats), emitted
+  // through the unified obs::Snapshot reporting path.
   if (std::getenv("WHATSUP_MEM_STATS") != nullptr) {
-    const sim::Engine::MemoryStats m = engine.memory_stats();
-    std::fprintf(stderr,
-                 "[mem_stats] mailbox=%zu payload=%zu outbox=%zu pool=%zu "
-                 "scratch=%zu arena=%zu materialize_slots=%zu "
-                 "materialize_bytes_per_thread=%zu total=%zu\n",
-                 m.mailbox_bytes, m.payload_bytes, m.outbox_bytes,
-                 m.pool_bytes, m.scratch_bytes, m.arena_bytes,
-                 m.materialize_slots, m.materialize_bytes_per_thread,
-                 m.total());
+    obs::Snapshot snap;
+    snap.absorb(engine);
+    snap.absorb(tracker);
+    snap.write_text(stderr, "[mem_stats]");
   }
 
   // ---- Collect results ----
@@ -314,7 +337,16 @@ RunResult run_protocol(const data::Workload& base_workload, const RunConfig& con
     result.news_messages = engine.traffic().messages(net::Protocol::kBeep);
     result.gossip_messages = engine.traffic().messages(net::Protocol::kRps) +
                              engine.traffic().messages(net::Protocol::kWup);
+    // No stats snapshot here: an in-process fragment worker merging the
+    // registry would read lanes that sibling fragments are still writing.
     return result;
+  }
+  if (observability.enabled()) {
+    result.stats_series = std::move(stats_series);
+    result.stats = obs::Snapshot::collect();
+    result.stats.absorb(engine);
+    result.stats.absorb(tracker);
+    result.stats.absorb_arena();
   }
   result.reached = tracker.reached_sets();
   // Score reduction fans out over the engine's worker pool (fixed chunk

@@ -14,6 +14,7 @@
 #include "metrics/scores.hpp"
 #include "metrics/tracker.hpp"
 #include "net/network.hpp"
+#include "obs/snapshot.hpp"
 #include "profile/obfuscation.hpp"
 #include "profile/similarity.hpp"
 #include "scenario/scenario.hpp"
@@ -111,6 +112,13 @@ struct RunConfig {
   int partitions = 1;
   sim::Transport* transport = nullptr;
 
+  // Observability (src/obs/): heartbeat + per-cycle registry sampling.
+  // Pure telemetry — enabling any knob leaves fixed-seed trajectories
+  // bit-identical (the obs registry contract). In fragment mode the
+  // heartbeat prints from fragment 0 only and the end-of-run stats
+  // snapshot is skipped (a fragment would read peers' live lanes).
+  obs::RunOptions observability;
+
   Cycle total_cycles() const { return warmup_cycles + publish_cycles + drain_cycles; }
 
   // Grows the drain tail so every scenario event fires inside the run
@@ -172,6 +180,12 @@ struct RunResult {
   std::vector<std::uint64_t> cycle_digests;
 
   ReliabilityStats reliability;
+
+  // Observability extras (empty unless RunConfig::observability asks):
+  // per-cycle registry samples and the end-of-run merged snapshot
+  // (registry + engine memory + tracker + arena).
+  std::vector<obs::CycleSample> stats_series;
+  obs::Snapshot stats;
 };
 
 // Adapter exposing workload ground truth as a sim::Opinions source.

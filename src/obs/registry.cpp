@@ -1,0 +1,192 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace whatsup::obs {
+
+namespace {
+constexpr std::uint64_t kTimeBoundsNs[] = {
+    1'000,       4'000,       16'000,      64'000,        256'000,      1'000'000,
+    4'000'000,   16'000'000,  64'000'000,  256'000'000,   1'000'000'000};
+}  // namespace
+
+std::span<const std::uint64_t> time_bounds_ns() { return kTimeBoundsNs; }
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// All mutable registry state. Guarded by `mutex` except for lane slot
+// values, which are written lock-free by their owning thread and read only
+// from quiescent points (see header contract).
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  std::vector<Metric> metrics;                   // registration order
+  std::uint32_t next_slot = 0;                   // first unassigned lane slot
+  std::vector<std::unique_ptr<std::uint64_t[]>> lanes;  // acquisition order
+};
+
+Registry& Registry::instance() {
+  // Leaked: lanes must outlive every thread that ever acquired one.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl* g = new Impl();
+  return *g;
+}
+
+void set_enabled(bool on) {
+  detail::g_stats_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t* detail::acquire_lane_slots() {
+  Registry::Impl& impl = Registry::instance().impl();
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  auto lane = std::make_unique<std::uint64_t[]>(Registry::kMaxSlots);
+  std::memset(lane.get(), 0, Registry::kMaxSlots * sizeof(std::uint64_t));
+  t_lane_slots = lane.get();
+  impl.lanes.push_back(std::move(lane));
+  return t_lane_slots;
+}
+
+MetricId Registry::register_metric(std::string_view name, Kind kind,
+                                   std::span<const std::uint64_t> bounds,
+                                   std::string_view unit,
+                                   std::uint32_t* index_out) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  for (std::uint32_t i = 0; i < im.metrics.size(); ++i) {
+    const Metric& m = im.metrics[i];
+    if (m.name == name) {
+      if (m.kind != kind) {
+        throw std::logic_error("obs: metric '" + std::string(name) +
+                               "' re-registered with a different kind");
+      }
+      if (index_out != nullptr) *index_out = i;
+      return m.offset;
+    }
+  }
+  const std::uint32_t slots =
+      kind == Kind::kHistogram ? 2 + static_cast<std::uint32_t>(bounds.size()) + 1
+                               : 1;
+  if (im.metrics.size() >= kMaxMetrics || im.next_slot + slots > kMaxSlots) {
+    throw std::logic_error("obs: metric table full (raise kMaxMetrics/kMaxSlots)");
+  }
+  Metric m;
+  m.name = std::string(name);
+  m.unit = std::string(unit);
+  m.kind = kind;
+  m.offset = im.next_slot;
+  m.slots = slots;
+  m.bounds.assign(bounds.begin(), bounds.end());
+  im.next_slot += slots;
+  im.metrics.push_back(std::move(m));
+  if (index_out != nullptr) {
+    *index_out = static_cast<std::uint32_t>(im.metrics.size()) - 1;
+  }
+  return im.metrics.back().offset;
+}
+
+MetricId counter(std::string_view name, std::string_view unit) {
+  return Registry::instance().register_metric(name, Kind::kCounter, {}, unit,
+                                              nullptr);
+}
+
+MetricId gauge(std::string_view name, std::string_view unit) {
+  return Registry::instance().register_metric(name, Kind::kGauge, {}, unit,
+                                              nullptr);
+}
+
+HistogramId histogram(std::string_view name, std::span<const std::uint64_t> bounds,
+                      std::string_view unit) {
+  HistogramId h;
+  h.offset = Registry::instance().register_metric(name, Kind::kHistogram, bounds,
+                                                  unit, &h.index);
+  return h;
+}
+
+void observe(HistogramId h, std::uint64_t value) {
+  if (!enabled()) return;
+  std::uint64_t* slots = detail::t_lane_slots;
+  if (slots == nullptr) [[unlikely]] slots = detail::acquire_lane_slots();
+  Registry::Impl& im = Registry::instance().impl();
+  // Metric entries are immutable once registered and h.index came from a
+  // completed registration, so this read needs no lock.
+  const Registry::Metric& m = im.metrics[h.index];
+  slots[h.offset] += 1;          // count
+  slots[h.offset + 1] += value;  // sum
+  std::size_t b = 0;
+  while (b < m.bounds.size() && value > m.bounds[b]) ++b;
+  slots[h.offset + 2 + b] += 1;
+}
+
+std::vector<MetricValue> Registry::merge() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  std::vector<MetricValue> out;
+  out.reserve(im.metrics.size());
+  for (const Metric& m : im.metrics) {
+    MetricValue v;
+    v.name = m.name;
+    v.kind = m.kind;
+    v.unit = m.unit;
+    if (m.kind == Kind::kHistogram) {
+      v.bounds = m.bounds;
+      v.buckets.assign(m.bounds.size() + 1, 0);
+    }
+    for (const auto& lane : im.lanes) {
+      const std::uint64_t* slots = lane.get();
+      switch (m.kind) {
+        case Kind::kCounter:
+          v.value += slots[m.offset];
+          break;
+        case Kind::kGauge:
+          v.value = std::max(v.value, slots[m.offset]);
+          break;
+        case Kind::kHistogram:
+          v.count += slots[m.offset];
+          v.sum += slots[m.offset + 1];
+          for (std::size_t b = 0; b < v.buckets.size(); ++b) {
+            v.buckets[b] += slots[m.offset + 2 + b];
+          }
+          break;
+      }
+    }
+    out.push_back(std::move(v));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricValue& a, const MetricValue& b) { return a.name < b.name; });
+  return out;
+}
+
+void Registry::reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  for (const auto& lane : im.lanes) {
+    std::memset(lane.get(), 0, kMaxSlots * sizeof(std::uint64_t));
+  }
+}
+
+std::size_t Registry::lanes() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  return im.lanes.size();
+}
+
+std::size_t Registry::metrics() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  return im.metrics.size();
+}
+
+}  // namespace whatsup::obs

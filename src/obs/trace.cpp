@@ -1,0 +1,146 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "obs/registry.hpp"  // now_ns
+
+namespace whatsup::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+// Per-thread bounded ring. Written by its owner thread only; read at
+// export time, after trace_stop() has closed the gate and instrumented
+// work has quiesced.
+struct TraceRing {
+  explicit TraceRing(std::size_t capacity, std::size_t tid)
+      : events(capacity), tid(tid) {}
+
+  void record(const char* name, std::uint64_t start, std::uint64_t dur) {
+    TraceEvent& e = events[head % events.size()];
+    e.name = name;
+    e.start_ns = start;
+    e.dur_ns = dur;
+    ++head;
+  }
+
+  std::vector<TraceEvent> events;
+  std::size_t head = 0;  // total records; min(head, size) are valid
+  std::size_t tid = 0;   // stable export thread id (acquisition order)
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<TraceRing>> rings;  // acquisition order
+  std::size_t ring_capacity = 1 << 16;
+  std::uint64_t session_t0_ns = 0;
+};
+
+TraceState& state() {
+  // Leaked: rings must outlive the threads that filled them.
+  static TraceState* g = new TraceState();
+  return *g;
+}
+
+thread_local TraceRing* t_ring = nullptr;
+// Sessions invalidate rings by bumping an epoch rather than touching other
+// threads' TLS; a thread re-acquires when its cached epoch is stale.
+std::atomic<std::uint64_t> g_epoch{0};
+thread_local std::uint64_t t_ring_epoch = ~std::uint64_t{0};
+
+TraceRing& local_ring() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto ring = std::make_shared<TraceRing>(s.ring_capacity, s.rings.size());
+  t_ring = ring.get();
+  t_ring_epoch = g_epoch.load(std::memory_order_relaxed);
+  s.rings.push_back(std::move(ring));
+  return *t_ring;
+}
+
+}  // namespace
+
+std::uint64_t TraceScope::clock_ns() { return now_ns(); }
+
+void detail::trace_record(const char* name, std::uint64_t start_ns,
+                          std::uint64_t dur_ns) {
+  if (!tracing_active()) return;  // stopped between scope entry and exit
+  TraceRing* ring = t_ring;
+  if (ring == nullptr ||
+      t_ring_epoch != g_epoch.load(std::memory_order_relaxed)) {
+    ring = &local_ring();
+  }
+  ring->record(name, start_ns, dur_ns);
+}
+
+void trace_start(std::size_t ring_capacity) {
+  TraceState& s = state();
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.rings.clear();  // drop spans from any previous session
+    s.ring_capacity = ring_capacity == 0 ? 1 : ring_capacity;
+    s.session_t0_ns = now_ns();
+  }
+  g_epoch.fetch_add(1, std::memory_order_relaxed);
+  detail::g_tracing_active.store(true, std::memory_order_relaxed);
+}
+
+void trace_stop() {
+  detail::g_tracing_active.store(false, std::memory_order_relaxed);
+}
+
+std::size_t trace_event_count() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::size_t n = 0;
+  for (const auto& ring : s.rings) {
+    n += std::min(ring->head, ring->events.size());
+  }
+  return n;
+}
+
+std::size_t trace_write_json(std::ostream& out) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // Emits nanoseconds as a fixed-point microsecond value ("12.345").
+  const auto emit_us = [&out](std::uint64_t ns) {
+    const std::uint64_t frac = ns % 1000;
+    out << (ns / 1000) << '.' << char('0' + frac / 100)
+        << char('0' + (frac / 10) % 10) << char('0' + frac % 10);
+  };
+  std::size_t written = 0;
+  for (const auto& ring : s.rings) {
+    const std::size_t n = std::min(ring->head, ring->events.size());
+    // On wrap, the oldest surviving event sits at `head % size`.
+    const std::size_t first = ring->head > ring->events.size()
+                                  ? ring->head % ring->events.size()
+                                  : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = ring->events[(first + i) % ring->events.size()];
+      const std::uint64_t rel_ns =
+          e.start_ns >= s.session_t0_ns ? e.start_ns - s.session_t0_ns : 0;
+      if (written != 0) out << ",";
+      out << "{\"name\":\"" << e.name << "\",\"cat\":\"whatsup\",\"ph\":\"X\""
+          << ",\"pid\":0,\"tid\":" << ring->tid << ",\"ts\":";
+      emit_us(rel_ns);
+      out << ",\"dur\":";
+      emit_us(e.dur_ns);
+      out << "}";
+      ++written;
+    }
+  }
+  out << "]}";
+  return written;
+}
+
+}  // namespace whatsup::obs

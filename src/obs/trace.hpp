@@ -1,0 +1,93 @@
+// Scoped span tracing into per-thread ring buffers with a Chrome
+// trace-event / Perfetto JSON exporter.
+//
+// Usage at an instrumentation site:
+//
+//     void Engine::run_cycle() {
+//       WUP_TRACE_SCOPE("cycle");
+//       ...
+//     }
+//
+// Two gates, independent of the stats registry:
+//
+//  * Compile-time: the CMake option WHATSUP_TRACING (default ON) defines
+//    WHATSUP_TRACING=0 to compile WUP_TRACE_SCOPE to `((void)0)` — zero
+//    code, zero data, for builds that want the guarantee rather than the
+//    measurement.
+//  * Runtime: spans are recorded only between trace_start() and
+//    trace_stop(). Inactive cost is one relaxed atomic load and a branch;
+//    no clock is read.
+//
+// Determinism: same contract as the stats registry — recording reads the
+// wall clock and writes the calling thread's own ring; it never draws RNG,
+// synchronizes, or reorders work, so fixed-seed trajectories are
+// bit-identical traced or not.
+//
+// Rings are bounded (drop-oldest on wrap) and owned by shared_ptr in a
+// process-global table, so spans recorded by worker threads survive their
+// thread's death (WorkerPool threads die with their Engine) until export.
+// Span names must be string literals (or otherwise outlive the session):
+// the ring stores the pointer, not a copy.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+
+#ifndef WHATSUP_TRACING
+#define WHATSUP_TRACING 1
+#endif
+
+namespace whatsup::obs {
+
+namespace detail {
+inline std::atomic<bool> g_tracing_active{false};
+void trace_record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns);
+}  // namespace detail
+
+inline bool tracing_active() {
+  return detail::g_tracing_active.load(std::memory_order_relaxed);
+}
+
+// Begins a session: clears previously captured spans and opens the gate.
+// `ring_capacity` bounds events per thread; oldest spans drop on overflow.
+void trace_start(std::size_t ring_capacity = 1 << 16);
+
+// Closes the gate. Captured spans remain available for export.
+void trace_stop();
+
+// Writes every captured span as Chrome trace-event JSON (chrome://tracing,
+// https://ui.perfetto.dev). Call after trace_stop(); returns the number of
+// events written. Timestamps are microseconds relative to trace_start().
+std::size_t trace_write_json(std::ostream& out);
+
+// Spans currently buffered across all rings (post-stop bookkeeping/tests).
+std::size_t trace_event_count();
+
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name)
+      : name_(name), start_(tracing_active() ? clock_ns() : 0) {}
+  ~TraceScope() {
+    if (start_ != 0) detail::trace_record(name_, start_, clock_ns() - start_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  static std::uint64_t clock_ns();
+  const char* name_;
+  std::uint64_t start_;
+};
+
+}  // namespace whatsup::obs
+
+#if WHATSUP_TRACING
+#define WUP_TRACE_CONCAT2(a, b) a##b
+#define WUP_TRACE_CONCAT(a, b) WUP_TRACE_CONCAT2(a, b)
+#define WUP_TRACE_SCOPE(name) \
+  ::whatsup::obs::TraceScope WUP_TRACE_CONCAT(wup_trace_scope_, __LINE__)(name)
+#else
+#define WUP_TRACE_SCOPE(name) ((void)0)
+#endif

@@ -58,6 +58,7 @@
 
 #include "common/ids.hpp"
 #include "common/small_vector.hpp"
+#include "obs/registry.hpp"
 #include "profile/profile.hpp"
 
 namespace whatsup {
@@ -587,6 +588,18 @@ inline std::vector<ScratchSlot>& scratch_slots() {
   return slots;
 }
 
+// Scratch hit/miss counters (the PR 7 cache-sizing cliff, made directly
+// observable). Registered lazily so the ~1e8-call hot path below pays the
+// static-init guard only when stats are enabled.
+inline obs::MetricId scratch_hit_metric() {
+  static const obs::MetricId id = obs::counter("profile.scratch.hits");
+  return id;
+}
+inline obs::MetricId scratch_miss_metric() {
+  static const obs::MetricId id = obs::counter("profile.scratch.misses");
+  return id;
+}
+
 // Direct-mapped probe keyed by snapshot version; `decode` fills the slot on
 // a miss. Versions come from one global counter (dense), so
 // version & (slots-1) distributes uniformly.
@@ -595,8 +608,11 @@ inline const Profile& scratch_lookup(std::uint64_t version, DecodeFn&& decode) {
   std::vector<ScratchSlot>& slots = scratch_slots();
   ScratchSlot& slot = slots[version & (slots.size() - 1)];
   if (slot.version != version) [[unlikely]] {
+    if (obs::enabled()) obs::add(scratch_miss_metric());
     decode(slot.profile);
     slot.version = version;
+  } else if (obs::enabled()) [[unlikely]] {
+    obs::add(scratch_hit_metric());
   }
   return slot.profile;
 }

@@ -8,6 +8,8 @@
 #include <variant>
 
 #include "net/wire.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "profile/compact.hpp"
 #include "sim/shard.hpp"
 #include "sim/transport.hpp"
@@ -52,6 +54,55 @@ std::uint64_t as_substream(Cycle cycle) {
   return static_cast<std::uint64_t>(
       static_cast<std::uint32_t>(static_cast<std::int64_t>(cycle)));
 }
+
+// Telemetry ids (obs/registry.hpp), registered once on first use. Lane
+// writes are gated on obs::enabled() and never draw RNG, synchronize, or
+// reorder work, so fixed-seed trajectories are bit-identical with stats on
+// or off (tests/test_obs.cpp holds the engine to this).
+struct EngineMetrics {
+  obs::MetricId cycles = obs::counter("engine.cycles");
+  obs::MetricId delivered = obs::counter("engine.deliver.messages");
+  obs::MetricId overflow = obs::counter("engine.deliver.overflow_dropped");
+  obs::MetricId routed = obs::counter("engine.route.messages");
+  // High-water mark of any mailbox-ring bucket (canonical-order inserts at
+  // the barrier, so this is the occupancy the delivery phase will face).
+  obs::MetricId mailbox_peak = obs::gauge("engine.mailbox.bucket_peak", "messages");
+  // Per-shard phase wall times (recorded on the executing worker's lane)
+  // and whole-phase / barrier wall times (main thread).
+  obs::HistogramId shard_deliver =
+      obs::histogram("engine.shard.deliver_ns", obs::time_bounds_ns(), "ns");
+  obs::HistogramId shard_activate =
+      obs::histogram("engine.shard.activate_ns", obs::time_bounds_ns(), "ns");
+  obs::HistogramId phase_deliver =
+      obs::histogram("engine.phase.deliver_ns", obs::time_bounds_ns(), "ns");
+  obs::HistogramId phase_activate =
+      obs::histogram("engine.phase.activate_ns", obs::time_bounds_ns(), "ns");
+  obs::HistogramId flush =
+      obs::histogram("engine.barrier.flush_ns", obs::time_bounds_ns(), "ns");
+  obs::HistogramId commit =
+      obs::histogram("engine.barrier.commit_ns", obs::time_bounds_ns(), "ns");
+  // Transport metrics labeled by barrier slot (fragment mode): slot 0 is
+  // the staged-send flush, 1 the deliver commit, 2 the activate commit.
+  obs::HistogramId exchange_ns[3] = {
+      obs::histogram("transport.flush.exchange_ns", obs::time_bounds_ns(), "ns"),
+      obs::histogram("transport.deliver.exchange_ns", obs::time_bounds_ns(), "ns"),
+      obs::histogram("transport.activate.exchange_ns", obs::time_bounds_ns(), "ns")};
+  obs::MetricId bytes_out[3] = {
+      obs::counter("transport.flush.bytes_out", "bytes"),
+      obs::counter("transport.deliver.bytes_out", "bytes"),
+      obs::counter("transport.activate.bytes_out", "bytes")};
+  obs::MetricId bytes_in[3] = {
+      obs::counter("transport.flush.bytes_in", "bytes"),
+      obs::counter("transport.deliver.bytes_in", "bytes"),
+      obs::counter("transport.activate.bytes_in", "bytes")};
+  obs::MetricId serialize_ns = obs::counter("transport.serialize_ns", "ns");
+  obs::MetricId serialize_messages = obs::counter("transport.serialize.messages");
+
+  static const EngineMetrics& get() {
+    static const EngineMetrics m;
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -429,6 +480,7 @@ Rng Engine::message_rng(NodeId from) {
 void Engine::route_message(net::Message message) {
   const net::Protocol protocol = net::protocol_of(message.type);
   traffic_.record_sent(protocol, config_.size_model.bytes(message));
+  obs::add(EngineMetrics::get().routed);
   // The message's private network-draw stream: keyed by sender, cycle and
   // the sender's send counter, never by global draw order — so fragments
   // routing disjoint sender sets make exactly the draws P=1 would.
@@ -438,8 +490,14 @@ void Engine::route_message(net::Message message) {
   const auto emit = [&](Cycle due, net::Message&& m) {
     if (fragments_ == 1 || owns(m.to)) {
       pending_local_.push_back(PendingMessage{due, std::move(m)});
-    } else {
+    } else if (!obs::enabled()) {
       net::encode_envelope(wire_out_[m.to % fragments_], due, m);
+    } else {
+      const EngineMetrics& om = EngineMetrics::get();
+      const std::uint64_t t0 = obs::now_ns();
+      net::encode_envelope(wire_out_[m.to % fragments_], due, m);
+      obs::add(om.serialize_ns, obs::now_ns() - t0);
+      obs::add(om.serialize_messages);
     }
   };
   // A dropped message — uniform loss or a partition cut — is recorded and
@@ -511,11 +569,29 @@ void Engine::route_message(net::Message message) {
 }
 
 void Engine::finish_slot() {
+  const bool obs_on = obs::enabled();
   if (fragments_ > 1) {
     // Barrier: swap this slot's serialized batches with every peer and
     // append the decoded envelopes (ascending fragment order) to the local
     // batch. Decode failures are fatal — workers are lockstep replicas.
+    WUP_TRACE_SCOPE("exchange");
+    const EngineMetrics& om = EngineMetrics::get();
+    const int slot = slot_kind_ >= 0 && slot_kind_ < 3 ? slot_kind_ : 0;
+    std::uint64_t out_bytes = 0;
+    if (obs_on) {
+      for (const auto& batch : wire_out_) out_bytes += batch.size();
+    }
+    const std::uint64_t t0 = obs_on ? obs::now_ns() : 0;
     std::vector<std::vector<std::uint8_t>> frames = transport_->exchange(wire_out_);
+    if (obs_on) {
+      obs::observe(om.exchange_ns[slot], obs::now_ns() - t0);
+      obs::add(om.bytes_out[slot], out_bytes);
+      std::uint64_t in_bytes = 0;
+      for (std::size_t f = 0; f < frames.size(); ++f) {
+        if (f != fragment_) in_bytes += frames[f].size();
+      }
+      obs::add(om.bytes_in[slot], in_bytes);
+    }
     for (auto& batch : wire_out_) batch.clear();
     for (std::size_t f = 0; f < frames.size(); ++f) {
       if (f == fragment_) continue;
@@ -541,8 +617,14 @@ void Engine::finish_slot() {
   if (!std::is_sorted(pending_local_.begin(), pending_local_.end(), by_sender)) {
     std::stable_sort(pending_local_.begin(), pending_local_.end(), by_sender);
   }
+  std::size_t bucket_peak = 0;
   for (PendingMessage& p : pending_local_) {
-    shard_for(p.message.to).bucket(p.due).push_back(std::move(p.message));
+    auto& bucket = shard_for(p.message.to).bucket(p.due);
+    bucket.push_back(std::move(p.message));
+    if (obs_on && bucket.size() > bucket_peak) bucket_peak = bucket.size();
+  }
+  if (bucket_peak != 0) {
+    obs::gauge_max(EngineMetrics::get().mailbox_peak, bucket_peak);
   }
   const std::size_t fill = pending_local_.size();
   pending_local_.clear();
@@ -601,6 +683,11 @@ void Engine::publish(NodeId source, ItemIdx index, ItemId id) {
 void Engine::deliver_shard(Shard& shard) {
   auto& due = shard.bucket(now_);
   if (due.empty()) return;
+  // Recorded into the executing worker's own lane — per-shard wall time
+  // survives the merge regardless of which thread ran the shard.
+  WUP_TRACE_SCOPE("deliver_shard");
+  const bool obs_on = obs::enabled();
+  const std::uint64_t obs_t0 = obs_on ? obs::now_ns() : 0;
   // Swap the due bucket with the shard's scratch vector so capacities
   // circulate and steady-state cycles never reallocate message storage.
   shard.delivery_batch.clear();
@@ -652,6 +739,7 @@ void Engine::deliver_shard(Shard& shard) {
     for (std::size_t m = i; m < j; ++m) {
       if (capacity > 0 && m - i >= capacity) {  // queue overflow
         ++shard.dropped[static_cast<std::size_t>(net::protocol_of(batch[order[m]].type))];
+        if (obs_on) obs::add(EngineMetrics::get().overflow);
         continue;
       }
       agents_[to]->on_message(ctx, batch[order[m]]);
@@ -672,6 +760,11 @@ void Engine::deliver_shard(Shard& shard) {
   trim_spare_capacity(shard.delivery_batch, delivered);
   shard.delivery_order.clear();
   trim_spare_capacity(shard.delivery_order, delivered);
+  if (obs_on) {
+    const EngineMetrics& om = EngineMetrics::get();
+    obs::add(om.delivered, delivered);
+    obs::observe(om.shard_deliver, obs::now_ns() - obs_t0);
+  }
 }
 
 Engine::PoolStats Engine::descriptor_pool_stats() const {
@@ -720,6 +813,8 @@ Engine::MemoryStats Engine::memory_stats() const {
 }
 
 void Engine::activate_shard(Shard& shard) {
+  WUP_TRACE_SCOPE("activate_shard");
+  obs::ScopedTimerNs obs_timer(EngineMetrics::get().shard_activate);
   const auto limit =
       static_cast<NodeId>(std::min<std::size_t>(shard.end, agents_.size()));
   for (NodeId id = shard.begin; id < limit; ++id) {
@@ -772,6 +867,8 @@ void Engine::commit_phase() {
 }
 
 void Engine::run_cycle() {
+  WUP_TRACE_SCOPE("cycle");
+  const EngineMetrics& om = EngineMetrics::get();
   // Fault-layer passes (no-ops when the knobs are off): scheduled
   // recoveries first, so a node due back this cycle is exposed to this
   // cycle's crash draws like any other active node.
@@ -781,11 +878,35 @@ void Engine::run_cycle() {
   // Flush slot: main-thread sends staged since the last cycle (publish
   // fan-out, rejoin handshakes) commit here in canonical sender order —
   // the first of the cycle's three barrier slots in fragment mode.
-  flush_staged();
-  run_phase([this](Shard& shard) { deliver_shard(shard); });
-  commit_phase();
-  run_phase([this](Shard& shard) { activate_shard(shard); });
-  commit_phase();
+  slot_kind_ = 0;
+  {
+    WUP_TRACE_SCOPE("flush");
+    obs::ScopedTimerNs obs_timer(om.flush);
+    flush_staged();
+  }
+  {
+    WUP_TRACE_SCOPE("deliver_phase");
+    obs::ScopedTimerNs obs_timer(om.phase_deliver);
+    run_phase([this](Shard& shard) { deliver_shard(shard); });
+  }
+  slot_kind_ = 1;
+  {
+    WUP_TRACE_SCOPE("commit");
+    obs::ScopedTimerNs obs_timer(om.commit);
+    commit_phase();
+  }
+  {
+    WUP_TRACE_SCOPE("activate_phase");
+    obs::ScopedTimerNs obs_timer(om.phase_activate);
+    run_phase([this](Shard& shard) { activate_shard(shard); });
+  }
+  slot_kind_ = 2;
+  {
+    WUP_TRACE_SCOPE("commit");
+    obs::ScopedTimerNs obs_timer(om.commit);
+    commit_phase();
+  }
+  obs::add(om.cycles);
   for (const CycleHook& hook : hooks_) hook(*this, now_);
   // Epoch purge of the global snapshot arena: one intern-table shard per
   // cycle, between phases (no workers are running), so dead profile

@@ -365,6 +365,11 @@ class Engine : public ParallelExecutor {
   // Serialized envelope batches per destination fragment (fragment mode).
   std::vector<std::vector<std::uint8_t>> wire_out_;
 
+  // Which of the cycle's three barrier slots finish_slot() is closing
+  // (0 = flush, 1 = deliver commit, 2 = activate commit). Telemetry label
+  // only — slot-attributed transport timings/bytes in src/obs/.
+  int slot_kind_ = 0;
+
   // Per-sender per-cycle send counters keying the per-message network-draw
   // streams: fork(net_root_, sender, counter·2³² | cycle). A sender's
   // messages are always routed at its owner in canonical order, so the

@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
+
 namespace whatsup::sim {
+
+namespace {
+
+// Process-wide reliability counters; the per-instance Stats structs stay
+// the per-node source of truth for RunResult aggregation.
+struct ReliabilityMetrics {
+  obs::MetricId tracked = obs::counter("relia.tracked");
+  obs::MetricId acked = obs::counter("relia.acked");
+  obs::MetricId retransmits = obs::counter("relia.retransmits");
+  obs::MetricId expired = obs::counter("relia.expired");
+  obs::MetricId overflowed = obs::counter("relia.overflowed");
+  obs::MetricId dedup_repeats = obs::counter("relia.dedup.repeats");
+
+  static const ReliabilityMetrics& get() {
+    static const ReliabilityMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 // ---- DedupLog -------------------------------------------------------------
 
@@ -18,7 +40,10 @@ std::uint64_t DedupLog::key(ItemId item, int hop) {
 
 bool DedupLog::seen_or_insert(ItemId item, int hop) {
   const std::uint64_t k = key(item, hop);
-  if (set_.count(k) != 0) return true;
+  if (set_.count(k) != 0) {
+    obs::add(ReliabilityMetrics::get().dedup_repeats);
+    return true;
+  }
   if (order_.size() >= capacity_) {
     set_.erase(order_.front());
     order_.pop_front();
@@ -43,6 +68,7 @@ RetransmitQueue::RetransmitQueue(ReliabilityConfig config) : config_(config) {
 
 void RetransmitQueue::track(Cycle now, NodeId to, const net::NewsPayload& news) {
   ++stats_.tracked;
+  obs::add(ReliabilityMetrics::get().tracked);
   // A re-track of a still-pending (item, target) pair re-arms the entry
   // (cannot happen through BEEP — SIR forwards each item once — but keeps
   // the structure safe for direct use).
@@ -58,6 +84,7 @@ void RetransmitQueue::track(Cycle now, NodeId to, const net::NewsPayload& news) 
   if (config_.queue_limit > 0 && entries_.size() >= config_.queue_limit) {
     entries_.erase(entries_.begin());  // oldest first
     ++stats_.overflowed;
+    obs::add(ReliabilityMetrics::get().overflowed);
   }
   Entry entry;
   entry.to = to;
@@ -75,6 +102,7 @@ bool RetransmitQueue::ack(NodeId from, ItemId item) {
   if (it == entries_.end()) return false;
   entries_.erase(it);
   ++stats_.acked;
+  obs::add(ReliabilityMetrics::get().acked);
   return true;
 }
 
@@ -92,12 +120,14 @@ std::vector<RetransmitQueue::Due> RetransmitQueue::collect_due(
     }
     if (it->retries_left <= 0) {
       ++stats_.expired;
+      obs::add(ReliabilityMetrics::get().expired);
       if (expired_targets != nullptr) expired_targets->push_back(it->to);
       it = entries_.erase(it);
       continue;
     }
     --it->retries_left;
     ++stats_.retransmits;
+    obs::add(ReliabilityMetrics::get().retransmits);
     due.push_back(Due{it->to, it->news});
     // Exponential backoff with a ±0/+1 cycle desynchronisation jitter from
     // the reserved reliability substream.

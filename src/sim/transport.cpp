@@ -12,6 +12,8 @@
 #include <utility>
 
 #include "net/wire.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace whatsup::sim {
 
@@ -20,6 +22,22 @@ namespace {
 [[noreturn]] void die(const std::string& what) {
   throw std::runtime_error("SocketTransport: " + what);
 }
+
+// Wire-level truth for one fragment process: framed bytes actually moved
+// through the socket mesh (includes frame headers, unlike the engine's
+// slot-labeled envelope byte counters) and time parked in the poll loop.
+struct TransportMetrics {
+  obs::MetricId exchanges = obs::counter("transport.socket.exchanges");
+  obs::MetricId wire_bytes_out = obs::counter("transport.socket.bytes_out", "bytes");
+  obs::MetricId wire_bytes_in = obs::counter("transport.socket.bytes_in", "bytes");
+  obs::HistogramId wait =
+      obs::histogram("transport.socket.exchange_ns", obs::time_bounds_ns(), "ns");
+
+  static const TransportMetrics& get() {
+    static const TransportMetrics m;
+    return m;
+  }
+};
 
 void set_nonblocking(int fd) {
   const int flags = fcntl(fd, F_GETFL, 0);
@@ -52,6 +70,9 @@ std::vector<std::vector<std::uint8_t>> SocketTransport::exchange(
   const std::size_t n = fds_.size();
   if (out.size() != n) die("batch count does not match fragment count");
   std::vector<std::vector<std::uint8_t>> in(n);
+  WUP_TRACE_SCOPE("socket_exchange");
+  const bool obs_on = obs::enabled();
+  const std::uint64_t obs_t0 = obs_on ? obs::now_ns() : 0;
 
   // Frame every outgoing batch up front (empty batches still ship an empty
   // frame — the frame is the barrier token).
@@ -142,6 +163,19 @@ std::vector<std::vector<std::uint8_t>> SocketTransport::exchange(
         }
       }
     }
+  }
+  if (obs_on) {
+    const TransportMetrics& om = TransportMetrics::get();
+    obs::add(om.exchanges);
+    std::uint64_t wire_out = 0;
+    for (const auto& w : wbuf) wire_out += w.size();
+    obs::add(om.wire_bytes_out, wire_out);
+    std::uint64_t wire_in = 0;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (f != fragment_) wire_in += in[f].size();
+    }
+    obs::add(om.wire_bytes_in, wire_in);
+    obs::observe(om.wait, obs::now_ns() - obs_t0);
   }
   return in;
 }

@@ -4,7 +4,26 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/registry.hpp"
+
 namespace whatsup {
+
+namespace {
+
+// Failure-detection telemetry: retry-exhaustion suspicions and the view
+// evictions hygiene confirms from them (src/obs/ registry contract — no
+// RNG, no ordering effects).
+struct HygieneMetrics {
+  obs::MetricId suspicions = obs::counter("relia.suspicions");
+  obs::MetricId evictions = obs::counter("relia.evictions");
+
+  static const HygieneMetrics& get() {
+    static const HygieneMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 WhatsUpAgent::WhatsUpAgent(NodeId self, WhatsUpConfig config, const sim::Opinions& opinions)
     : self_(self),
@@ -58,11 +77,15 @@ void WhatsUpAgent::pump_retransmissions(sim::Context& ctx) {
   }
   // Retry exhaustion is the failure signal feeding view hygiene: enough of
   // them evicts the peer from BOTH views and drops its remaining entries.
+  if (!expired.empty()) {
+    obs::add(HygieneMetrics::get().suspicions, expired.size());
+  }
   for (const NodeId failed : expired) {
     if (opt_in_->hygiene.report_failure(failed)) {
       rps_.view().remove(failed);
       wup_.view().remove(failed);
       retx.drop_target(failed);
+      obs::add(HygieneMetrics::get().evictions);
     }
   }
 }
